@@ -1,0 +1,158 @@
+//! Microbenchmarks for the substrate crates: hashes, compression, wire
+//! codec, statistics and the ML learners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use racket_collect::wire::{FrameCodec, Message};
+use racket_collect::{crc32, md5, sha256};
+use racket_ml::{
+    Classifier, DecisionTree, DecisionTreeParams, GradientBoosting, GradientBoostingParams,
+    KNearestNeighbors, RandomForest, RandomForestParams,
+};
+use racket_types::InstallId;
+
+/// A snapshot-file-like payload: repetitive JSON lines.
+fn snapshot_payload(n_lines: usize) -> Vec<u8> {
+    let mut data = Vec::new();
+    for i in 0..n_lines {
+        data.extend_from_slice(
+            format!(
+                "{{\"install_id\":1234567890,\"time\":{},\"foreground_app\":\"app-42\",\
+                 \"screen_on\":true,\"battery_pct\":87}}\n",
+                i * 5
+            )
+            .as_bytes(),
+        );
+    }
+    data
+}
+
+fn bench_hashes(c: &mut Criterion) {
+    let data = snapshot_payload(600); // ~64 KiB
+    let mut g = c.benchmark_group("hash");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_64k", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    g.bench_function("md5_64k", |b| b.iter(|| md5(std::hint::black_box(&data))));
+    g.bench_function("crc32_64k", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_lzss(c: &mut Criterion) {
+    let data = snapshot_payload(600);
+    let compressed = racket_collect::lzss::compress(&data);
+    let mut g = c.benchmark_group("lzss");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_64k", |b| {
+        b.iter(|| racket_collect::lzss::compress(std::hint::black_box(&data)))
+    });
+    g.bench_function("decompress_64k", |b| {
+        b.iter(|| racket_collect::lzss::decompress(std::hint::black_box(&compressed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = Message::SnapshotUpload {
+        install: InstallId(1_234_567_890),
+        file_id: 7,
+        fast: true,
+        payload: racket_collect::lzss::compress(&snapshot_payload(600)),
+    };
+    let encoded = msg.encode();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_upload", |b| b.iter(|| std::hint::black_box(&msg).encode()));
+    g.bench_function("decode_upload", |b| {
+        b.iter(|| {
+            let mut codec = FrameCodec::new();
+            codec.feed(std::hint::black_box(&encoded));
+            codec.try_decode_message().unwrap().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let a: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+    let b2: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.3).cos() * 12.0 + 1.0).collect();
+    let mut g = c.benchmark_group("stats");
+    g.bench_function("ks_2samp_1k", |bch| {
+        bch.iter(|| racket_stats::ks_2samp(std::hint::black_box(&a), std::hint::black_box(&b2)))
+    });
+    g.bench_function("kruskal_wallis_1k", |bch| {
+        bch.iter(|| racket_stats::kruskal_wallis(&[std::hint::black_box(&a), &b2]))
+    });
+    g.bench_function("shapiro_wilk_1k", |bch| {
+        bch.iter(|| racket_stats::shapiro_wilk(std::hint::black_box(&a)))
+    });
+    g.finish();
+}
+
+fn ml_data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = u8::from(i % 2 == 1);
+        let row: Vec<f64> = (0..d)
+            .map(|j| ((i * 31 + j * 7) % 97) as f64 / 10.0 + f64::from(label) * (j % 3) as f64)
+            .collect();
+        x.push(row);
+        y.push(label);
+    }
+    (x, y)
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let (x, y) = ml_data(1000, 20);
+    let mut g = c.benchmark_group("ml_fit");
+    g.sample_size(10);
+    g.bench_function("tree_1000x20", |b| {
+        b.iter(|| {
+            let mut t = DecisionTree::new(DecisionTreeParams::default());
+            t.fit(std::hint::black_box(&x), &y);
+            t
+        })
+    });
+    g.bench_function("forest25_1000x20", |b| {
+        b.iter(|| {
+            let mut f = RandomForest::new(RandomForestParams {
+                n_trees: 25,
+                ..RandomForestParams::default()
+            });
+            f.fit(std::hint::black_box(&x), &y);
+            f
+        })
+    });
+    g.bench_function("gbt50_1000x20", |b| {
+        b.iter(|| {
+            let mut m = GradientBoosting::new(GradientBoostingParams {
+                n_rounds: 50,
+                ..GradientBoostingParams::default()
+            });
+            m.fit(std::hint::black_box(&x), &y);
+            m
+        })
+    });
+    g.finish();
+
+    let mut knn = KNearestNeighbors::paper_default();
+    knn.fit(&x, &y);
+    let mut g = c.benchmark_group("ml_predict");
+    g.bench_for_each_input(&knn, &x);
+    g.finish();
+}
+
+/// Extension helper: benchmark one KNN query against the fitted model.
+trait BenchExt {
+    fn bench_for_each_input(&mut self, knn: &KNearestNeighbors, x: &[Vec<f64>]);
+}
+
+impl BenchExt for criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    fn bench_for_each_input(&mut self, knn: &KNearestNeighbors, x: &[Vec<f64>]) {
+        self.bench_with_input(BenchmarkId::new("knn_query", x.len()), &x[0], |b, row| {
+            b.iter(|| knn.predict_proba(std::hint::black_box(row)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_hashes, bench_lzss, bench_wire, bench_stats, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! §7.2 ablation — app classifier under balanced datasets.
+//!
+//! Paper: undersampling the majority class and oversampling the minority
+//! class yield F1 of 98.76% and 99.22% for XGB (vs. 99.72% unbalanced);
+//! AUC stays above 0.99 everywhere except KNN (0.90/0.92); XGB's FPR under
+//! oversampling is 1.94%.
+
+use racket_bench::{app_dataset, metrics_row, write_csv, METRICS_HEADER};
+use racket_ml::Resampling;
+use racketstore::app_classifier::evaluate;
+
+fn main() {
+    let ds = app_dataset();
+    println!("== §7.2 ablation: class balancing for the app classifier ==\n");
+    let mut rows = Vec::new();
+    for (label, resampling) in [
+        ("none", Resampling::None),
+        ("undersample", Resampling::Undersample),
+        ("oversample", Resampling::Oversample),
+        ("smote", Resampling::Smote { k: 5 }),
+    ] {
+        println!("--- {label} ---");
+        println!("{METRICS_HEADER}");
+        let report = evaluate(ds, 1, resampling);
+        for row in &report.table {
+            println!("{}", metrics_row(row.name, &row.metrics));
+            rows.push(format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                label, row.name, row.metrics.precision, row.metrics.recall, row.metrics.f1,
+                row.metrics.auc, row.metrics.fpr
+            ));
+        }
+        println!();
+    }
+    println!("paper: XGB F1 98.76% (under) / 99.22% (over); FPR 1.94% (over)");
+    write_csv("ablation_app.csv", "sampling,algorithm,precision,recall,f1,auc,fpr", rows);
+}

@@ -1,0 +1,36 @@
+//! §8.2 ablation — device classifier under different balancing schemes.
+//!
+//! Paper: with SMOTE, XGB reaches F1 95.29% (AUC 0.9455); undersampling
+//! drops recall to 92.97% (F1 95.18%, AUC 0.9074); no balancing raises F1
+//! to 96.86% at the cost of AUC (0.9083).
+
+use racket_bench::{device_dataset, metrics_row, write_csv, METRICS_HEADER};
+use racket_ml::Resampling;
+use racketstore::device_classifier::evaluate;
+
+fn main() {
+    let ds = device_dataset();
+    println!("== §8.2 ablation: class balancing for the device classifier ==\n");
+    let mut rows = Vec::new();
+    for (label, resampling) in [
+        ("smote", Resampling::Smote { k: 5 }),
+        ("undersample", Resampling::Undersample),
+        ("none", Resampling::None),
+        ("oversample", Resampling::Oversample),
+    ] {
+        println!("--- {label} ---");
+        println!("{METRICS_HEADER}");
+        let report = evaluate(ds, resampling);
+        for row in &report.table {
+            println!("{}", metrics_row(row.name, &row.metrics));
+            rows.push(format!(
+                "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                label, row.name, row.metrics.precision, row.metrics.recall, row.metrics.f1,
+                row.metrics.auc, row.metrics.fpr
+            ));
+        }
+        println!();
+    }
+    println!("paper: XGB F1 95.29 (SMOTE), 95.18 (under, AUC 0.9074), 96.86 (none, AUC 0.9083)");
+    write_csv("ablation_device.csv", "sampling,algorithm,precision,recall,f1,auc,fpr", rows);
+}

@@ -1,0 +1,147 @@
+//! §9 extension — the cost of evading detection.
+//!
+//! The paper argues (Discussion, "Worker Strategy Evolution") that the
+//! engagement features impose a trade-off on ASO workers: to look like
+//! regular users they must register fewer accounts, wait longer before
+//! reviewing, interact more with promoted apps and post less — each of
+//! which cuts the fraud they can deliver.
+//!
+//! This experiment makes the argument quantitative. Each evasion strategy
+//! re-generates the study with modified worker personas, retrains the full
+//! two-stage pipeline (app labels → app classifier → device classifier),
+//! and reports (a) worker-device recall at fixed settings and (b) the
+//! fraud output — average reviews per worker device — under that strategy.
+//!
+//! Expected shape: evasion lowers recall only gradually while fraud output
+//! collapses, i.e. the features price evasion in worker revenue.
+
+use racket_agents::{FleetConfig, PersonaOverrides};
+use racket_bench::{labeling_config, write_csv, Scale};
+use racket_ml::Resampling;
+use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
+use racketstore::device_classifier::{evaluate, DeviceDataset};
+use racketstore::labeling::label_apps;
+use racketstore::study::Study;
+use racket_agents::params::PersonaParams;
+use racket_types::Cohort;
+
+/// One evasion strategy: a transformation of the worker personas.
+struct Strategy {
+    name: &'static str,
+    apply: fn(&mut PersonaParams),
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy { name: "baseline", apply: |_| {} },
+        Strategy {
+            name: "fewer_accounts",
+            // Halve the Gmail account pool.
+            apply: |p| {
+                p.gmail_accounts.median = (p.gmail_accounts.median / 2.0).max(1.0);
+                p.gmail_accounts.max = 30.0;
+            },
+        },
+        Strategy {
+            name: "slower_reviews",
+            // Wait like a regular user before reviewing.
+            apply: |p| {
+                p.promo_review_delay.fast_weight = 0.05;
+                p.promo_review_delay.body.median = 22.0;
+                p.promo_review_delay.body.sigma = 1.4;
+            },
+        },
+        Strategy {
+            name: "engage_with_apps",
+            // Open every promoted app and never force-stop it.
+            apply: |p| {
+                p.promo_open_prob = 0.9;
+                p.promo_stop_prob = 0.02;
+            },
+        },
+        Strategy {
+            name: "fewer_reviews",
+            // Post from one account per app, skip half the jobs.
+            apply: |p| {
+                p.promo_job_review_prob *= 0.5;
+                p.promo_accounts_per_app.median = 1.0;
+                p.promo_accounts_per_app.max = 2.0;
+            },
+        },
+        Strategy {
+            name: "all_of_the_above",
+            apply: |p| {
+                p.gmail_accounts.median = (p.gmail_accounts.median / 2.0).max(1.0);
+                p.gmail_accounts.max = 30.0;
+                p.promo_review_delay.fast_weight = 0.05;
+                p.promo_review_delay.body.median = 22.0;
+                p.promo_review_delay.body.sigma = 1.4;
+                p.promo_open_prob = 0.9;
+                p.promo_stop_prob = 0.02;
+                p.promo_job_review_prob *= 0.5;
+                p.promo_accounts_per_app.median = 1.0;
+                p.promo_accounts_per_app.max = 2.0;
+            },
+        },
+    ]
+}
+
+fn main() {
+    println!("== §9: the price of evading detection ==\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>16}",
+        "strategy", "recall", "precision", "F1", "reviews/worker"
+    );
+    let mut rows = Vec::new();
+    for strategy in strategies() {
+        let mut organic = PersonaParams::organic_worker();
+        let mut dedicated = PersonaParams::dedicated_worker();
+        (strategy.apply)(&mut organic);
+        (strategy.apply)(&mut dedicated);
+
+        let mut config = Scale::from_env().config();
+        config.fleet = FleetConfig {
+            overrides: PersonaOverrides {
+                regular: None,
+                organic: Some(organic),
+                dedicated: Some(dedicated),
+            },
+            ..config.fleet
+        };
+        let out = Study::new(config).run();
+
+        // Fraud output under this strategy.
+        let workers: Vec<_> = out.cohort(Cohort::Worker).collect();
+        let fraud = workers.iter().map(|o| o.total_reviews() as f64).sum::<f64>()
+            / workers.len().max(1) as f64;
+
+        // Retrain the full pipeline against the adapted workers.
+        let labels = label_apps(&out, &labeling_config());
+        if labels.suspicious.is_empty() || labels.non_suspicious.is_empty() {
+            println!("{:<18} — labeling degenerated (no labeled apps)", strategy.name);
+            continue;
+        }
+        let app_ds = AppUsageDataset::build(&out, &labels);
+        let clf = AppClassifier::train(&app_ds);
+        let dev_ds = DeviceDataset::build(&out, &clf, 2, None, 7);
+        let report = evaluate(&dev_ds, Resampling::Smote { k: 5 });
+        let xgb = &report.table[0];
+        println!(
+            "{:<18} {:>9.2}% {:>9.2}% {:>9.2}% {:>16.1}",
+            strategy.name,
+            xgb.metrics.recall * 100.0,
+            xgb.metrics.precision * 100.0,
+            xgb.metrics.f1 * 100.0,
+            fraud
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.2}",
+            strategy.name, xgb.metrics.recall, xgb.metrics.precision, xgb.metrics.f1, fraud
+        ));
+    }
+    println!(
+        "\nreading: evasion buys recall points only by collapsing the fraud output\n\
+         (reviews per worker device), which is the paper's §9 argument."
+    );
+    write_csv("evasion_cost.csv", "strategy,recall,precision,f1,reviews_per_worker", rows);
+}

@@ -1,0 +1,39 @@
+//! Figure 11 — dangerous vs. total permissions of cohort-exclusive apps.
+//!
+//! Paper: worker devices host the apps with the largest dangerous-to-total
+//! permission ratios, but most apps share similar permission profiles
+//! across cohorts — permissions alone cannot detect promoted apps.
+
+use racket_bench::{study, measurements, write_csv};
+use racket_types::Cohort;
+
+fn main() {
+    let _ = study();
+    let m = measurements();
+    println!("== Figure 11: app permissions (cohort-exclusive apps) ==\n");
+    for cohort in [Cohort::Regular, Cohort::Worker] {
+        let points: Vec<_> = m.permissions.iter().filter(|p| p.cohort == cohort).collect();
+        let dangerous: Vec<f64> = points.iter().map(|p| p.dangerous as f64).collect();
+        let total: Vec<f64> = points.iter().map(|p| p.total as f64).collect();
+        let max_ratio = points
+            .iter()
+            .map(|p| p.dangerous as f64 / p.total.max(1) as f64)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<8} exclusive apps: {:>4}  dangerous {} of {} total (max ratio {:.2})",
+            cohort.label(),
+            points.len(),
+            racket_stats::Summary::of(&dangerous).map(|s| format!("{:.1}", s.mean)).unwrap_or_default(),
+            racket_stats::Summary::of(&total).map(|s| format!("{:.1}", s.mean)).unwrap_or_default(),
+            max_ratio
+        );
+    }
+    println!("\npaper: profiles largely overlap; permissions are a weak signal.");
+    write_csv(
+        "fig11.csv",
+        "cohort,total_permissions,dangerous_permissions",
+        m.permissions
+            .iter()
+            .map(|p| format!("{},{},{}", p.cohort.label(), p.total, p.dangerous)),
+    );
+}

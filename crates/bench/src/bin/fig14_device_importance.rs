@@ -1,0 +1,26 @@
+//! Figure 14 — top-10 features of the device classifier by mean decrease
+//! in Gini.
+//!
+//! Paper: four features stand out — total apps reviewed from the device's
+//! accounts, percent of installed apps used suspiciously, number of
+//! stopped apps, and average reviews per registered account.
+
+use racket_bench::{device_dataset, write_csv};
+use racketstore::app_classifier::feature_importance;
+
+fn main() {
+    let ds = device_dataset();
+    println!("== Figure 14: device-classifier feature importance ==\n");
+    let ranked = feature_importance(&ds.data);
+    println!("{:<28} {:>10}", "feature", "importance");
+    for (name, score) in ranked.iter().take(10) {
+        println!("{name:<28} {score:>10.4}");
+    }
+    println!("\npaper top-4: n_total_apps_reviewed, app_suspiciousness,");
+    println!("             n_stopped_apps, avg_reviews_per_account");
+    write_csv(
+        "fig14.csv",
+        "feature,importance",
+        ranked.iter().map(|(n, s)| format!("{n},{s:.6}")),
+    );
+}

@@ -1,0 +1,48 @@
+//! Figure 15 — app suspiciousness vs. reviewed apps per worker device,
+//! and the organic/dedicated split.
+//!
+//! Paper: of 178 worker devices, 123 (69.1%) show organic-indicative
+//! behaviour (at least one app predicted personal) and 55 are
+//! promotion-dedicated (every app promotion-indicative; median 31 Gmail
+//! accounts, median 23 stopped apps).
+
+use racket_bench::{device_dataset, study, write_csv};
+use racket_ml::Resampling;
+use racketstore::device_classifier::evaluate;
+
+fn main() {
+    let _ = study();
+    let report = evaluate(device_dataset(), Resampling::Smote { k: 5 });
+    let split = &report.split;
+    println!("== Figure 15: worker-device usage split ==\n");
+    println!(
+        "{} worker devices: {} organic-indicative, {} promotion-dedicated",
+        split.organic + split.dedicated,
+        split.organic,
+        split.dedicated
+    );
+    println!(
+        "organic fraction: {:.1}% (paper: 69.1% = 123/178)",
+        split.organic_fraction() * 100.0
+    );
+    println!("\nsuspiciousness distribution over worker devices:");
+    let mut hist = [0usize; 5];
+    for &(susp, _) in &split.points {
+        let bucket = ((susp * 5.0) as usize).min(4);
+        hist[bucket] += 1;
+    }
+    for (i, count) in hist.iter().enumerate() {
+        println!(
+            "  [{:.1}, {:.1}) {:>5}  {}",
+            i as f64 / 5.0,
+            (i + 1) as f64 / 5.0,
+            count,
+            "#".repeat((*count).min(60))
+        );
+    }
+    write_csv(
+        "fig15.csv",
+        "suspiciousness,installed_and_reviewed",
+        split.points.iter().map(|(s, r)| format!("{s:.4},{r}")),
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 1 — on-device app interaction timelines.
+//!
+//! Paper: worker timelines start with the app install (level 4), followed
+//! by review events (level 3) over several days with no interaction; a
+//! regular user's timeline shows recurring foreground use (level 2) and
+//! no review even after five days.
+
+use racket_bench::{study, write_csv};
+use racket_types::Cohort;
+
+fn main() {
+    let out = study();
+    println!("== Figure 1: interaction timelines ==");
+    println!("(event levels: 1 screen, 2 foreground, 3 review, 4 install)\n");
+
+    // Two worker devices with reviews and one regular device with usage.
+    let mut rows = Vec::new();
+    let mut shown_workers = 0;
+    let mut shown_regular = 0;
+    for (obs, truth) in out.observations.iter().zip(&out.truth) {
+        let cohort = truth.persona.cohort();
+        let events = timeline(out, obs);
+        let has_review = events.iter().any(|&(_, lvl)| lvl == 3);
+        let keep = match cohort {
+            Cohort::Worker if shown_workers < 2 && has_review => {
+                shown_workers += 1;
+                true
+            }
+            Cohort::Regular if shown_regular < 1 && !has_review => {
+                shown_regular += 1;
+                true
+            }
+            _ => false,
+        };
+        if !keep {
+            continue;
+        }
+        println!("--- {} device {} ---", cohort.label(), obs.record.install_id);
+        for &(day, lvl) in events.iter().take(18) {
+            let marker = match lvl {
+                4 => "install",
+                3 => "review",
+                2 => "open",
+                _ => "screen",
+            };
+            println!("  day {day:>6.2}  level {lvl}  {marker}");
+            rows.push(format!("{},{},{:.3},{}", cohort.label(), obs.record.install_id, day, lvl));
+        }
+        println!();
+        if shown_workers == 2 && shown_regular == 1 {
+            break;
+        }
+    }
+    write_csv("fig1.csv", "cohort,install,day,level", rows);
+}
+
+/// Build the (day, level) series for one device from install/review joins
+/// and foreground observations.
+fn timeline(
+    out: &racketstore::StudyOutput,
+    obs: &racket_features::DeviceObservation,
+) -> Vec<(f64, u8)> {
+    let mut events: Vec<(f64, u8)> = Vec::new();
+    let start = obs.monitoring.start;
+    // One promoted-or-reviewed app, else the most-used app.
+    let app = obs
+        .reviews_by_app
+        .keys()
+        .find(|a| obs.record.apps.contains_key(a))
+        .copied()
+        .or_else(|| obs.record.foreground.keys().next().copied());
+    let Some(app) = app else { return events };
+    let _ = out;
+    if let Some(info) = obs.record.apps.get(&app) {
+        events.push((info.install_time.signed_delta_secs(start) as f64 / 86_400.0, 4));
+    }
+    for r in obs.reviews_for(app) {
+        events.push((r.posted_at.signed_delta_secs(start) as f64 / 86_400.0, 3));
+    }
+    if let Some(days) = obs.record.foreground.get(&app) {
+        for day in days.keys() {
+            events.push((*day as f64 - start.as_days(), 2));
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    events
+}

@@ -1,0 +1,28 @@
+//! Figure 5 — number and types of accounts registered on devices.
+//!
+//! Paper: worker devices average 28.87 Gmail accounts (M = 21, max 163)
+//! vs. a regular-device maximum of 10 (M = 2); regular devices register
+//! ~6 service types (max 19) while worker accounts specialize in Gmail
+//! plus ASO tooling (dualspace.daemon, freelancer). All three comparisons
+//! significant at p < 0.05 under KS and both ANOVAs.
+
+use racket_bench::{measurements, print_comparison, study, write_csv};
+
+fn main() {
+    let _ = study();
+    let m = measurements();
+    println!("== Figure 5: registered accounts ==\n");
+    print_comparison(&m.gmail_accounts);
+    print_comparison(&m.account_types);
+    print_comparison(&m.non_gmail_accounts);
+    println!("\npaper: workers 28.87 Gmail accounts (M = 21, SD = 29.37, max 163);");
+    println!("       regular M = 2, SD = 1.66, max 10; regular ~6 account types.");
+    let rows = m
+        .gmail_accounts
+        .regular
+        .iter()
+        .map(|v| format!("regular,{v}"))
+        .chain(m.gmail_accounts.worker.iter().map(|v| format!("worker,{v}")))
+        .collect::<Vec<_>>();
+    write_csv("fig5_gmail.csv", "cohort,gmail_accounts", rows);
+}

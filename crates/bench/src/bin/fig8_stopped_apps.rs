@@ -1,0 +1,34 @@
+//! Figure 8 — stopped apps per device.
+//!
+//! Paper: worker devices accumulate significantly more stopped apps
+//! (fresh promotion installs that are never opened, plus force-stopped
+//! retention installs), with substantial overlap at the low end.
+
+use racket_bench::{measurements, print_comparison, study, write_csv};
+
+fn main() {
+    let _ = study();
+    let m = measurements();
+    println!("== Figure 8: stopped apps ==\n");
+    print_comparison(&m.stopped_apps);
+    // Boxplot-style quartiles.
+    for (label, data) in
+        [("regular", &m.stopped_apps.regular), ("worker", &m.stopped_apps.worker)]
+    {
+        let q = |p| racket_stats::quantile(data, p).expect("non-empty");
+        println!(
+            "{label:<8} quartiles: q1 = {:.1}, median = {:.1}, q3 = {:.1}",
+            q(0.25),
+            q(0.5),
+            q(0.75)
+        );
+    }
+    let rows = m
+        .stopped_apps
+        .regular
+        .iter()
+        .map(|v| format!("regular,{v}"))
+        .chain(m.stopped_apps.worker.iter().map(|v| format!("worker,{v}")))
+        .collect::<Vec<_>>();
+    write_csv("fig8.csv", "cohort,stopped_apps", rows);
+}

@@ -1,0 +1,317 @@
+//! The mobile app's snapshot collectors (§3).
+//!
+//! Two periodic samplers over a [`racket_device::Device`]:
+//!
+//! * **fast** (default 5 s): identifiers, foreground app, screen status,
+//!   battery level, and install/uninstall deltas since the previous fast
+//!   snapshot — with full metadata (install time, last update, permissions,
+//!   apk MD5) for each newly observed app;
+//! * **slow** (default 2 min): identifiers plus the Android ID, registered
+//!   accounts, save-mode status and the stopped-app list.
+//!
+//! Collection is permission-gated exactly as the paper describes:
+//! without `PACKAGE_USAGE_STATS` the foreground app is not reported;
+//! without `GET_ACCOUNTS` the account list is empty. The very first fast
+//! snapshot reports the entire installed-app set as install deltas — the
+//! paper's separate "initial data collector" folded into the delta stream.
+
+use racket_types::snapshot::{FAST_SNAPSHOT_PERIOD_SECS, SLOW_SNAPSHOT_PERIOD_SECS};
+use racket_types::{
+    AppId, FastSnapshot, InstallDelta, InstallId, ParticipantId, SimTime, Snapshot,
+    SlowSnapshot,
+};
+use std::collections::BTreeMap;
+
+/// Collector cadences (seconds). The defaults are the paper's 5 s / 120 s;
+/// large-scale experiment drivers may *thin* the fast cadence (collect
+/// every n-th tick) — per-day rate features scale accordingly and cohort
+/// contrasts are preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollectorConfig {
+    /// Fast snapshot period in seconds.
+    pub fast_period_secs: u64,
+    /// Slow snapshot period in seconds.
+    pub slow_period_secs: u64,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            fast_period_secs: FAST_SNAPSHOT_PERIOD_SECS,
+            slow_period_secs: SLOW_SNAPSHOT_PERIOD_SECS,
+        }
+    }
+}
+
+/// Stateful snapshot collector for one RacketStore install.
+#[derive(Debug, Clone)]
+pub struct SnapshotCollector {
+    config: CollectorConfig,
+    install_id: InstallId,
+    participant: ParticipantId,
+    next_fast: Option<SimTime>,
+    next_slow: Option<SimTime>,
+    /// Install times of apps seen in the previous fast sample, for deltas.
+    known_apps: BTreeMap<AppId, SimTime>,
+}
+
+impl SnapshotCollector {
+    /// Create a collector for an install signed in as `participant`.
+    pub fn new(
+        config: CollectorConfig,
+        install_id: InstallId,
+        participant: ParticipantId,
+    ) -> Self {
+        assert!(config.fast_period_secs > 0 && config.slow_period_secs > 0);
+        SnapshotCollector {
+            config,
+            install_id,
+            participant,
+            next_fast: None,
+            next_slow: None,
+            known_apps: BTreeMap::new(),
+        }
+    }
+
+    /// Produce all snapshots due in `(.., now]`, advancing internal timers.
+    /// The first call emits one fast and one slow snapshot immediately.
+    pub fn poll(&mut self, device: &racket_device::Device, now: SimTime) -> Vec<Snapshot> {
+        let mut out = Vec::new();
+        let fast_period = racket_types::SimDuration::from_secs(self.config.fast_period_secs);
+        let slow_period = racket_types::SimDuration::from_secs(self.config.slow_period_secs);
+
+        let mut t = self.next_fast.unwrap_or(now);
+        while t <= now {
+            out.push(Snapshot::Fast(self.sample_fast(device, t)));
+            t += fast_period;
+        }
+        self.next_fast = Some(t);
+
+        let mut t = self.next_slow.unwrap_or(now);
+        while t <= now {
+            out.push(Snapshot::Slow(self.sample_slow(device, t)));
+            t += slow_period;
+        }
+        self.next_slow = Some(t);
+
+        out
+    }
+
+    /// Take one fast snapshot right now (advances the delta baseline).
+    pub fn sample_fast(
+        &mut self,
+        device: &racket_device::Device,
+        now: SimTime,
+    ) -> FastSnapshot {
+        // Install/uninstall deltas vs. the previous sample. A re-install
+        // surfaces as a changed install time and is reported as a fresh
+        // Installed delta (Android's last-install-time semantics).
+        let mut deltas = Vec::new();
+        let mut current: BTreeMap<AppId, SimTime> = BTreeMap::new();
+        for info in device.installed_apps() {
+            current.insert(info.app, info.install_time);
+            match self.known_apps.get(&info.app) {
+                Some(&t) if t == info.install_time => {}
+                _ => deltas.push(InstallDelta::Installed(info.clone())),
+            }
+        }
+        for app in self.known_apps.keys() {
+            if !current.contains_key(app) {
+                deltas.push(InstallDelta::Uninstalled { app: *app });
+            }
+        }
+        self.known_apps = current;
+
+        let foreground_app = if device.permissions().usage_stats {
+            device.foreground_app()
+        } else {
+            None
+        };
+
+        FastSnapshot {
+            install_id: self.install_id,
+            participant_id: self.participant,
+            time: now,
+            foreground_app,
+            screen_on: device.screen_on(),
+            battery_pct: device.battery_pct(),
+            install_events: deltas,
+        }
+    }
+
+    /// Take one slow snapshot right now.
+    pub fn sample_slow(&self, device: &racket_device::Device, now: SimTime) -> SlowSnapshot {
+        let accounts = if device.permissions().get_accounts {
+            device.accounts().to_vec()
+        } else {
+            Vec::new()
+        };
+        SlowSnapshot {
+            install_id: self.install_id,
+            participant_id: self.participant,
+            android_id: device.android_id(),
+            time: now,
+            accounts,
+            save_mode: device.save_mode(),
+            stopped_apps: device.stopped_apps(),
+        }
+    }
+
+    /// Serialize one snapshot as a JSON line (the accumulation-file format).
+    pub fn serialize(snapshot: &Snapshot) -> Vec<u8> {
+        let mut line = serde_json::to_vec(snapshot).expect("snapshots serialize");
+        line.push(b'\n');
+        line
+    }
+
+    /// Parse an accumulation file of JSON lines back into snapshots.
+    pub fn deserialize_file(data: &[u8]) -> Result<Vec<Snapshot>, serde_json::Error> {
+        data.split(|&b| b == b'\n')
+            .filter(|line| !line.is_empty())
+            .map(serde_json::from_slice)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_device::{Device, DeviceModel, DevicePermissions};
+    use racket_types::{AndroidId, ApkHash, DeviceId, PermissionProfile};
+
+    fn device() -> Device {
+        let mut d = Device::new(DeviceId(1), DeviceModel::generic(), AndroidId(5));
+        d.install_app(
+            AppId(1),
+            SimTime::from_secs(10),
+            PermissionProfile::default(),
+            ApkHash([1; 16]),
+        );
+        d
+    }
+
+    fn collector() -> SnapshotCollector {
+        SnapshotCollector::new(
+            CollectorConfig::default(),
+            InstallId(1_000_000_000),
+            ParticipantId(123_456),
+        )
+    }
+
+    #[test]
+    fn first_poll_emits_both_kinds_and_full_app_list() {
+        let d = device();
+        let mut c = collector();
+        let snaps = c.poll(&d, SimTime::from_secs(100));
+        assert_eq!(snaps.len(), 2);
+        let fast = snaps.iter().find(|s| s.is_fast()).unwrap();
+        if let Snapshot::Fast(f) = fast {
+            assert_eq!(f.install_events.len(), 1, "initial snapshot lists all apps");
+            assert!(f.install_events[0].is_install());
+        }
+    }
+
+    #[test]
+    fn cadence_five_seconds_and_two_minutes() {
+        let d = device();
+        let mut c = collector();
+        c.poll(&d, SimTime::from_secs(0));
+        // 120 seconds later: 24 fast ticks (5..=120 step 5) + 1 slow tick.
+        let snaps = c.poll(&d, SimTime::from_secs(120));
+        let fast = snaps.iter().filter(|s| s.is_fast()).count();
+        let slow = snaps.len() - fast;
+        assert_eq!(fast, 24);
+        assert_eq!(slow, 1);
+    }
+
+    #[test]
+    fn install_and_uninstall_deltas() {
+        let mut d = device();
+        let mut c = collector();
+        c.poll(&d, SimTime::from_secs(0));
+        d.install_app(
+            AppId(2),
+            SimTime::from_secs(2),
+            PermissionProfile::default(),
+            ApkHash([2; 16]),
+        );
+        d.uninstall_app(AppId(1), SimTime::from_secs(3));
+        let snap = c.sample_fast(&d, SimTime::from_secs(5));
+        let installs: Vec<_> =
+            snap.install_events.iter().filter(|e| e.is_install()).collect();
+        let uninstalls: Vec<_> =
+            snap.install_events.iter().filter(|e| !e.is_install()).collect();
+        assert_eq!(installs.len(), 1);
+        assert_eq!(installs[0].app(), AppId(2));
+        assert_eq!(uninstalls.len(), 1);
+        assert_eq!(uninstalls[0].app(), AppId(1));
+        // Next sample: no deltas.
+        assert!(c.sample_fast(&d, SimTime::from_secs(10)).install_events.is_empty());
+    }
+
+    #[test]
+    fn reinstall_reported_as_fresh_install() {
+        let mut d = device();
+        let mut c = collector();
+        c.poll(&d, SimTime::from_secs(0));
+        d.install_app(
+            AppId(1),
+            SimTime::from_secs(50),
+            PermissionProfile::default(),
+            ApkHash([1; 16]),
+        );
+        let snap = c.sample_fast(&d, SimTime::from_secs(55));
+        assert_eq!(snap.install_events.len(), 1);
+        assert!(snap.install_events[0].is_install());
+    }
+
+    #[test]
+    fn permissions_gate_collection() {
+        let mut d = device();
+        d.register_account(
+            racket_types::RegisteredAccount::gmail(
+                racket_types::AccountId(1),
+                racket_types::GoogleId(1),
+            ),
+            SimTime::EPOCH,
+        );
+        d.open_app(AppId(1), SimTime::from_secs(1), 60);
+        d.set_permissions(DevicePermissions { usage_stats: false, get_accounts: false });
+        let mut c = collector();
+        let fast = c.sample_fast(&d, SimTime::from_secs(2));
+        assert_eq!(fast.foreground_app, None, "PACKAGE_USAGE_STATS denied");
+        let slow = c.sample_slow(&d, SimTime::from_secs(2));
+        assert!(slow.accounts.is_empty(), "GET_ACCOUNTS denied");
+        // Stopped apps are package-manager data, still reported.
+        d.set_permissions(DevicePermissions::default());
+        let slow2 = c.sample_slow(&d, SimTime::from_secs(3));
+        assert_eq!(slow2.accounts.len(), 1);
+    }
+
+    #[test]
+    fn serialization_round_trips_files() {
+        let d = device();
+        let mut c = collector();
+        let snaps = c.poll(&d, SimTime::from_secs(100));
+        let mut file = Vec::new();
+        for s in &snaps {
+            file.extend_from_slice(&SnapshotCollector::serialize(s));
+        }
+        let back = SnapshotCollector::deserialize_file(&file).unwrap();
+        assert_eq!(back, snaps);
+    }
+
+    #[test]
+    fn thinned_cadence() {
+        let d = device();
+        let mut c = SnapshotCollector::new(
+            CollectorConfig { fast_period_secs: 60, slow_period_secs: 120 },
+            InstallId(1),
+            ParticipantId(1),
+        );
+        c.poll(&d, SimTime::from_secs(0));
+        let snaps = c.poll(&d, SimTime::from_secs(600));
+        let fast = snaps.iter().filter(|s| s.is_fast()).count();
+        assert_eq!(fast, 10);
+    }
+}

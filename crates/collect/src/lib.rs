@@ -1,0 +1,43 @@
+//! The RacketStore collection platform (§3, Figure 3).
+//!
+//! Everything between the participant's device and the study database:
+//!
+//! * [`collector`] — the mobile app's fast (5 s) and slow (2 min) snapshot
+//!   collectors, permission-gated exactly as the paper describes;
+//! * [`buffer`] — the on-device data buffer: snapshots accumulate into
+//!   per-type files, compressed and rotated at 8 KB (slow) / 100 KB (fast),
+//!   deleted only once the server acknowledges the upload with a matching
+//!   content hash;
+//! * [`hash`] — SHA-256 (upload acknowledgement), MD5 (apk hashes) and
+//!   CRC32 (frame checksums), all implemented in-crate and pinned against
+//!   published test vectors;
+//! * [`lzss`] — the compression applied to rotated snapshot files;
+//! * [`wire`] — the length-prefixed, CRC-protected frame codec and message
+//!   set (sign-in, snapshot upload, hash acknowledgement);
+//! * [`transport`] — a blocking [`transport::Transport`] abstraction with
+//!   in-memory (crossbeam channel) and TCP implementations;
+//! * [`server`] — the collection server: sign-in validation, upload
+//!   ingestion (verify CRC → decompress → parse → acknowledge), and
+//!   per-install aggregation of snapshot statistics;
+//! * [`fingerprint`] — Appendix A's snapshot fingerprinting: coalescing
+//!   RacketStore installs into physical devices using install intervals,
+//!   Android IDs and Jaccard similarity.
+
+#![deny(missing_docs)]
+
+pub mod buffer;
+pub mod collector;
+pub mod fingerprint;
+pub mod hash;
+pub mod lzss;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use buffer::{DataBuffer, UploadFile};
+pub use collector::{CollectorConfig, SnapshotCollector};
+pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
+pub use hash::{crc32, md5, sha256};
+pub use server::{CollectionServer, InstallRecord};
+pub use transport::{MemTransport, TcpTransport, Transport};
+pub use wire::{Frame, FrameCodec, Message};

@@ -1,0 +1,279 @@
+//! LZSS compression for rotated snapshot files.
+//!
+//! §3: the data-buffer module *compresses* each accumulation file before
+//! upload, to minimize bandwidth. Snapshot streams are extremely
+//! repetitive (consecutive fast snapshots differ in a handful of bytes),
+//! so a simple LZ77-family scheme recovers most of the redundancy.
+//!
+//! Format: a stream of tokens introduced by flag bytes. Each flag byte
+//! covers the next 8 tokens, LSB first; bit = 0 means a literal byte,
+//! bit = 1 means a back-reference of `(distance: u16 LE, length: u8)`
+//! with real length `length + MIN_MATCH`. Window 64 KiB, match lengths
+//! 4..=258.
+
+/// Minimum back-reference length (shorter matches are stored literally).
+const MIN_MATCH: usize = 4;
+/// Maximum back-reference length (255 + MIN_MATCH).
+const MAX_MATCH: usize = 255 + MIN_MATCH;
+/// Sliding-window size (maximum back-reference distance).
+const WINDOW: usize = 65_535;
+
+/// Compress a byte slice.
+///
+/// ```
+/// let data = b"snapshot;snapshot;snapshot;snapshot;".repeat(50);
+/// let packed = racket_collect::lzss::compress(&data);
+/// assert!(packed.len() < data.len() / 4);
+/// assert_eq!(racket_collect::lzss::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Chained hash table over 4-byte prefixes for match finding.
+    const HASH_BITS: u32 = 15;
+    const HASH_SIZE: usize = 1 << HASH_BITS;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len().max(1)];
+    let hash4 = |d: &[u8]| -> usize {
+        let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
+
+    let mut i = 0;
+    let mut flag_pos = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+
+    macro_rules! emit_token {
+        ($is_ref:expr, $body:expr) => {{
+            if flag_bit == 8 {
+                flag_pos = out.len();
+                out.push(0);
+                flag_bit = 0;
+            }
+            if $is_ref {
+                out[flag_pos] |= 1 << flag_bit;
+            }
+            flag_bit += 1;
+            let bytes: &[u8] = $body;
+            out.extend_from_slice(bytes);
+        }};
+    }
+
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash4(&data[i..]);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < 32 {
+                let max_len = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            let dist = best_dist as u16;
+            let len_code = (best_len - MIN_MATCH) as u8;
+            emit_token!(true, &[dist.to_le_bytes()[0], dist.to_le_bytes()[1], len_code]);
+            // Insert hash entries for every covered position.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= data.len() {
+                    let h = hash4(&data[i..]);
+                    prev[i] = head[h];
+                    head[h] = i;
+                }
+                i += 1;
+            }
+        } else {
+            emit_token!(false, &data[i..=i]);
+            if i + MIN_MATCH <= data.len() {
+                let h = hash4(&data[i..]);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompression errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// A token was cut off mid-stream.
+    Truncated,
+    /// A back-reference pointed before the start of the output.
+    BadReference {
+        /// Output length when the bad reference was hit.
+        at: usize,
+        /// The offending distance.
+        distance: usize,
+    },
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::BadReference { at, distance } => {
+                write!(f, "back-reference distance {distance} at output offset {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(data.len() * 3);
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) == 0 {
+                out.push(data[i]);
+                i += 1;
+            } else {
+                if i + 3 > data.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let dist = u16::from_le_bytes([data[i], data[i + 1]]) as usize;
+                let len = data[i + 2] as usize + MIN_MATCH;
+                i += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(DecompressError::BadReference {
+                        at: out.len(),
+                        distance: dist,
+                    });
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are legal (run-length style).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        decompress(&c).expect("round trip must decompress")
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(round_trip(b"abc"), b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_round_trips_and_shrinks() {
+        let data: Vec<u8> = b"fast_snapshot{install:123,fg:com.app,screen:1};"
+            .iter()
+            .copied()
+            .cycle()
+            .take(20_000)
+            .collect();
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 5, "compressed {} of {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn run_length_overlapping_match() {
+        let data = vec![0x41u8; 1000];
+        let c = compress(&data);
+        assert!(c.len() < 40, "pure run compresses hard, got {}", c.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_round_trips() {
+        // Pseudo-random bytes: no matches, pure literal stream.
+        let mut x: u32 = 0x12345678;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        assert_eq!(round_trip(&data), data);
+        // Overhead is bounded by 1 flag byte per 8 literals.
+        let c = compress(&data);
+        assert!(c.len() <= data.len() + data.len() / 8 + 2);
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let c = compress(&[7u8; 100]);
+        assert!(matches!(
+            decompress(&c[..c.len() - 1]),
+            Err(DecompressError::Truncated) | Ok(_)
+        ));
+        // A reference token cut exactly is definitely Truncated.
+        let mut bad = vec![0b0000_0001u8]; // first token is a reference
+        bad.push(0x01); // half a distance
+        assert_eq!(decompress(&bad), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn bad_reference_rejected() {
+        // Flag says reference, distance 9999 with empty output so far.
+        let bad = vec![0b0000_0001u8, 0x0f, 0x27, 0x00];
+        match decompress(&bad) {
+            Err(DecompressError::BadReference { distance, .. }) => {
+                assert_eq!(distance, 9999);
+            }
+            other => panic!("expected BadReference, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_snapshot_payload_compresses_well() {
+        // Realistic payload shape: many similar JSON records.
+        let mut data = Vec::new();
+        for i in 0..500 {
+            data.extend_from_slice(
+                format!(
+                    "{{\"install_id\":1234567890,\"participant_id\":111111,\
+                     \"time\":{},\"foreground_app\":\"app-42\",\"screen_on\":true,\
+                     \"battery_pct\":87}}\n",
+                    i * 5
+                )
+                .as_bytes(),
+            );
+        }
+        let c = compress(&data);
+        assert!(c.len() * 4 < data.len(), "expected ≥4× ratio, got {}/{}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+}

@@ -1,0 +1,475 @@
+//! The collection server (the "web app" of Figure 3).
+//!
+//! Responsibilities, mirroring §3:
+//!
+//! * **Sign-in**: validate the 6-digit participant code — RacketStore
+//!   collects nothing for codes the study never issued;
+//! * **Snapshot ingestion**: for each upload, decompress, parse, fold the
+//!   snapshots into per-install aggregates, and reply with the SHA-256 of
+//!   the received payload so the client can delete its local file;
+//! * **Aggregation**: the real backend inserted snapshots into MongoDB and
+//!   aggregated at query time; [`InstallRecord`] holds the equivalent
+//!   per-install aggregate the measurement and feature pipelines read.
+//!
+//! [`CollectionServer::serve_tcp`] runs the protocol threaded over real
+//! TCP connections (one thread per client, shared state behind a
+//! `parking_lot::Mutex`), which the integration tests exercise over
+//! loopback.
+
+use crate::collector::SnapshotCollector;
+use crate::hash::sha256;
+use crate::lzss;
+use crate::wire::{FrameCodec, Message};
+use parking_lot::Mutex;
+use racket_types::{
+    AndroidId, AppId, InstallDelta, InstalledApp, InstallId, ParticipantId, RegisteredAccount,
+    SimTime, Snapshot, TimeInterval,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Server-side aggregate for one RacketStore install (one install ID).
+#[derive(Debug, Clone)]
+pub struct InstallRecord {
+    /// The reporting install.
+    pub install_id: InstallId,
+    /// Participant the install signed in as.
+    pub participant: ParticipantId,
+    /// Android ID if any slow snapshot carried one.
+    pub android_id: Option<AndroidId>,
+    /// First snapshot time seen.
+    pub first_seen: SimTime,
+    /// Last snapshot time seen.
+    pub last_seen: SimTime,
+    /// Fast snapshots received.
+    pub n_fast: u64,
+    /// Slow snapshots received.
+    pub n_slow: u64,
+    /// Snapshots received per calendar day.
+    pub snapshots_per_day: BTreeMap<u64, u64>,
+    /// Foreground observations: app → day → count of fast snapshots with
+    /// the app on screen.
+    pub foreground: HashMap<AppId, BTreeMap<u64, u64>>,
+    /// Latest metadata for every app ever observed installed.
+    pub apps: HashMap<AppId, InstalledApp>,
+    /// Apps currently installed (as of the latest delta).
+    pub installed_now: HashSet<AppId>,
+    /// Install events observed (app, time) — *during* monitoring.
+    pub install_events: Vec<(AppId, SimTime)>,
+    /// Uninstall events observed (app, time).
+    pub uninstall_events: Vec<(AppId, SimTime)>,
+    /// Latest registered-account list.
+    pub accounts: Vec<RegisteredAccount>,
+    /// Latest stopped-app list.
+    pub stopped_apps: Vec<AppId>,
+}
+
+impl InstallRecord {
+    fn new(install_id: InstallId, participant: ParticipantId, t: SimTime) -> Self {
+        InstallRecord {
+            install_id,
+            participant,
+            android_id: None,
+            first_seen: t,
+            last_seen: t,
+            n_fast: 0,
+            n_slow: 0,
+            snapshots_per_day: BTreeMap::new(),
+            foreground: HashMap::new(),
+            apps: HashMap::new(),
+            installed_now: HashSet::new(),
+            install_events: Vec::new(),
+            uninstall_events: Vec::new(),
+            accounts: Vec::new(),
+            stopped_apps: Vec::new(),
+        }
+    }
+
+    /// The observed monitoring interval `[first, last]` (half-open at
+    /// `last + 1 s` so single-snapshot records are non-degenerate).
+    pub fn observed_interval(&self) -> TimeInterval {
+        TimeInterval::new(
+            self.first_seen,
+            self.last_seen + racket_types::SimDuration::from_secs(1),
+        )
+    }
+
+    /// Days with at least one snapshot.
+    pub fn active_days(&self) -> usize {
+        self.snapshots_per_day.len()
+    }
+
+    /// Average snapshots per active day (Figure 4's y-axis).
+    pub fn avg_snapshots_per_day(&self) -> f64 {
+        if self.snapshots_per_day.is_empty() {
+            return 0.0;
+        }
+        self.snapshots_per_day.values().sum::<u64>() as f64
+            / self.snapshots_per_day.len() as f64
+    }
+
+    fn ingest(&mut self, snapshot: &Snapshot) {
+        let t = snapshot.time();
+        self.first_seen = self.first_seen.min(t);
+        self.last_seen = self.last_seen.max(t);
+        *self.snapshots_per_day.entry(t.day_index()).or_insert(0) += 1;
+        match snapshot {
+            Snapshot::Fast(f) => {
+                self.n_fast += 1;
+                if let Some(app) = f.foreground_app {
+                    *self
+                        .foreground
+                        .entry(app)
+                        .or_default()
+                        .entry(t.day_index())
+                        .or_insert(0) += 1;
+                }
+                for delta in &f.install_events {
+                    match delta {
+                        InstallDelta::Installed(info) => {
+                            // The very first fast snapshot reports the whole
+                            // pre-existing app set; only installs observed
+                            // after monitoring began count as events.
+                            if info.install_time >= self.first_seen {
+                                self.install_events.push((info.app, info.install_time));
+                            }
+                            self.installed_now.insert(info.app);
+                            self.apps.insert(info.app, info.clone());
+                        }
+                        InstallDelta::Uninstalled { app } => {
+                            self.uninstall_events.push((*app, t));
+                            self.installed_now.remove(app);
+                        }
+                    }
+                }
+            }
+            Snapshot::Slow(s) => {
+                self.n_slow += 1;
+                if s.android_id.is_some() {
+                    self.android_id = s.android_id;
+                }
+                if !s.accounts.is_empty() || self.accounts.is_empty() {
+                    self.accounts = s.accounts.clone();
+                }
+                self.stopped_apps = s.stopped_apps.clone();
+            }
+        }
+    }
+}
+
+/// Ingestion statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sign-ins accepted.
+    pub sign_ins: u64,
+    /// Sign-ins rejected (bad participant code).
+    pub rejected_sign_ins: u64,
+    /// Snapshot files ingested.
+    pub files: u64,
+    /// Snapshots ingested.
+    pub snapshots: u64,
+    /// Uploads that failed to decompress or parse.
+    pub bad_uploads: u64,
+}
+
+/// The collection server state.
+#[derive(Debug, Default)]
+pub struct CollectionServer {
+    /// Participant codes issued at recruitment.
+    registered: HashSet<ParticipantId>,
+    /// Installs that have signed in successfully.
+    signed_in: HashSet<InstallId>,
+    records: HashMap<InstallId, InstallRecord>,
+    stats: ServerStats,
+}
+
+impl CollectionServer {
+    /// Create a server recognizing the given participant codes.
+    pub fn new(participants: impl IntoIterator<Item = ParticipantId>) -> Self {
+        CollectionServer {
+            registered: participants.into_iter().collect(),
+            signed_in: HashSet::new(),
+            records: HashMap::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Register one more participant code (late recruitment).
+    pub fn register_participant(&mut self, p: ParticipantId) {
+        self.registered.insert(p);
+    }
+
+    /// Handle one protocol message, producing the reply to send (if any).
+    pub fn handle(&mut self, msg: Message) -> Option<Message> {
+        match msg {
+            Message::SignIn { participant, install } => {
+                let accepted = participant.is_valid() && self.registered.contains(&participant);
+                if accepted {
+                    self.signed_in.insert(install);
+                    self.stats.sign_ins += 1;
+                } else {
+                    self.stats.rejected_sign_ins += 1;
+                }
+                Some(Message::SignInAck { accepted })
+            }
+            Message::SnapshotUpload { install, file_id, fast: _, payload } => {
+                if !self.signed_in.contains(&install) {
+                    return Some(Message::Error {
+                        code: 401,
+                        detail: "install not signed in".into(),
+                    });
+                }
+                // Hash exactly what was received — if transit corrupted the
+                // payload (and CRC somehow passed), the client's comparison
+                // fails and it retries.
+                let digest = sha256(&payload);
+                match lzss::decompress(&payload)
+                    .map_err(|e| e.to_string())
+                    .and_then(|raw| {
+                        SnapshotCollector::deserialize_file(&raw).map_err(|e| e.to_string())
+                    }) {
+                    Ok(snapshots) => {
+                        for s in &snapshots {
+                            self.ingest_snapshot(s);
+                        }
+                        self.stats.files += 1;
+                        Some(Message::UploadAck { file_id, sha256: digest })
+                    }
+                    Err(detail) => {
+                        self.stats.bad_uploads += 1;
+                        Some(Message::Error { code: 400, detail })
+                    }
+                }
+            }
+            // Server ignores acks/errors addressed to clients.
+            Message::SignInAck { .. } | Message::UploadAck { .. } | Message::Error { .. } => {
+                None
+            }
+        }
+    }
+
+    /// Fold one snapshot into its install record (direct ingestion path,
+    /// used by the in-process study driver; the wire path converges here).
+    pub fn ingest_snapshot(&mut self, snapshot: &Snapshot) {
+        self.stats.snapshots += 1;
+        let record = self
+            .records
+            .entry(snapshot.install_id())
+            .or_insert_with(|| {
+                InstallRecord::new(
+                    snapshot.install_id(),
+                    snapshot.participant_id(),
+                    snapshot.time(),
+                )
+            });
+        record.ingest(snapshot);
+    }
+
+    /// All install records.
+    pub fn records(&self) -> impl Iterator<Item = &InstallRecord> {
+        self.records.values()
+    }
+
+    /// One install's record.
+    pub fn record(&self, install: InstallId) -> Option<&InstallRecord> {
+        self.records.get(&install)
+    }
+
+    /// Ingestion statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// Serve the wire protocol on a TCP listener until the listener errors
+    /// or `max_connections` clients have been handled (tests bound this;
+    /// pass `usize::MAX` to serve forever). One thread per connection.
+    pub fn serve_tcp(
+        server: Arc<Mutex<CollectionServer>>,
+        listener: std::net::TcpListener,
+        max_connections: usize,
+    ) -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for stream in listener.incoming().take(max_connections) {
+            let stream = stream?;
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                let mut transport = crate::transport::TcpTransport::new(stream);
+                let mut codec = FrameCodec::new();
+                while let Ok(Some(msg)) =
+                    crate::transport::recv_message(&mut transport, &mut codec)
+                {
+                    let reply = server.lock().handle(msg);
+                    if let Some(reply) = reply {
+                        use crate::transport::Transport;
+                        if transport.send(&reply.encode()).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_types::{ApkHash, FastSnapshot, PermissionProfile, SlowSnapshot};
+
+    const P: ParticipantId = ParticipantId(123_456);
+    const I: InstallId = InstallId(1_000_000_000);
+
+    fn server() -> CollectionServer {
+        CollectionServer::new([P])
+    }
+
+    fn fast_with_install(t: u64, app: u32, installed_at: u64) -> Snapshot {
+        Snapshot::Fast(FastSnapshot {
+            install_id: I,
+            participant_id: P,
+            time: SimTime::from_secs(t),
+            foreground_app: Some(AppId(app)),
+            screen_on: true,
+            battery_pct: 80,
+            install_events: vec![InstallDelta::Installed(InstalledApp::fresh(
+                AppId(app),
+                SimTime::from_secs(installed_at),
+                PermissionProfile::default(),
+                ApkHash([app as u8; 16]),
+            ))],
+        })
+    }
+
+    #[test]
+    fn sign_in_gating() {
+        let mut s = server();
+        let ok = s.handle(Message::SignIn { participant: P, install: I });
+        assert_eq!(ok, Some(Message::SignInAck { accepted: true }));
+        let bad = s.handle(Message::SignIn {
+            participant: ParticipantId(999_999),
+            install: InstallId(2_000_000_000),
+        });
+        assert_eq!(bad, Some(Message::SignInAck { accepted: false }));
+        assert_eq!(s.stats().sign_ins, 1);
+        assert_eq!(s.stats().rejected_sign_ins, 1);
+    }
+
+    #[test]
+    fn upload_requires_sign_in() {
+        let mut s = server();
+        let reply = s.handle(Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload: vec![],
+        });
+        assert!(matches!(reply, Some(Message::Error { code: 401, .. })));
+    }
+
+    #[test]
+    fn upload_round_trip_acks_hash_and_ingests() {
+        let mut s = server();
+        s.handle(Message::SignIn { participant: P, install: I });
+        // Build a compressed file of two snapshots.
+        let snaps = vec![fast_with_install(100, 1, 50), fast_with_install(105, 2, 104)];
+        let mut raw = Vec::new();
+        for snap in &snaps {
+            raw.extend_from_slice(&SnapshotCollector::serialize(snap));
+        }
+        let payload = lzss::compress(&raw);
+        let expected_hash = sha256(&payload);
+        let reply = s
+            .handle(Message::SnapshotUpload { install: I, file_id: 9, fast: true, payload })
+            .unwrap();
+        assert_eq!(reply, Message::UploadAck { file_id: 9, sha256: expected_hash });
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.n_fast, 2);
+        assert_eq!(rec.apps.len(), 2);
+        assert!(rec.installed_now.contains(&AppId(1)));
+        assert_eq!(s.stats().snapshots, 2);
+    }
+
+    #[test]
+    fn malformed_upload_rejected() {
+        let mut s = server();
+        s.handle(Message::SignIn { participant: P, install: I });
+        let reply = s.handle(Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload: vec![0b0000_0001, 0x01], // truncated LZSS reference
+        });
+        assert!(matches!(reply, Some(Message::Error { code: 400, .. })));
+        assert_eq!(s.stats().bad_uploads, 1);
+    }
+
+    #[test]
+    fn record_aggregates_days_and_foreground() {
+        let mut s = server();
+        s.ingest_snapshot(&fast_with_install(0, 1, 0));
+        s.ingest_snapshot(&fast_with_install(5, 1, 0));
+        s.ingest_snapshot(&fast_with_install(86_400 + 5, 1, 0));
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.active_days(), 2);
+        assert_eq!(rec.avg_snapshots_per_day(), 1.5);
+        let fg: u64 = rec.foreground[&AppId(1)].values().sum();
+        assert_eq!(fg, 3);
+    }
+
+    #[test]
+    fn uninstall_event_tracked() {
+        let mut s = server();
+        s.ingest_snapshot(&fast_with_install(10, 1, 5));
+        s.ingest_snapshot(&Snapshot::Fast(FastSnapshot {
+            install_id: I,
+            participant_id: P,
+            time: SimTime::from_secs(20),
+            foreground_app: None,
+            screen_on: false,
+            battery_pct: 80,
+            install_events: vec![InstallDelta::Uninstalled { app: AppId(1) }],
+        }));
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.uninstall_events.len(), 1);
+        assert!(!rec.installed_now.contains(&AppId(1)));
+        assert!(rec.apps.contains_key(&AppId(1)), "metadata retained after uninstall");
+    }
+
+    #[test]
+    fn slow_snapshot_updates_accounts_and_android_id() {
+        let mut s = server();
+        s.ingest_snapshot(&Snapshot::Slow(SlowSnapshot {
+            install_id: I,
+            participant_id: P,
+            android_id: Some(AndroidId(77)),
+            time: SimTime::from_secs(10),
+            accounts: vec![RegisteredAccount::gmail(
+                racket_types::AccountId(1),
+                racket_types::GoogleId(1),
+            )],
+            save_mode: false,
+            stopped_apps: vec![AppId(3)],
+        }));
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.android_id, Some(AndroidId(77)));
+        assert_eq!(rec.accounts.len(), 1);
+        assert_eq!(rec.stopped_apps, vec![AppId(3)]);
+        assert_eq!(rec.n_slow, 1);
+    }
+
+    #[test]
+    fn preexisting_apps_not_counted_as_install_events() {
+        let mut s = server();
+        // Monitoring starts at t = 100; the app was installed at t = 50.
+        s.ingest_snapshot(&fast_with_install(100, 1, 50));
+        let rec = s.record(I).unwrap();
+        assert!(rec.install_events.is_empty(), "old install is baseline, not event");
+        // An app installed during monitoring is an event.
+        s.ingest_snapshot(&fast_with_install(200, 2, 150));
+        assert_eq!(s.record(I).unwrap().install_events.len(), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Byte-stream transports.
+//!
+//! The frame codec is sans-IO; this module supplies the byte pipes it runs
+//! over. [`MemTransport`] is a crossbeam-channel loopback used by unit
+//! tests and the deterministic study driver (with optional fault
+//! injection); [`TcpTransport`] wraps a real `std::net::TcpStream` and is
+//! exercised over loopback by the integration tests and the
+//! `live_collection` example — the production path of the real platform
+//! (TLS termination aside, which is orthogonal to the protocol).
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// A blocking, ordered, reliable byte-stream transport.
+pub trait Transport {
+    /// Send bytes; blocks until accepted by the transport.
+    fn send(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Receive up to `buf.len()` bytes; returns 0 on a cleanly closed
+    /// peer, blocks if no data is available.
+    fn recv(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+}
+
+/// One endpoint of an in-memory duplex pipe.
+///
+/// Created in pairs by [`MemTransport::pair`]. Optionally corrupts one bit
+/// of every `corrupt_every`-th send — used to exercise the codec's CRC
+/// path end-to-end.
+pub struct MemTransport {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    /// Residue of a partially consumed incoming chunk.
+    pending: Vec<u8>,
+    /// Corrupt one bit in every n-th outgoing chunk (0 = never).
+    corrupt_every: usize,
+    sends: usize,
+}
+
+impl MemTransport {
+    /// Create a connected pair of endpoints.
+    pub fn pair() -> (MemTransport, MemTransport) {
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        (
+            MemTransport { tx: tx_a, rx: rx_b, pending: Vec::new(), corrupt_every: 0, sends: 0 },
+            MemTransport { tx: tx_b, rx: rx_a, pending: Vec::new(), corrupt_every: 0, sends: 0 },
+        )
+    }
+
+    /// Enable fault injection: flip one bit in every `n`-th outgoing chunk.
+    pub fn corrupt_every(&mut self, n: usize) {
+        self.corrupt_every = n;
+    }
+
+    /// Non-blocking receive used by pollers: `Ok(0)` when no data waits.
+    pub fn try_recv(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending.is_empty() {
+            match self.rx.try_recv() {
+                Ok(chunk) => self.pending = chunk,
+                Err(TryRecvError::Empty) => return Ok(0),
+                Err(TryRecvError::Disconnected) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len());
+        buf[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+}
+
+impl Transport for MemTransport {
+    fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.sends += 1;
+        let mut chunk = bytes.to_vec();
+        if self.corrupt_every > 0 && self.sends.is_multiple_of(self.corrupt_every) && !chunk.is_empty()
+        {
+            let idx = chunk.len() / 2;
+            chunk[idx] ^= 0x40;
+        }
+        self.tx
+            .send(chunk)
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"))
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pending.is_empty() {
+            match self.rx.recv() {
+                Ok(chunk) => self.pending = chunk,
+                Err(_) => return Ok(0), // peer closed
+            }
+        }
+        let n = buf.len().min(self.pending.len());
+        buf[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+}
+
+/// TCP-backed transport.
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wrap an established stream.
+    pub fn new(stream: TcpStream) -> Self {
+        TcpTransport { stream }
+    }
+
+    /// Connect to an address.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
+        Ok(TcpTransport { stream: TcpStream::connect(addr)? })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    fn recv(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+/// Drive a codec until one full message arrives on `transport` (helper for
+/// request/response exchanges).
+pub fn recv_message(
+    transport: &mut impl Transport,
+    codec: &mut crate::wire::FrameCodec,
+) -> std::io::Result<Option<crate::wire::Message>> {
+    loop {
+        match codec.try_decode_message() {
+            Ok(Some(msg)) => return Ok(Some(msg)),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+            }
+        }
+        let mut buf = [0u8; 4096];
+        let n = transport.recv(&mut buf)?;
+        if n == 0 {
+            return Ok(None); // peer closed mid-message
+        }
+        codec.feed(&buf[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FrameCodec, Message};
+    use racket_types::{InstallId, ParticipantId};
+
+    #[test]
+    fn mem_pair_round_trip() {
+        let (mut a, mut b) = MemTransport::pair();
+        a.send(b"hello").unwrap();
+        a.send(b" world").unwrap();
+        let mut buf = [0u8; 3];
+        assert_eq!(b.recv(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"hel");
+        assert_eq!(b.recv(&mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"lo");
+        assert_eq!(b.recv(&mut buf).unwrap(), 3);
+        assert_eq!(&buf, b" wo");
+    }
+
+    #[test]
+    fn mem_try_recv_nonblocking() {
+        let (mut a, mut b) = MemTransport::pair();
+        let mut buf = [0u8; 8];
+        assert_eq!(b.try_recv(&mut buf).unwrap(), 0, "empty pipe returns 0");
+        a.send(b"x").unwrap();
+        assert_eq!(b.try_recv(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn message_exchange_over_mem_transport() {
+        let (mut client, mut server) = MemTransport::pair();
+        let msg = Message::SignIn {
+            participant: ParticipantId(111_111),
+            install: InstallId(1_000_000_001),
+        };
+        client.send(&msg.encode()).unwrap();
+        let mut codec = FrameCodec::new();
+        let got = recv_message(&mut server, &mut codec).unwrap().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn corruption_injection_breaks_crc() {
+        let (mut client, mut server) = MemTransport::pair();
+        client.corrupt_every(1); // corrupt every send
+        let msg = Message::SignInAck { accepted: true };
+        client.send(&msg.encode()).unwrap();
+        let mut codec = FrameCodec::new();
+        let err = recv_message(&mut server, &mut codec).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn closed_peer_reports_zero() {
+        let (a, mut b) = MemTransport::pair();
+        drop(a);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.recv(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn tcp_loopback_round_trip() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::new(stream);
+            let mut codec = FrameCodec::new();
+            let msg = recv_message(&mut t, &mut codec).unwrap().unwrap();
+            t.send(&Message::SignInAck { accepted: true }.encode()).unwrap();
+            msg
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        let sent = Message::SignIn {
+            participant: ParticipantId(222_222),
+            install: InstallId(2_000_000_002),
+        };
+        client.send(&sent.encode()).unwrap();
+        let mut codec = FrameCodec::new();
+        let ack = recv_message(&mut client, &mut codec).unwrap().unwrap();
+        assert_eq!(ack, Message::SignInAck { accepted: true });
+        assert_eq!(handle.join().unwrap(), sent);
+    }
+}

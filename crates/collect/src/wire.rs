@@ -1,0 +1,494 @@
+//! The wire protocol between the RacketStore app and the collection server.
+//!
+//! The real platform shipped compressed snapshot files over TLS and
+//! validated each transfer with a content hash returned by the server
+//! (§3, "Data Buffer Module"). This module implements the framing layer:
+//! length-prefixed binary frames with a CRC32 trailer, plus the message
+//! set — sign-in (participant-code gating), snapshot upload and the hash
+//! acknowledgement that lets the app delete its local file.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +-------+---------+------+--------+----------------+-------+
+//! | magic | version | type | length | payload        | crc32 |
+//! | u16   | u8      | u8   | u32    | length bytes   | u32   |
+//! +-------+---------+------+--------+----------------+-------+
+//! ```
+//!
+//! The CRC covers the payload only; header corruption surfaces as a magic
+//! or length violation. [`FrameCodec`] is an incremental (sans-IO) decoder:
+//! feed it bytes as they arrive on any transport, pull frames out as they
+//! complete.
+
+use crate::hash::crc32;
+use bytes::{Buf, BufMut, BytesMut};
+use racket_types::{InstallId, ParticipantId};
+
+/// Frame magic: "RS" (RacketStore).
+pub const MAGIC: u16 = 0x5253;
+/// Protocol version.
+pub const VERSION: u8 = 1;
+/// Maximum payload size (a rotated fast-snapshot file is ~100 KB before
+/// compression; 4 MiB leaves ample slack while bounding memory).
+pub const MAX_PAYLOAD: usize = 4 * 1024 * 1024;
+
+/// Fixed header size: magic + version + type + length.
+const HEADER: usize = 2 + 1 + 1 + 4;
+/// CRC trailer size.
+const TRAILER: usize = 4;
+
+/// A decoded frame: message type byte plus raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message type discriminant.
+    pub msg_type: u8,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: sign in with the recruitment code. The server
+    /// validates the participant ID; data collection is gated on success
+    /// (§3 "sign-in interface").
+    SignIn {
+        /// The 6-digit recruitment code.
+        participant: ParticipantId,
+        /// The app instance's 10-digit install ID.
+        install: InstallId,
+    },
+    /// Server → client: sign-in verdict.
+    SignInAck {
+        /// Whether the participant code was recognized.
+        accepted: bool,
+    },
+    /// Client → server: one compressed snapshot accumulation file.
+    SnapshotUpload {
+        /// The uploading install.
+        install: InstallId,
+        /// Client-side file identifier (for the matching ack).
+        file_id: u64,
+        /// Whether this file holds fast (true) or slow snapshots.
+        fast: bool,
+        /// LZSS-compressed snapshot file contents.
+        payload: Vec<u8>,
+    },
+    /// Server → client: hash acknowledgement. The client recomputes the
+    /// hash of what it sent and deletes the local file on a match (§3).
+    UploadAck {
+        /// Which file is acknowledged.
+        file_id: u64,
+        /// SHA-256 of the payload *as received by the server*.
+        sha256: [u8; 32],
+    },
+    /// Either direction: protocol error.
+    Error {
+        /// Numeric error code.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Message type discriminants.
+mod msg_type {
+    pub const SIGN_IN: u8 = 1;
+    pub const SIGN_IN_ACK: u8 = 2;
+    pub const SNAPSHOT_UPLOAD: u8 = 3;
+    pub const UPLOAD_ACK: u8 = 4;
+    pub const ERROR: u8 = 5;
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Stream does not start with the protocol magic.
+    BadMagic(u16),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    TooLarge(usize),
+    /// Payload failed its CRC check.
+    BadCrc {
+        /// CRC carried by the frame.
+        expected: u32,
+        /// CRC computed over the received payload.
+        actual: u32,
+    },
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// Payload too short / malformed for its message type.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::TooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
+            WireError::BadCrc { expected, actual } => {
+                write!(f, "crc mismatch: frame {expected:#010x}, computed {actual:#010x}")
+            }
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Message {
+    /// The frame type byte for this message.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Message::SignIn { .. } => msg_type::SIGN_IN,
+            Message::SignInAck { .. } => msg_type::SIGN_IN_ACK,
+            Message::SnapshotUpload { .. } => msg_type::SNAPSHOT_UPLOAD,
+            Message::UploadAck { .. } => msg_type::UPLOAD_ACK,
+            Message::Error { .. } => msg_type::ERROR,
+        }
+    }
+
+    /// Encode the payload body (without framing).
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Message::SignIn { participant, install } => {
+                p.extend_from_slice(&participant.raw().to_le_bytes());
+                p.extend_from_slice(&install.raw().to_le_bytes());
+            }
+            Message::SignInAck { accepted } => p.push(u8::from(*accepted)),
+            Message::SnapshotUpload { install, file_id, fast, payload } => {
+                p.extend_from_slice(&install.raw().to_le_bytes());
+                p.extend_from_slice(&file_id.to_le_bytes());
+                p.push(u8::from(*fast));
+                p.extend_from_slice(payload);
+            }
+            Message::UploadAck { file_id, sha256 } => {
+                p.extend_from_slice(&file_id.to_le_bytes());
+                p.extend_from_slice(sha256);
+            }
+            Message::Error { code, detail } => {
+                p.extend_from_slice(&code.to_le_bytes());
+                p.extend_from_slice(detail.as_bytes());
+            }
+        }
+        p
+    }
+
+    /// Decode a message from a frame.
+    pub fn from_frame(frame: &Frame) -> Result<Message, WireError> {
+        let p = frame.payload.as_slice();
+        let take_u32 = |b: &[u8]| -> u32 {
+            u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+        };
+        let take_u64 = |b: &[u8]| -> u64 {
+            u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+        };
+        match frame.msg_type {
+            msg_type::SIGN_IN => {
+                if p.len() != 12 {
+                    return Err(WireError::Malformed("sign-in needs 12 bytes"));
+                }
+                Ok(Message::SignIn {
+                    participant: ParticipantId(take_u32(p)),
+                    install: InstallId(take_u64(&p[4..])),
+                })
+            }
+            msg_type::SIGN_IN_ACK => {
+                if p.len() != 1 {
+                    return Err(WireError::Malformed("sign-in ack needs 1 byte"));
+                }
+                Ok(Message::SignInAck { accepted: p[0] != 0 })
+            }
+            msg_type::SNAPSHOT_UPLOAD => {
+                if p.len() < 17 {
+                    return Err(WireError::Malformed("upload header needs 17 bytes"));
+                }
+                Ok(Message::SnapshotUpload {
+                    install: InstallId(take_u64(p)),
+                    file_id: take_u64(&p[8..]),
+                    fast: p[16] != 0,
+                    payload: p[17..].to_vec(),
+                })
+            }
+            msg_type::UPLOAD_ACK => {
+                if p.len() != 40 {
+                    return Err(WireError::Malformed("upload ack needs 40 bytes"));
+                }
+                let mut sha256 = [0u8; 32];
+                sha256.copy_from_slice(&p[8..40]);
+                Ok(Message::UploadAck { file_id: take_u64(p), sha256 })
+            }
+            msg_type::ERROR => {
+                if p.len() < 2 {
+                    return Err(WireError::Malformed("error needs 2 bytes"));
+                }
+                Ok(Message::Error {
+                    code: u16::from_le_bytes([p[0], p[1]]),
+                    detail: String::from_utf8_lossy(&p[2..]).into_owned(),
+                })
+            }
+            t => Err(WireError::UnknownType(t)),
+        }
+    }
+
+    /// Encode a full frame: header, payload, CRC trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds protocol limit");
+        let mut buf = BytesMut::with_capacity(HEADER + payload.len() + TRAILER);
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.msg_type());
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        buf.put_u32_le(crc32(&payload));
+        buf.to_vec()
+    }
+}
+
+/// Incremental frame decoder (sans-IO): feed bytes, pull complete frames.
+///
+/// ```
+/// use racket_collect::wire::{FrameCodec, Message};
+/// use racket_types::{InstallId, ParticipantId};
+///
+/// let msg = Message::SignIn {
+///     participant: ParticipantId(123_456),
+///     install: InstallId(1_000_000_000),
+/// };
+/// let bytes = msg.encode();
+///
+/// let mut codec = FrameCodec::new();
+/// codec.feed(&bytes[..5]); // partial frame…
+/// assert!(codec.try_decode_message().unwrap().is_none());
+/// codec.feed(&bytes[5..]); // …completed
+/// assert_eq!(codec.try_decode_message().unwrap(), Some(msg));
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameCodec {
+    buf: BytesMut,
+}
+
+impl FrameCodec {
+    /// Create an empty codec.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes to the decode buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means more bytes
+    /// are needed. On error the buffer is poisoned and should be discarded
+    /// along with the connection (framing is unrecoverable after
+    /// corruption).
+    pub fn try_decode(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < HEADER {
+            return Ok(None);
+        }
+        let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        let version = self.buf[2];
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let msg_type = self.buf[3];
+        let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+            as usize;
+        if len > MAX_PAYLOAD {
+            return Err(WireError::TooLarge(len));
+        }
+        let total = HEADER + len + TRAILER;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        self.buf.advance(HEADER);
+        let payload = self.buf.split_to(len).to_vec();
+        let expected = self.buf.get_u32_le();
+        let actual = crc32(&payload);
+        if expected != actual {
+            return Err(WireError::BadCrc { expected, actual });
+        }
+        Ok(Some(Frame { msg_type, payload }))
+    }
+
+    /// Decode the next complete *message*.
+    pub fn try_decode_message(&mut self) -> Result<Option<Message>, WireError> {
+        match self.try_decode()? {
+            None => Ok(None),
+            Some(frame) => Message::from_frame(&frame).map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::SignIn {
+                participant: ParticipantId(123_456),
+                install: InstallId(9_876_543_210),
+            },
+            Message::SignInAck { accepted: true },
+            Message::SignInAck { accepted: false },
+            Message::SnapshotUpload {
+                install: InstallId(1_234_567_890),
+                file_id: 42,
+                fast: true,
+                payload: b"compressed bytes".to_vec(),
+            },
+            Message::UploadAck { file_id: 42, sha256: [7; 32] },
+            Message::Error { code: 500, detail: "boom".into() },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_message_types() {
+        for msg in samples() {
+            let bytes = msg.encode();
+            let mut codec = FrameCodec::new();
+            codec.feed(&bytes);
+            let decoded = codec.try_decode_message().unwrap().expect("complete frame");
+            assert_eq!(decoded, msg);
+            assert_eq!(codec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding() {
+        let msg = Message::SnapshotUpload {
+            install: InstallId(1),
+            file_id: 7,
+            fast: false,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let bytes = msg.encode();
+        let mut codec = FrameCodec::new();
+        for (i, b) in bytes.iter().enumerate() {
+            codec.feed(&[*b]);
+            let out = codec.try_decode_message().unwrap();
+            if i + 1 < bytes.len() {
+                assert!(out.is_none(), "frame completed early at byte {i}");
+            } else {
+                assert_eq!(out, Some(msg.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_feed() {
+        let mut stream = Vec::new();
+        for msg in samples() {
+            stream.extend_from_slice(&msg.encode());
+        }
+        let mut codec = FrameCodec::new();
+        codec.feed(&stream);
+        let mut decoded = Vec::new();
+        while let Some(m) = codec.try_decode_message().unwrap() {
+            decoded.push(m);
+        }
+        assert_eq!(decoded, samples());
+    }
+
+    #[test]
+    fn corrupted_payload_detected_by_crc() {
+        let msg = Message::SnapshotUpload {
+            install: InstallId(1),
+            file_id: 1,
+            fast: true,
+            payload: vec![0xAA; 64],
+        };
+        let mut bytes = msg.encode();
+        bytes[HEADER + 10] ^= 0x01; // flip a payload bit
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(codec.try_decode(), Err(WireError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Message::SignInAck { accepted: true }.encode();
+        bytes[0] = 0x00;
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(codec.try_decode(), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = Message::SignInAck { accepted: true }.encode();
+        bytes[2] = 99;
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(codec.try_decode(), Err(WireError::BadVersion(99))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_buffering() {
+        let mut bytes = Message::SignInAck { accepted: true }.encode();
+        bytes[4..8].copy_from_slice(&(MAX_PAYLOAD as u32 + 1).to_le_bytes());
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(codec.try_decode(), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn unknown_message_type_rejected() {
+        let mut bytes = Message::SignInAck { accepted: true }.encode();
+        bytes[3] = 0xEE;
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        assert!(matches!(
+            codec.try_decode_message(),
+            Err(WireError::UnknownType(0xEE))
+        ));
+    }
+
+    #[test]
+    fn malformed_payload_lengths_rejected() {
+        // A sign-in frame with an 11-byte payload.
+        let payload = vec![0u8; 11];
+        let mut buf = BytesMut::new();
+        buf.put_u16_le(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(1); // SIGN_IN
+        buf.put_u32_le(payload.len() as u32);
+        buf.put_slice(&payload);
+        buf.put_u32_le(crc32(&payload));
+        let mut codec = FrameCodec::new();
+        codec.feed(&buf);
+        assert!(matches!(
+            codec.try_decode_message(),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_upload_payload_is_legal() {
+        let msg = Message::SnapshotUpload {
+            install: InstallId(3),
+            file_id: 0,
+            fast: true,
+            payload: Vec::new(),
+        };
+        let mut codec = FrameCodec::new();
+        codec.feed(&msg.encode());
+        assert_eq!(codec.try_decode_message().unwrap(), Some(msg));
+    }
+}

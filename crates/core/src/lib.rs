@@ -1,0 +1,37 @@
+//! # racketstore — reproduction core
+//!
+//! The paper's contribution, end to end:
+//!
+//! 1. [`study`] — run the study: generate the participant fleet
+//!    ([`racket_agents`]), drive every device's behaviour through its
+//!    monitored window while the RacketStore collectors sample it
+//!    ([`racket_collect`]), crawl reviews every 12 h, and assemble the
+//!    measurement database (one [`racket_features::DeviceObservation`] per
+//!    physical device, after Appendix A fingerprint coalescing).
+//! 2. [`measurements`] — the §6 analyses: accounts, installed/reviewed
+//!    apps, install-to-review delays, stopped apps, churn, daily app use,
+//!    permissions and malware, each with the paper's statistical battery
+//!    (KS + parametric and non-parametric ANOVA).
+//! 3. [`labeling`] — the §7.2 train-and-validate selection: device
+//!    holdouts, the suspicious-app rule (advertised ∧ co-installed on
+//!    worker devices ∧ absent from regular devices) and the non-suspicious
+//!    rule (regular-only ∧ high review volume).
+//! 4. [`app_classifier`] — §7: detect apps installed for promotion
+//!    (Table 1, Figure 13).
+//! 5. [`device_classifier`] — §8: detect worker-controlled devices
+//!    (Table 2, Figures 14 and 15), coupling in the app classifier through
+//!    the *app suspiciousness* feature.
+
+#![deny(missing_docs)]
+
+pub mod app_classifier;
+pub mod device_classifier;
+pub mod labeling;
+pub mod measurements;
+pub mod study;
+
+pub use app_classifier::{AppClassifierReport, AppUsageDataset};
+pub use device_classifier::{DeviceClassifierReport, OrganicSplit};
+pub use labeling::{AppLabels, LabelingConfig};
+pub use measurements::MeasurementReport;
+pub use study::{Study, StudyConfig, StudyOutput};

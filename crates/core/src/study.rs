@@ -1,0 +1,448 @@
+//! The study driver: simulate the fleet through its monitored windows
+//! under live collection, then assemble the measurement database.
+
+use racket_agents::{apply_action, Fleet, FleetConfig, TimelineAction};
+use racket_collect::{
+    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer,
+    InstallRecord, MemTransport, SnapshotCollector, Transport,
+};
+use racket_collect::transport::recv_message;
+use racket_collect::wire::{FrameCodec, Message};
+use racket_features::DeviceObservation;
+use racket_playstore::crawler::ReviewCrawler;
+use racket_types::{AppId, Cohort, Persona, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// How snapshots travel from collectors to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectionPath {
+    /// In-process ingestion (fast; the default for large fleets). The
+    /// snapshots and aggregation logic are identical to the wire path —
+    /// only the framing/transport hop is skipped.
+    Direct,
+    /// Full protocol: snapshots → data buffer (rotation + LZSS) → framed
+    /// upload over an in-memory transport → server decode → hash ack →
+    /// buffer deletion. Exercises every §3 component; used by tests and
+    /// the protocol-heavy experiments.
+    Wire,
+}
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Fleet composition and timing.
+    pub fleet: FleetConfig,
+    /// Collector cadences. The paper's 5 s / 120 s are the default; large
+    /// sweeps may thin the fast cadence — rate features scale uniformly.
+    pub collector: CollectorConfig,
+    /// Snapshot delivery path.
+    pub path: CollectionPath,
+    /// Driver RNG seed (behaviour replay).
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// Small, fast configuration for tests: a 60-device fleet with a
+    /// thinned (60 s) fast cadence over the full wire path.
+    pub fn test_scale() -> Self {
+        StudyConfig {
+            fleet: FleetConfig::test_scale(),
+            collector: CollectorConfig { fast_period_secs: 60, slow_period_secs: 120 },
+            path: CollectionPath::Wire,
+            seed: 11,
+        }
+    }
+
+    /// Paper-scale configuration: 803 devices, thinned fast cadence
+    /// (30 s) to keep a full run in tens of seconds, direct ingestion.
+    pub fn paper_scale() -> Self {
+        StudyConfig {
+            fleet: FleetConfig::paper_scale(),
+            collector: CollectorConfig { fast_period_secs: 30, slow_period_secs: 120 },
+            path: CollectionPath::Direct,
+            seed: 2021,
+        }
+    }
+}
+
+/// Per-device ground truth retained for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// The device's persona.
+    pub persona: Persona,
+}
+
+/// Everything the study produces.
+#[derive(Debug)]
+pub struct StudyOutput {
+    /// One joined observation per physical device, in fleet order.
+    pub observations: Vec<DeviceObservation>,
+    /// Ground truth aligned with `observations`.
+    pub truth: Vec<GroundTruth>,
+    /// The fleet (catalog, store, directory, VirusTotal) post-run.
+    pub fleet: Fleet,
+    /// Crawler statistics: total reviews collected live.
+    pub reviews_crawled: usize,
+    /// Server ingestion statistics.
+    pub server_stats: racket_collect::server::ServerStats,
+    /// Number of physical devices recovered by fingerprint coalescing.
+    pub coalesced_devices: usize,
+}
+
+impl StudyOutput {
+    /// Observations of one cohort (with their indexes).
+    pub fn cohort(&self, cohort: Cohort) -> impl Iterator<Item = &DeviceObservation> {
+        self.observations
+            .iter()
+            .zip(&self.truth)
+            .filter(move |(_, t)| t.persona.cohort() == cohort)
+            .map(|(o, _)| o)
+    }
+}
+
+/// The study runner.
+pub struct Study {
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Create a runner.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// Run the complete study.
+    pub fn run(&self) -> StudyOutput {
+        let config = &self.config;
+        let mut fleet = Fleet::generate(config.fleet.clone());
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut server =
+            CollectionServer::new(fleet.devices.iter().map(|d| d.participant));
+        let mut crawler = ReviewCrawler::new();
+
+        // Sign in + per-device collector/buffer state.
+        let n = fleet.devices.len();
+        let mut collectors: Vec<SnapshotCollector> = fleet
+            .devices
+            .iter()
+            .map(|d| {
+                // Uptime thins the effective cadence: a device reporting
+                // half the day yields half the snapshots per day.
+                let uptime = d.agent.profile.uptime.clamp(0.05, 1.0);
+                let cfg = CollectorConfig {
+                    fast_period_secs: ((config.collector.fast_period_secs as f64 / uptime)
+                        .round() as u64)
+                        .max(1),
+                    slow_period_secs: ((config.collector.slow_period_secs as f64 / uptime)
+                        .round() as u64)
+                        .max(1),
+                };
+                SnapshotCollector::new(cfg, d.install_id, d.participant)
+            })
+            .collect();
+        let mut buffers: Vec<DataBuffer> = (0..n).map(|_| DataBuffer::new()).collect();
+
+        // Wire-path plumbing: one client/server transport pair per device.
+        let mut wire: Vec<Option<(MemTransport, MemTransport, FrameCodec)>> = (0..n)
+            .map(|_| match config.path {
+                CollectionPath::Wire => {
+                    let (c, s) = MemTransport::pair();
+                    Some((c, s, FrameCodec::new()))
+                }
+                CollectionPath::Direct => None,
+            })
+            .collect();
+
+        for (i, d) in fleet.devices.iter().enumerate() {
+            match &mut wire[i] {
+                Some((client, server_end, _)) => {
+                    // Protocol sign-in.
+                    client
+                        .send(
+                            &Message::SignIn {
+                                participant: d.participant,
+                                install: d.install_id,
+                            }
+                            .encode(),
+                        )
+                        .expect("mem transport");
+                    let mut codec = FrameCodec::new();
+                    let msg = recv_message(server_end, &mut codec)
+                        .expect("transport")
+                        .expect("sign-in frame");
+                    let reply = server.handle(msg).expect("sign-in has a reply");
+                    assert_eq!(reply, Message::SignInAck { accepted: true });
+                }
+                None => {
+                    server.handle(Message::SignIn {
+                        participant: d.participant,
+                        install: d.install_id,
+                    });
+                }
+            }
+        }
+
+        // ---- main loop: one study day at a time, all devices -------------
+        let study_start = config.fleet.study_start();
+        let horizon = config.fleet.horizon();
+        let total_days = config.fleet.max_study_days;
+        for day in 0..total_days {
+            let day_start = study_start + SimDuration::from_days(day);
+            for i in 0..n {
+                let dev = &mut fleet.devices[i];
+                if !dev.monitoring.contains(day_start) {
+                    continue;
+                }
+                let actions: Vec<TimelineAction> = dev.agent.plan_day(
+                    &dev.device,
+                    &fleet.catalog,
+                    day_start,
+                    horizon,
+                    &mut rng,
+                );
+                let day_end = (day_start + SimDuration::from_days(1)).min(dev.monitoring.end);
+                for ta in &actions {
+                    if ta.time >= day_end {
+                        continue;
+                    }
+                    // Sample everything due before the action, then apply.
+                    let snaps = collectors[i].poll(&dev.device, ta.time);
+                    Self::deliver(
+                        &snaps,
+                        &mut buffers[i],
+                        &mut wire[i],
+                        &mut server,
+                        config.path,
+                    );
+                    apply_action(&mut dev.device, &mut fleet.store, &fleet.catalog, ta, &mut rng);
+                }
+                // Close out the day.
+                let last_tick = SimTime::from_secs(day_end.as_secs().saturating_sub(1));
+                let snaps = collectors[i].poll(&dev.device, last_tick);
+                Self::deliver(&snaps, &mut buffers[i], &mut wire[i], &mut server, config.path);
+            }
+
+            // 12-hourly review crawl over apps installed on participant
+            // devices (§5); we run it at day granularity against both
+            // half-day marks.
+            for half in 0..2 {
+                let t = day_start + SimDuration::from_hours(12 * half);
+                if crawler.is_due(t) {
+                    let installed: HashSet<AppId> = fleet
+                        .devices
+                        .iter()
+                        .flat_map(|d| d.device.installed_apps().map(|a| a.app))
+                        .collect();
+                    crawler.crawl_all(&fleet.store, installed, t);
+                }
+            }
+        }
+
+        // Final buffer flush (wire path only has residue in buffers).
+        for i in 0..n {
+            buffers[i].flush();
+            let pending: Vec<_> = buffers[i].pending().cloned().collect();
+            if let Some((client, server_end, server_codec)) = &mut wire[i] {
+                for f in &pending {
+                    client
+                        .send(
+                            &Message::SnapshotUpload {
+                                install: fleet.devices[i].install_id,
+                                file_id: f.file_id,
+                                fast: f.fast,
+                                payload: f.data.clone(),
+                            }
+                            .encode(),
+                        )
+                        .expect("mem transport");
+                    let msg = recv_message(server_end, server_codec)
+                        .expect("transport")
+                        .expect("upload frame");
+                    if let Some(Message::UploadAck { file_id, sha256 }) = server.handle(msg) {
+                        buffers[i].acknowledge(file_id, sha256);
+                    }
+                }
+            }
+        }
+
+        // ---- assemble the measurement database ----------------------------
+        let records: Vec<InstallRecord> = server.records().cloned().collect();
+        let candidates: Vec<CandidateInstall> =
+            records.iter().map(CandidateInstall::from_record).collect();
+        let coalesced = coalesce_installs(candidates);
+        let coalesced_devices = coalesced.len();
+
+        let preinstalled: HashSet<AppId> =
+            fleet.catalog.system_apps().iter().copied().collect();
+        let mut observations = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        let by_install: HashMap<_, _> =
+            records.into_iter().map(|r| (r.install_id, r)).collect();
+
+        for dev in &fleet.devices {
+            let Some(record) = by_install.get(&dev.install_id) else {
+                continue; // device produced no snapshots
+            };
+            // Google-ID crawl: resolve every Gmail account on the device.
+            let google_ids: Vec<_> = record
+                .accounts
+                .iter()
+                .filter(|a| a.service.is_gmail())
+                .filter_map(|a| fleet.directory.lookup(a.id))
+                .collect();
+            // Review join: everything those IDs ever posted (the 217k-review
+            // account crawl of §5), grouped by app.
+            let mut reviews_by_app: HashMap<AppId, Vec<racket_types::Review>> =
+                HashMap::new();
+            for &gid in &google_ids {
+                for r in fleet.store.reviews_by(gid) {
+                    reviews_by_app.entry(r.app).or_default().push(r.clone());
+                }
+            }
+            // VirusTotal reports for every app ever observed installed.
+            let vt_flags: HashMap<AppId, Option<u8>> = record
+                .apps
+                .values()
+                .map(|info| {
+                    let report = fleet.virustotal.query(info.apk_hash);
+                    (info.app, report.map(|r| r.flags))
+                })
+                .collect();
+
+            observations.push(DeviceObservation {
+                record: record.clone(),
+                monitoring: dev.monitoring,
+                google_ids,
+                reviews_by_app,
+                vt_flags,
+                preinstalled: preinstalled.clone(),
+            });
+            truth.push(GroundTruth { persona: dev.persona() });
+        }
+
+        StudyOutput {
+            observations,
+            truth,
+            reviews_crawled: crawler.total_collected(),
+            server_stats: server.stats(),
+            coalesced_devices,
+            fleet,
+        }
+    }
+
+    /// Deliver snapshots along the configured path.
+    fn deliver(
+        snaps: &[racket_types::Snapshot],
+        buffer: &mut DataBuffer,
+        wire: &mut Option<(MemTransport, MemTransport, FrameCodec)>,
+        server: &mut CollectionServer,
+        path: CollectionPath,
+    ) {
+        match path {
+            CollectionPath::Direct => {
+                for s in snaps {
+                    server.ingest_snapshot(s);
+                }
+            }
+            CollectionPath::Wire => {
+                let install = snaps.first().map(racket_types::Snapshot::install_id);
+                for s in snaps {
+                    buffer.push(s);
+                }
+                let Some(install) = install else { return };
+                // Upload any rotated files and process acks inline.
+                let pending: Vec<_> = buffer.pending().cloned().collect();
+                let Some((client, server_end, server_codec)) = wire else {
+                    unreachable!("wire path without transports")
+                };
+                for f in pending {
+                    client
+                        .send(
+                            &Message::SnapshotUpload {
+                                install,
+                                file_id: f.file_id,
+                                fast: f.fast,
+                                payload: f.data,
+                            }
+                            .encode(),
+                        )
+                        .expect("mem transport");
+                    let msg = recv_message(server_end, server_codec)
+                        .expect("transport")
+                        .expect("upload frame");
+                    if let Some(Message::UploadAck { file_id, sha256 }) = server.handle(msg) {
+                        buffer.acknowledge(file_id, sha256);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_test_study() -> StudyOutput {
+        Study::new(StudyConfig::test_scale()).run()
+    }
+
+    #[test]
+    fn study_produces_observations_for_every_device() {
+        let out = run_test_study();
+        assert_eq!(out.observations.len(), 60);
+        assert_eq!(out.truth.len(), 60);
+        assert_eq!(out.cohort(Cohort::Regular).count(), 20);
+        assert_eq!(out.cohort(Cohort::Worker).count(), 40);
+    }
+
+    #[test]
+    fn wire_path_ingests_files_and_snapshots() {
+        let out = run_test_study();
+        assert!(out.server_stats.files > 0, "rotated files uploaded");
+        assert!(out.server_stats.snapshots > 1000, "snapshots ingested");
+        assert_eq!(out.server_stats.bad_uploads, 0);
+        assert_eq!(out.server_stats.sign_ins, 60);
+    }
+
+    #[test]
+    fn observations_have_accounts_and_reviews() {
+        let out = run_test_study();
+        let worker_reviews: usize =
+            out.cohort(Cohort::Worker).map(|o| o.total_reviews()).sum();
+        let regular_reviews: usize =
+            out.cohort(Cohort::Regular).map(|o| o.total_reviews()).sum();
+        assert!(worker_reviews > 20 * regular_reviews.max(1));
+        // Every observation saw at least two days of snapshots.
+        for o in &out.observations {
+            assert!(o.record.active_days() >= 2);
+        }
+    }
+
+    #[test]
+    fn crawler_collected_live_reviews() {
+        let out = run_test_study();
+        assert!(out.reviews_crawled > 0);
+    }
+
+    #[test]
+    fn coalescing_recovers_physical_devices() {
+        let out = run_test_study();
+        // One install per device in this scenario.
+        assert_eq!(out.coalesced_devices, 60);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let a = run_test_study();
+        let b = run_test_study();
+        assert_eq!(a.server_stats.snapshots, b.server_stats.snapshots);
+        assert_eq!(a.reviews_crawled, b.reviews_crawled);
+        for (x, y) in a.observations.iter().zip(&b.observations) {
+            assert_eq!(x.record.n_fast, y.record.n_fast);
+            assert_eq!(x.total_reviews(), y.total_reviews());
+        }
+    }
+}

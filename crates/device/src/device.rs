@@ -1,0 +1,472 @@
+//! The device state machine.
+
+use crate::model::DeviceModel;
+use crate::usage::UsageStats;
+use racket_types::{
+    AccountService, AndroidId, ApkHash, AppId, DeviceEvent, DeviceId, EventKind,
+    InstalledApp, PermissionProfile, Rating, RegisteredAccount, SimTime,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which runtime permissions the participant granted to the RacketStore
+/// app on this device (§3: participants may grant any subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DevicePermissions {
+    /// `PACKAGE_USAGE_STATS` — gates foreground-app and usage collection.
+    pub usage_stats: bool,
+    /// `GET_ACCOUNTS` — gates registered-account collection.
+    pub get_accounts: bool,
+}
+
+impl Default for DevicePermissions {
+    fn default() -> Self {
+        DevicePermissions { usage_stats: true, get_accounts: true }
+    }
+}
+
+/// A simulated Android device.
+///
+/// All mutation goes through event methods (`install_app`, `open_app`, …)
+/// which update state and append to the ground-truth event log; all the
+/// queries the RacketStore collectors need are read-only.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    model: DeviceModel,
+    android_id: Option<AndroidId>,
+    permissions: DevicePermissions,
+    installed: BTreeMap<AppId, InstalledApp>,
+    accounts: Vec<RegisteredAccount>,
+    screen_on: bool,
+    battery_pct: u8,
+    save_mode: bool,
+    foreground: Option<AppId>,
+    usage: UsageStats,
+    events: Vec<DeviceEvent>,
+    installs_total: u64,
+    uninstalls_total: u64,
+}
+
+impl Device {
+    /// Create a device. `android_id` is reported in slow snapshots only if
+    /// the model supports it.
+    pub fn new(id: DeviceId, model: DeviceModel, android_id: AndroidId) -> Self {
+        let android_id = model.reports_android_id.then_some(android_id);
+        Device {
+            id,
+            model,
+            android_id,
+            permissions: DevicePermissions::default(),
+            installed: BTreeMap::new(),
+            accounts: Vec::new(),
+            screen_on: false,
+            battery_pct: 100,
+            save_mode: false,
+            foreground: None,
+            usage: UsageStats::default(),
+            events: Vec::new(),
+            installs_total: 0,
+            uninstalls_total: 0,
+        }
+    }
+
+    // ---- identity & configuration -------------------------------------
+
+    /// Ground-truth device identity (not observable by the server).
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The hardware model.
+    pub fn model(&self) -> &DeviceModel {
+        &self.model
+    }
+
+    /// `ANDROID_ID` as the slow snapshot reports it (`None` when the model
+    /// is incompatible).
+    pub fn android_id(&self) -> Option<AndroidId> {
+        self.android_id
+    }
+
+    /// Permissions granted to the collection app.
+    pub fn permissions(&self) -> DevicePermissions {
+        self.permissions
+    }
+
+    /// Set the permissions granted to the collection app.
+    pub fn set_permissions(&mut self, permissions: DevicePermissions) {
+        self.permissions = permissions;
+    }
+
+    // ---- package manager -----------------------------------------------
+
+    /// Install (or re-install) an app. Re-installation replaces the entry,
+    /// which is exactly the Android behaviour that loses the original
+    /// install time (§6.3's negative install-to-review deltas).
+    pub fn install_app(
+        &mut self,
+        app: AppId,
+        time: SimTime,
+        permissions: PermissionProfile,
+        apk_hash: ApkHash,
+    ) {
+        let info = InstalledApp::fresh(app, time, permissions, apk_hash);
+        self.installed.insert(app, info);
+        // A (re-)install kills any running instance: the fresh package is
+        // in the stopped state until its next launch, so it cannot stay in
+        // the foreground.
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        self.installs_total += 1;
+        self.events.push(DeviceEvent::new(self.id, time, EventKind::AppInstalled { app }));
+    }
+
+    /// Install a preinstalled (system image) app at the epoch.
+    pub fn preinstall_app(&mut self, app: AppId, permissions: PermissionProfile, hash: ApkHash) {
+        let mut info = InstalledApp::fresh(app, SimTime::EPOCH, permissions, hash);
+        info.preinstalled = true;
+        info.stopped = false; // system apps run out of the box
+        self.installed.insert(app, info);
+    }
+
+    /// Uninstall an app; returns whether it was installed. Usage history
+    /// for the package is forgotten, as Android does.
+    pub fn uninstall_app(&mut self, app: AppId, time: SimTime) -> bool {
+        if self.installed.remove(&app).is_none() {
+            return false;
+        }
+        self.usage.forget(app);
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        self.uninstalls_total += 1;
+        self.events
+            .push(DeviceEvent::new(self.id, time, EventKind::AppUninstalled { app }));
+        true
+    }
+
+    /// Bring an app to the foreground for `secs` seconds. Clears its
+    /// stopped state (first launch un-stops a fresh install). Returns
+    /// `false` if the app is not installed.
+    pub fn open_app(&mut self, app: AppId, time: SimTime, secs: u64) -> bool {
+        let Some(info) = self.installed.get_mut(&app) else {
+            return false;
+        };
+        info.stopped = false;
+        self.foreground = Some(app);
+        self.screen_on = true;
+        self.usage.record_open(app, time, secs);
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::AppOpened { app, foreground_secs: secs },
+        ));
+        true
+    }
+
+    /// Force-stop an app (§6.3: workers stop misbehaving promoted apps
+    /// rather than uninstalling them, to preserve retention installs).
+    pub fn stop_app(&mut self, app: AppId, time: SimTime) -> bool {
+        let Some(info) = self.installed.get_mut(&app) else {
+            return false;
+        };
+        info.stopped = true;
+        if self.foreground == Some(app) {
+            self.foreground = None;
+        }
+        self.events.push(DeviceEvent::new(self.id, time, EventKind::AppStopped { app }));
+        true
+    }
+
+    // ---- accounts --------------------------------------------------------
+
+    /// Register an account on the device.
+    pub fn register_account(&mut self, account: RegisteredAccount, time: SimTime) {
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::AccountRegistered { account: account.id },
+        ));
+        self.accounts.push(account);
+    }
+
+    /// Record a review posted from this device (ground truth; the review
+    /// itself also lands in the Play-store simulator).
+    pub fn record_review(
+        &mut self,
+        app: AppId,
+        account: racket_types::AccountId,
+        rating: Rating,
+        time: SimTime,
+    ) {
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::ReviewPosted { app, account, rating },
+        ));
+    }
+
+    // ---- screen & power ---------------------------------------------------
+
+    /// Turn the screen on or off.
+    pub fn set_screen(&mut self, on: bool, time: SimTime) {
+        if self.screen_on != on {
+            self.events.push(DeviceEvent::new(
+                self.id,
+                time,
+                if on { EventKind::ScreenOn } else { EventKind::ScreenOff },
+            ));
+        }
+        self.screen_on = on;
+        if !on {
+            self.foreground = None;
+        }
+    }
+
+    /// Set the battery level (0–100) and save-mode flag.
+    pub fn set_power(&mut self, battery_pct: u8, save_mode: bool) {
+        self.battery_pct = battery_pct.min(100);
+        self.save_mode = save_mode;
+    }
+
+    // ---- queries (what the collectors read) -------------------------------
+
+    /// The app currently in the foreground.
+    pub fn foreground_app(&self) -> Option<AppId> {
+        self.foreground
+    }
+
+    /// Whether the screen is on.
+    pub fn screen_on(&self) -> bool {
+        self.screen_on
+    }
+
+    /// Battery level, 0–100.
+    pub fn battery_pct(&self) -> u8 {
+        self.battery_pct
+    }
+
+    /// Whether battery save mode is active.
+    pub fn save_mode(&self) -> bool {
+        self.save_mode
+    }
+
+    /// All installed apps with their metadata.
+    pub fn installed_apps(&self) -> impl Iterator<Item = &InstalledApp> {
+        self.installed.values()
+    }
+
+    /// Metadata of one installed app.
+    pub fn installed_app(&self, app: AppId) -> Option<&InstalledApp> {
+        self.installed.get(&app)
+    }
+
+    /// Whether `app` is currently installed.
+    pub fn is_installed(&self, app: AppId) -> bool {
+        self.installed.contains_key(&app)
+    }
+
+    /// Number of installed apps.
+    pub fn installed_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Number of preinstalled (system) apps.
+    pub fn preinstalled_count(&self) -> usize {
+        self.installed.values().filter(|a| a.preinstalled).count()
+    }
+
+    /// Apps currently in the stopped state (the slow snapshot's
+    /// `stopped_apps` list).
+    pub fn stopped_apps(&self) -> Vec<AppId> {
+        self.installed.values().filter(|a| a.stopped).map(|a| a.app).collect()
+    }
+
+    /// Registered accounts (the slow snapshot's `accounts` list, gated on
+    /// `GET_ACCOUNTS`).
+    pub fn accounts(&self) -> &[RegisteredAccount] {
+        &self.accounts
+    }
+
+    /// The Gmail accounts registered on the device.
+    pub fn gmail_accounts(&self) -> impl Iterator<Item = &RegisteredAccount> {
+        self.accounts.iter().filter(|a| a.service.is_gmail())
+    }
+
+    /// Number of distinct account services registered.
+    pub fn account_service_count(&self) -> usize {
+        let mut services: Vec<AccountService> =
+            self.accounts.iter().map(|a| a.service).collect();
+        services.sort();
+        services.dedup();
+        services.len()
+    }
+
+    /// Usage-stats service (gated on `PACKAGE_USAGE_STATS`).
+    pub fn usage(&self) -> &UsageStats {
+        &self.usage
+    }
+
+    /// Ground-truth event log since creation.
+    pub fn events(&self) -> &[DeviceEvent] {
+        &self.events
+    }
+
+    /// Lifetime install / uninstall event counts.
+    pub fn churn_totals(&self) -> (u64, u64) {
+        (self.installs_total, self.uninstalls_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_types::{AccountId, GoogleId, Permission};
+
+    fn device() -> Device {
+        Device::new(DeviceId(1), DeviceModel::generic(), AndroidId(42))
+    }
+
+    fn install(d: &mut Device, app: u32, day: u64) {
+        d.install_app(
+            AppId(app),
+            SimTime::from_days(day),
+            PermissionProfile::grant_all(vec![Permission::Internet, Permission::Camera]),
+            ApkHash([app as u8; 16]),
+        );
+    }
+
+    #[test]
+    fn fresh_install_is_stopped_until_opened() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        assert_eq!(d.stopped_apps(), vec![AppId(1)]);
+        assert!(d.open_app(AppId(1), SimTime::from_days(0), 30));
+        assert!(d.stopped_apps().is_empty());
+        assert_eq!(d.foreground_app(), Some(AppId(1)));
+        assert!(d.screen_on());
+    }
+
+    #[test]
+    fn reinstall_updates_install_time() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        install(&mut d, 1, 10);
+        let info = d.installed_app(AppId(1)).unwrap();
+        assert_eq!(info.install_time, SimTime::from_days(10));
+        assert_eq!(d.installed_count(), 1);
+        assert_eq!(d.churn_totals(), (2, 0));
+    }
+
+    #[test]
+    fn uninstall_forgets_usage_and_foreground() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        d.open_app(AppId(1), SimTime::from_days(0), 30);
+        assert!(d.uninstall_app(AppId(1), SimTime::from_days(1)));
+        assert!(!d.is_installed(AppId(1)));
+        assert!(d.usage().app(AppId(1)).is_none());
+        assert_eq!(d.foreground_app(), None);
+        assert!(!d.uninstall_app(AppId(1), SimTime::from_days(1)), "double uninstall");
+        assert_eq!(d.churn_totals(), (1, 1));
+    }
+
+    #[test]
+    fn stop_app_sets_stopped_state() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        d.open_app(AppId(1), SimTime::from_days(0), 30);
+        assert!(d.stop_app(AppId(1), SimTime::from_days(0)));
+        assert_eq!(d.stopped_apps(), vec![AppId(1)]);
+        assert_eq!(d.foreground_app(), None);
+        assert!(!d.stop_app(AppId(9), SimTime::from_days(0)), "unknown app");
+    }
+
+    #[test]
+    fn preinstalled_apps_are_running_and_counted() {
+        let mut d = device();
+        d.preinstall_app(AppId(100), PermissionProfile::default(), ApkHash([0; 16]));
+        install(&mut d, 1, 0);
+        assert_eq!(d.installed_count(), 2);
+        assert_eq!(d.preinstalled_count(), 1);
+        assert_eq!(d.stopped_apps(), vec![AppId(1)], "system app is not stopped");
+    }
+
+    #[test]
+    fn account_registry() {
+        let mut d = device();
+        d.register_account(
+            RegisteredAccount::gmail(AccountId(1), GoogleId(10)),
+            SimTime::EPOCH,
+        );
+        d.register_account(
+            RegisteredAccount::gmail(AccountId(2), GoogleId(11)),
+            SimTime::EPOCH,
+        );
+        d.register_account(
+            RegisteredAccount::non_gmail(AccountId(3), AccountService::WhatsApp),
+            SimTime::EPOCH,
+        );
+        assert_eq!(d.accounts().len(), 3);
+        assert_eq!(d.gmail_accounts().count(), 2);
+        assert_eq!(d.account_service_count(), 2);
+    }
+
+    #[test]
+    fn screen_events_logged_once_per_transition() {
+        let mut d = device();
+        d.set_screen(true, SimTime::from_secs(1));
+        d.set_screen(true, SimTime::from_secs(2)); // no-op
+        d.set_screen(false, SimTime::from_secs(3));
+        let screens: Vec<_> = d
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ScreenOn | EventKind::ScreenOff))
+            .collect();
+        assert_eq!(screens.len(), 2);
+    }
+
+    #[test]
+    fn screen_off_clears_foreground() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        d.open_app(AppId(1), SimTime::from_days(0), 5);
+        d.set_screen(false, SimTime::from_days(0));
+        assert_eq!(d.foreground_app(), None);
+    }
+
+    #[test]
+    fn power_state_clamped() {
+        let mut d = device();
+        d.set_power(250, true);
+        assert_eq!(d.battery_pct(), 100);
+        assert!(d.save_mode());
+    }
+
+    #[test]
+    fn opening_uninstalled_app_fails() {
+        let mut d = device();
+        assert!(!d.open_app(AppId(5), SimTime::EPOCH, 10));
+    }
+
+    #[test]
+    fn android_id_absent_on_incompatible_model() {
+        let mut model = DeviceModel::generic();
+        model.reports_android_id = false;
+        let d = Device::new(DeviceId(2), model, AndroidId(7));
+        assert_eq!(d.android_id(), None);
+    }
+
+    #[test]
+    fn event_log_orders_and_labels() {
+        let mut d = device();
+        install(&mut d, 1, 0);
+        d.open_app(AppId(1), SimTime::from_days(1), 10);
+        d.record_review(AppId(1), AccountId(1), Rating::FIVE, SimTime::from_days(2));
+        let levels: Vec<Option<u8>> =
+            d.events().iter().map(|e| e.kind.timeline_level()).collect();
+        assert_eq!(levels, vec![Some(4), Some(2), Some(3)]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests over random operation sequences: whatever order installs,
+//! opens, stops, uninstalls and screen toggles arrive in, the device's
+//! internal invariants must hold.
+
+use proptest::prelude::*;
+use racket_device::{Device, DeviceModel};
+use racket_types::{AndroidId, ApkHash, AppId, DeviceId, PermissionProfile, SimTime};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Install(u8),
+    Uninstall(u8),
+    Open(u8),
+    Stop(u8),
+    Screen(bool),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(Op::Install),
+        (0u8..12).prop_map(Op::Uninstall),
+        (0u8..12).prop_map(Op::Open),
+        (0u8..12).prop_map(Op::Stop),
+        any::<bool>().prop_map(Op::Screen),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn random_op_sequences_keep_invariants(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut device = Device::new(DeviceId(1), DeviceModel::generic(), AndroidId(1));
+        let mut t = 0u64;
+        for op in &ops {
+            t += 10;
+            let now = SimTime::from_secs(t);
+            match op {
+                Op::Install(a) => device.install_app(
+                    AppId(u32::from(*a)),
+                    now,
+                    PermissionProfile::default(),
+                    ApkHash([*a; 16]),
+                ),
+                Op::Uninstall(a) => {
+                    device.uninstall_app(AppId(u32::from(*a)), now);
+                }
+                Op::Open(a) => {
+                    device.open_app(AppId(u32::from(*a)), now, 30);
+                }
+                Op::Stop(a) => {
+                    device.stop_app(AppId(u32::from(*a)), now);
+                }
+                Op::Screen(on) => device.set_screen(*on, now),
+            }
+
+            // Invariants after every operation:
+            // 1. foreground app, if any, is installed and not stopped.
+            if let Some(fg) = device.foreground_app() {
+                let info = device.installed_app(fg).expect("foreground app installed");
+                prop_assert!(!info.stopped, "foreground app cannot be stopped");
+                prop_assert!(device.screen_on(), "foreground implies screen on");
+            }
+            // 2. stopped apps are a subset of installed apps.
+            for app in device.stopped_apps() {
+                prop_assert!(device.is_installed(app));
+            }
+            // 3. usage stats never reference uninstalled apps.
+            for (app, _) in device.usage().iter() {
+                prop_assert!(device.is_installed(*app), "usage for uninstalled app");
+            }
+            // 4. churn totals are consistent with the event log.
+            let (installs, uninstalls) = device.churn_totals();
+            prop_assert!(installs >= uninstalls || device.installed_count() == 0);
+        }
+        // 5. event log is time-ordered.
+        let times: Vec<_> = device.events().iter().map(|e| e.time).collect();
+        for w in times.windows(2) {
+            prop_assert!(w[0] <= w[1], "event log out of order");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Feature extraction for the RacketStore detectors.
+//!
+//! Two feature families, straight from the paper:
+//!
+//! * [`app`] — the §7.1 *app-usage* features of one (app, device) instance,
+//!   modelling the engagement of the device's user with that app: who
+//!   reviewed it from the device and when (relative to install and to the
+//!   monitoring window), how often it is on screen, how long it stays
+//!   installed, its permission footprint and VirusTotal flags;
+//! * [`device`] — the §8.1 *device-usage* features: installed/stopped app
+//!   counts, churn, account composition, review totals, and the *app
+//!   suspiciousness* ratio produced by feeding each installed app through
+//!   the §7 app classifier.
+//!
+//! Both operate on a [`DeviceObservation`] — the joined per-device view the
+//! study pipeline assembles from the collection server's install records,
+//! the review crawler and the VirusTotal reports.
+
+#![deny(missing_docs)]
+
+pub mod app;
+pub mod device;
+pub mod observation;
+
+pub use app::{app_feature_names, app_features, APP_FEATURE_NAMES, N_APP_FEATURES};
+pub use device::{device_features, DEVICE_FEATURE_NAMES};
+pub use observation::DeviceObservation;

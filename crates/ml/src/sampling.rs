@@ -1,0 +1,227 @@
+//! Class-balancing resamplers.
+//!
+//! The paper balances its heavily skewed datasets three ways: SMOTE
+//! (§8.2, device classifier), random oversampling of the minority class and
+//! random undersampling of the majority class (§7.2 ablations). All three
+//! are implemented here, deterministic under a seed.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Indices of each class in the label vector.
+fn class_indices(y: &[u8]) -> (Vec<usize>, Vec<usize>) {
+    let mut neg = Vec::new();
+    let mut pos = Vec::new();
+    for (i, &l) in y.iter().enumerate() {
+        if l == 1 {
+            pos.push(i);
+        } else {
+            neg.push(i);
+        }
+    }
+    (neg, pos)
+}
+
+/// SMOTE: Synthetic Minority Over-sampling TEchnique (Chawla et al. 2002).
+///
+/// For each synthetic sample, pick a random minority instance, pick one of
+/// its `k` nearest minority neighbours, and interpolate uniformly between
+/// them. The minority class is grown until the classes balance. Returns a
+/// new dataset with the original rows first and synthetic rows appended.
+///
+/// # Panics
+/// If the dataset is empty or contains only one class.
+pub fn smote(data: &Dataset, k: usize, seed: u64) -> Dataset {
+    assert!(!data.is_empty(), "cannot SMOTE an empty dataset");
+    let (neg, pos) = class_indices(&data.y);
+    assert!(
+        !neg.is_empty() && !pos.is_empty(),
+        "SMOTE requires both classes present"
+    );
+    let (minority, minority_label, majority_len) = if pos.len() < neg.len() {
+        (pos, 1u8, neg.len())
+    } else {
+        (neg, 0u8, pos.len())
+    };
+    let needed = majority_len - minority.len();
+    if needed == 0 {
+        return data.clone();
+    }
+    let k = k.max(1).min(minority.len().saturating_sub(1)).max(1);
+
+    // Precompute k nearest minority neighbours of each minority sample.
+    let neighbours: Vec<Vec<usize>> = minority
+        .iter()
+        .map(|&i| {
+            let mut d: Vec<(f64, usize)> = minority
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| {
+                    let dist: f64 = data.x[i]
+                        .iter()
+                        .zip(&data.x[j])
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    (dist, j)
+                })
+                .collect();
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+            d.truncate(k);
+            d.into_iter().map(|(_, j)| j).collect()
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = data.x.clone();
+    let mut y = data.y.clone();
+    for _ in 0..needed {
+        let mi = rng.gen_range(0..minority.len());
+        let i = minority[mi];
+        let js = &neighbours[mi];
+        if js.is_empty() {
+            // Single minority sample: duplicate it.
+            x.push(data.x[i].clone());
+            y.push(minority_label);
+            continue;
+        }
+        let j = js[rng.gen_range(0..js.len())];
+        let gap: f64 = rng.gen();
+        let row: Vec<f64> = data.x[i]
+            .iter()
+            .zip(&data.x[j])
+            .map(|(a, b)| a + gap * (b - a))
+            .collect();
+        x.push(row);
+        y.push(minority_label);
+    }
+    Dataset { x, y, feature_names: data.feature_names.clone() }
+}
+
+/// Random oversampling: duplicate random minority rows until balanced.
+pub fn random_oversample(data: &Dataset, seed: u64) -> Dataset {
+    assert!(!data.is_empty(), "cannot resample an empty dataset");
+    let (neg, pos) = class_indices(&data.y);
+    assert!(!neg.is_empty() && !pos.is_empty(), "resampling requires both classes");
+    let (minority, majority_len) =
+        if pos.len() < neg.len() { (pos, neg.len()) } else { (neg, pos.len()) };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = data.x.clone();
+    let mut y = data.y.clone();
+    for _ in 0..majority_len - minority.len() {
+        let i = minority[rng.gen_range(0..minority.len())];
+        x.push(data.x[i].clone());
+        y.push(data.y[i]);
+    }
+    Dataset { x, y, feature_names: data.feature_names.clone() }
+}
+
+/// Random undersampling: drop random majority rows until balanced.
+pub fn random_undersample(data: &Dataset, seed: u64) -> Dataset {
+    assert!(!data.is_empty(), "cannot resample an empty dataset");
+    let (neg, pos) = class_indices(&data.y);
+    assert!(!neg.is_empty() && !pos.is_empty(), "resampling requires both classes");
+    let (mut majority, minority) =
+        if pos.len() < neg.len() { (neg, pos) } else { (pos, neg) };
+    let mut rng = StdRng::seed_from_u64(seed);
+    majority.shuffle(&mut rng);
+    majority.truncate(minority.len());
+    let mut keep: Vec<usize> = minority.into_iter().chain(majority).collect();
+    keep.sort_unstable();
+    data.select(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Dataset {
+        // 12 negatives around the origin, 3 positives around (10, 10).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..12 {
+            x.push(vec![(i % 4) as f64 * 0.1, (i % 3) as f64 * 0.1]);
+            y.push(0);
+        }
+        for i in 0..3 {
+            x.push(vec![10.0 + i as f64 * 0.1, 10.0 - i as f64 * 0.1]);
+            y.push(1);
+        }
+        Dataset::new(x, y, vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn smote_balances_classes() {
+        let d = smote(&skewed(), 5, 7);
+        assert_eq!(d.n_positive(), d.n_negative());
+        assert_eq!(d.len(), 24);
+    }
+
+    #[test]
+    fn smote_synthetics_interpolate_minority_hull() {
+        let d = smote(&skewed(), 5, 7);
+        // Synthetic rows (index >= 15) lie on segments between positives,
+        // so both coordinates stay within the positive cluster's bounds.
+        for row in &d.x[15..] {
+            assert!(row[0] >= 10.0 - 1e-9 && row[0] <= 10.2 + 1e-9, "{row:?}");
+            assert!(row[1] >= 9.8 - 1e-9 && row[1] <= 10.0 + 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn smote_already_balanced_is_identity() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![0, 1],
+            vec!["a".into()],
+        );
+        assert_eq!(smote(&d, 5, 1), d);
+    }
+
+    #[test]
+    fn smote_single_minority_sample_duplicates() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![9.0]],
+            vec![0, 0, 0, 1],
+            vec!["a".into()],
+        );
+        let out = smote(&d, 5, 3);
+        assert_eq!(out.n_positive(), 3);
+        assert!(out.x[4..].iter().all(|r| r == &vec![9.0]));
+    }
+
+    #[test]
+    fn oversample_balances_by_duplication() {
+        let base = skewed();
+        let d = random_oversample(&base, 3);
+        assert_eq!(d.n_positive(), d.n_negative());
+        // Every added row is an exact copy of an original positive.
+        let positives: Vec<&Vec<f64>> = base.x[12..15].iter().collect();
+        for row in &d.x[base.len()..] {
+            assert!(positives.contains(&row), "unexpected synthetic row {row:?}");
+        }
+    }
+
+    #[test]
+    fn undersample_balances_by_dropping() {
+        let d = random_undersample(&skewed(), 3);
+        assert_eq!(d.n_positive(), 3);
+        assert_eq!(d.n_negative(), 3);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(smote(&skewed(), 5, 11), smote(&skewed(), 5, 11));
+        assert_eq!(random_undersample(&skewed(), 2), random_undersample(&skewed(), 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "SMOTE requires both classes")]
+    fn smote_single_class_panics() {
+        let d = Dataset::new(vec![vec![1.0]], vec![1], vec!["a".into()]);
+        smote(&d, 5, 0);
+    }
+}

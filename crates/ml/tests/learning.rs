@@ -1,0 +1,138 @@
+//! Property and behaviour tests across the learner implementations.
+
+use proptest::prelude::*;
+use racket_ml::{
+    random_oversample, random_undersample, roc_auc, smote, Classifier, Dataset, DecisionTree,
+    DecisionTreeParams, GradientBoosting, GradientBoostingParams, KNearestNeighbors,
+    LinearSvm, LinearSvmParams, LogisticRegression, LogisticRegressionParams, Lvq, LvqParams,
+    RandomForest, RandomForestParams,
+};
+
+/// Every learner must (a) emit probabilities in [0,1], (b) beat chance on
+/// separable data, (c) be deterministic under its seed.
+fn all_learners() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(DecisionTree::new(DecisionTreeParams::default())),
+        Box::new(RandomForest::new(RandomForestParams {
+            n_trees: 15,
+            ..RandomForestParams::default()
+        })),
+        Box::new(GradientBoosting::new(GradientBoostingParams {
+            n_rounds: 30,
+            ..GradientBoostingParams::default()
+        })),
+        Box::new(LogisticRegression::new(LogisticRegressionParams::default())),
+        Box::new(LinearSvm::new(LinearSvmParams::default())),
+        Box::new(KNearestNeighbors::paper_default()),
+        Box::new(Lvq::new(LvqParams::default())),
+    ]
+}
+
+fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..n {
+        let label = u8::from(i % 2 == 1);
+        let offset = if label == 1 { 6.0 } else { -6.0 };
+        x.push(vec![offset + (i % 7) as f64 * 0.3, (i % 5) as f64]);
+        y.push(label);
+    }
+    (x, y)
+}
+
+#[test]
+fn every_learner_separates_and_outputs_probabilities() {
+    let (x, y) = separable(80);
+    for mut model in all_learners() {
+        model.fit(&x, &y);
+        let mut correct = 0;
+        for (row, &label) in x.iter().zip(&y) {
+            let p = model.predict_proba(row);
+            assert!((0.0..=1.0).contains(&p), "{}: p = {p}", model.name());
+            correct += usize::from(model.predict(row) == label);
+        }
+        let acc = correct as f64 / x.len() as f64;
+        assert!(acc > 0.95, "{} accuracy {acc}", model.name());
+    }
+}
+
+#[test]
+fn every_learner_is_deterministic() {
+    let (x, y) = separable(60);
+    for (mut a, mut b) in all_learners().into_iter().zip(all_learners()) {
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        for row in x.iter().take(20) {
+            assert_eq!(
+                a.predict_proba(row),
+                b.predict_proba(row),
+                "{} not deterministic",
+                a.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        truths in proptest::collection::vec(0u8..2, 4..60),
+        scores in proptest::collection::vec(0f64..1.0, 60),
+    ) {
+        let scores = &scores[..truths.len()];
+        let base = roc_auc(&truths, scores);
+        let squashed: Vec<f64> = scores.iter().map(|s| s * s).collect();
+        prop_assert!((roc_auc(&truths, &squashed) - base).abs() < 1e-9);
+        let shifted: Vec<f64> = scores.iter().map(|s| s * 100.0 + 5.0).collect();
+        prop_assert!((roc_auc(&truths, &shifted) - base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resamplers_always_balance(
+        n_neg in 3usize..30,
+        n_pos in 3usize..30,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n_neg != n_pos);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_neg {
+            x.push(vec![i as f64, 0.0]);
+            y.push(0u8);
+        }
+        for i in 0..n_pos {
+            x.push(vec![50.0 + i as f64, 1.0]);
+            y.push(1u8);
+        }
+        let data = Dataset::new(x, y, vec!["a".into(), "b".into()]);
+        for balanced in [
+            smote(&data, 3, seed),
+            random_oversample(&data, seed),
+            random_undersample(&data, seed),
+        ] {
+            prop_assert_eq!(balanced.n_positive(), balanced.n_negative());
+        }
+    }
+
+    #[test]
+    fn tree_depth_limit_is_respected(
+        max_depth in 0usize..6,
+        n in 10usize..80,
+    ) {
+        let (x, y) = {
+            let mut x = Vec::new();
+            let mut y = Vec::new();
+            for i in 0..n {
+                x.push(vec![(i * 37 % 101) as f64, (i * 17 % 53) as f64]);
+                y.push(u8::from(i % 3 == 0));
+            }
+            (x, y)
+        };
+        let mut tree = DecisionTree::new(DecisionTreeParams {
+            max_depth,
+            ..DecisionTreeParams::default()
+        });
+        tree.fit(&x, &y);
+        prop_assert!(tree.depth() <= max_depth, "depth {} > {max_depth}", tree.depth());
+    }
+}

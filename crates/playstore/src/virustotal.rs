@@ -1,0 +1,128 @@
+//! VirusTotal simulator.
+//!
+//! §6.4 analyses the hashes of apks installed on participant devices with
+//! VirusTotal's 62 detection engines: 18,079 distinct hashes were queried,
+//! 12,431 were available, 177 apps were flagged by more than one engine,
+//! and a ≥ 7-flag threshold (above the 4 of Pendlebury et al.) marks the
+//! "most malicious" samples of Figure 12.
+//!
+//! [`VirusTotalSim`] serves per-hash reports from the catalog's malware
+//! ground truth, with a configurable availability gap (hashes the real
+//! service had never seen).
+
+use racket_types::ApkHash;
+use std::collections::HashMap;
+
+/// Number of detection engines VirusTotal ran in the study.
+pub const VT_ENGINE_COUNT: u8 = 62;
+
+/// The ≥-flags threshold used for Figure 12's "most malicious" samples.
+pub const HIGH_CONFIDENCE_FLAGS: u8 = 7;
+
+/// One VirusTotal report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VtReport {
+    /// Number of engines (out of [`VT_ENGINE_COUNT`]) flagging the apk.
+    pub flags: u8,
+}
+
+impl VtReport {
+    /// Whether the report crosses the Figure 12 high-confidence threshold.
+    pub fn is_high_confidence_malware(&self) -> bool {
+        self.flags >= HIGH_CONFIDENCE_FLAGS
+    }
+}
+
+/// The simulated VirusTotal service.
+#[derive(Debug, Clone, Default)]
+pub struct VirusTotalSim {
+    reports: HashMap<ApkHash, VtReport>,
+    unavailable: std::collections::HashSet<ApkHash>,
+    queries: u64,
+}
+
+impl VirusTotalSim {
+    /// Build from the catalog's malware ground truth: every known hash gets
+    /// a clean (0-flag) report, the listed malware hashes get their flag
+    /// counts, and `unavailable` hashes return `None` (the 18,079 − 12,431
+    /// coverage gap).
+    pub fn new(
+        all_hashes: impl IntoIterator<Item = ApkHash>,
+        malware: &[(ApkHash, u8)],
+        unavailable: impl IntoIterator<Item = ApkHash>,
+    ) -> Self {
+        let mut reports = HashMap::new();
+        for h in all_hashes {
+            reports.insert(h, VtReport { flags: 0 });
+        }
+        for &(h, flags) in malware {
+            reports.insert(h, VtReport { flags: flags.min(VT_ENGINE_COUNT) });
+        }
+        VirusTotalSim {
+            reports,
+            unavailable: unavailable.into_iter().collect(),
+            queries: 0,
+        }
+    }
+
+    /// Query one hash. `None` means VirusTotal has no report for it.
+    pub fn query(&mut self, hash: ApkHash) -> Option<VtReport> {
+        self.queries += 1;
+        if self.unavailable.contains(&hash) {
+            return None;
+        }
+        self.reports.get(&hash).copied()
+    }
+
+    /// Number of queries issued (the study's research-license budget).
+    pub fn queries_issued(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of hashes with available reports.
+    pub fn available_count(&self) -> usize {
+        self.reports.len() - self
+            .reports
+            .keys()
+            .filter(|h| self.unavailable.contains(h))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(b: u8) -> ApkHash {
+        ApkHash([b; 16])
+    }
+
+    #[test]
+    fn clean_flagged_and_missing() {
+        let mut vt = VirusTotalSim::new(
+            [h(1), h(2), h(3)],
+            &[(h(2), 9)],
+            [h(3)],
+        );
+        assert_eq!(vt.query(h(1)), Some(VtReport { flags: 0 }));
+        let m = vt.query(h(2)).unwrap();
+        assert_eq!(m.flags, 9);
+        assert!(m.is_high_confidence_malware());
+        assert_eq!(vt.query(h(3)), None, "coverage gap");
+        assert_eq!(vt.query(h(9)), None, "never-seen hash");
+        assert_eq!(vt.queries_issued(), 4);
+        assert_eq!(vt.available_count(), 2);
+    }
+
+    #[test]
+    fn threshold_matches_figure_12() {
+        assert!(!VtReport { flags: 6 }.is_high_confidence_malware());
+        assert!(VtReport { flags: 7 }.is_high_confidence_malware());
+    }
+
+    #[test]
+    fn flags_clamped_to_engine_count() {
+        let mut vt = VirusTotalSim::new([h(1)], &[(h(1), 200)], []);
+        assert_eq!(vt.query(h(1)).unwrap().flags, VT_ENGINE_COUNT);
+    }
+}

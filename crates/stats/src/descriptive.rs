@@ -1,0 +1,143 @@
+//! Descriptive statistics.
+//!
+//! Every §6 measurement reports a mean, median (the paper's "M"), standard
+//! deviation and maximum per cohort; [`Summary`] computes all of them in one
+//! pass over a sample.
+
+/// Five-number-style summary of a sample.
+///
+/// ```
+/// use racket_stats::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.max, 100.0);
+/// assert_eq!(s.paper_style(), "22.00 (M = 3.00, SD = 43.62, max = 100.00)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator), 0 for n < 2.
+    pub sd: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(data: &[f64]) -> Option<Summary> {
+        if data.is_empty() {
+            return None;
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            sd: var.sqrt(),
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Format like the paper: `mean (M = median, SD = sd, max = max)`.
+    pub fn paper_style(&self) -> String {
+        format!(
+            "{:.2} (M = {:.2}, SD = {:.2}, max = {:.2})",
+            self.mean, self.median, self.sd, self.max
+        )
+    }
+}
+
+/// Linear-interpolation quantile (type 7, R/numpy default) of a sample.
+///
+/// `q` must lie in `[0, 1]`. Returns `None` for an empty sample.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Some(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.sd - 1.581_138_83).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_even_median() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.sd, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn paper_style_format() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.paper_style(), "2.00 (M = 2.00, SD = 1.00, max = 3.00)");
+    }
+
+    #[test]
+    fn quantile_type7() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 1.0), Some(4.0));
+        assert_eq!(quantile(&data, 0.5), Some(2.5));
+        // numpy.quantile([1,2,3,4], 0.25) = 1.75
+        assert_eq!(quantile(&data, 0.25), Some(1.75));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        quantile(&[1.0], 1.5);
+    }
+}

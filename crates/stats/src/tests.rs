@@ -1,0 +1,484 @@
+//! Hypothesis tests used in §6 of the paper.
+//!
+//! The paper's protocol: Shapiro–Wilk rejected normality and
+//! Fligner–Killeen rejected equal variances for every feature, so
+//! differences between workers and regular users are reported under all of
+//! the Kolmogorov–Smirnov test, parametric ANOVA and non-parametric ANOVA
+//! (Kruskal–Wallis). This module implements that entire battery.
+
+use crate::rank::{average_ranks, tie_correction};
+use crate::special::{chi2_sf, f_sf, kolmogorov_sf, norm_cdf, norm_quantile};
+
+/// Result of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestOutcome {
+    /// The test statistic (D, F, H, U, W or X² depending on the test).
+    pub statistic: f64,
+    /// The (asymptotic) p-value.
+    pub p_value: f64,
+}
+
+impl TestOutcome {
+    /// Whether the outcome is significant at the paper's α = 0.05.
+    pub fn significant(&self) -> bool {
+        self.p_value < crate::ALPHA
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Returns the maximum distance `D` between the empirical CDFs and the
+/// asymptotic two-sided p-value (Kolmogorov distribution with the
+/// small-sample correction of Numerical Recipes / `ks.test`).
+///
+/// ```
+/// use racket_stats::ks_2samp;
+///
+/// let regular = [1.0, 2.0, 2.0, 3.0, 4.0];
+/// let worker = [20.0, 25.0, 31.0, 40.0, 55.0];
+/// let out = ks_2samp(&regular, &worker);
+/// assert_eq!(out.statistic, 1.0); // disjoint supports
+/// assert!(out.significant());
+/// ```
+///
+/// # Panics
+/// If either sample is empty or contains NaN.
+pub fn ks_2samp(x: &[f64], y: &[f64]) -> TestOutcome {
+    assert!(!x.is_empty() && !y.is_empty(), "ks_2samp requires non-empty samples");
+    let mut xs = x.to_vec();
+    let mut ys = y.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    ys.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let (n, m) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n && j < m {
+        let xi = xs[i];
+        let yj = ys[j];
+        let v = xi.min(yj);
+        while i < n && xs[i] <= v {
+            i += 1;
+        }
+        while j < m && ys[j] <= v {
+            j += 1;
+        }
+        let f1 = i as f64 / n as f64;
+        let f2 = j as f64 / m as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let en = ((n * m) as f64 / (n + m) as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * d;
+    TestOutcome { statistic: d, p_value: kolmogorov_sf(lambda) }
+}
+
+/// One-way (parametric) analysis of variance.
+///
+/// Returns the F statistic and the upper-tail F-distribution p-value.
+///
+/// # Panics
+/// If fewer than two groups are given, any group is empty, or all
+/// observations are identical (zero within-group variance with zero
+/// between-group variance).
+pub fn anova_oneway(groups: &[&[f64]]) -> TestOutcome {
+    assert!(groups.len() >= 2, "anova_oneway requires at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "anova_oneway: empty group");
+    let k = groups.len();
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+    assert!(n_total > k, "anova_oneway requires n > k");
+    let grand_mean =
+        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+    let mut ss_between = 0.0;
+    let mut ss_within = 0.0;
+    for g in groups {
+        let mean = g.iter().sum::<f64>() / g.len() as f64;
+        ss_between += g.len() as f64 * (mean - grand_mean).powi(2);
+        ss_within += g.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+    }
+    let df1 = (k - 1) as f64;
+    let df2 = (n_total - k) as f64;
+    let ms_between = ss_between / df1;
+    let ms_within = ss_within / df2;
+    if ms_within == 0.0 {
+        // Degenerate: no within-group variation. Either groups differ
+        // (F = ∞, p = 0) or everything is constant (no evidence, p = 1).
+        return if ss_between > 0.0 {
+            TestOutcome { statistic: f64::INFINITY, p_value: 0.0 }
+        } else {
+            TestOutcome { statistic: 0.0, p_value: 1.0 }
+        };
+    }
+    let f = ms_between / ms_within;
+    TestOutcome { statistic: f, p_value: f_sf(f, df1, df2) }
+}
+
+/// Kruskal–Wallis rank-sum test ("non-parametric ANOVA"), tie-corrected,
+/// with the chi-square asymptotic p-value on `k − 1` degrees of freedom.
+///
+/// # Panics
+/// If fewer than two groups are given or any group is empty.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> TestOutcome {
+    assert!(groups.len() >= 2, "kruskal_wallis requires at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "kruskal_wallis: empty group");
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let n = pooled.len() as f64;
+    let ranks = average_ranks(&pooled);
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len();
+        let rank_sum: f64 = ranks[offset..offset + ni].iter().sum();
+        h += rank_sum * rank_sum / ni as f64;
+        offset += ni;
+    }
+    h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+    let correction = tie_correction(&pooled);
+    if correction <= 0.0 {
+        // All observations identical: no evidence of difference.
+        return TestOutcome { statistic: 0.0, p_value: 1.0 };
+    }
+    h /= correction;
+    let df = (groups.len() - 1) as f64;
+    TestOutcome { statistic: h, p_value: chi2_sf(h, df) }
+}
+
+/// Two-sided Mann–Whitney U test with normal approximation, tie correction
+/// and continuity correction (matches `scipy.stats.mannwhitneyu` with
+/// `method="asymptotic"`).
+///
+/// # Panics
+/// If either sample is empty.
+pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> TestOutcome {
+    assert!(!x.is_empty() && !y.is_empty(), "mann_whitney_u requires non-empty samples");
+    let n1 = x.len() as f64;
+    let n2 = y.len() as f64;
+    let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
+    let ranks = average_ranks(&pooled);
+    let r1: f64 = ranks[..x.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let u2 = n1 * n2 - u1;
+    let u = u1.min(u2);
+    let mu = n1 * n2 / 2.0;
+    let n = n1 + n2;
+    // Tie-corrected variance.
+    let tie_sum: f64 = crate::rank::tie_sizes(&pooled)
+        .into_iter()
+        .map(|t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let sigma2 = n1 * n2 / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
+    if sigma2 <= 0.0 {
+        return TestOutcome { statistic: u, p_value: 1.0 };
+    }
+    let z = (u + 0.5 - mu) / sigma2.sqrt();
+    let p = (2.0 * norm_cdf(z)).min(1.0);
+    TestOutcome { statistic: u, p_value: p }
+}
+
+/// Fligner–Killeen test of homogeneity of variances.
+///
+/// Each observation is centred by its group median; the absolute residuals
+/// are ranked across groups and mapped to normal scores
+/// `a = Φ⁻¹(1/2 + r / (2(N+1)))`; the statistic is
+/// `X² = Σ nⱼ (āⱼ − ā)² / V²` with `V²` the sample variance of all scores,
+/// asymptotically chi-square with `k − 1` degrees of freedom. This matches
+/// R's `fligner.test`.
+///
+/// # Panics
+/// If fewer than two groups are given or any group is empty.
+pub fn fligner_killeen(groups: &[&[f64]]) -> TestOutcome {
+    assert!(groups.len() >= 2, "fligner_killeen requires at least two groups");
+    assert!(groups.iter().all(|g| !g.is_empty()), "fligner_killeen: empty group");
+    // Absolute deviations from group medians, concatenated in group order.
+    let mut abs_dev = Vec::new();
+    let mut sizes = Vec::new();
+    for g in groups {
+        let mut sorted = g.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let m = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        abs_dev.extend(g.iter().map(|x| (x - m).abs()));
+        sizes.push(g.len());
+    }
+    let n = abs_dev.len() as f64;
+    let ranks = average_ranks(&abs_dev);
+    let scores: Vec<f64> = ranks
+        .iter()
+        .map(|r| norm_quantile(0.5 + r / (2.0 * (n + 1.0))))
+        .collect();
+    let grand = scores.iter().sum::<f64>() / n;
+    let v2 = scores.iter().map(|a| (a - grand).powi(2)).sum::<f64>() / (n - 1.0);
+    if v2 <= 0.0 {
+        return TestOutcome { statistic: 0.0, p_value: 1.0 };
+    }
+    let mut stat = 0.0;
+    let mut offset = 0;
+    for &ni in &sizes {
+        let mean_j = scores[offset..offset + ni].iter().sum::<f64>() / ni as f64;
+        stat += ni as f64 * (mean_j - grand).powi(2);
+        offset += ni;
+    }
+    stat /= v2;
+    let df = (groups.len() - 1) as f64;
+    TestOutcome { statistic: stat, p_value: chi2_sf(stat, df) }
+}
+
+/// Shapiro–Wilk test of normality, Royston's AS R94 approximation
+/// (valid for 3 ≤ n ≤ 5000, matching R's `shapiro.test`).
+///
+/// Returns the W statistic and an approximate p-value.
+///
+/// # Panics
+/// If `n < 3`, `n > 5000` or the sample is constant.
+pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
+    let n = data.len();
+    assert!((3..=5000).contains(&n), "shapiro_wilk requires 3 <= n <= 5000, got {n}");
+    let mut x = data.to_vec();
+    x.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    assert!(x[n - 1] > x[0], "shapiro_wilk: constant sample");
+
+    // Expected normal order statistics (Blom approximation).
+    let nf = n as f64;
+    let m: Vec<f64> = (1..=n)
+        .map(|i| norm_quantile((i as f64 - 0.375) / (nf + 0.25)))
+        .collect();
+    let m_sq_sum: f64 = m.iter().map(|v| v * v).sum();
+    let rsn = 1.0 / nf.sqrt();
+
+    // Weights (Royston's polynomial corrections to the last one/two).
+    let mut a = vec![0.0; n];
+    if n > 5 {
+        let c_n = m[n - 1] / m_sq_sum.sqrt();
+        let c_n1 = m[n - 2] / m_sq_sum.sqrt();
+        let a_n = c_n
+            + 0.221157 * rsn
+            - 0.147981 * rsn.powi(2)
+            - 2.071190 * rsn.powi(3)
+            + 4.434685 * rsn.powi(4)
+            - 2.706056 * rsn.powi(5);
+        let a_n1 = c_n1
+            + 0.042981 * rsn
+            - 0.293762 * rsn.powi(2)
+            - 1.752461 * rsn.powi(3)
+            + 5.682633 * rsn.powi(4)
+            - 3.582633 * rsn.powi(5);
+        let phi = (m_sq_sum - 2.0 * m[n - 1].powi(2) - 2.0 * m[n - 2].powi(2))
+            / (1.0 - 2.0 * a_n.powi(2) - 2.0 * a_n1.powi(2));
+        a[n - 1] = a_n;
+        a[n - 2] = a_n1;
+        a[0] = -a_n;
+        a[1] = -a_n1;
+        for i in 2..n - 2 {
+            a[i] = m[i] / phi.sqrt();
+        }
+    } else {
+        let c_n = m[n - 1] / m_sq_sum.sqrt();
+        let a_n = if n == 3 {
+            std::f64::consts::FRAC_1_SQRT_2
+        } else {
+            c_n + 0.221157 * rsn
+                - 0.147981 * rsn.powi(2)
+                - 2.071190 * rsn.powi(3)
+                + 4.434685 * rsn.powi(4)
+                - 2.706056 * rsn.powi(5)
+        };
+        let phi = (m_sq_sum - 2.0 * m[n - 1].powi(2)) / (1.0 - 2.0 * a_n.powi(2));
+        a[n - 1] = a_n;
+        a[0] = -a_n;
+        for i in 1..n - 1 {
+            a[i] = m[i] / phi.sqrt();
+        }
+    }
+
+    // W statistic.
+    let mean = x.iter().sum::<f64>() / nf;
+    let ssq: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
+    let num: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>().powi(2);
+    let w = (num / ssq).min(1.0);
+
+    // P-value (Royston 1995).
+    let p = if n == 3 {
+        let pw = 6.0 / std::f64::consts::PI
+            * ((w.sqrt().asin()) - (0.75f64.sqrt().asin()));
+        pw.clamp(0.0, 1.0)
+    } else {
+        let lw = (1.0 - w).ln();
+        let (mu, sigma, z) = if n <= 11 {
+            let g = -2.273 + 0.459 * nf;
+            let mu = 0.5440 - 0.39978 * nf + 0.025054 * nf * nf - 0.0006714 * nf.powi(3);
+            let sigma =
+                (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf.powi(3)).exp();
+            let z = (-(g - lw).ln() - mu) / sigma;
+            (mu, sigma, z)
+        } else {
+            let ln_n = nf.ln();
+            let mu = -1.5861 - 0.31082 * ln_n - 0.083751 * ln_n * ln_n
+                + 0.0038915 * ln_n.powi(3);
+            let sigma = (-0.4803 - 0.082676 * ln_n + 0.0030302 * ln_n * ln_n).exp();
+            let z = (lw - mu) / sigma;
+            (mu, sigma, z)
+        };
+        let _ = (mu, sigma);
+        1.0 - norm_cdf(z)
+    };
+    TestOutcome { statistic: w, p_value: p.clamp(0.0, 1.0) }
+}
+
+/// Jaccard similarity of two sets, `|A ∩ B| / |A ∪ B|`.
+///
+/// Appendix A validates device coalescing with Jaccard similarity over
+/// (app, install-time) tuples and over registered-account sets; candidate
+/// device pairs with different Android IDs had similarity ≤ 0.5625.
+/// Returns 1.0 for two empty sets.
+pub fn jaccard<T: std::hash::Hash + Eq>(
+    a: &std::collections::HashSet<T>,
+    b: &std::collections::HashSet<T>,
+) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ks_disjoint_samples() {
+        let out = ks_2samp(&[1.0, 2.0, 3.0, 4.0, 5.0], &[6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!(out.statistic, 1.0);
+        assert!(out.p_value < 0.01, "p = {}", out.p_value);
+        assert!(out.significant());
+    }
+
+    #[test]
+    fn ks_identical_samples() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let out = ks_2samp(&data, &data);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-9);
+        assert!(!out.significant());
+    }
+
+    #[test]
+    fn ks_statistic_reference() {
+        // scipy.stats.ks_2samp([1,2,3,4],[3,4,5,6]).statistic = 0.5
+        let out = ks_2samp(&[1.0, 2.0, 3.0, 4.0], &[3.0, 4.0, 5.0, 6.0]);
+        assert!((out.statistic - 0.5).abs() < 1e-12);
+        assert!(out.p_value > 0.05, "small overlapping samples not significant");
+    }
+
+    #[test]
+    fn anova_reference() {
+        // Hand computation: F = 1.5 with (1, 4) dfs, p ≈ 0.288.
+        let out = anova_oneway(&[&[1.0, 2.0, 3.0], &[2.0, 3.0, 4.0]]);
+        assert!((out.statistic - 1.5).abs() < 1e-12);
+        assert!((out.p_value - 0.288).abs() < 0.005, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn anova_identical_groups() {
+        let out = anova_oneway(&[&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]]);
+        assert_eq!(out.statistic, 0.0);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn anova_degenerate_constant() {
+        let all_same = anova_oneway(&[&[2.0, 2.0], &[2.0, 2.0]]);
+        assert_eq!(all_same.p_value, 1.0);
+        let separated = anova_oneway(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        assert_eq!(separated.p_value, 0.0);
+    }
+
+    #[test]
+    fn kruskal_wallis_reference() {
+        // H = 3.857 with df = 1; scipy p = 0.04953.
+        let out = kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert!((out.statistic - 3.857_142_857).abs() < 1e-6);
+        assert!((out.p_value - 0.049_535).abs() < 1e-4, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn kruskal_wallis_all_ties() {
+        let out = kruskal_wallis(&[&[5.0, 5.0], &[5.0, 5.0]]);
+        assert_eq!(out.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_reference() {
+        // U = 0; z with continuity correction = -1.7457; p ≈ 0.0809.
+        let out = mann_whitney_u(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 0.0809).abs() < 0.001, "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn fligner_equal_variances_not_significant() {
+        let g1: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
+        let g2: Vec<f64> = (0..40).map(|i| (i as f64 * 0.53).cos() * 2.0 + 10.0).collect();
+        let out = fligner_killeen(&[&g1, &g2]);
+        assert!(!out.significant(), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn fligner_unequal_variances_significant() {
+        let g1: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 0.1).collect();
+        let g2: Vec<f64> = (0..40).map(|i| (i as f64 * 0.53).cos() * 50.0).collect();
+        let out = fligner_killeen(&[&g1, &g2]);
+        assert!(out.significant(), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn shapiro_rejects_skewed_data() {
+        // Heavily right-skewed (exponential-like) sample.
+        let data: Vec<f64> = (1..=50).map(|i| (i as f64 / 3.0).exp() / 1e5).collect();
+        let out = shapiro_wilk(&data);
+        assert!(out.statistic < 0.8, "W = {}", out.statistic);
+        assert!(out.significant(), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn shapiro_accepts_normal_scores() {
+        // Near-perfect normal sample: the normal quantiles themselves.
+        let data: Vec<f64> = (1..=50)
+            .map(|i| crate::special::norm_quantile(i as f64 / 51.0))
+            .collect();
+        let out = shapiro_wilk(&data);
+        assert!(out.statistic > 0.98, "W = {}", out.statistic);
+        assert!(!out.significant(), "p = {}", out.p_value);
+    }
+
+    #[test]
+    fn shapiro_small_samples() {
+        let out = shapiro_wilk(&[1.0, 2.0, 3.0]);
+        assert!(out.statistic > 0.95 && out.statistic <= 1.0);
+        let out5 = shapiro_wilk(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert!(out5.statistic < 0.8, "outlier tanks W: {}", out5.statistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "shapiro_wilk requires")]
+    fn shapiro_rejects_tiny_samples() {
+        shapiro_wilk(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a: HashSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: HashSet<i32> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty: HashSet<i32> = HashSet::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+}

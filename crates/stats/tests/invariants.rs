@@ -1,0 +1,98 @@
+//! Property tests for the statistical toolbox.
+
+use proptest::prelude::*;
+use racket_stats::special::{chi2_cdf, f_cdf, norm_cdf, norm_quantile};
+use racket_stats::{anova_oneway, kruskal_wallis, ks_2samp, mann_whitney_u, quantile, Summary};
+
+proptest! {
+    #[test]
+    fn ks_statistic_and_pvalue_bounded(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..200),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..200),
+    ) {
+        let out = ks_2samp(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&out.statistic));
+        prop_assert!((0.0..=1.0).contains(&out.p_value));
+    }
+
+    #[test]
+    fn ks_is_symmetric(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let ab = ks_2samp(&a, &b);
+        let ba = ks_2samp(&b, &a);
+        prop_assert!((ab.statistic - ba.statistic).abs() < 1e-12);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_never_significant(
+        a in proptest::collection::vec(-1e3f64..1e3, 3..100),
+    ) {
+        let ks = ks_2samp(&a, &a);
+        prop_assert_eq!(ks.statistic, 0.0);
+        prop_assert!(ks.p_value > 0.99);
+        let kw = kruskal_wallis(&[&a, &a]);
+        prop_assert!(kw.p_value > 0.5, "KW p = {}", kw.p_value);
+    }
+
+    #[test]
+    fn shifting_one_sample_only_raises_evidence(
+        a in proptest::collection::vec(0f64..10.0, 10..60),
+    ) {
+        // A large location shift must be at least as significant as none.
+        let shifted: Vec<f64> = a.iter().map(|v| v + 1000.0).collect();
+        let far = mann_whitney_u(&a, &shifted);
+        prop_assert!(far.p_value < 0.01, "gross shift must be detected, p = {}", far.p_value);
+    }
+
+    #[test]
+    fn anova_pvalue_bounded(
+        a in proptest::collection::vec(-1e3f64..1e3, 2..60),
+        b in proptest::collection::vec(-1e3f64..1e3, 2..60),
+    ) {
+        let out = anova_oneway(&[&a, &b]);
+        prop_assert!((0.0..=1.0).contains(&out.p_value));
+        prop_assert!(out.statistic >= 0.0);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_bounded(x in -50f64..50.0, y in -50f64..50.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&norm_cdf(x)));
+        if lo > 0.0 {
+            prop_assert!(chi2_cdf(lo, 3.0) <= chi2_cdf(hi, 3.0) + 1e-12);
+            prop_assert!(f_cdf(lo, 3.0, 7.0) <= f_cdf(hi, 3.0, 7.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn norm_quantile_round_trips(p in 0.0001f64..0.9999) {
+        let x = norm_quantile(p);
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(
+        data in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        q1 in 0f64..1.0,
+        q2 in 0f64..1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&data, lo).unwrap();
+        let b = quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(a >= s.min - 1e-9 && b <= s.max + 1e-9);
+    }
+
+    #[test]
+    fn summary_bounds_hold(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.sd >= 0.0);
+    }
+}

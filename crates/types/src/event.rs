@@ -1,0 +1,146 @@
+//! Device events.
+//!
+//! Figure 1 of the paper plots per-device *interaction timelines* whose
+//! y-axis encodes event types (1 = screen interaction, 2 = app to
+//! foreground, 3 = review posted, 4 = app installed). [`DeviceEvent`] is the
+//! ground-truth event stream the fleet simulator produces; the collection
+//! pipeline only ever sees its *sampled* projection through snapshots.
+
+use crate::account::AccountId;
+use crate::app::AppId;
+use crate::id::DeviceId;
+use crate::review::Rating;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What happened in a [`DeviceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An app was installed.
+    AppInstalled {
+        /// The installed app.
+        app: AppId,
+    },
+    /// An app was uninstalled.
+    AppUninstalled {
+        /// The removed app.
+        app: AppId,
+    },
+    /// An app was brought to the foreground.
+    AppOpened {
+        /// The opened app.
+        app: AppId,
+        /// How long it stayed in the foreground, in seconds.
+        foreground_secs: u64,
+    },
+    /// The user force-stopped an app (§6.3 "Stopped Apps").
+    AppStopped {
+        /// The stopped app.
+        app: AppId,
+    },
+    /// A review was posted for an app from an account on this device.
+    ReviewPosted {
+        /// The reviewed app.
+        app: AppId,
+        /// The posting Gmail account.
+        account: AccountId,
+        /// The star rating given.
+        rating: Rating,
+    },
+    /// An account was registered on the device.
+    AccountRegistered {
+        /// The new account.
+        account: AccountId,
+    },
+    /// The screen turned on.
+    ScreenOn,
+    /// The screen turned off.
+    ScreenOff,
+}
+
+impl EventKind {
+    /// The Figure 1 timeline level of this event, if it appears there.
+    ///
+    /// `1` screen interaction, `2` foreground, `3` review, `4` install.
+    pub fn timeline_level(&self) -> Option<u8> {
+        match self {
+            EventKind::ScreenOn | EventKind::ScreenOff => Some(1),
+            EventKind::AppOpened { .. } => Some(2),
+            EventKind::ReviewPosted { .. } => Some(3),
+            EventKind::AppInstalled { .. } => Some(4),
+            _ => None,
+        }
+    }
+
+    /// The app this event concerns, if any.
+    pub fn app(&self) -> Option<AppId> {
+        match self {
+            EventKind::AppInstalled { app }
+            | EventKind::AppUninstalled { app }
+            | EventKind::AppOpened { app, .. }
+            | EventKind::AppStopped { app }
+            | EventKind::ReviewPosted { app, .. } => Some(*app),
+            _ => None,
+        }
+    }
+}
+
+/// A timestamped event on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEvent {
+    /// The device the event occurred on.
+    pub device: DeviceId,
+    /// When it occurred.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl DeviceEvent {
+    /// Construct an event.
+    pub fn new(device: DeviceId, time: SimTime, kind: EventKind) -> Self {
+        DeviceEvent { device, time, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_levels_match_figure_1() {
+        let app = AppId(1);
+        assert_eq!(EventKind::ScreenOn.timeline_level(), Some(1));
+        assert_eq!(
+            EventKind::AppOpened { app, foreground_secs: 30 }.timeline_level(),
+            Some(2)
+        );
+        assert_eq!(
+            EventKind::ReviewPosted { app, account: AccountId(1), rating: Rating::FIVE }
+                .timeline_level(),
+            Some(3)
+        );
+        assert_eq!(EventKind::AppInstalled { app }.timeline_level(), Some(4));
+        assert_eq!(EventKind::AppUninstalled { app }.timeline_level(), None);
+        assert_eq!(EventKind::AppStopped { app }.timeline_level(), None);
+    }
+
+    #[test]
+    fn event_app_extraction() {
+        let app = AppId(9);
+        assert_eq!(EventKind::AppStopped { app }.app(), Some(app));
+        assert_eq!(EventKind::ScreenOff.app(), None);
+        assert_eq!(EventKind::AccountRegistered { account: AccountId(2) }.app(), None);
+    }
+
+    #[test]
+    fn event_construction() {
+        let e = DeviceEvent::new(
+            DeviceId(5),
+            SimTime::from_hours(1),
+            EventKind::AppInstalled { app: AppId(2) },
+        );
+        assert_eq!(e.device, DeviceId(5));
+        assert_eq!(e.time.as_secs(), 3600);
+    }
+}

@@ -1,0 +1,322 @@
+//! The Android permission catalog used by the study.
+//!
+//! §6.3 ("App Permissions") compares, per app, the number of *dangerous*
+//! permissions against the total number of requested permissions (Figure 11),
+//! and §7.1 uses four permission-derived features: counts of normal and
+//! dangerous permissions requested, and counts granted / denied by the user.
+//!
+//! We model the subset of the Android permission space that matters for
+//! those analyses: a fixed catalog of well-known permissions, each either
+//! *normal* (granted at install time) or *dangerous* (runtime-granted, like
+//! the two RacketStore itself requests).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single Android permission.
+///
+/// The variant set covers the permissions most commonly requested by Play
+/// Store apps plus those named in the paper (e.g. the install-time
+/// permissions RacketStore itself uses, and `PACKAGE_USAGE_STATS` /
+/// `GET_ACCOUNTS` which it asks the participant to grant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants mirror the Android permission names
+pub enum Permission {
+    // -- normal (install-time) --
+    Internet,
+    AccessNetworkState,
+    AccessWifiState,
+    WakeLock,
+    ReceiveBootCompleted,
+    Vibrate,
+    Flashlight,
+    SetWallpaper,
+    Nfc,
+    Bluetooth,
+    ForegroundService,
+    RequestInstallPackages,
+    GetTasks,
+    // -- dangerous (runtime) --
+    ReadContacts,
+    WriteContacts,
+    GetAccounts,
+    AccessFineLocation,
+    AccessCoarseLocation,
+    RecordAudio,
+    Camera,
+    ReadExternalStorage,
+    WriteExternalStorage,
+    ReadPhoneState,
+    CallPhone,
+    ReadCallLog,
+    WriteCallLog,
+    SendSms,
+    ReceiveSms,
+    ReadSms,
+    ReadCalendar,
+    WriteCalendar,
+    BodySensors,
+    ProcessOutgoingCalls,
+    // -- special / signature-level, treated as dangerous for Figure 11 --
+    PackageUsageStats,
+    SystemAlertWindow,
+}
+
+impl Permission {
+    /// All catalog permissions, normal first then dangerous.
+    pub const ALL: &'static [Permission] = &[
+        Permission::Internet,
+        Permission::AccessNetworkState,
+        Permission::AccessWifiState,
+        Permission::WakeLock,
+        Permission::ReceiveBootCompleted,
+        Permission::Vibrate,
+        Permission::Flashlight,
+        Permission::SetWallpaper,
+        Permission::Nfc,
+        Permission::Bluetooth,
+        Permission::ForegroundService,
+        Permission::RequestInstallPackages,
+        Permission::GetTasks,
+        Permission::ReadContacts,
+        Permission::WriteContacts,
+        Permission::GetAccounts,
+        Permission::AccessFineLocation,
+        Permission::AccessCoarseLocation,
+        Permission::RecordAudio,
+        Permission::Camera,
+        Permission::ReadExternalStorage,
+        Permission::WriteExternalStorage,
+        Permission::ReadPhoneState,
+        Permission::CallPhone,
+        Permission::ReadCallLog,
+        Permission::WriteCallLog,
+        Permission::SendSms,
+        Permission::ReceiveSms,
+        Permission::ReadSms,
+        Permission::ReadCalendar,
+        Permission::WriteCalendar,
+        Permission::BodySensors,
+        Permission::ProcessOutgoingCalls,
+        Permission::PackageUsageStats,
+        Permission::SystemAlertWindow,
+    ];
+
+    /// The normal (install-time, auto-granted) permissions.
+    pub fn normal() -> impl Iterator<Item = Permission> {
+        Self::ALL.iter().copied().filter(|p| !p.is_dangerous())
+    }
+
+    /// The dangerous (runtime-granted) permissions.
+    pub fn dangerous() -> impl Iterator<Item = Permission> {
+        Self::ALL.iter().copied().filter(|p| p.is_dangerous())
+    }
+
+    /// Whether Android classifies the permission as *dangerous*.
+    ///
+    /// Dangerous permissions guard user-private data and require an explicit
+    /// runtime grant; Figure 11 plots their count against the total.
+    pub fn is_dangerous(self) -> bool {
+        use Permission::*;
+        !matches!(
+            self,
+            Internet
+                | AccessNetworkState
+                | AccessWifiState
+                | WakeLock
+                | ReceiveBootCompleted
+                | Vibrate
+                | Flashlight
+                | SetWallpaper
+                | Nfc
+                | Bluetooth
+                | ForegroundService
+                | RequestInstallPackages
+                | GetTasks
+        )
+    }
+
+    /// The `android.permission.*` style name.
+    pub fn android_name(self) -> &'static str {
+        use Permission::*;
+        match self {
+            Internet => "android.permission.INTERNET",
+            AccessNetworkState => "android.permission.ACCESS_NETWORK_STATE",
+            AccessWifiState => "android.permission.ACCESS_WIFI_STATE",
+            WakeLock => "android.permission.WAKE_LOCK",
+            ReceiveBootCompleted => "android.permission.RECEIVE_BOOT_COMPLETED",
+            Vibrate => "android.permission.VIBRATE",
+            Flashlight => "android.permission.FLASHLIGHT",
+            SetWallpaper => "android.permission.SET_WALLPAPER",
+            Nfc => "android.permission.NFC",
+            Bluetooth => "android.permission.BLUETOOTH",
+            ForegroundService => "android.permission.FOREGROUND_SERVICE",
+            RequestInstallPackages => "android.permission.REQUEST_INSTALL_PACKAGES",
+            GetTasks => "android.permission.GET_TASKS",
+            ReadContacts => "android.permission.READ_CONTACTS",
+            WriteContacts => "android.permission.WRITE_CONTACTS",
+            GetAccounts => "android.permission.GET_ACCOUNTS",
+            AccessFineLocation => "android.permission.ACCESS_FINE_LOCATION",
+            AccessCoarseLocation => "android.permission.ACCESS_COARSE_LOCATION",
+            RecordAudio => "android.permission.RECORD_AUDIO",
+            Camera => "android.permission.CAMERA",
+            ReadExternalStorage => "android.permission.READ_EXTERNAL_STORAGE",
+            WriteExternalStorage => "android.permission.WRITE_EXTERNAL_STORAGE",
+            ReadPhoneState => "android.permission.READ_PHONE_STATE",
+            CallPhone => "android.permission.CALL_PHONE",
+            ReadCallLog => "android.permission.READ_CALL_LOG",
+            WriteCallLog => "android.permission.WRITE_CALL_LOG",
+            SendSms => "android.permission.SEND_SMS",
+            ReceiveSms => "android.permission.RECEIVE_SMS",
+            ReadSms => "android.permission.READ_SMS",
+            ReadCalendar => "android.permission.READ_CALENDAR",
+            WriteCalendar => "android.permission.WRITE_CALENDAR",
+            BodySensors => "android.permission.BODY_SENSORS",
+            ProcessOutgoingCalls => "android.permission.PROCESS_OUTGOING_CALLS",
+            PackageUsageStats => "android.permission.PACKAGE_USAGE_STATS",
+            SystemAlertWindow => "android.permission.SYSTEM_ALERT_WINDOW",
+        }
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.android_name())
+    }
+}
+
+/// The permission footprint of one app: what it requests, and what the user
+/// granted or denied.
+///
+/// `granted`/`denied` only apply to dangerous permissions; normal ones are
+/// auto-granted at install time (like RacketStore's own five install-time
+/// permissions, §3).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PermissionProfile {
+    /// Permissions declared in the app manifest.
+    pub requested: Vec<Permission>,
+    /// Dangerous permissions the user granted at runtime.
+    pub granted: Vec<Permission>,
+    /// Dangerous permissions the user denied.
+    pub denied: Vec<Permission>,
+}
+
+impl PermissionProfile {
+    /// Build a profile with every dangerous permission granted — the policy
+    /// five of the interviewed workers reported ("grant all requested").
+    pub fn grant_all(requested: Vec<Permission>) -> Self {
+        let granted = requested.iter().copied().filter(|p| p.is_dangerous()).collect();
+        PermissionProfile { requested, granted, denied: Vec::new() }
+    }
+
+    /// Total number of requested permissions.
+    pub fn total(&self) -> usize {
+        self.requested.len()
+    }
+
+    /// Number of requested permissions that are dangerous (Figure 11 y-axis).
+    pub fn dangerous_count(&self) -> usize {
+        self.requested.iter().filter(|p| p.is_dangerous()).count()
+    }
+
+    /// Number of requested permissions that are normal.
+    pub fn normal_count(&self) -> usize {
+        self.total() - self.dangerous_count()
+    }
+
+    /// Ratio of dangerous to total permissions; 0 for an empty manifest.
+    pub fn dangerous_ratio(&self) -> f64 {
+        if self.requested.is_empty() {
+            0.0
+        } else {
+            self.dangerous_count() as f64 / self.total() as f64
+        }
+    }
+
+    /// Internal consistency: granted/denied sets are disjoint, dangerous,
+    /// and subsets of the requested set.
+    pub fn is_consistent(&self) -> bool {
+        let dangerous_subset = |set: &[Permission]| {
+            set.iter().all(|p| p.is_dangerous() && self.requested.contains(p))
+        };
+        dangerous_subset(&self.granted)
+            && dangerous_subset(&self.denied)
+            && self.granted.iter().all(|p| !self.denied.contains(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_partitions_cleanly() {
+        let n = Permission::normal().count();
+        let d = Permission::dangerous().count();
+        assert_eq!(n + d, Permission::ALL.len());
+        assert!(d > n, "catalog is dominated by dangerous permissions");
+    }
+
+    #[test]
+    fn racketstore_install_time_permissions_are_normal() {
+        // §3: GET_TASKS, RECEIVE_BOOT_COMPLETED, INTERNET, ACCESS_NETWORK_STATE,
+        // WAKE_LOCK are auto-granted at install.
+        for p in [
+            Permission::GetTasks,
+            Permission::ReceiveBootCompleted,
+            Permission::Internet,
+            Permission::AccessNetworkState,
+            Permission::WakeLock,
+        ] {
+            assert!(!p.is_dangerous(), "{p} must be a normal permission");
+        }
+    }
+
+    #[test]
+    fn racketstore_runtime_permissions_are_dangerous() {
+        // §3: PACKAGE_USAGE_STATS and GET_ACCOUNTS require explicit grants.
+        assert!(Permission::PackageUsageStats.is_dangerous());
+        assert!(Permission::GetAccounts.is_dangerous());
+    }
+
+    #[test]
+    fn android_names_have_proper_prefix() {
+        for p in Permission::ALL {
+            assert!(p.android_name().starts_with("android.permission."));
+        }
+    }
+
+    #[test]
+    fn profile_counts() {
+        let profile = PermissionProfile::grant_all(vec![
+            Permission::Internet,
+            Permission::Camera,
+            Permission::ReadContacts,
+        ]);
+        assert_eq!(profile.total(), 3);
+        assert_eq!(profile.dangerous_count(), 2);
+        assert_eq!(profile.normal_count(), 1);
+        assert!((profile.dangerous_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(profile.granted.len(), 2);
+        assert!(profile.is_consistent());
+    }
+
+    #[test]
+    fn empty_profile_ratio_is_zero() {
+        assert_eq!(PermissionProfile::default().dangerous_ratio(), 0.0);
+    }
+
+    #[test]
+    fn inconsistent_profile_detected() {
+        let mut profile = PermissionProfile::grant_all(vec![Permission::Camera]);
+        profile.denied.push(Permission::Camera); // granted AND denied
+        assert!(!profile.is_consistent());
+
+        let rogue = PermissionProfile {
+            requested: vec![],
+            granted: vec![Permission::Camera], // granted but never requested
+            denied: vec![],
+        };
+        assert!(!rogue.is_consistent());
+    }
+}

@@ -1,0 +1,200 @@
+//! The two snapshot formats the RacketStore app reports (§3).
+//!
+//! * **Fast snapshots** fire every 5 s: identifiers, foreground app, screen
+//!   and battery status, and install/uninstall deltas since the previous
+//!   report (with install time, last update, permissions and apk MD5 for
+//!   each newly installed app).
+//! * **Slow snapshots** fire every 2 min: identifiers (including the Android
+//!   ID), registered accounts, save-mode status and the list of stopped
+//!   apps.
+//!
+//! The study collected 57,770,204 fast and 592,045 slow snapshots (§5).
+
+use crate::account::RegisteredAccount;
+use crate::app::{AppId, InstalledApp};
+use crate::id::{AndroidId, InstallId, ParticipantId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Cadence of the fast snapshot collector.
+pub const FAST_SNAPSHOT_PERIOD_SECS: u64 = 5;
+/// Cadence of the slow snapshot collector.
+pub const SLOW_SNAPSHOT_PERIOD_SECS: u64 = 120;
+
+/// An install/uninstall delta carried by a fast snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstallDelta {
+    /// An app appeared since the last report.
+    Installed(InstalledApp),
+    /// An app disappeared since the last report.
+    Uninstalled {
+        /// The removed app.
+        app: AppId,
+    },
+}
+
+impl InstallDelta {
+    /// The app the delta concerns.
+    pub fn app(&self) -> AppId {
+        match self {
+            InstallDelta::Installed(info) => info.app,
+            InstallDelta::Uninstalled { app } => *app,
+        }
+    }
+
+    /// Whether this is an install (vs. uninstall).
+    pub fn is_install(&self) -> bool {
+        matches!(self, InstallDelta::Installed(_))
+    }
+}
+
+/// A fast (5 s) snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastSnapshot {
+    /// Install ID of the reporting RacketStore instance.
+    pub install_id: InstallId,
+    /// Participant code the instance was signed in with.
+    pub participant_id: ParticipantId,
+    /// Capture time.
+    pub time: SimTime,
+    /// App currently in the foreground, if the screen is on and one is.
+    pub foreground_app: Option<AppId>,
+    /// Whether the screen is on.
+    pub screen_on: bool,
+    /// Battery level, 0–100.
+    pub battery_pct: u8,
+    /// Install/uninstall deltas since the previous fast snapshot.
+    pub install_events: Vec<InstallDelta>,
+}
+
+/// A slow (2 min) snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowSnapshot {
+    /// Install ID of the reporting RacketStore instance.
+    pub install_id: InstallId,
+    /// Participant code the instance was signed in with.
+    pub participant_id: ParticipantId,
+    /// Android ID; `None` on models where the API was incompatible
+    /// (Appendix A), which forces fingerprinting to fall back to install
+    /// intervals and Jaccard similarity.
+    pub android_id: Option<AndroidId>,
+    /// Capture time.
+    pub time: SimTime,
+    /// Accounts registered on the device; empty if `GET_ACCOUNTS` was not
+    /// granted by the participant.
+    pub accounts: Vec<RegisteredAccount>,
+    /// Whether battery save mode is active.
+    pub save_mode: bool,
+    /// Apps currently in the Android stopped state.
+    pub stopped_apps: Vec<AppId>,
+}
+
+/// Either snapshot kind, as shipped through the collection pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Snapshot {
+    /// A fast (5 s) snapshot.
+    Fast(FastSnapshot),
+    /// A slow (2 min) snapshot.
+    Slow(SlowSnapshot),
+}
+
+impl Snapshot {
+    /// Capture time of the snapshot.
+    pub fn time(&self) -> SimTime {
+        match self {
+            Snapshot::Fast(s) => s.time,
+            Snapshot::Slow(s) => s.time,
+        }
+    }
+
+    /// The reporting install ID.
+    pub fn install_id(&self) -> InstallId {
+        match self {
+            Snapshot::Fast(s) => s.install_id,
+            Snapshot::Slow(s) => s.install_id,
+        }
+    }
+
+    /// The participant the install is signed in as.
+    pub fn participant_id(&self) -> ParticipantId {
+        match self {
+            Snapshot::Fast(s) => s.participant_id,
+            Snapshot::Slow(s) => s.participant_id,
+        }
+    }
+
+    /// Whether this is a fast snapshot.
+    pub fn is_fast(&self) -> bool {
+        matches!(self, Snapshot::Fast(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permission::PermissionProfile;
+    use crate::ApkHash;
+
+    fn fast(t: u64) -> FastSnapshot {
+        FastSnapshot {
+            install_id: InstallId(1234567890),
+            participant_id: ParticipantId(111111),
+            time: SimTime::from_secs(t),
+            foreground_app: Some(AppId(3)),
+            screen_on: true,
+            battery_pct: 88,
+            install_events: vec![],
+        }
+    }
+
+    #[test]
+    fn cadences_match_paper() {
+        assert_eq!(FAST_SNAPSHOT_PERIOD_SECS, 5);
+        assert_eq!(SLOW_SNAPSHOT_PERIOD_SECS, 120);
+    }
+
+    #[test]
+    fn delta_accessors() {
+        let installed = InstallDelta::Installed(InstalledApp::fresh(
+            AppId(7),
+            SimTime::from_days(1),
+            PermissionProfile::default(),
+            ApkHash([2; 16]),
+        ));
+        assert_eq!(installed.app(), AppId(7));
+        assert!(installed.is_install());
+
+        let removed = InstallDelta::Uninstalled { app: AppId(8) };
+        assert_eq!(removed.app(), AppId(8));
+        assert!(!removed.is_install());
+    }
+
+    #[test]
+    fn snapshot_dispatch() {
+        let f = Snapshot::Fast(fast(10));
+        assert!(f.is_fast());
+        assert_eq!(f.time().as_secs(), 10);
+        assert_eq!(f.install_id(), InstallId(1234567890));
+        assert_eq!(f.participant_id(), ParticipantId(111111));
+
+        let s = Snapshot::Slow(SlowSnapshot {
+            install_id: InstallId(1234567890),
+            participant_id: ParticipantId(111111),
+            android_id: None,
+            time: SimTime::from_secs(120),
+            accounts: vec![],
+            save_mode: false,
+            stopped_apps: vec![AppId(1)],
+        });
+        assert!(!s.is_fast());
+        assert_eq!(s.time().as_secs(), 120);
+    }
+
+    #[test]
+    fn snapshots_serialize() {
+        let s = Snapshot::Fast(fast(42));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

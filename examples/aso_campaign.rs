@@ -1,0 +1,108 @@
+//! An ASO campaign under the microscope.
+//!
+//! The scenario the paper's introduction motivates: a developer buys
+//! installs and reviews for an app; the promotion is spread across worker
+//! devices that install it, review it quickly from several Gmail accounts
+//! each, and barely open it. This example follows one promoted app through
+//! the simulated store, contrasts its install-to-review pattern with a
+//! popular consumer app, and shows what the trained detector says about
+//! each (app, device) instance.
+//!
+//! ```sh
+//! cargo run --release --example aso_campaign
+//! ```
+
+use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
+use racketstore::labeling::{label_apps, LabelingConfig};
+use racketstore::study::{Study, StudyConfig};
+use racket_types::{AppId, Cohort};
+
+fn main() {
+    println!("== Anatomy of an ASO campaign ==\n");
+    let out = Study::new(StudyConfig::test_scale()).run();
+
+    // Pick the promoted app seen on the most worker devices.
+    let campaign_app = *out
+        .fleet
+        .catalog
+        .promoted_apps()
+        .iter()
+        .max_by_key(|&&app| {
+            out.cohort(Cohort::Worker)
+                .filter(|o| o.record.apps.contains_key(&app))
+                .count()
+        })
+        .expect("catalog has promoted apps");
+    // And the most popular legitimate app for contrast.
+    let popular_app = out.fleet.catalog.consumer_apps()[0];
+
+    for (title, app) in
+        [("promoted (campaign target)", campaign_app), ("popular consumer app", popular_app)]
+    {
+        describe_app(&out, app, title);
+    }
+
+    // Train the detector and score every instance of the campaign app.
+    let labels = label_apps(&out, &LabelingConfig::test_scale());
+    let dataset = AppUsageDataset::build(&out, &labels);
+    let detector = AppClassifier::train(&dataset);
+
+    println!("detector verdicts for {campaign_app} per hosting device:");
+    println!("{:<10} {:<10} {:>12}", "device", "cohort", "P(promotion)");
+    let mut shown = 0;
+    for (obs, truth) in out.observations.iter().zip(&out.truth) {
+        if !obs.record.apps.contains_key(&campaign_app) {
+            continue;
+        }
+        let p = detector.suspicion_proba(obs, campaign_app);
+        println!(
+            "{:<10} {:<10} {:>12.3}",
+            obs.record.install_id.to_string(),
+            truth.persona.cohort().label(),
+            p
+        );
+        shown += 1;
+        if shown >= 12 {
+            println!("…");
+            break;
+        }
+    }
+}
+
+fn describe_app(out: &racketstore::StudyOutput, app: AppId, title: &str) {
+    let meta = out.fleet.catalog.app(app);
+    let hosts_worker = out
+        .cohort(Cohort::Worker)
+        .filter(|o| o.record.apps.contains_key(&app))
+        .count();
+    let hosts_regular = out
+        .cohort(Cohort::Regular)
+        .filter(|o| o.record.apps.contains_key(&app))
+        .count();
+    // Install-to-review delays from device accounts.
+    let mut delays = Vec::new();
+    for obs in &out.observations {
+        let Some(info) = obs.record.apps.get(&app) else { continue };
+        for r in obs.reviews_for(app) {
+            let d = r.posted_at.signed_delta_secs(info.install_time);
+            if d >= 0 {
+                delays.push(d as f64 / 86_400.0);
+            }
+        }
+    }
+    println!("--- {title}: {} ({}) ---", meta.package, app);
+    println!(
+        "  store reviews: {}, installed on {hosts_worker} worker / {hosts_regular} regular devices",
+        out.fleet.store.public_review_count(app),
+    );
+    if let Some(s) = racket_stats::Summary::of(&delays) {
+        println!(
+            "  install→review delay over {} fleet reviews: {}",
+            s.n,
+            s.paper_style()
+        );
+    } else {
+        println!("  no reviews from fleet devices");
+    }
+    println!();
+}

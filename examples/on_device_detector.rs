@@ -1,0 +1,106 @@
+//! Privacy-preserving on-device detection (§9).
+//!
+//! The paper proposes that app stores embed the pre-trained classifiers in
+//! their own pre-installed clients: features are computed *locally* from
+//! data that never leaves the device, and only the suspicion verdicts are
+//! reported. This example plays that deployment out: the classifier is
+//! trained centrally on the consented study data, then shipped to each
+//! device, which evaluates its own apps and reports nothing but a flag
+//! count.
+//!
+//! ```sh
+//! cargo run --release --example on_device_detector
+//! ```
+
+use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
+use racketstore::labeling::{label_apps, LabelingConfig};
+use racketstore::study::{Study, StudyConfig};
+use racket_types::Cohort;
+
+/// What the device reports upstream: counts only, no usage data.
+struct PrivacyReport {
+    apps_scanned: usize,
+    apps_flagged: usize,
+}
+
+impl PrivacyReport {
+    /// The on-device evaluation: all feature computation stays local.
+    fn compute(
+        detector: &AppClassifier,
+        obs: &racket_features::DeviceObservation,
+    ) -> PrivacyReport {
+        let mut flagged = 0;
+        let mut scanned = 0;
+        for app in obs.record.apps.keys() {
+            scanned += 1;
+            // suspicion_proba internally extracts the §7.1 features from
+            // the device's local observation; nothing is exported.
+            if detector.suspicion_proba(obs, *app) >= 0.5 {
+                flagged += 1;
+            }
+        }
+        PrivacyReport { apps_scanned: scanned, apps_flagged: flagged }
+    }
+
+    fn suspiciousness(&self) -> f64 {
+        if self.apps_scanned == 0 {
+            0.0
+        } else {
+            self.apps_flagged as f64 / self.apps_scanned as f64
+        }
+    }
+}
+
+fn main() {
+    println!("== On-device, privacy-preserving ASO detection ==\n");
+
+    // Central training phase (on consented study data).
+    let out = Study::new(StudyConfig::test_scale()).run();
+    let labels = label_apps(&out, &LabelingConfig::test_scale());
+    let dataset = AppUsageDataset::build(&out, &labels);
+    let detector = AppClassifier::train(&dataset);
+    println!(
+        "central phase: detector trained on {} labeled instances\n",
+        dataset.data.len()
+    );
+
+    // Deployment phase: each device reports only aggregate flags.
+    println!(
+        "{:<12} {:>8} {:>8} {:>16}  (raw usage data never leaves the device)",
+        "cohort", "scanned", "flagged", "suspiciousness"
+    );
+    let mut worker_high = 0;
+    let mut worker_total = 0;
+    let mut regular_high = 0;
+    let mut regular_total = 0;
+    for (obs, truth) in out.observations.iter().zip(&out.truth) {
+        let report = PrivacyReport::compute(&detector, obs);
+        let cohort = truth.persona.cohort();
+        match cohort {
+            Cohort::Worker => {
+                worker_total += 1;
+                worker_high += usize::from(report.suspiciousness() > 0.5);
+            }
+            Cohort::Regular => {
+                regular_total += 1;
+                regular_high += usize::from(report.suspiciousness() > 0.5);
+            }
+        }
+        if worker_total + regular_total <= 8 {
+            println!(
+                "{:<12} {:>8} {:>8} {:>15.1}%",
+                cohort.label(),
+                report.apps_scanned,
+                report.apps_flagged,
+                report.suspiciousness() * 100.0
+            );
+        }
+    }
+    println!("…\n");
+    println!(
+        "devices exceeding the 50% suspiciousness red-flag line: \
+         {worker_high}/{worker_total} worker vs {regular_high}/{regular_total} regular"
+    );
+    assert!(worker_high * regular_total > regular_high * worker_total);
+    println!("\nonly these counters — never accounts, app lists or timestamps — would be reported.");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Run every experiment binary at paper scale, teeing output to
+# target/experiments/logs/.
+set -e
+mkdir -p target/experiments/logs
+for bin in table1_app_classifier table2_device_classifier table3_pii \
+           fig1_timelines fig4_engagement fig5_accounts fig6_apps_reviewed \
+           fig7_install_to_review fig8_stopped_apps fig9_app_churn \
+           fig10_apps_used fig11_permissions fig12_malware \
+           fig13_app_importance fig14_device_importance fig15_organic_split \
+           ablation_sampling_app ablation_sampling_device appendix_a_fingerprint \
+           ablation_features study_summary evasion_cost; do
+  echo "=== $bin ==="
+  RACKET_SCALE=${RACKET_SCALE:-paper} cargo run --release -q -p racket-bench --bin "$bin" \
+    2>target/experiments/logs/$bin.err | tee target/experiments/logs/$bin.out
+done

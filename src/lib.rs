@@ -1,0 +1,26 @@
+//! Umbrella crate for the RacketStore reproduction workspace.
+//!
+//! Re-exports every member crate so examples and integration tests have a
+//! single dependency surface. See the individual crates for the real API:
+//!
+//! * [`racketstore`] — the paper's contribution (study, measurements,
+//!   labeling, app + device classifiers);
+//! * [`racket_agents`] — calibrated behaviour personas + fleet simulator;
+//! * [`racket_collect`] — the collection platform (collectors, buffer,
+//!   hashes, LZSS, wire protocol, transports, server, fingerprinting);
+//! * [`racket_playstore`] — the Play-store / VirusTotal / Google-ID sims;
+//! * [`racket_device`] — the Android device model;
+//! * [`racket_features`] — §7.1 / §8.1 feature extraction;
+//! * [`racket_ml`] — the from-scratch ML stack;
+//! * [`racket_stats`] — hypothesis tests and special functions;
+//! * [`racket_types`] — the shared domain vocabulary.
+
+pub use racket_agents as agents;
+pub use racket_collect as collect;
+pub use racket_device as device;
+pub use racket_features as features;
+pub use racket_ml as ml;
+pub use racket_playstore as playstore;
+pub use racket_stats as stats;
+pub use racket_types as types;
+pub use racketstore as core;

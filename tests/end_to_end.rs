@@ -1,0 +1,144 @@
+//! End-to-end pipeline test: study → measurements → labeling → app
+//! classifier → device classifier, asserting the paper's headline shapes.
+
+use racketstore::app_classifier::{evaluate as evaluate_apps, AppClassifier, AppUsageDataset};
+use racketstore::device_classifier::{evaluate as evaluate_devices, DeviceDataset};
+use racketstore::labeling::{label_apps, LabelingConfig};
+use racketstore::measurements::MeasurementReport;
+use racketstore::study::{Study, StudyConfig, StudyOutput};
+use racket_ml::Resampling;
+use racket_types::Cohort;
+use std::sync::OnceLock;
+
+fn output() -> &'static StudyOutput {
+    static OUT: OnceLock<StudyOutput> = OnceLock::new();
+    OUT.get_or_init(|| Study::new(StudyConfig::test_scale()).run())
+}
+
+#[test]
+fn study_population_and_collection() {
+    let out = output();
+    assert_eq!(out.observations.len(), 60);
+    assert!(out.server_stats.snapshots > 10_000);
+    assert_eq!(out.server_stats.bad_uploads, 0);
+    assert!(out.reviews_crawled > 100, "crawler collected {}", out.reviews_crawled);
+}
+
+#[test]
+fn measurements_reproduce_section_6_contrasts() {
+    let m = MeasurementReport::compute(output());
+    // The three headline §6 contrasts, as directional assertions.
+    assert!(m.gmail_accounts.ks.significant());
+    assert!(m.total_reviews.ks.significant());
+    assert!(m.stopped_apps.kruskal.significant());
+    assert!(
+        m.total_reviews.worker_summary().mean > 20.0 * m.total_reviews.regular_summary().mean
+    );
+    // Install-to-review: workers fast, regulars slow (when they review at all).
+    let itr = &m.install_to_review;
+    let worker_mean = racket_stats::Summary::of(&itr.worker_days).unwrap().mean;
+    assert!((1.0..25.0).contains(&worker_mean), "worker delay mean {worker_mean}");
+}
+
+#[test]
+fn full_two_stage_detection_pipeline() {
+    let out = output();
+    let labels = label_apps(out, &LabelingConfig::test_scale());
+    let app_ds = AppUsageDataset::build(out, &labels);
+    // Table 1 shape: XGB best, high absolute F1.
+    let app_report = evaluate_apps(&app_ds, 1, Resampling::None);
+    let f1s: Vec<(&str, f64)> =
+        app_report.table.iter().map(|r| (r.name, r.metrics.f1)).collect();
+    let xgb_f1 = f1s.iter().find(|(n, _)| *n == "XGB").unwrap().1;
+    assert!(xgb_f1 > 0.95, "XGB F1 = {xgb_f1:.4}");
+    for (name, f1) in &f1s {
+        assert!(
+            xgb_f1 >= *f1 - 0.02,
+            "XGB ({xgb_f1:.4}) should lead or tie {name} ({f1:.4})"
+        );
+    }
+
+    // Stage 2 with the coupling feature.
+    let clf = AppClassifier::train(&app_ds);
+    let dev_ds = DeviceDataset::build(out, &clf, 2, None, 7);
+    let dev_report = evaluate_devices(&dev_ds, Resampling::Smote { k: 5 });
+    let xgb = &dev_report.table[0];
+    assert!(xgb.metrics.f1 > 0.85, "device XGB F1 = {:.4}", xgb.metrics.f1);
+
+    // Figure 15: organic workers are the majority.
+    assert!(dev_report.split.organic_fraction() > 0.4);
+    assert_eq!(
+        dev_report.split.organic + dev_report.split.dedicated,
+        out.cohort(Cohort::Worker).filter(|o| o.record.active_days() >= 2).count()
+    );
+}
+
+#[test]
+fn observations_join_reviews_through_google_ids() {
+    let out = output();
+    for obs in out.observations.iter().take(10) {
+        // Every review attributed to the device must come from one of its
+        // resolved Google IDs.
+        for reviews in obs.reviews_by_app.values() {
+            for r in reviews {
+                assert!(
+                    obs.google_ids.contains(&r.reviewer),
+                    "review by foreign account attributed to device"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vt_reports_only_for_observed_apps() {
+    let out = output();
+    for obs in &out.observations {
+        for app in obs.vt_flags.keys() {
+            assert!(obs.record.apps.contains_key(app));
+        }
+    }
+}
+
+#[test]
+fn labeling_rules_hold_on_every_selected_app() {
+    let out = output();
+    let labels = label_apps(out, &LabelingConfig::test_scale());
+    // Re-verify the §7.2 rules independently of the implementation.
+    for app in &labels.suspicious {
+        assert!(out.fleet.catalog.promoted_apps().contains(app), "must be advertised");
+        let on_regular = out
+            .observations
+            .iter()
+            .zip(&out.truth)
+            .filter(|(_, t)| t.persona.cohort() == Cohort::Regular)
+            .any(|(o, _)| o.record.apps.contains_key(app));
+        assert!(!on_regular, "suspicious app on a regular device");
+    }
+    for app in &labels.non_suspicious {
+        let on_worker = out
+            .observations
+            .iter()
+            .zip(&out.truth)
+            .filter(|(_, t)| t.persona.cohort() == Cohort::Worker)
+            .any(|(o, _)| o.record.apps.contains_key(app));
+        assert!(!on_worker, "non-suspicious app on a worker device");
+        assert!(out.fleet.store.public_review_count(*app) >= 15_000);
+    }
+}
+
+#[test]
+fn snapshot_rates_scale_with_collector_thinning() {
+    // Doubling the fast period must roughly halve the per-day fast counts
+    // while leaving cohort structure intact — the property that justifies
+    // thinning at experiment scale.
+    let mut thin = StudyConfig::test_scale();
+    thin.collector.fast_period_secs *= 2;
+    let base = output();
+    let thinned = Study::new(thin).run();
+    let fast = |o: &StudyOutput| -> f64 {
+        o.observations.iter().map(|x| x.record.n_fast as f64).sum::<f64>()
+    };
+    let ratio = fast(base) / fast(&thinned);
+    assert!((1.7..2.3).contains(&ratio), "thinning ratio {ratio}");
+}

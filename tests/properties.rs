@@ -1,0 +1,239 @@
+//! Cross-crate property-based tests (proptest).
+//!
+//! Invariants pinned here:
+//! * the wire codec round-trips arbitrary messages, in arbitrary chunkings,
+//!   and detects arbitrary single-byte corruption of the payload;
+//! * LZSS round-trips arbitrary byte strings;
+//! * SMOTE balances exactly and synthesizes points inside the minority
+//!   class's bounding box;
+//! * stratified folds partition every index exactly once and preserve the
+//!   class ratio within one sample;
+//! * descriptive statistics are order-invariant;
+//! * install coalescing never merges overlapping intervals and is
+//!   permutation-stable in group count.
+
+use proptest::prelude::*;
+use racket_collect::wire::{FrameCodec, Message};
+use racket_collect::{coalesce_installs, CandidateInstall};
+use racket_ml::{smote, stratified_folds, Dataset};
+use racket_types::{
+    AccountId, AndroidId, AppId, InstallId, ParticipantId, SimTime, TimeInterval,
+};
+use std::collections::HashSet;
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (100_000u32..=999_999, 1_000_000_000u64..=9_999_999_999).prop_map(|(p, i)| {
+            Message::SignIn { participant: ParticipantId(p), install: InstallId(i) }
+        }),
+        any::<bool>().prop_map(|accepted| Message::SignInAck { accepted }),
+        (any::<u64>(), any::<u64>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..2048))
+            .prop_map(|(i, f, fast, payload)| Message::SnapshotUpload {
+                install: InstallId(i),
+                file_id: f,
+                fast,
+                payload,
+            }),
+        (any::<u64>(), any::<[u8; 32]>())
+            .prop_map(|(f, h)| Message::UploadAck { file_id: f, sha256: h }),
+        (any::<u16>(), ".{0,64}").prop_map(|(code, detail)| Message::Error { code, detail }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_message(msg in arb_message()) {
+        let bytes = msg.encode();
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        let decoded = codec.try_decode_message().unwrap().expect("complete");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn codec_round_trips_under_any_chunking(
+        msg in arb_message(),
+        chunk in 1usize..64,
+    ) {
+        let bytes = msg.encode();
+        let mut codec = FrameCodec::new();
+        let mut decoded = None;
+        for part in bytes.chunks(chunk) {
+            codec.feed(part);
+            if let Some(m) = codec.try_decode_message().unwrap() {
+                decoded = Some(m);
+            }
+        }
+        prop_assert_eq!(decoded.expect("complete"), msg);
+    }
+
+    #[test]
+    fn codec_detects_payload_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        flip_byte: usize,
+        flip_bit in 0u8..8,
+    ) {
+        let msg = Message::SnapshotUpload {
+            install: InstallId(1),
+            file_id: 1,
+            fast: true,
+            payload,
+        };
+        let mut bytes = msg.encode();
+        // Corrupt one payload bit (header is 8 bytes; trailer 4).
+        let payload_start = 8;
+        let payload_end = bytes.len() - 4;
+        let idx = payload_start + flip_byte % (payload_end - payload_start);
+        bytes[idx] ^= 1 << flip_bit;
+        let mut codec = FrameCodec::new();
+        codec.feed(&bytes);
+        prop_assert!(codec.try_decode().is_err(), "corruption must not pass CRC");
+    }
+
+    #[test]
+    fn lzss_round_trips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let c = racket_collect::lzss::compress(&data);
+        prop_assert_eq!(racket_collect::lzss::decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_distinguishes_any_two_unequal_inputs(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(racket_collect::sha256(&a), racket_collect::sha256(&b));
+    }
+
+    #[test]
+    fn smote_balances_and_stays_in_minority_box(
+        seed in any::<u64>(),
+        n_minority in 2usize..8,
+        n_majority in 8usize..30,
+    ) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n_majority {
+            x.push(vec![i as f64, 0.0]);
+            y.push(0u8);
+        }
+        for i in 0..n_minority {
+            x.push(vec![100.0 + i as f64, 50.0 + (i % 3) as f64]);
+            y.push(1u8);
+        }
+        let data = Dataset::new(x, y, vec!["a".into(), "b".into()]);
+        let balanced = smote(&data, 3, seed);
+        prop_assert_eq!(balanced.n_positive(), balanced.n_negative());
+        // Synthetic rows interpolate minority points: inside the box.
+        for row in &balanced.x[data.len()..] {
+            prop_assert!(row[0] >= 100.0 - 1e-9 && row[0] <= 100.0 + n_minority as f64);
+            prop_assert!(row[1] >= 50.0 - 1e-9 && row[1] <= 52.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn stratified_folds_partition_exactly(
+        seed in any::<u64>(),
+        n in 10usize..200,
+        k in 2usize..8,
+    ) {
+        let y: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+        let folds = stratified_folds(&y, k, seed);
+        prop_assert_eq!(folds.len(), n);
+        prop_assert!(folds.iter().all(|&f| f < k));
+        // Every class is spread across folds as evenly as possible.
+        for class in [0u8, 1u8] {
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                if y[i] == class {
+                    counts[folds[i]] += 1;
+                }
+            }
+            let max = *counts.iter().max().unwrap();
+            let min = *counts.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "class {class} spread {counts:?}");
+        }
+    }
+
+    #[test]
+    fn summary_is_order_invariant(mut data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let a = racket_stats::Summary::of(&data).unwrap();
+        data.reverse();
+        let b = racket_stats::Summary::of(&data).unwrap();
+        prop_assert!((a.mean - b.mean).abs() < 1e-6);
+        prop_assert_eq!(a.median, b.median);
+        prop_assert_eq!(a.min, b.min);
+        prop_assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn coalescing_respects_interval_overlap(
+        starts in proptest::collection::vec(0u64..100, 2..12),
+    ) {
+        // All candidates share one Android ID; only interval overlap can
+        // keep them apart.
+        let candidates: Vec<CandidateInstall> = starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| CandidateInstall {
+                install_id: InstallId(i as u64),
+                participant: ParticipantId(100_000 + i as u32),
+                android_id: Some(AndroidId(1)),
+                interval: TimeInterval::new(
+                    SimTime::from_days(s),
+                    SimTime::from_days(s + 5),
+                ),
+                apps: [(AppId(1), SimTime::EPOCH)].into_iter().collect(),
+                accounts: [AccountId(1)].into_iter().collect(),
+            })
+            .collect();
+        let groups = coalesce_installs(candidates.clone());
+        // Within every group, intervals must be pairwise disjoint.
+        for g in &groups {
+            for i in 0..g.installs.len() {
+                for j in i + 1..g.installs.len() {
+                    prop_assert!(
+                        !g.installs[i].interval.overlaps(&g.installs[j].interval),
+                        "merged overlapping installs"
+                    );
+                }
+            }
+        }
+        // Total installs preserved.
+        let total: usize = groups.iter().map(|g| g.installs.len()).sum();
+        prop_assert_eq!(total, candidates.len());
+    }
+
+    #[test]
+    fn jaccard_bounded_and_symmetric(
+        a in proptest::collection::hash_set(0u32..50, 0..20),
+        b in proptest::collection::hash_set(0u32..50, 0..20),
+    ) {
+        let ab = racket_stats::jaccard(&a, &b);
+        let ba = racket_stats::jaccard(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(ab, ba);
+        if a == b {
+            prop_assert_eq!(ab, 1.0);
+        }
+    }
+}
+
+#[test]
+fn coalescing_group_count_is_permutation_stable() {
+    let make = |id: u64, start: u64, android: u64| CandidateInstall {
+        install_id: InstallId(id),
+        participant: ParticipantId(100_000 + id as u32),
+        android_id: Some(AndroidId(android)),
+        interval: TimeInterval::new(SimTime::from_days(start), SimTime::from_days(start + 2)),
+        apps: HashSet::new(),
+        accounts: HashSet::new(),
+    };
+    let forward = vec![make(1, 0, 7), make(2, 3, 7), make(3, 6, 8), make(4, 9, 8)];
+    let mut reversed = forward.clone();
+    reversed.reverse();
+    assert_eq!(
+        coalesce_installs(forward).len(),
+        coalesce_installs(reversed).len()
+    );
+}

@@ -1,0 +1,141 @@
+//! Multi-device collection over real TCP loopback: several clients sign
+//! in concurrently, stream buffered snapshot files, and the threaded
+//! server aggregates everything without loss.
+
+use parking_lot::Mutex;
+use racket_collect::transport::recv_message;
+use racket_collect::wire::{FrameCodec, Message};
+use racket_collect::{
+    CollectionServer, CollectorConfig, DataBuffer, SnapshotCollector, TcpTransport, Transport,
+};
+use racket_device::{Device, DeviceModel};
+use racket_types::{
+    AndroidId, ApkHash, AppId, DeviceId, InstallId, ParticipantId, PermissionProfile, SimTime,
+};
+use std::sync::Arc;
+
+const N_CLIENTS: usize = 4;
+
+fn participant(i: usize) -> ParticipantId {
+    ParticipantId(100_000 + i as u32)
+}
+
+fn install(i: usize) -> InstallId {
+    InstallId(1_000_000_000 + i as u64)
+}
+
+#[test]
+fn concurrent_tcp_clients_are_fully_ingested() {
+    let server = Arc::new(Mutex::new(CollectionServer::new(
+        (0..N_CLIENTS).map(participant),
+    )));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_bg = Arc::clone(&server);
+    let server_thread =
+        std::thread::spawn(move || CollectionServer::serve_tcp(server_bg, listener, N_CLIENTS));
+
+    let mut clients = Vec::new();
+    for i in 0..N_CLIENTS {
+        clients.push(std::thread::spawn(move || {
+            let mut device =
+                Device::new(DeviceId(i as u32), DeviceModel::generic(), AndroidId(i as u64));
+            for app in 0..3u32 {
+                device.install_app(
+                    AppId(i as u32 * 10 + app),
+                    SimTime::from_secs(u64::from(app)),
+                    PermissionProfile::default(),
+                    ApkHash([app as u8; 16]),
+                );
+            }
+            let mut transport = TcpTransport::connect(addr).expect("connect");
+            let mut codec = FrameCodec::new();
+            transport
+                .send(&Message::SignIn { participant: participant(i), install: install(i) }
+                    .encode())
+                .expect("send sign-in");
+            let ack = recv_message(&mut transport, &mut codec).expect("recv").expect("ack");
+            assert_eq!(ack, Message::SignInAck { accepted: true });
+
+            // 30 simulated minutes of snapshots.
+            let mut collector = SnapshotCollector::new(
+                CollectorConfig::default(),
+                install(i),
+                participant(i),
+            );
+            let mut buffer = DataBuffer::new();
+            for minute in 0..30 {
+                for snap in collector.poll(&device, SimTime::from_mins(minute)) {
+                    buffer.push(&snap);
+                }
+            }
+            buffer.flush();
+            let files: Vec<_> = buffer.pending().cloned().collect();
+            assert!(!files.is_empty());
+            for f in files {
+                transport
+                    .send(
+                        &Message::SnapshotUpload {
+                            install: install(i),
+                            file_id: f.file_id,
+                            fast: f.fast,
+                            payload: f.data.clone(),
+                        }
+                        .encode(),
+                    )
+                    .expect("send upload");
+                match recv_message(&mut transport, &mut codec).expect("recv").expect("reply") {
+                    Message::UploadAck { file_id, sha256 } => {
+                        assert!(buffer.acknowledge(file_id, sha256), "hash must match");
+                    }
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            assert_eq!(buffer.pending_count(), 0);
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    server_thread.join().expect("server thread").expect("serve_tcp");
+
+    let server = server.lock();
+    let stats = server.stats();
+    assert_eq!(stats.sign_ins, N_CLIENTS as u64);
+    assert_eq!(stats.bad_uploads, 0);
+    // Polled each minute for 30 minutes: one snapshot at t = 0 plus every
+    // 5-second tick through t = 1740 → 349 fast; every 2 minutes → 15 slow.
+    for i in 0..N_CLIENTS {
+        let rec = server.record(install(i)).expect("record");
+        assert_eq!(rec.n_fast, 349, "client {i}");
+        assert_eq!(rec.n_slow, 15, "client {i}");
+        assert_eq!(rec.apps.len(), 3);
+    }
+}
+
+#[test]
+fn unknown_participant_is_rejected_over_tcp() {
+    let server = Arc::new(Mutex::new(CollectionServer::new([participant(0)])));
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let server_bg = Arc::clone(&server);
+    let handle =
+        std::thread::spawn(move || CollectionServer::serve_tcp(server_bg, listener, 1));
+
+    let mut transport = TcpTransport::connect(addr).expect("connect");
+    let mut codec = FrameCodec::new();
+    transport
+        .send(
+            &Message::SignIn {
+                participant: ParticipantId(999_999), // never recruited
+                install: InstallId(1_000_000_099),
+            }
+            .encode(),
+        )
+        .expect("send");
+    let ack = recv_message(&mut transport, &mut codec).expect("recv").expect("ack");
+    assert_eq!(ack, Message::SignInAck { accepted: false });
+    drop(transport);
+    handle.join().expect("thread").expect("serve");
+    assert_eq!(server.lock().stats().rejected_sign_ins, 1);
+}
