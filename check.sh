@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI-style gate: build, test, docs (warnings denied), formatting.
+# Run from the repository root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+step "cargo doc --no-deps (warnings denied)"
+# Only the workspace's own crates; vendored dependency subsets are excluded
+# from the documentation gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p racket-types -p racket-stats -p racket-device -p racket-features \
+  -p racket-playstore -p racket-agents -p racket-collect -p racket-ml \
+  -p racketstore -p racket-bench
+
+if command -v rustfmt >/dev/null 2>&1; then
+  step "cargo fmt --check"
+  # Vendored crates are formatted as imported; gate only first-party code.
+  cargo fmt --check -p racketstore-suite -p racket-types -p racket-stats \
+    -p racket-device -p racket-features -p racket-playstore \
+    -p racket-agents -p racket-collect -p racket-ml -p racketstore \
+    -p racket-bench
+else
+  step "cargo fmt --check skipped (rustfmt not installed)"
+fi
+
+printf '\nAll checks passed.\n'

@@ -20,8 +20,8 @@ use crate::dist::poisson;
 use crate::params::PersonaParams;
 use racket_playstore::{AppCatalog, GoogleIdDirectory, ReviewStore};
 use racket_types::{
-    AccountId, AccountService, AppId, GoogleId, Permission, PermissionProfile, Persona,
-    Rating, RegisteredAccount, Review, SimDuration, SimTime,
+    AccountId, AccountService, AppId, GoogleId, Permission, PermissionProfile, Persona, Rating,
+    RegisteredAccount, Review, SimDuration, SimTime,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -34,6 +34,16 @@ pub struct IdAllocator {
 }
 
 impl IdAllocator {
+    /// An allocator whose first ID is `base + 1`.
+    ///
+    /// Parallel fleet generation gives every device a disjoint ID range
+    /// (device *i* starts at `i * stride`), so per-device allocators can
+    /// run on worker threads without coordination and still produce
+    /// fleet-unique IDs.
+    pub fn with_base(base: u64) -> Self {
+        IdAllocator { next: base }
+    }
+
     /// Allocate the next (account, google) ID pair.
     pub fn next_account(&mut self) -> (AccountId, GoogleId) {
         self.next += 1;
@@ -149,7 +159,10 @@ struct PendingReview {
 impl Ord for PendingReview {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reverse for a min-heap on time.
-        other.time.cmp(&self.time).then_with(|| other.app.cmp(&self.app))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.app.cmp(&self.app))
     }
 }
 
@@ -191,10 +204,8 @@ impl DeviceAgent {
             // Novice worker: a personal device with a trickle of ASO work.
             params.gmail_accounts = crate::dist::ClampedLogNormal::new(3.0, 0.5, 1.0, 8.0);
             params.promo_install_fraction *= 0.3;
-            params.promo_accounts_per_app =
-                crate::dist::ClampedLogNormal::new(1.5, 0.4, 1.0, 3.0);
-            params.daily_installs.median =
-                (params.daily_installs.median * 0.5).max(0.5);
+            params.promo_accounts_per_app = crate::dist::ClampedLogNormal::new(1.5, 0.4, 1.0, 3.0);
+            params.daily_installs.median = (params.daily_installs.median * 0.5).max(0.5);
             params.promo_open_prob = 0.6; // still curious about the apps
         }
         if params.persona == Persona::Regular && rng.gen_bool(params.enthusiast_prob) {
@@ -283,13 +294,9 @@ impl DeviceAgent {
     /// otherwise a popularity-weighted consumer app (or occasionally an
     /// off-store app).
     fn pick_install(&self, catalog: &AppCatalog, rng: &mut impl Rng) -> AppId {
-        if rng.gen_bool(self.params.promo_install_fraction)
-            && !catalog.promoted_apps().is_empty()
-        {
+        if rng.gen_bool(self.params.promo_install_fraction) && !catalog.promoted_apps().is_empty() {
             *catalog.promoted_apps().choose(rng).expect("non-empty")
-        } else if rng.gen_bool(self.params.off_store_prob)
-            && !catalog.off_store_apps().is_empty()
-        {
+        } else if rng.gen_bool(self.params.off_store_prob) && !catalog.off_store_apps().is_empty() {
             *catalog.off_store_apps().choose(rng).expect("non-empty")
         } else {
             match self.params.mainstream_only {
@@ -335,8 +342,8 @@ impl DeviceAgent {
                 continue;
             }
             let delay_days = self.params.promo_review_delay.sample_days(rng);
-            let t = install_time
-                .saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
+            let t =
+                install_time.saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
             if t <= horizon {
                 self.pending.push(PendingReview {
                     time: t,
@@ -362,8 +369,7 @@ impl DeviceAgent {
         }
         let &(account, google_id) = self.gmail.first().expect("non-empty");
         let delay_days = self.params.personal_review_delay.sample_days(rng);
-        let t = install_time
-            .saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
+        let t = install_time.saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
         if t <= horizon {
             self.pending.push(PendingReview {
                 time: t,
@@ -394,16 +400,14 @@ impl DeviceAgent {
         for _ in 0..self.profile.n_gmail {
             let (account, google_id) = ids.next_account();
             directory.register(account, google_id);
-            device.register_account(
-                RegisteredAccount::gmail(account, google_id),
-                SimTime::EPOCH,
-            );
+            device.register_account(RegisteredAccount::gmail(account, google_id), SimTime::EPOCH);
             self.gmail.push((account, google_id));
         }
-        let mut services: Vec<AccountService> =
-            AccountService::consumer_services().to_vec();
+        let mut services: Vec<AccountService> = AccountService::consumer_services().to_vec();
         services.shuffle(rng);
-        for service in services.into_iter().take(self.profile.n_consumer_services as usize)
+        for service in services
+            .into_iter()
+            .take(self.profile.n_consumer_services as usize)
         {
             let (account, _) = ids.next_account();
             device.register_account(
@@ -443,9 +447,7 @@ impl DeviceAgent {
             for d in 0..open_days {
                 if rng.gen_bool(0.6) {
                     let t = now.saturating_since(SimTime::from_days(d + 1));
-                    let t = SimTime::from_secs(
-                        t.as_secs() + rng.gen_range(0..86_400u64),
-                    );
+                    let t = SimTime::from_secs(t.as_secs() + rng.gen_range(0..86_400u64));
                     device.open_app(app, t, rng.gen_range(30..600));
                 }
             }
@@ -464,7 +466,11 @@ impl DeviceAgent {
             device.install_app(app, install_time, profile, meta.apk_hash);
 
             let is_promo = catalog.promoted_apps().contains(&app);
-            let open_prob = if is_promo { self.params.promo_open_prob } else { 0.85 };
+            let open_prob = if is_promo {
+                self.params.promo_open_prob
+            } else {
+                0.85
+            };
             if rng.gen_bool(open_prob) {
                 // Opened on one to several days since installation.
                 let days_since = now.saturating_since(install_time).as_days().max(1.0);
@@ -476,8 +482,7 @@ impl DeviceAgent {
                 for _ in 0..n_days {
                     let t = SimTime::from_secs(
                         install_time.as_secs()
-                            + rng.gen_range(0..(history_secs - install_time.as_secs())
-                                .max(1)),
+                            + rng.gen_range(0..(history_secs - install_time.as_secs()).max(1)),
                     );
                     device.open_app(app, t, rng.gen_range(20..900));
                 }
@@ -522,8 +527,8 @@ impl DeviceAgent {
                         continue;
                     }
                     let delay = self.params.promo_review_delay.sample_days(rng);
-                    let t = t_install
-                        .saturating_add(SimDuration::from_secs((delay * 86_400.0) as u64));
+                    let t =
+                        t_install.saturating_add(SimDuration::from_secs((delay * 86_400.0) as u64));
                     let t = t.min(now); // posted in the past
                     store.post(Review::new(app, google_id, t, Self::promo_rating(rng)));
                     device.record_review(app, account, Self::promo_rating(rng), t);
@@ -580,23 +585,25 @@ impl DeviceAgent {
                 continue;
             }
             let t = t_in_day(day_start, day_secs, rng);
-            actions.push(TimelineAction { time: t, action: Action::Install { app } });
+            actions.push(TimelineAction {
+                time: t,
+                action: Action::Install { app },
+            });
             let is_promo = catalog.promoted_apps().contains(&app);
             if is_promo {
                 self.schedule_promo_reviews(app, t, horizon, rng);
                 if rng.gen_bool(self.params.promo_open_prob) {
-                    let t_open = t.saturating_add(SimDuration::from_secs(
-                        rng.gen_range(60..3_600),
-                    ));
+                    let t_open = t.saturating_add(SimDuration::from_secs(rng.gen_range(60..3_600)));
                     actions.push(TimelineAction {
                         time: t_open,
-                        action: Action::Open { app, secs: rng.gen_range(15..120) },
+                        action: Action::Open {
+                            app,
+                            secs: rng.gen_range(15..120),
+                        },
                     });
                 }
                 if rng.gen_bool(self.params.promo_stop_prob) {
-                    let t_stop = t.saturating_add(SimDuration::from_hours(
-                        rng.gen_range(2..20),
-                    ));
+                    let t_stop = t.saturating_add(SimDuration::from_hours(rng.gen_range(2..20)));
                     actions.push(TimelineAction {
                         time: t_stop,
                         action: Action::Stop { app },
@@ -605,12 +612,13 @@ impl DeviceAgent {
             } else {
                 self.maybe_schedule_personal_review(app, t, horizon, rng);
                 if rng.gen_bool(0.8) {
-                    let t_open = t.saturating_add(SimDuration::from_secs(
-                        rng.gen_range(30..7_200),
-                    ));
+                    let t_open = t.saturating_add(SimDuration::from_secs(rng.gen_range(30..7_200)));
                     actions.push(TimelineAction {
                         time: t_open,
-                        action: Action::Open { app, secs: rng.gen_range(30..900) },
+                        action: Action::Open {
+                            app,
+                            secs: rng.gen_range(30..900),
+                        },
                     });
                 }
             }
@@ -626,8 +634,8 @@ impl DeviceAgent {
         // device's soft capacity is shed the same day.
         let over_capacity = (device.installed_count() as u64 + n_installs)
             .saturating_sub(self.profile.capacity.max(10));
-        let n_uninstalls = (poisson(rng, self.profile.uninstall_rate) + over_capacity)
-            .min(removable.len() as u64);
+        let n_uninstalls =
+            (poisson(rng, self.profile.uninstall_rate) + over_capacity).min(removable.len() as u64);
         let mut removable = removable;
         removable.shuffle(rng);
         for &app in removable.iter().take(n_uninstalls as usize) {
@@ -641,8 +649,7 @@ impl DeviceAgent {
         let openable: Vec<AppId> = device
             .installed_apps()
             .filter(|a| {
-                !catalog.promoted_apps().contains(&a.app) || self.params.persona
-                    == Persona::Regular
+                !catalog.promoted_apps().contains(&a.app) || self.params.persona == Persona::Regular
             })
             .map(|a| a.app)
             .collect();
@@ -652,7 +659,10 @@ impl DeviceAgent {
                 let app = *openable.choose(rng).expect("non-empty");
                 let t = t_in_day(day_start, day_secs, rng);
                 let secs = rng.gen_range(20..1_200);
-                actions.push(TimelineAction { time: t, action: Action::Open { app, secs } });
+                actions.push(TimelineAction {
+                    time: t,
+                    action: Action::Open { app, secs },
+                });
                 actions.push(TimelineAction {
                     time: t.saturating_add(SimDuration::from_secs(secs)),
                     action: Action::ScreenOff,
@@ -696,6 +706,27 @@ pub fn apply_action(
     ta: &TimelineAction,
     rng: &mut impl Rng,
 ) {
+    let mut reviews = Vec::new();
+    apply_action_collecting(device, &mut reviews, catalog, ta, rng);
+    for review in reviews {
+        store.post(review);
+    }
+}
+
+/// [`apply_action`] with the store mutation deferred: posted reviews are
+/// pushed to `reviews` instead of a [`ReviewStore`].
+///
+/// This is the per-device half of the parallel study driver's contract —
+/// every other effect of an action is local to `device`, so worker threads
+/// apply actions independently and the driver posts the collected reviews
+/// serially, in device order, keeping the store deterministic.
+pub fn apply_action_collecting(
+    device: &mut racket_device::Device,
+    reviews: &mut Vec<Review>,
+    catalog: &AppCatalog,
+    ta: &TimelineAction,
+    rng: &mut impl Rng,
+) {
     match &ta.action {
         Action::Install { app } => {
             let meta = catalog.app(*app);
@@ -722,8 +753,13 @@ pub fn apply_action(
         Action::Stop { app } => {
             device.stop_app(*app, ta.time);
         }
-        Action::Review { app, account, google_id, rating } => {
-            store.post(Review::new(*app, *google_id, ta.time, *rating));
+        Action::Review {
+            app,
+            account,
+            google_id,
+            rating,
+        } => {
+            reviews.push(Review::new(*app, *google_id, ta.time, *rating));
             device.record_review(*app, *account, *rating, ta.time);
         }
         Action::ScreenOff => {
@@ -741,7 +777,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn harness() -> (AppCatalog, ReviewStore, GoogleIdDirectory, IdAllocator, StdRng) {
+    fn harness() -> (
+        AppCatalog,
+        ReviewStore,
+        GoogleIdDirectory,
+        IdAllocator,
+        StdRng,
+    ) {
         (
             AppCatalog::generate(&CatalogConfig::default()),
             ReviewStore::new(),
@@ -758,7 +800,14 @@ mod tests {
         let now = SimTime::from_days(180);
         let horizon = SimTime::from_days(195);
         agent.setup_history(
-            &mut device, &catalog, &mut store, &mut dir, &mut ids, now, horizon, &mut rng,
+            &mut device,
+            &catalog,
+            &mut store,
+            &mut dir,
+            &mut ids,
+            now,
+            horizon,
+            &mut rng,
         );
         (device, agent, catalog, store)
     }
@@ -809,8 +858,7 @@ mod tests {
         let (device, mut agent, catalog, _) = setup(Persona::OrganicWorker);
         let mut rng = StdRng::seed_from_u64(3);
         let day = SimTime::from_days(180);
-        let actions =
-            agent.plan_day(&device, &catalog, day, SimTime::from_days(195), &mut rng);
+        let actions = agent.plan_day(&device, &catalog, day, SimTime::from_days(195), &mut rng);
         for w in actions.windows(2) {
             assert!(w[0].time <= w[1].time, "actions sorted by time");
         }
@@ -838,7 +886,10 @@ mod tests {
                 apply_action(&mut device, &mut store, &catalog, ta, &mut rng);
             }
         }
-        assert!(device.churn_totals().0 > before_installs, "installs happened");
+        assert!(
+            device.churn_totals().0 > before_installs,
+            "installs happened"
+        );
         assert!(store.total_reviews() >= before_reviews);
     }
 

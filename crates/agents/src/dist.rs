@@ -31,7 +31,12 @@ impl ClampedLogNormal {
         assert!(median > 0.0, "median must be positive");
         assert!(sigma >= 0.0, "sigma must be non-negative");
         assert!(min <= max, "min must not exceed max");
-        ClampedLogNormal { median, sigma, min, max }
+        ClampedLogNormal {
+            median,
+            sigma,
+            min,
+            max,
+        }
     }
 
     /// Mean of the *unclamped* distribution (`median · e^{σ²/2}`).
@@ -88,7 +93,9 @@ pub fn poisson(rng: &mut impl Rng, mean: f64) -> u64 {
     if mean <= 0.0 {
         return 0;
     }
-    rand_distr::Poisson::new(mean).expect("positive mean").sample(rng) as u64
+    rand_distr::Poisson::new(mean)
+        .expect("positive mean")
+        .sample(rng) as u64
 }
 
 #[cfg(test)]
@@ -110,7 +117,10 @@ mod tests {
         let median = samples[samples.len() / 2];
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((median - 5.0).abs() / 5.0 < 0.05, "median {median}");
-        assert!((mean - d.unclamped_mean()).abs() / d.unclamped_mean() < 0.1, "mean {mean}");
+        assert!(
+            (mean - d.unclamped_mean()).abs() / d.unclamped_mean() < 0.1,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -140,8 +150,7 @@ mod tests {
         };
         let mut r = rng();
         let n = 20_000;
-        let within_day =
-            (0..n).filter(|_| m.sample_days(&mut r) <= 1.0).count() as f64 / n as f64;
+        let within_day = (0..n).filter(|_| m.sample_days(&mut r) <= 1.0).count() as f64 / n as f64;
         // 33% spike plus the small body mass below 1 day.
         assert!((0.3..0.45).contains(&within_day), "P(≤1d) = {within_day}");
     }

@@ -21,6 +21,26 @@ use racket_types::{AndroidId, DeviceId, InstallId, ParticipantId, Persona, SimTi
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// Account/Google-ID range reserved per device under parallel generation:
+/// device *i* allocates IDs in `(i * STRIDE, (i + 1) * STRIDE]`. Far above
+/// any persona's account count, so ranges never collide.
+pub(crate) const ID_STRIDE: u64 = 1_000_000;
+
+/// Derive the seed of an independent per-device RNG stream from the fleet
+/// master seed (SplitMix64 finalizer over `seed ⊕ f(index)`).
+///
+/// Each device draws every one of its random decisions from its own stream,
+/// so the generated fleet is a pure function of `(master, index)` — the
+/// same whether devices are built serially or on any number of worker
+/// threads, in any order.
+pub fn stream_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Fleet composition and timing.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,7 +88,8 @@ impl PersonaOverrides {
             Persona::OrganicWorker => &self.organic,
             Persona::DedicatedWorker => &self.dedicated,
         };
-        slot.clone().unwrap_or_else(|| PersonaParams::for_persona(persona))
+        slot.clone()
+            .unwrap_or_else(|| PersonaParams::for_persona(persona))
     }
 }
 
@@ -171,7 +192,6 @@ impl Fleet {
         let catalog = AppCatalog::generate(&config.catalog);
         let mut store = ReviewStore::new();
         let mut directory = GoogleIdDirectory::new();
-        let mut ids = IdAllocator::default();
 
         // Background review volume: popular apps carry store-scale review
         // counts (the §7.2 non-suspicious rule needs ≥ 15,000); the tail
@@ -200,54 +220,94 @@ impl Fleet {
             .copied()
             .filter(|_| rng.gen_bool(0.3))
             .collect();
-        let virustotal =
-            VirusTotalSim::new(all_hashes, catalog.malware_hashes(), unavailable);
+        let virustotal = VirusTotalSim::new(all_hashes, catalog.malware_hashes(), unavailable);
 
-        // Devices.
-        let personas: Vec<Persona> = std::iter::empty()
+        // Devices — built in parallel, one independent RNG stream, ID range
+        // and local store/directory per device, then merged serially in
+        // device order. Output is a pure function of `config`, never of the
+        // worker-thread count (see ARCHITECTURE.md, "Determinism contract").
+        let personas: Vec<(usize, Persona)> = std::iter::empty()
             .chain(std::iter::repeat_n(Persona::Regular, config.n_regular))
-            .chain(std::iter::repeat_n(Persona::OrganicWorker, config.n_organic))
-            .chain(std::iter::repeat_n(Persona::DedicatedWorker, config.n_dedicated))
+            .chain(std::iter::repeat_n(
+                Persona::OrganicWorker,
+                config.n_organic,
+            ))
+            .chain(std::iter::repeat_n(
+                Persona::DedicatedWorker,
+                config.n_dedicated,
+            ))
+            .enumerate()
             .collect();
 
         let study_start = config.study_start();
-        let mut devices = Vec::with_capacity(personas.len());
-        for (i, persona) in personas.into_iter().enumerate() {
-            let mut model = DeviceModel::generic();
-            model.model = format!("SM-SIM{i:04}");
-            model.reports_android_id = !rng.gen_bool(config.no_android_id_rate);
-            let mut device =
-                Device::new(DeviceId(i as u32), model, AndroidId(0x1000 + i as u64));
+        let built: Vec<(StudyDevice, ReviewStore, GoogleIdDirectory)> = personas
+            .into_par_iter()
+            .map(|(i, persona)| Self::build_device(&config, &catalog, study_start, i, persona))
+            .collect();
 
-            let mut agent =
-                DeviceAgent::with_params(config.overrides.params_for(persona), &mut rng);
-            // Device-specific monitored window: at least 2 days (§4).
-            let days = rng.gen_range(2..=config.max_study_days.max(2));
-            let monitoring = TimeInterval::new(
-                study_start,
-                study_start + racket_types::SimDuration::from_days(days),
-            );
-            agent.setup_history(
-                &mut device,
-                &catalog,
-                &mut store,
-                &mut directory,
-                &mut ids,
-                study_start,
-                monitoring.end,
-                &mut rng,
-            );
-
-            devices.push(StudyDevice {
-                device,
-                agent,
-                participant: ParticipantId(100_000 + i as u32),
-                install_id: InstallId(1_000_000_000 + i as u64),
-                monitoring,
-            });
+        let mut devices = Vec::with_capacity(built.len());
+        for (dev, local_store, local_directory) in built {
+            store.absorb(local_store);
+            directory.absorb(local_directory);
+            devices.push(dev);
         }
 
-        Fleet { catalog, store, directory, virustotal, devices, config }
+        Fleet {
+            catalog,
+            store,
+            directory,
+            virustotal,
+            devices,
+            config,
+        }
+    }
+
+    /// Build device `i` of the fleet on its own RNG stream, returning the
+    /// device together with the review-store and directory state its
+    /// history produced (merged into the fleet stores by the caller).
+    fn build_device(
+        config: &FleetConfig,
+        catalog: &AppCatalog,
+        study_start: SimTime,
+        i: usize,
+        persona: Persona,
+    ) -> (StudyDevice, ReviewStore, GoogleIdDirectory) {
+        let mut rng = StdRng::seed_from_u64(stream_seed(config.seed, i as u64));
+        let mut store = ReviewStore::new();
+        let mut directory = GoogleIdDirectory::new();
+        let mut ids = IdAllocator::with_base(i as u64 * ID_STRIDE);
+
+        let mut model = DeviceModel::generic();
+        model.model = format!("SM-SIM{i:04}");
+        model.reports_android_id = !rng.gen_bool(config.no_android_id_rate);
+        let mut device = Device::new(DeviceId(i as u32), model, AndroidId(0x1000 + i as u64));
+
+        let mut agent = DeviceAgent::with_params(config.overrides.params_for(persona), &mut rng);
+        // Device-specific monitored window: at least 2 days (§4).
+        let days = rng.gen_range(2..=config.max_study_days.max(2));
+        let monitoring = TimeInterval::new(
+            study_start,
+            study_start + racket_types::SimDuration::from_days(days),
+        );
+        agent.setup_history(
+            &mut device,
+            catalog,
+            &mut store,
+            &mut directory,
+            &mut ids,
+            study_start,
+            monitoring.end,
+            &mut rng,
+        );
+
+        let dev = StudyDevice {
+            device,
+            agent,
+            participant: ParticipantId(100_000 + i as u32),
+            install_id: InstallId(1_000_000_000 + i as u64),
+            monitoring,
+        };
+        (dev, store, directory)
     }
 
     /// Devices of one cohort.
@@ -255,7 +315,9 @@ impl Fleet {
         &self,
         cohort: racket_types::Cohort,
     ) -> impl Iterator<Item = &StudyDevice> {
-        self.devices.iter().filter(move |d| d.persona().cohort() == cohort)
+        self.devices
+            .iter()
+            .filter(move |d| d.persona().cohort() == cohort)
     }
 }
 
@@ -285,8 +347,7 @@ mod tests {
     #[test]
     fn participant_and_install_ids_valid_and_unique() {
         let fleet = Fleet::generate(FleetConfig::test_scale());
-        let mut participants: Vec<_> =
-            fleet.devices.iter().map(|d| d.participant).collect();
+        let mut participants: Vec<_> = fleet.devices.iter().map(|d| d.participant).collect();
         participants.sort();
         participants.dedup();
         assert_eq!(participants.len(), fleet.devices.len());
@@ -299,7 +360,11 @@ mod tests {
     #[test]
     fn some_devices_lack_android_id() {
         let fleet = Fleet::generate(FleetConfig::test_scale());
-        let missing = fleet.devices.iter().filter(|d| d.device.android_id().is_none()).count();
+        let missing = fleet
+            .devices
+            .iter()
+            .filter(|d| d.device.android_id().is_none())
+            .count();
         assert!(missing >= 1, "no_android_id_rate should bite at 10% of 60");
         assert!(missing < fleet.devices.len() / 2);
     }
@@ -307,10 +372,36 @@ mod tests {
     #[test]
     fn store_has_history_reviews_and_background_volume() {
         let fleet = Fleet::generate(FleetConfig::test_scale());
-        assert!(fleet.store.total_reviews() > 100, "workers reviewed in history");
+        assert!(
+            fleet.store.total_reviews() > 100,
+            "workers reviewed in history"
+        );
         // The most popular app carries store-scale volume.
         let popular = fleet.catalog.consumer_apps()[0];
         assert!(fleet.store.public_review_count(popular) >= 15_000);
+    }
+
+    #[test]
+    fn account_ids_unique_across_devices() {
+        let fleet = Fleet::generate(FleetConfig::test_scale());
+        let mut ids: Vec<_> = fleet
+            .devices
+            .iter()
+            .flat_map(|d| d.agent.gmail_identities().iter().map(|(a, _)| *a))
+            .collect();
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "per-device ID ranges must not collide");
+    }
+
+    #[test]
+    fn stream_seeds_distinct() {
+        let mut seeds: Vec<u64> = (0..1000).map(|i| stream_seed(2021, i)).collect();
+        seeds.sort();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(stream_seed(1, 0), stream_seed(2, 0), "master seed matters");
     }
 
     #[test]

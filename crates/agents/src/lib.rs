@@ -27,7 +27,10 @@ pub mod dist;
 pub mod fleet;
 pub mod params;
 
-pub use agent::{apply_action, Action, DeviceAgent, DeviceProfile, IdAllocator, TimelineAction};
+pub use agent::{
+    apply_action, apply_action_collecting, Action, DeviceAgent, DeviceProfile, IdAllocator,
+    TimelineAction,
+};
 pub use dist::{ClampedLogNormal, DelayMixture};
-pub use fleet::{Fleet, FleetConfig, PersonaOverrides, StudyDevice};
+pub use fleet::{stream_seed, Fleet, FleetConfig, PersonaOverrides, StudyDevice};
 pub use params::PersonaParams;

@@ -222,7 +222,11 @@ mod tests {
 
     #[test]
     fn persona_mapping() {
-        for p in [Persona::Regular, Persona::OrganicWorker, Persona::DedicatedWorker] {
+        for p in [
+            Persona::Regular,
+            Persona::OrganicWorker,
+            Persona::DedicatedWorker,
+        ] {
             assert_eq!(PersonaParams::for_persona(p).persona, p);
         }
     }
@@ -253,16 +257,16 @@ mod tests {
     fn worker_delay_mean_near_10_days() {
         let d = PersonaParams::organic_worker().promo_review_delay;
         // mixture mean = 0.33·0.4 + 0.67·(10·e^{0.5}) ≈ 11.2 (paper 10.4).
-        let mean = d.fast_weight * d.fast_mean_days
-            + (1.0 - d.fast_weight) * d.body.unclamped_mean();
+        let mean =
+            d.fast_weight * d.fast_mean_days + (1.0 - d.fast_weight) * d.body.unclamped_mean();
         assert!((8.0..13.0).contains(&mean), "delay mean {mean}");
     }
 
     #[test]
     fn personal_delay_mean_near_80_days() {
         let d = PersonaParams::regular().personal_review_delay;
-        let mean = d.fast_weight * d.fast_mean_days
-            + (1.0 - d.fast_weight) * d.body.unclamped_mean();
+        let mean =
+            d.fast_weight * d.fast_mean_days + (1.0 - d.fast_weight) * d.body.unclamped_mean();
         assert!((60.0..100.0).contains(&mean), "delay mean {mean}");
     }
 

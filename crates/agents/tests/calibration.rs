@@ -52,7 +52,11 @@ fn gmail_accounts_match_section_6_2() {
         "worker gmail median {} (paper 21)",
         workers.median
     );
-    assert!(regular.max <= 10.0, "regular gmail max {} (paper 10)", regular.max);
+    assert!(
+        regular.max <= 10.0,
+        "regular gmail max {} (paper 10)",
+        regular.max
+    );
     assert!(
         (1.0..4.0).contains(&regular.median),
         "regular gmail median {} (paper 2)",
@@ -73,8 +77,15 @@ fn account_type_diversity_matches_section_6_2() {
         d.device.account_service_count() as f64
     }))
     .unwrap();
-    assert!((4.0..9.0).contains(&regular.mean), "regular types mean {}", regular.mean);
-    assert!(workers.mean < regular.mean, "workers have fewer account types");
+    assert!(
+        (4.0..9.0).contains(&regular.mean),
+        "regular types mean {}",
+        regular.mean
+    );
+    assert!(
+        workers.mean < regular.mean,
+        "workers have fewer account types"
+    );
 }
 
 #[test]
@@ -90,8 +101,16 @@ fn installed_apps_overlap_between_cohorts() {
         d.device.installed_count() as f64
     }))
     .unwrap();
-    assert!((45.0..95.0).contains(&regular.mean), "regular installs {}", regular.mean);
-    assert!((55.0..115.0).contains(&workers.mean), "worker installs {}", workers.mean);
+    assert!(
+        (45.0..95.0).contains(&regular.mean),
+        "regular installs {}",
+        regular.mean
+    );
+    assert!(
+        (55.0..115.0).contains(&workers.mean),
+        "worker installs {}",
+        workers.mean
+    );
     assert!(workers.mean > regular.mean, "workers install slightly more");
     assert!(workers.mean < 1.6 * regular.mean, "distributions overlap");
 }
@@ -117,8 +136,16 @@ fn total_reviews_per_device_match_figure_6() {
         "worker total reviews mean {} (paper 208.91)",
         workers.mean
     );
-    assert!(regular.mean < 8.0, "regular total reviews mean {} (paper 1.91)", regular.mean);
-    assert!(workers.max > 700.0, "heavy tail expected, max {}", workers.max);
+    assert!(
+        regular.mean < 8.0,
+        "regular total reviews mean {} (paper 1.91)",
+        regular.mean
+    );
+    assert!(
+        workers.max > 700.0,
+        "heavy tail expected, max {}",
+        workers.max
+    );
 }
 
 #[test]
@@ -133,8 +160,12 @@ fn stopped_apps_heavier_on_worker_devices() {
         d.device.stopped_apps().len() as f64
     }))
     .unwrap();
-    assert!(workers.median > 2.0 * regular.median.max(1.0),
-        "worker stopped median {} vs regular {}", workers.median, regular.median);
+    assert!(
+        workers.median > 2.0 * regular.median.max(1.0),
+        "worker stopped median {} vs regular {}",
+        workers.median,
+        regular.median
+    );
 }
 
 #[test]
@@ -149,9 +180,21 @@ fn churn_rates_match_figure_9() {
         d.agent.profile.install_rate
     }))
     .unwrap();
-    assert!((9.0..23.0).contains(&workers.mean), "worker churn mean {}", workers.mean);
-    assert!((2.5..5.5).contains(&regular.mean), "regular churn mean {}", regular.mean);
-    assert!((4.0..9.0).contains(&workers.median), "worker churn median {}", workers.median);
+    assert!(
+        (9.0..23.0).contains(&workers.mean),
+        "worker churn mean {}",
+        workers.mean
+    );
+    assert!(
+        (2.5..5.5).contains(&regular.mean),
+        "regular churn mean {}",
+        regular.mean
+    );
+    assert!(
+        (4.0..9.0).contains(&workers.median),
+        "worker churn median {}",
+        workers.median
+    );
 }
 
 #[test]
@@ -178,13 +221,24 @@ fn install_to_review_delays_differ() {
     };
     let w = delays(Cohort::Worker);
     let r = delays(Cohort::Regular);
-    assert!(w.len() > 10 * r.len().max(1), "workers post far more joinable reviews");
+    assert!(
+        w.len() > 10 * r.len().max(1),
+        "workers post far more joinable reviews"
+    );
     let ws = Summary::of(&w).unwrap();
-    assert!((3.0..20.0).contains(&ws.mean), "worker delay mean {} (paper 10.4)", ws.mean);
+    assert!(
+        (3.0..20.0).contains(&ws.mean),
+        "worker delay mean {} (paper 10.4)",
+        ws.mean
+    );
     let fast = w.iter().filter(|&&d| d <= 1.0).count() as f64 / w.len() as f64;
     assert!((0.2..0.55).contains(&fast), "P(≤1d) = {fast} (paper 0.33)");
     if r.len() >= 10 {
         let rs = Summary::of(&r).unwrap();
-        assert!(rs.mean > 25.0, "regular delay mean {} (paper 85.09)", rs.mean);
+        assert!(
+            rs.mean > 25.0,
+            "regular delay mean {} (paper 85.09)",
+            rs.mean
+        );
     }
 }

@@ -38,8 +38,7 @@ fn bench_collection(c: &mut Criterion) {
             InstallId(1_000_000_000),
             ParticipantId(111_111),
         );
-        let snap =
-            racket_types::Snapshot::Fast(collector.sample_fast(&dev.device, SimTime::EPOCH));
+        let snap = racket_types::Snapshot::Fast(collector.sample_fast(&dev.device, SimTime::EPOCH));
         let mut server = CollectionServer::new([ParticipantId(111_111)]);
         b.iter(|| server.ingest_snapshot(std::hint::black_box(&snap)))
     });
@@ -48,8 +47,7 @@ fn bench_collection(c: &mut Criterion) {
 
 fn bench_features(c: &mut Criterion) {
     // Build one observation through a tiny study.
-    let out = racketstore::study::Study::new(racketstore::study::StudyConfig::test_scale())
-        .run();
+    let out = racketstore::study::Study::new(racketstore::study::StudyConfig::test_scale()).run();
     let obs = out
         .observations
         .iter()
@@ -66,5 +64,10 @@ fn bench_features(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fleet_generation, bench_collection, bench_features);
+criterion_group!(
+    benches,
+    bench_fleet_generation,
+    bench_collection,
+    bench_features
+);
 criterion_main!(benches);

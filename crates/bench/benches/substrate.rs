@@ -30,9 +30,13 @@ fn bench_hashes(c: &mut Criterion) {
     let data = snapshot_payload(600); // ~64 KiB
     let mut g = c.benchmark_group("hash");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("sha256_64k", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    g.bench_function("sha256_64k", |b| {
+        b.iter(|| sha256(std::hint::black_box(&data)))
+    });
     g.bench_function("md5_64k", |b| b.iter(|| md5(std::hint::black_box(&data))));
-    g.bench_function("crc32_64k", |b| b.iter(|| crc32(std::hint::black_box(&data))));
+    g.bench_function("crc32_64k", |b| {
+        b.iter(|| crc32(std::hint::black_box(&data)))
+    });
     g.finish();
 }
 
@@ -60,7 +64,9 @@ fn bench_wire(c: &mut Criterion) {
     let encoded = msg.encode();
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_upload", |b| b.iter(|| std::hint::black_box(&msg).encode()));
+    g.bench_function("encode_upload", |b| {
+        b.iter(|| std::hint::black_box(&msg).encode())
+    });
     g.bench_function("decode_upload", |b| {
         b.iter(|| {
             let mut codec = FrameCodec::new();
@@ -73,7 +79,9 @@ fn bench_wire(c: &mut Criterion) {
 
 fn bench_stats(c: &mut Criterion) {
     let a: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
-    let b2: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.3).cos() * 12.0 + 1.0).collect();
+    let b2: Vec<f64> = (0..1000)
+        .map(|i| (i as f64 * 0.3).cos() * 12.0 + 1.0)
+        .collect();
     let mut g = c.benchmark_group("stats");
     g.bench_function("ks_2samp_1k", |bch| {
         bch.iter(|| racket_stats::ks_2samp(std::hint::black_box(&a), std::hint::black_box(&b2)))
@@ -154,5 +162,12 @@ impl BenchExt for criterion::BenchmarkGroup<'_, criterion::measurement::WallTime
     }
 }
 
-criterion_group!(benches, bench_hashes, bench_lzss, bench_wire, bench_stats, bench_ml);
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_lzss,
+    bench_wire,
+    bench_stats,
+    bench_ml
+);
 criterion_main!(benches);

@@ -49,7 +49,10 @@ fn families() -> Vec<(&'static str, Vec<&'static str>)> {
             ],
         ),
         ("virustotal", vec!["vt_flags"]),
-        ("churn", vec!["n_installs_monitored", "n_uninstalls_monitored"]),
+        (
+            "churn",
+            vec!["n_installs_monitored", "n_uninstalls_monitored"],
+        ),
     ]
 }
 
@@ -68,7 +71,9 @@ fn without(data: &Dataset, drop: &[&str]) -> Dataset {
             .map(|row| keep.iter().map(|&i| row[i]).collect())
             .collect(),
         data.y.clone(),
-        keep.iter().map(|&i| data.feature_names[i].clone()).collect(),
+        keep.iter()
+            .map(|&i| data.feature_names[i].clone())
+            .collect(),
     )
 }
 
@@ -87,7 +92,10 @@ fn xgb_cv(data: &Dataset) -> racket_ml::Metrics {
 fn main() {
     let ds = app_dataset();
     println!("== Feature-family ablation (app classifier, XGB) ==\n");
-    println!("{:<22} {:>8} {:>10} {:>10}", "configuration", "columns", "F1", "AUC");
+    println!(
+        "{:<22} {:>8} {:>10} {:>10}",
+        "configuration", "columns", "F1", "AUC"
+    );
     let full = xgb_cv(&ds.data);
     println!(
         "{:<22} {:>8} {:>9.2}% {:>10.4}",
@@ -96,7 +104,12 @@ fn main() {
         full.f1 * 100.0,
         full.auc
     );
-    let mut rows = vec![format!("all,{},{:.4},{:.4}", ds.data.n_features(), full.f1, full.auc)];
+    let mut rows = vec![format!(
+        "all,{},{:.4},{:.4}",
+        ds.data.n_features(),
+        full.f1,
+        full.auc
+    )];
     for (name, cols) in families() {
         let reduced = without(&ds.data, &cols);
         let m = xgb_cv(&reduced);
@@ -108,7 +121,13 @@ fn main() {
             m.auc,
             (m.f1 - full.f1) * 100.0
         );
-        rows.push(format!("-{},{},{:.4},{:.4}", name, reduced.n_features(), m.f1, m.auc));
+        rows.push(format!(
+            "-{},{},{:.4},{:.4}",
+            name,
+            reduced.n_features(),
+            m.f1,
+            m.auc
+        ));
     }
     // And the inverse: review engagement alone.
     let only_review: Vec<&str> = families()
@@ -125,6 +144,15 @@ fn main() {
         m.f1 * 100.0,
         m.auc
     );
-    rows.push(format!("review_only,{},{:.4},{:.4}", reduced.n_features(), m.f1, m.auc));
-    write_csv("ablation_features.csv", "configuration,columns,f1,auc", rows);
+    rows.push(format!(
+        "review_only,{},{:.4},{:.4}",
+        reduced.n_features(),
+        m.f1,
+        m.auc
+    ));
+    write_csv(
+        "ablation_features.csv",
+        "configuration,columns,f1,auc",
+        rows,
+    );
 }

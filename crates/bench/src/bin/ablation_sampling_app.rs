@@ -26,12 +26,21 @@ fn main() {
             println!("{}", metrics_row(row.name, &row.metrics));
             rows.push(format!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                label, row.name, row.metrics.precision, row.metrics.recall, row.metrics.f1,
-                row.metrics.auc, row.metrics.fpr
+                label,
+                row.name,
+                row.metrics.precision,
+                row.metrics.recall,
+                row.metrics.f1,
+                row.metrics.auc,
+                row.metrics.fpr
             ));
         }
         println!();
     }
     println!("paper: XGB F1 98.76% (under) / 99.22% (over); FPR 1.94% (over)");
-    write_csv("ablation_app.csv", "sampling,algorithm,precision,recall,f1,auc,fpr", rows);
+    write_csv(
+        "ablation_app.csv",
+        "sampling,algorithm,precision,recall,f1,auc,fpr",
+        rows,
+    );
 }

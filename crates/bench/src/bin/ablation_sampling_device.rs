@@ -25,12 +25,21 @@ fn main() {
             println!("{}", metrics_row(row.name, &row.metrics));
             rows.push(format!(
                 "{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                label, row.name, row.metrics.precision, row.metrics.recall, row.metrics.f1,
-                row.metrics.auc, row.metrics.fpr
+                label,
+                row.name,
+                row.metrics.precision,
+                row.metrics.recall,
+                row.metrics.f1,
+                row.metrics.auc,
+                row.metrics.fpr
             ));
         }
         println!();
     }
     println!("paper: XGB F1 95.29 (SMOTE), 95.18 (under, AUC 0.9074), 96.86 (none, AUC 0.9083)");
-    write_csv("ablation_device.csv", "sampling,algorithm,precision,recall,f1,auc,fpr", rows);
+    write_csv(
+        "ablation_device.csv",
+        "sampling,algorithm,precision,recall,f1,auc,fpr",
+        rows,
+    );
 }

@@ -42,8 +42,16 @@ fn main() {
     );
 
     let coalesced = coalesce_installs(candidates);
-    println!("coalesced to {} physical devices (expected {})", coalesced.len(), n_real);
-    assert_eq!(coalesced.len(), n_real, "fingerprinting must recover the fleet");
+    println!(
+        "coalesced to {} physical devices (expected {})",
+        coalesced.len(),
+        n_real
+    );
+    assert_eq!(
+        coalesced.len(),
+        n_real,
+        "fingerprinting must recover the fleet"
+    );
 
     let multi: Vec<_> = coalesced.iter().filter(|d| d.installs.len() > 1).collect();
     println!("\ndevices with multiple installs: {}", multi.len());
@@ -60,7 +68,5 @@ fn main() {
         .iter()
         .filter(|o| o.record.android_id.is_none())
         .count();
-    println!(
-        "\ndevices lacking an Android ID (Jaccard fallback used): {no_android} of {n_real}"
-    );
+    println!("\ndevices lacking an Android ID (Jaccard fallback used): {no_android} of {n_real}");
 }

@@ -15,15 +15,15 @@
 //! Expected shape: evasion lowers recall only gradually while fraud output
 //! collapses, i.e. the features price evasion in worker revenue.
 
+use racket_agents::params::PersonaParams;
 use racket_agents::{FleetConfig, PersonaOverrides};
 use racket_bench::{labeling_config, write_csv, Scale};
 use racket_ml::Resampling;
+use racket_types::Cohort;
 use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
 use racketstore::device_classifier::{evaluate, DeviceDataset};
 use racketstore::labeling::label_apps;
 use racketstore::study::Study;
-use racket_agents::params::PersonaParams;
-use racket_types::Cohort;
 
 /// One evasion strategy: a transformation of the worker personas.
 struct Strategy {
@@ -33,7 +33,10 @@ struct Strategy {
 
 fn strategies() -> Vec<Strategy> {
     vec![
-        Strategy { name: "baseline", apply: |_| {} },
+        Strategy {
+            name: "baseline",
+            apply: |_| {},
+        },
         Strategy {
             name: "fewer_accounts",
             // Halve the Gmail account pool.
@@ -112,13 +115,19 @@ fn main() {
 
         // Fraud output under this strategy.
         let workers: Vec<_> = out.cohort(Cohort::Worker).collect();
-        let fraud = workers.iter().map(|o| o.total_reviews() as f64).sum::<f64>()
+        let fraud = workers
+            .iter()
+            .map(|o| o.total_reviews() as f64)
+            .sum::<f64>()
             / workers.len().max(1) as f64;
 
         // Retrain the full pipeline against the adapted workers.
         let labels = label_apps(&out, &labeling_config());
         if labels.suspicious.is_empty() || labels.non_suspicious.is_empty() {
-            println!("{:<18} — labeling degenerated (no labeled apps)", strategy.name);
+            println!(
+                "{:<18} — labeling degenerated (no labeled apps)",
+                strategy.name
+            );
             continue;
         }
         let app_ds = AppUsageDataset::build(&out, &labels);
@@ -143,5 +152,9 @@ fn main() {
         "\nreading: evasion buys recall points only by collapsing the fraud output\n\
          (reviews per worker device), which is the paper's §9 argument."
     );
-    write_csv("evasion_cost.csv", "strategy,recall,precision,f1,reviews_per_worker", rows);
+    write_csv(
+        "evasion_cost.csv",
+        "strategy,recall,precision,f1,reviews_per_worker",
+        rows,
+    );
 }

@@ -4,7 +4,7 @@
 //! per day, but the cohorts overlap substantially — daily used apps alone
 //! cannot separate them (organic workers blend in).
 
-use racket_bench::{study, measurements, write_csv};
+use racket_bench::{measurements, study, write_csv};
 use racket_stats::Summary;
 use racket_types::Cohort;
 
@@ -19,7 +19,11 @@ fn main() {
             .filter(|p| p.cohort == cohort)
             .map(|p| p.apps_used_per_day)
             .collect();
-        println!("{:<8} apps used/day: {}", cohort.label(), Summary::of(&used).unwrap().paper_style());
+        println!(
+            "{:<8} apps used/day: {}",
+            cohort.label(),
+            Summary::of(&used).unwrap().paper_style()
+        );
     }
     // Overlap check the paper's conclusion rests on.
     let ks = racket_stats::ks_2samp(
@@ -42,7 +46,12 @@ fn main() {
         "fig10.csv",
         "cohort,apps_used_per_day,installed",
         m.apps_used.iter().map(|p| {
-            format!("{},{:.3},{}", p.cohort.label(), p.apps_used_per_day, p.installed)
+            format!(
+                "{},{:.3},{}",
+                p.cohort.label(),
+                p.apps_used_per_day,
+                p.installed
+            )
         }),
     );
 }

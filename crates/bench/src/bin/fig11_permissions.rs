@@ -4,7 +4,7 @@
 //! permission ratios, but most apps share similar permission profiles
 //! across cohorts — permissions alone cannot detect promoted apps.
 
-use racket_bench::{study, measurements, write_csv};
+use racket_bench::{measurements, study, write_csv};
 use racket_types::Cohort;
 
 fn main() {
@@ -12,7 +12,11 @@ fn main() {
     let m = measurements();
     println!("== Figure 11: app permissions (cohort-exclusive apps) ==\n");
     for cohort in [Cohort::Regular, Cohort::Worker] {
-        let points: Vec<_> = m.permissions.iter().filter(|p| p.cohort == cohort).collect();
+        let points: Vec<_> = m
+            .permissions
+            .iter()
+            .filter(|p| p.cohort == cohort)
+            .collect();
         let dangerous: Vec<f64> = points.iter().map(|p| p.dangerous as f64).collect();
         let total: Vec<f64> = points.iter().map(|p| p.total as f64).collect();
         let max_ratio = points
@@ -23,8 +27,12 @@ fn main() {
             "{:<8} exclusive apps: {:>4}  dangerous {} of {} total (max ratio {:.2})",
             cohort.label(),
             points.len(),
-            racket_stats::Summary::of(&dangerous).map(|s| format!("{:.1}", s.mean)).unwrap_or_default(),
-            racket_stats::Summary::of(&total).map(|s| format!("{:.1}", s.mean)).unwrap_or_default(),
+            racket_stats::Summary::of(&dangerous)
+                .map(|s| format!("{:.1}", s.mean))
+                .unwrap_or_default(),
+            racket_stats::Summary::of(&total)
+                .map(|s| format!("{:.1}", s.mean))
+                .unwrap_or_default(),
             max_ratio
         );
     }

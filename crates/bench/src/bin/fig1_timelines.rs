@@ -35,7 +35,11 @@ fn main() {
         if !keep {
             continue;
         }
-        println!("--- {} device {} ---", cohort.label(), obs.record.install_id);
+        println!(
+            "--- {} device {} ---",
+            cohort.label(),
+            obs.record.install_id
+        );
         for &(day, lvl) in events.iter().take(18) {
             let marker = match lvl {
                 4 => "install",
@@ -44,7 +48,13 @@ fn main() {
                 _ => "screen",
             };
             println!("  day {day:>6.2}  level {lvl}  {marker}");
-            rows.push(format!("{},{},{:.3},{}", cohort.label(), obs.record.install_id, day, lvl));
+            rows.push(format!(
+                "{},{},{:.3},{}",
+                cohort.label(),
+                obs.record.install_id,
+                day,
+                lvl
+            ));
         }
         println!();
         if shown_workers == 2 && shown_regular == 1 {
@@ -72,7 +82,10 @@ fn timeline(
     let Some(app) = app else { return events };
     let _ = out;
     if let Some(info) = obs.record.apps.get(&app) {
-        events.push((info.install_time.signed_delta_secs(start) as f64 / 86_400.0, 4));
+        events.push((
+            info.install_time.signed_delta_secs(start) as f64 / 86_400.0,
+            4,
+        ));
     }
     for r in obs.reviews_for(app) {
         events.push((r.posted_at.signed_delta_secs(start) as f64 / 86_400.0, 3));

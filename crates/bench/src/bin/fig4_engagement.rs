@@ -23,8 +23,11 @@ fn main() {
         let s = Summary::of(&per_day).expect("cohort populated");
         println!("{:<8} snapshots/day: {}", cohort.label(), s.paper_style());
     }
-    let at_least_100 =
-        m.engagement.iter().filter(|p| p.snapshots_per_day >= 100.0).count();
+    let at_least_100 = m
+        .engagement
+        .iter()
+        .filter(|p| p.snapshots_per_day >= 100.0)
+        .count();
     println!(
         "\ndevices with ≥ 100 snapshots/day: {} of {} (paper: 529 of 803)",
         at_least_100,
@@ -34,7 +37,12 @@ fn main() {
         "fig4.csv",
         "cohort,snapshots_per_day,active_days",
         m.engagement.iter().map(|p| {
-            format!("{},{:.2},{}", p.cohort.label(), p.snapshots_per_day, p.active_days)
+            format!(
+                "{},{:.2},{}",
+                p.cohort.label(),
+                p.snapshots_per_day,
+                p.active_days
+            )
         }),
     );
 }

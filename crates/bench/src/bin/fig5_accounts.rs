@@ -22,7 +22,12 @@ fn main() {
         .regular
         .iter()
         .map(|v| format!("regular,{v}"))
-        .chain(m.gmail_accounts.worker.iter().map(|v| format!("worker,{v}")))
+        .chain(
+            m.gmail_accounts
+                .worker
+                .iter()
+                .map(|v| format!("worker,{v}")),
+        )
         .collect::<Vec<_>>();
     write_csv("fig5_gmail.csv", "cohort,gmail_accounts", rows);
 }

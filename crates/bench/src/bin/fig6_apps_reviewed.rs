@@ -13,10 +13,13 @@ fn main() {
     print_comparison(&m.installed_apps);
     print_comparison(&m.installed_and_reviewed);
     print_comparison(&m.total_reviews);
-    let over_1000 = m.total_reviews.worker.iter().filter(|&&v| v > 1000.0).count();
-    println!(
-        "\nworker devices with > 1,000 total reviews: {over_1000} (paper: 11)"
-    );
+    let over_1000 = m
+        .total_reviews
+        .worker
+        .iter()
+        .filter(|&&v| v > 1000.0)
+        .count();
+    println!("\nworker devices with > 1,000 total reviews: {over_1000} (paper: 11)");
     println!("paper: installed 65.45 vs 77.56; reviewed 0.7 vs 40.51; totals 1.91 vs 208.91");
     let rows = m
         .total_reviews

@@ -12,9 +12,10 @@ fn main() {
     println!("== Figure 8: stopped apps ==\n");
     print_comparison(&m.stopped_apps);
     // Boxplot-style quartiles.
-    for (label, data) in
-        [("regular", &m.stopped_apps.regular), ("worker", &m.stopped_apps.worker)]
-    {
+    for (label, data) in [
+        ("regular", &m.stopped_apps.regular),
+        ("worker", &m.stopped_apps.worker),
+    ] {
         let q = |p| racket_stats::quantile(data, p).expect("non-empty");
         println!(
             "{label:<8} quartiles: q1 = {:.1}, median = {:.1}, q3 = {:.1}",

@@ -28,7 +28,12 @@ fn main() {
         "fig9.csv",
         "cohort,daily_installs,daily_uninstalls",
         m.churn.iter().map(|p| {
-            format!("{},{:.3},{:.3}", p.cohort.label(), p.daily_installs, p.daily_uninstalls)
+            format!(
+                "{},{:.3},{:.3}",
+                p.cohort.label(),
+                p.daily_installs,
+                p.daily_uninstalls
+            )
         }),
     );
 }

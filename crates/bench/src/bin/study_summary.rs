@@ -36,8 +36,14 @@ fn main() {
             .len(),
         out.fleet.catalog.len()
     );
-    println!("store reviews (fleet-posted): {}", out.fleet.store.total_reviews());
-    println!("reviews collected live by the 12 h crawler: {}", out.reviews_crawled);
+    println!(
+        "store reviews (fleet-posted): {}",
+        out.fleet.store.total_reviews()
+    );
+    println!(
+        "reviews collected live by the 12 h crawler: {}",
+        out.reviews_crawled
+    );
     let gmail: usize = out.observations.iter().map(|o| o.google_ids.len()).sum();
     let by_accounts: usize = out.observations.iter().map(|o| o.total_reviews()).sum();
     println!(
@@ -48,4 +54,5 @@ fn main() {
         "server: {} uploaded files, {} bad uploads, {} sign-ins",
         out.server_stats.files, out.server_stats.bad_uploads, out.server_stats.sign_ins
     );
+    println!("\n== Pipeline metrics ==\n{}", out.metrics.report());
 }

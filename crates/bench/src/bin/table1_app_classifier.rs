@@ -16,7 +16,11 @@ fn main() {
         ds.n_suspicious(),
         ds.n_regular()
     );
-    let repeats = if std::env::var("RACKET_FAST").is_ok() { 1 } else { CV_REPEATS };
+    let repeats = if std::env::var("RACKET_FAST").is_ok() {
+        1
+    } else {
+        CV_REPEATS
+    };
     let report = evaluate(ds, repeats, Resampling::None);
     println!("{METRICS_HEADER}");
     for row in &report.table {
@@ -29,7 +33,11 @@ fn main() {
         report.table.iter().map(|r| {
             format!(
                 "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                r.name, r.metrics.precision, r.metrics.recall, r.metrics.f1, r.metrics.auc,
+                r.name,
+                r.metrics.precision,
+                r.metrics.recall,
+                r.metrics.f1,
+                r.metrics.auc,
                 r.metrics.fpr
             )
         }),

@@ -28,7 +28,11 @@ fn main() {
         report.table.iter().map(|r| {
             format!(
                 "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
-                r.name, r.metrics.precision, r.metrics.recall, r.metrics.f1, r.metrics.auc,
+                r.name,
+                r.metrics.precision,
+                r.metrics.recall,
+                r.metrics.f1,
+                r.metrics.auc,
                 r.metrics.fpr
             )
         }),

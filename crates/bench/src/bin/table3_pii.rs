@@ -18,7 +18,12 @@ fn main() {
         ("Accounts", "RacketStore", "review collection", "after use"),
         ("Email", "Website", "recruitment", "after use"),
         ("IP address", "Backend", "statistics", "not stored"),
-        ("Device ID", "RacketStore", "snapshot fingerprint", "after use"),
+        (
+            "Device ID",
+            "RacketStore",
+            "snapshot fingerprint",
+            "after use",
+        ),
         ("Payment info", "Author", "payment", "not stored"),
     ] {
         println!("{pii:<14} {collector:<14} {reason:<22} {deletion:<12}");
@@ -31,8 +36,11 @@ fn main() {
         .iter()
         .filter(|o| !o.record.accounts.is_empty())
         .count();
-    let with_android_id =
-        out.observations.iter().filter(|o| o.record.android_id.is_some()).count();
+    let with_android_id = out
+        .observations
+        .iter()
+        .filter(|o| o.record.android_id.is_some())
+        .count();
     println!(
         "\nverified in pipeline: {} devices reported accounts (GET_ACCOUNTS), \
          {} reported a device ID (fingerprinting); no IP, e-mail or payment \

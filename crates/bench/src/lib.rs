@@ -14,9 +14,9 @@
 
 #![deny(missing_docs)]
 
-use racketstore::study::{CollectionPath, Study, StudyConfig, StudyOutput};
 use racket_agents::FleetConfig;
 use racket_collect::CollectorConfig;
+use racketstore::study::{CollectionPath, Study, StudyConfig, StudyOutput};
 use std::io::Write;
 use std::sync::OnceLock;
 
@@ -58,7 +58,10 @@ impl Scale {
                     seed: 2021,
                     overrides: Default::default(),
                 },
-                collector: CollectorConfig { fast_period_secs: 60, slow_period_secs: 120 },
+                collector: CollectorConfig {
+                    fast_period_secs: 60,
+                    slow_period_secs: 120,
+                },
                 path: CollectionPath::Direct,
                 seed: 2021,
             },
@@ -101,7 +104,9 @@ pub fn write_csv(name: &str, header: &str, rows: impl IntoIterator<Item = String
         return;
     }
     let path = dir.join(name);
-    let Ok(mut f) = std::fs::File::create(&path) else { return };
+    let Ok(mut f) = std::fs::File::create(&path) else {
+        return;
+    };
     let _ = writeln!(f, "{header}");
     for row in rows {
         let _ = writeln!(f, "{row}");

@@ -74,7 +74,11 @@ impl DataBuffer {
     /// Force-rotate a (non-empty) accumulation file into the upload queue;
     /// called on threshold crossings and at study end (final flush).
     pub fn rotate(&mut self, fast: bool) {
-        let file = if fast { &mut self.fast_file } else { &mut self.slow_file };
+        let file = if fast {
+            &mut self.fast_file
+        } else {
+            &mut self.slow_file
+        };
         if file.is_empty() {
             return;
         }
@@ -82,7 +86,11 @@ impl DataBuffer {
         let data = lzss::compress(&raw);
         self.bytes_out += data.len() as u64;
         self.next_file_id += 1;
-        self.ready.push_back(UploadFile { file_id: self.next_file_id, fast, data });
+        self.ready.push_back(UploadFile {
+            file_id: self.next_file_id,
+            fast,
+            data,
+        });
     }
 
     /// Flush both accumulation files (end of study / app uninstall).
@@ -182,8 +190,7 @@ mod tests {
         let mut recovered = Vec::new();
         for f in buf.pending() {
             let raw = crate::lzss::decompress(&f.data).unwrap();
-            recovered
-                .extend(crate::collector::SnapshotCollector::deserialize_file(&raw).unwrap());
+            recovered.extend(crate::collector::SnapshotCollector::deserialize_file(&raw).unwrap());
         }
         assert_eq!(recovered, snaps);
     }
@@ -223,7 +230,11 @@ mod tests {
             buf.push(&slow(t));
         }
         buf.flush();
-        assert!(buf.compression_ratio() > 3.0, "ratio {}", buf.compression_ratio());
+        assert!(
+            buf.compression_ratio() > 3.0,
+            "ratio {}",
+            buf.compression_ratio()
+        );
     }
 
     #[test]

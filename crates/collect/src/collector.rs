@@ -17,8 +17,7 @@
 
 use racket_types::snapshot::{FAST_SNAPSHOT_PERIOD_SECS, SLOW_SNAPSHOT_PERIOD_SECS};
 use racket_types::{
-    AppId, FastSnapshot, InstallDelta, InstallId, ParticipantId, SimTime, Snapshot,
-    SlowSnapshot,
+    AppId, FastSnapshot, InstallDelta, InstallId, ParticipantId, SimTime, SlowSnapshot, Snapshot,
 };
 use std::collections::BTreeMap;
 
@@ -57,11 +56,7 @@ pub struct SnapshotCollector {
 
 impl SnapshotCollector {
     /// Create a collector for an install signed in as `participant`.
-    pub fn new(
-        config: CollectorConfig,
-        install_id: InstallId,
-        participant: ParticipantId,
-    ) -> Self {
+    pub fn new(config: CollectorConfig, install_id: InstallId, participant: ParticipantId) -> Self {
         assert!(config.fast_period_secs > 0 && config.slow_period_secs > 0);
         SnapshotCollector {
             config,
@@ -98,11 +93,7 @@ impl SnapshotCollector {
     }
 
     /// Take one fast snapshot right now (advances the delta baseline).
-    pub fn sample_fast(
-        &mut self,
-        device: &racket_device::Device,
-        now: SimTime,
-    ) -> FastSnapshot {
+    pub fn sample_fast(&mut self, device: &racket_device::Device, now: SimTime) -> FastSnapshot {
         // Install/uninstall deltas vs. the previous sample. A re-install
         // surfaces as a changed install time and is reported as a fresh
         // Installed delta (Android's last-install-time semantics).
@@ -237,16 +228,25 @@ mod tests {
         );
         d.uninstall_app(AppId(1), SimTime::from_secs(3));
         let snap = c.sample_fast(&d, SimTime::from_secs(5));
-        let installs: Vec<_> =
-            snap.install_events.iter().filter(|e| e.is_install()).collect();
-        let uninstalls: Vec<_> =
-            snap.install_events.iter().filter(|e| !e.is_install()).collect();
+        let installs: Vec<_> = snap
+            .install_events
+            .iter()
+            .filter(|e| e.is_install())
+            .collect();
+        let uninstalls: Vec<_> = snap
+            .install_events
+            .iter()
+            .filter(|e| !e.is_install())
+            .collect();
         assert_eq!(installs.len(), 1);
         assert_eq!(installs[0].app(), AppId(2));
         assert_eq!(uninstalls.len(), 1);
         assert_eq!(uninstalls[0].app(), AppId(1));
         // Next sample: no deltas.
-        assert!(c.sample_fast(&d, SimTime::from_secs(10)).install_events.is_empty());
+        assert!(c
+            .sample_fast(&d, SimTime::from_secs(10))
+            .install_events
+            .is_empty());
     }
 
     #[test]
@@ -276,7 +276,10 @@ mod tests {
             SimTime::EPOCH,
         );
         d.open_app(AppId(1), SimTime::from_secs(1), 60);
-        d.set_permissions(DevicePermissions { usage_stats: false, get_accounts: false });
+        d.set_permissions(DevicePermissions {
+            usage_stats: false,
+            get_accounts: false,
+        });
         let mut c = collector();
         let fast = c.sample_fast(&d, SimTime::from_secs(2));
         assert_eq!(fast.foreground_app, None, "PACKAGE_USAGE_STATS denied");
@@ -305,7 +308,10 @@ mod tests {
     fn thinned_cadence() {
         let d = device();
         let mut c = SnapshotCollector::new(
-            CollectorConfig { fast_period_secs: 60, slow_period_secs: 120 },
+            CollectorConfig {
+                fast_period_secs: 60,
+                slow_period_secs: 120,
+            },
             InstallId(1),
             ParticipantId(1),
         );

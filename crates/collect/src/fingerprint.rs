@@ -70,7 +70,9 @@ impl CandidateInstall {
             return false;
         }
         // Rule 3: Android IDs decide when both are present.
-        if let (Some(a), Some(b)) = (self.android_id, other.android_id) { return a == b }
+        if let (Some(a), Some(b)) = (self.android_id, other.android_id) {
+            return a == b;
+        }
         // Rule 4: Jaccard fallback.
         jaccard(&self.apps, &other.apps) > APP_JACCARD_THRESHOLD
             || jaccard(&self.accounts, &other.accounts) > ACCOUNT_JACCARD_THRESHOLD
@@ -149,7 +151,10 @@ pub fn coalesce_installs(candidates: Vec<CandidateInstall>) -> Vec<CoalescedDevi
     for (i, cand) in candidates.into_iter().enumerate() {
         groups.entry(find(&mut parent, i)).or_default().push(cand);
     }
-    groups.into_values().map(|installs| CoalescedDevice { installs }).collect()
+    groups
+        .into_values()
+        .map(|installs| CoalescedDevice { installs })
+        .collect()
 }
 
 #[cfg(test)]

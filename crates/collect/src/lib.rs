@@ -19,6 +19,9 @@
 //! * [`server`] — the collection server: sign-in validation, upload
 //!   ingestion (verify CRC → decompress → parse → acknowledge), and
 //!   per-install aggregation of snapshot statistics;
+//! * [`shard`] — the sharded ingestion facade: per-install records spread
+//!   over independently locked shards so batches from different devices
+//!   ingest concurrently (the parallel study driver's direct path);
 //! * [`fingerprint`] — Appendix A's snapshot fingerprinting: coalescing
 //!   RacketStore installs into physical devices using install intervals,
 //!   Android IDs and Jaccard similarity.
@@ -31,6 +34,7 @@ pub mod fingerprint;
 pub mod hash;
 pub mod lzss;
 pub mod server;
+pub mod shard;
 pub mod transport;
 pub mod wire;
 
@@ -39,5 +43,6 @@ pub use collector::{CollectorConfig, SnapshotCollector};
 pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
 pub use hash::{crc32, md5, sha256};
 pub use server::{CollectionServer, InstallRecord};
+pub use shard::ShardedIngest;
 pub use transport::{MemTransport, TcpTransport, Transport};
 pub use wire::{Frame, FrameCodec, Message};

@@ -87,7 +87,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         if best_len >= MIN_MATCH {
             let dist = best_dist as u16;
             let len_code = (best_len - MIN_MATCH) as u8;
-            emit_token!(true, &[dist.to_le_bytes()[0], dist.to_le_bytes()[1], len_code]);
+            emit_token!(
+                true,
+                &[dist.to_le_bytes()[0], dist.to_le_bytes()[1], len_code]
+            );
             // Insert hash entries for every covered position.
             let end = i + best_len;
             while i < end {
@@ -130,7 +133,10 @@ impl std::fmt::Display for DecompressError {
         match self {
             DecompressError::Truncated => write!(f, "compressed stream truncated"),
             DecompressError::BadReference { at, distance } => {
-                write!(f, "back-reference distance {distance} at output offset {at}")
+                write!(
+                    f,
+                    "back-reference distance {distance} at output offset {at}"
+                )
             }
         }
     }
@@ -202,7 +208,12 @@ mod tests {
             .take(20_000)
             .collect();
         let c = compress(&data);
-        assert!(c.len() < data.len() / 5, "compressed {} of {}", c.len(), data.len());
+        assert!(
+            c.len() < data.len() / 5,
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 
@@ -273,7 +284,12 @@ mod tests {
             );
         }
         let c = compress(&data);
-        assert!(c.len() * 4 < data.len(), "expected ≥4× ratio, got {}/{}", c.len(), data.len());
+        assert!(
+            c.len() * 4 < data.len(),
+            "expected ≥4× ratio, got {}/{}",
+            c.len(),
+            data.len()
+        );
         assert_eq!(decompress(&c).unwrap(), data);
     }
 }

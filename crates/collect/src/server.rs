@@ -22,7 +22,7 @@ use crate::lzss;
 use crate::wire::{FrameCodec, Message};
 use parking_lot::Mutex;
 use racket_types::{
-    AndroidId, AppId, InstallDelta, InstalledApp, InstallId, ParticipantId, RegisteredAccount,
+    AndroidId, AppId, InstallDelta, InstallId, InstalledApp, ParticipantId, RegisteredAccount,
     SimTime, Snapshot, TimeInterval,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -65,7 +65,7 @@ pub struct InstallRecord {
 }
 
 impl InstallRecord {
-    fn new(install_id: InstallId, participant: ParticipantId, t: SimTime) -> Self {
+    pub(crate) fn new(install_id: InstallId, participant: ParticipantId, t: SimTime) -> Self {
         InstallRecord {
             install_id,
             participant,
@@ -104,11 +104,10 @@ impl InstallRecord {
         if self.snapshots_per_day.is_empty() {
             return 0.0;
         }
-        self.snapshots_per_day.values().sum::<u64>() as f64
-            / self.snapshots_per_day.len() as f64
+        self.snapshots_per_day.values().sum::<u64>() as f64 / self.snapshots_per_day.len() as f64
     }
 
-    fn ingest(&mut self, snapshot: &Snapshot) {
+    pub(crate) fn ingest(&mut self, snapshot: &Snapshot) {
         let t = snapshot.time();
         self.first_seen = self.first_seen.min(t);
         self.last_seen = self.last_seen.max(t);
@@ -202,7 +201,10 @@ impl CollectionServer {
     /// Handle one protocol message, producing the reply to send (if any).
     pub fn handle(&mut self, msg: Message) -> Option<Message> {
         match msg {
-            Message::SignIn { participant, install } => {
+            Message::SignIn {
+                participant,
+                install,
+            } => {
                 let accepted = participant.is_valid() && self.registered.contains(&participant);
                 if accepted {
                     self.signed_in.insert(install);
@@ -212,7 +214,12 @@ impl CollectionServer {
                 }
                 Some(Message::SignInAck { accepted })
             }
-            Message::SnapshotUpload { install, file_id, fast: _, payload } => {
+            Message::SnapshotUpload {
+                install,
+                file_id,
+                fast: _,
+                payload,
+            } => {
                 if !self.signed_in.contains(&install) {
                     return Some(Message::Error {
                         code: 401,
@@ -233,7 +240,10 @@ impl CollectionServer {
                             self.ingest_snapshot(s);
                         }
                         self.stats.files += 1;
-                        Some(Message::UploadAck { file_id, sha256: digest })
+                        Some(Message::UploadAck {
+                            file_id,
+                            sha256: digest,
+                        })
                     }
                     Err(detail) => {
                         self.stats.bad_uploads += 1;
@@ -242,9 +252,7 @@ impl CollectionServer {
                 }
             }
             // Server ignores acks/errors addressed to clients.
-            Message::SignInAck { .. } | Message::UploadAck { .. } | Message::Error { .. } => {
-                None
-            }
+            Message::SignInAck { .. } | Message::UploadAck { .. } | Message::Error { .. } => None,
         }
     }
 
@@ -263,6 +271,18 @@ impl CollectionServer {
                 )
             });
         record.ingest(snapshot);
+    }
+
+    /// Adopt a fully aggregated record (from a [`crate::shard::ShardedIngest`]
+    /// drain). Replaces any record previously held for the same install.
+    pub fn adopt_record(&mut self, record: InstallRecord) {
+        self.records.insert(record.install_id, record);
+    }
+
+    /// Add externally ingested snapshots to the stats counter (the sharded
+    /// direct path counts its own ingests; this folds them back in).
+    pub fn add_ingested_snapshots(&mut self, n: u64) {
+        self.stats.snapshots += n;
     }
 
     /// All install records.
@@ -295,8 +315,7 @@ impl CollectionServer {
             handles.push(std::thread::spawn(move || {
                 let mut transport = crate::transport::TcpTransport::new(stream);
                 let mut codec = FrameCodec::new();
-                while let Ok(Some(msg)) =
-                    crate::transport::recv_message(&mut transport, &mut codec)
+                while let Ok(Some(msg)) = crate::transport::recv_message(&mut transport, &mut codec)
                 {
                     let reply = server.lock().handle(msg);
                     if let Some(reply) = reply {
@@ -347,7 +366,10 @@ mod tests {
     #[test]
     fn sign_in_gating() {
         let mut s = server();
-        let ok = s.handle(Message::SignIn { participant: P, install: I });
+        let ok = s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
         assert_eq!(ok, Some(Message::SignInAck { accepted: true }));
         let bad = s.handle(Message::SignIn {
             participant: ParticipantId(999_999),
@@ -373,9 +395,15 @@ mod tests {
     #[test]
     fn upload_round_trip_acks_hash_and_ingests() {
         let mut s = server();
-        s.handle(Message::SignIn { participant: P, install: I });
+        s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
         // Build a compressed file of two snapshots.
-        let snaps = vec![fast_with_install(100, 1, 50), fast_with_install(105, 2, 104)];
+        let snaps = vec![
+            fast_with_install(100, 1, 50),
+            fast_with_install(105, 2, 104),
+        ];
         let mut raw = Vec::new();
         for snap in &snaps {
             raw.extend_from_slice(&SnapshotCollector::serialize(snap));
@@ -383,9 +411,20 @@ mod tests {
         let payload = lzss::compress(&raw);
         let expected_hash = sha256(&payload);
         let reply = s
-            .handle(Message::SnapshotUpload { install: I, file_id: 9, fast: true, payload })
+            .handle(Message::SnapshotUpload {
+                install: I,
+                file_id: 9,
+                fast: true,
+                payload,
+            })
             .unwrap();
-        assert_eq!(reply, Message::UploadAck { file_id: 9, sha256: expected_hash });
+        assert_eq!(
+            reply,
+            Message::UploadAck {
+                file_id: 9,
+                sha256: expected_hash
+            }
+        );
         let rec = s.record(I).unwrap();
         assert_eq!(rec.n_fast, 2);
         assert_eq!(rec.apps.len(), 2);
@@ -396,7 +435,10 @@ mod tests {
     #[test]
     fn malformed_upload_rejected() {
         let mut s = server();
-        s.handle(Message::SignIn { participant: P, install: I });
+        s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
         let reply = s.handle(Message::SnapshotUpload {
             install: I,
             file_id: 1,
@@ -436,7 +478,10 @@ mod tests {
         let rec = s.record(I).unwrap();
         assert_eq!(rec.uninstall_events.len(), 1);
         assert!(!rec.installed_now.contains(&AppId(1)));
-        assert!(rec.apps.contains_key(&AppId(1)), "metadata retained after uninstall");
+        assert!(
+            rec.apps.contains_key(&AppId(1)),
+            "metadata retained after uninstall"
+        );
     }
 
     #[test]
@@ -467,7 +512,10 @@ mod tests {
         // Monitoring starts at t = 100; the app was installed at t = 50.
         s.ingest_snapshot(&fast_with_install(100, 1, 50));
         let rec = s.record(I).unwrap();
-        assert!(rec.install_events.is_empty(), "old install is baseline, not event");
+        assert!(
+            rec.install_events.is_empty(),
+            "old install is baseline, not event"
+        );
         // An app installed during monitoring is an event.
         s.ingest_snapshot(&fast_with_install(200, 2, 150));
         assert_eq!(s.record(I).unwrap().install_events.len(), 1);

@@ -43,8 +43,20 @@ impl MemTransport {
         let (tx_a, rx_a) = unbounded();
         let (tx_b, rx_b) = unbounded();
         (
-            MemTransport { tx: tx_a, rx: rx_b, pending: Vec::new(), corrupt_every: 0, sends: 0 },
-            MemTransport { tx: tx_b, rx: rx_a, pending: Vec::new(), corrupt_every: 0, sends: 0 },
+            MemTransport {
+                tx: tx_a,
+                rx: rx_b,
+                pending: Vec::new(),
+                corrupt_every: 0,
+                sends: 0,
+            },
+            MemTransport {
+                tx: tx_b,
+                rx: rx_a,
+                pending: Vec::new(),
+                corrupt_every: 0,
+                sends: 0,
+            },
         )
     }
 
@@ -73,7 +85,9 @@ impl Transport for MemTransport {
     fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
         self.sends += 1;
         let mut chunk = bytes.to_vec();
-        if self.corrupt_every > 0 && self.sends.is_multiple_of(self.corrupt_every) && !chunk.is_empty()
+        if self.corrupt_every > 0
+            && self.sends.is_multiple_of(self.corrupt_every)
+            && !chunk.is_empty()
         {
             let idx = chunk.len() / 2;
             chunk[idx] ^= 0x40;
@@ -110,7 +124,9 @@ impl TcpTransport {
 
     /// Connect to an address.
     pub fn connect(addr: impl std::net::ToSocketAddrs) -> std::io::Result<Self> {
-        Ok(TcpTransport { stream: TcpStream::connect(addr)? })
+        Ok(TcpTransport {
+            stream: TcpStream::connect(addr)?,
+        })
     }
 }
 
@@ -217,7 +233,8 @@ mod tests {
             let mut t = TcpTransport::new(stream);
             let mut codec = FrameCodec::new();
             let msg = recv_message(&mut t, &mut codec).unwrap().unwrap();
-            t.send(&Message::SignInAck { accepted: true }.encode()).unwrap();
+            t.send(&Message::SignInAck { accepted: true }.encode())
+                .unwrap();
             msg
         });
         let mut client = TcpTransport::connect(addr).unwrap();

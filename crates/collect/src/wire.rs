@@ -130,7 +130,10 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             WireError::TooLarge(n) => write!(f, "payload of {n} bytes exceeds limit"),
             WireError::BadCrc { expected, actual } => {
-                write!(f, "crc mismatch: frame {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: frame {expected:#010x}, computed {actual:#010x}"
+                )
             }
             WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
             WireError::Malformed(what) => write!(f, "malformed payload: {what}"),
@@ -156,12 +159,20 @@ impl Message {
     fn encode_payload(&self) -> Vec<u8> {
         let mut p = Vec::new();
         match self {
-            Message::SignIn { participant, install } => {
+            Message::SignIn {
+                participant,
+                install,
+            } => {
                 p.extend_from_slice(&participant.raw().to_le_bytes());
                 p.extend_from_slice(&install.raw().to_le_bytes());
             }
             Message::SignInAck { accepted } => p.push(u8::from(*accepted)),
-            Message::SnapshotUpload { install, file_id, fast, payload } => {
+            Message::SnapshotUpload {
+                install,
+                file_id,
+                fast,
+                payload,
+            } => {
                 p.extend_from_slice(&install.raw().to_le_bytes());
                 p.extend_from_slice(&file_id.to_le_bytes());
                 p.push(u8::from(*fast));
@@ -182,12 +193,10 @@ impl Message {
     /// Decode a message from a frame.
     pub fn from_frame(frame: &Frame) -> Result<Message, WireError> {
         let p = frame.payload.as_slice();
-        let take_u32 = |b: &[u8]| -> u32 {
-            u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
-        };
-        let take_u64 = |b: &[u8]| -> u64 {
-            u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
-        };
+        let take_u32 =
+            |b: &[u8]| -> u32 { u32::from_le_bytes(b[..4].try_into().expect("4 bytes")) };
+        let take_u64 =
+            |b: &[u8]| -> u64 { u64::from_le_bytes(b[..8].try_into().expect("8 bytes")) };
         match frame.msg_type {
             msg_type::SIGN_IN => {
                 if p.len() != 12 {
@@ -202,7 +211,9 @@ impl Message {
                 if p.len() != 1 {
                     return Err(WireError::Malformed("sign-in ack needs 1 byte"));
                 }
-                Ok(Message::SignInAck { accepted: p[0] != 0 })
+                Ok(Message::SignInAck {
+                    accepted: p[0] != 0,
+                })
             }
             msg_type::SNAPSHOT_UPLOAD => {
                 if p.len() < 17 {
@@ -221,7 +232,10 @@ impl Message {
                 }
                 let mut sha256 = [0u8; 32];
                 sha256.copy_from_slice(&p[8..40]);
-                Ok(Message::UploadAck { file_id: take_u64(p), sha256 })
+                Ok(Message::UploadAck {
+                    file_id: take_u64(p),
+                    sha256,
+                })
             }
             msg_type::ERROR => {
                 if p.len() < 2 {
@@ -239,7 +253,10 @@ impl Message {
     /// Encode a full frame: header, payload, CRC trailer.
     pub fn encode(&self) -> Vec<u8> {
         let payload = self.encode_payload();
-        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds protocol limit");
+        assert!(
+            payload.len() <= MAX_PAYLOAD,
+            "payload exceeds protocol limit"
+        );
         let mut buf = BytesMut::with_capacity(HEADER + payload.len() + TRAILER);
         buf.put_u16_le(MAGIC);
         buf.put_u8(VERSION);
@@ -307,8 +324,7 @@ impl FrameCodec {
             return Err(WireError::BadVersion(version));
         }
         let msg_type = self.buf[3];
-        let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
-            as usize;
+        let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
         if len > MAX_PAYLOAD {
             return Err(WireError::TooLarge(len));
         }
@@ -353,8 +369,14 @@ mod tests {
                 fast: true,
                 payload: b"compressed bytes".to_vec(),
             },
-            Message::UploadAck { file_id: 42, sha256: [7; 32] },
-            Message::Error { code: 500, detail: "boom".into() },
+            Message::UploadAck {
+                file_id: 42,
+                sha256: [7; 32],
+            },
+            Message::Error {
+                code: 500,
+                detail: "boom".into(),
+            },
         ]
     }
 

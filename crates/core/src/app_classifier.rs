@@ -11,9 +11,9 @@ use crate::study::StudyOutput;
 use racket_features::{app_feature_names, app_features};
 use racket_ml::{
     cross_validate, Classifier, Dataset, FeatureImportance, GradientBoosting,
-    GradientBoostingParams, KNearestNeighbors, LinearSvm, LinearSvmParams,
-    LogisticRegression, LogisticRegressionParams, Lvq, LvqParams, Metrics, RandomForest,
-    RandomForestParams, Resampling,
+    GradientBoostingParams, KNearestNeighbors, LinearSvm, LinearSvmParams, LogisticRegression,
+    LogisticRegressionParams, Lvq, LvqParams, Metrics, RandomForest, RandomForestParams,
+    Resampling,
 };
 use racket_types::AppId;
 
@@ -47,7 +47,12 @@ impl AppUsageDataset {
             .collect();
         for &i in &holdout {
             let obs = &out.observations[i];
-            for app in obs.record.apps.keys() {
+            // Sorted app order: the row order of the training set must not
+            // depend on HashMap iteration order, or the fitted model (and
+            // everything downstream of it) varies run to run.
+            let mut apps: Vec<AppId> = obs.record.apps.keys().copied().collect();
+            apps.sort_unstable();
+            for app in &apps {
                 let label = if labels.suspicious.contains(app) {
                     1u8
                 } else if labels.non_suspicious.contains(app) {
@@ -78,46 +83,73 @@ impl AppUsageDataset {
 }
 
 /// A named factory producing fresh, unfitted classifiers for CV folds.
-pub type AlgorithmFactory = (&'static str, Box<dyn Fn() -> Box<dyn Classifier>>);
+/// `Sync` so cross-validation can call it from any worker thread.
+pub type AlgorithmFactory = (&'static str, Box<dyn Fn() -> Box<dyn Classifier> + Sync>);
 
 /// The algorithms evaluated in Table 1, by display name.
 pub fn table1_algorithms() -> Vec<AlgorithmFactory> {
     vec![
-        ("XGB", Box::new(|| {
-            Box::new(GradientBoosting::new(GradientBoostingParams::default()))
-                as Box<dyn Classifier>
-        })),
-        ("RF", Box::new(|| {
-            Box::new(RandomForest::new(RandomForestParams::default())) as Box<dyn Classifier>
-        })),
-        ("LR", Box::new(|| {
-            Box::new(LogisticRegression::new(LogisticRegressionParams::default()))
-                as Box<dyn Classifier>
-        })),
-        ("KNN", Box::new(|| {
-            Box::new(KNearestNeighbors::paper_default()) as Box<dyn Classifier>
-        })),
-        ("LVQ", Box::new(|| Box::new(Lvq::new(LvqParams::default())) as Box<dyn Classifier>)),
+        (
+            "XGB",
+            Box::new(|| {
+                Box::new(GradientBoosting::new(GradientBoostingParams::default()))
+                    as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "RF",
+            Box::new(|| {
+                Box::new(RandomForest::new(RandomForestParams::default())) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "LR",
+            Box::new(|| {
+                Box::new(LogisticRegression::new(LogisticRegressionParams::default()))
+                    as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "KNN",
+            Box::new(|| Box::new(KNearestNeighbors::paper_default()) as Box<dyn Classifier>),
+        ),
+        (
+            "LVQ",
+            Box::new(|| Box::new(Lvq::new(LvqParams::default())) as Box<dyn Classifier>),
+        ),
     ]
 }
 
 /// The algorithms evaluated in Table 2 (SVM replaces LR).
 pub fn table2_algorithms() -> Vec<AlgorithmFactory> {
     vec![
-        ("XGB", Box::new(|| {
-            Box::new(GradientBoosting::new(GradientBoostingParams::default()))
-                as Box<dyn Classifier>
-        })),
-        ("RF", Box::new(|| {
-            Box::new(RandomForest::new(RandomForestParams::default())) as Box<dyn Classifier>
-        })),
-        ("SVM", Box::new(|| {
-            Box::new(LinearSvm::new(LinearSvmParams::default())) as Box<dyn Classifier>
-        })),
-        ("KNN", Box::new(|| {
-            Box::new(KNearestNeighbors::paper_default()) as Box<dyn Classifier>
-        })),
-        ("LVQ", Box::new(|| Box::new(Lvq::new(LvqParams::default())) as Box<dyn Classifier>)),
+        (
+            "XGB",
+            Box::new(|| {
+                Box::new(GradientBoosting::new(GradientBoostingParams::default()))
+                    as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "RF",
+            Box::new(|| {
+                Box::new(RandomForest::new(RandomForestParams::default())) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "SVM",
+            Box::new(|| {
+                Box::new(LinearSvm::new(LinearSvmParams::default())) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "KNN",
+            Box::new(|| Box::new(KNearestNeighbors::paper_default()) as Box<dyn Classifier>),
+        ),
+        (
+            "LVQ",
+            Box::new(|| Box::new(Lvq::new(LvqParams::default())) as Box<dyn Classifier>),
+        ),
     ]
 }
 
@@ -151,12 +183,25 @@ pub const CV_REPEATS: usize = 5;
 
 /// Evaluate the §7 classifiers on a labeled dataset. `repeats` lets large
 /// sweeps trade repetitions for time (the paper uses 5).
-pub fn evaluate(dataset: &AppUsageDataset, repeats: usize, resampling: Resampling) -> AppClassifierReport {
+pub fn evaluate(
+    dataset: &AppUsageDataset,
+    repeats: usize,
+    resampling: Resampling,
+) -> AppClassifierReport {
     let mut table = Vec::new();
     for (name, factory) in table1_algorithms() {
-        let report =
-            cross_validate(factory.as_ref(), &dataset.data, CV_FOLDS, repeats, resampling, 42);
-        table.push(AlgorithmRow { name, metrics: report.metrics });
+        let report = cross_validate(
+            factory.as_ref(),
+            &dataset.data,
+            CV_FOLDS,
+            repeats,
+            resampling,
+            42,
+        );
+        table.push(AlgorithmRow {
+            name,
+            metrics: report.metrics,
+        });
     }
 
     // Figure 13: mean decrease in impurity from a forest fit on all data.
@@ -201,11 +246,7 @@ impl AppClassifier {
     }
 
     /// Probability that the app's usage on this device is promotion.
-    pub fn suspicion_proba(
-        &self,
-        obs: &racket_features::DeviceObservation,
-        app: AppId,
-    ) -> f64 {
+    pub fn suspicion_proba(&self, obs: &racket_features::DeviceObservation, app: AppId) -> f64 {
         self.model.predict_proba(&app_features(obs, app))
     }
 
@@ -248,7 +289,11 @@ mod tests {
     #[test]
     fn dataset_is_nonempty_and_skewed_to_suspicious() {
         let (_, ds) = dataset();
-        assert!(ds.n_suspicious() > 50, "suspicious instances: {}", ds.n_suspicious());
+        assert!(
+            ds.n_suspicious() > 50,
+            "suspicious instances: {}",
+            ds.n_suspicious()
+        );
         assert!(ds.n_regular() > 10, "regular instances: {}", ds.n_regular());
         // The paper's dataset skews suspicious (2,994 vs 345).
         assert!(ds.n_suspicious() > ds.n_regular());
@@ -261,7 +306,11 @@ mod tests {
         let report = evaluate(ds, 1, Resampling::None);
         let xgb = &report.table[0];
         assert_eq!(xgb.name, "XGB");
-        assert!(xgb.metrics.f1 > 0.95, "XGB F1 = {:.4} (paper: 0.9972)", xgb.metrics.f1);
+        assert!(
+            xgb.metrics.f1 > 0.95,
+            "XGB F1 = {:.4} (paper: 0.9972)",
+            xgb.metrics.f1
+        );
         assert!(xgb.metrics.auc > 0.92, "XGB AUC = {:.4}", xgb.metrics.auc);
     }
 
@@ -269,8 +318,12 @@ mod tests {
     fn importance_ranks_engagement_features_highly() {
         let (_, ds) = dataset();
         let report = evaluate(ds, 1, Resampling::None);
-        let top8: Vec<&str> =
-            report.importance.iter().take(8).map(|(n, _)| n.as_str()).collect();
+        let top8: Vec<&str> = report
+            .importance
+            .iter()
+            .take(8)
+            .map(|(n, _)| n.as_str())
+            .collect();
         // Figure 13: engagement features (reviewing accounts, install-to-
         // review delay, on-screen behaviour) dominate the ranking. Which
         // of the correlated engagement signals a Gini ranking puts first

@@ -53,7 +53,10 @@ impl Default for LabelingConfig {
 impl LabelingConfig {
     /// Thresholds scaled for a small test fleet.
     pub fn test_scale() -> Self {
-        LabelingConfig { min_worker_installs: 2, ..Default::default() }
+        LabelingConfig {
+            min_worker_installs: 2,
+            ..Default::default()
+        }
     }
 }
 
@@ -84,7 +87,9 @@ pub fn label_apps(out: &StudyOutput, config: &LabelingConfig) -> AppLabels {
     let sample = |idx: &[usize], frac: f64, rng: &mut StdRng| -> Vec<usize> {
         let mut v = idx.to_vec();
         v.shuffle(rng);
-        let k = ((idx.len() as f64 * frac).round() as usize).max(1).min(idx.len());
+        let k = ((idx.len() as f64 * frac).round() as usize)
+            .max(1)
+            .min(idx.len());
         v.truncate(k);
         v.sort_unstable();
         v
@@ -94,9 +99,8 @@ pub fn label_apps(out: &StudyOutput, config: &LabelingConfig) -> AppLabels {
 
     // Installation sets. "Installed" uses every app observed on the device
     // during monitoring (the paper reads the full installed list).
-    let installed_on = |i: usize| -> HashSet<AppId> {
-        out.observations[i].record.apps.keys().copied().collect()
-    };
+    let installed_on =
+        |i: usize| -> HashSet<AppId> { out.observations[i].record.apps.keys().copied().collect() };
     let mut installed_any_worker: HashSet<AppId> = HashSet::new();
     for &i in &worker_idx {
         installed_any_worker.extend(installed_on(i));
@@ -107,8 +111,7 @@ pub fn label_apps(out: &StudyOutput, config: &LabelingConfig) -> AppLabels {
     }
 
     // Suspicious: advertised ∧ ≥ k holdout worker devices ∧ 0 regular.
-    let advertised: HashSet<AppId> =
-        out.fleet.catalog.promoted_apps().iter().copied().collect();
+    let advertised: HashSet<AppId> = out.fleet.catalog.promoted_apps().iter().copied().collect();
     let mut suspicious = HashSet::new();
     for &app in &advertised {
         if installed_any_regular.contains(&app) {
@@ -131,14 +134,18 @@ pub fn label_apps(out: &StudyOutput, config: &LabelingConfig) -> AppLabels {
             if installed_any_worker.contains(&app) {
                 continue;
             }
-            if out.fleet.store.public_review_count(app) >= config.min_reviews_non_suspicious
-            {
+            if out.fleet.store.public_review_count(app) >= config.min_reviews_non_suspicious {
                 non_suspicious.insert(app);
             }
         }
     }
 
-    AppLabels { suspicious, non_suspicious, holdout_workers, holdout_regular }
+    AppLabels {
+        suspicious,
+        non_suspicious,
+        holdout_workers,
+        holdout_regular,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +171,10 @@ mod tests {
     fn labels_are_disjoint_and_nonempty() {
         let labels = label_apps(output(), &LabelingConfig::test_scale());
         assert!(!labels.suspicious.is_empty(), "no suspicious apps selected");
-        assert!(!labels.non_suspicious.is_empty(), "no non-suspicious apps selected");
+        assert!(
+            !labels.non_suspicious.is_empty(),
+            "no non-suspicious apps selected"
+        );
         assert!(labels.suspicious.is_disjoint(&labels.non_suspicious));
     }
 

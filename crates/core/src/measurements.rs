@@ -10,10 +10,10 @@
 
 use crate::study::StudyOutput;
 use racket_stats::{
-    anova_oneway, fligner_killeen, kruskal_wallis, ks_2samp, shapiro_wilk, Summary,
-    TestOutcome,
+    anova_oneway, fligner_killeen, kruskal_wallis, ks_2samp, shapiro_wilk, Summary, TestOutcome,
 };
 use racket_types::Cohort;
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 /// A per-feature comparison between the two cohorts.
@@ -43,7 +43,14 @@ impl CohortComparison {
         let ks = ks_2samp(&regular, &worker);
         let anova = anova_oneway(&[&regular, &worker]);
         let kruskal = kruskal_wallis(&[&regular, &worker]);
-        CohortComparison { name, regular, worker, ks, anova, kruskal }
+        CohortComparison {
+            name,
+            regular,
+            worker,
+            ks,
+            anova,
+            kruskal,
+        }
     }
 
     /// Summary of the regular sample.
@@ -61,8 +68,12 @@ impl CohortComparison {
     /// `None` when the pooled sample is degenerate (constant or too
     /// small).
     pub fn pretests(&self) -> Option<(TestOutcome, TestOutcome)> {
-        let pooled: Vec<f64> =
-            self.regular.iter().chain(self.worker.iter()).copied().collect();
+        let pooled: Vec<f64> = self
+            .regular
+            .iter()
+            .chain(self.worker.iter())
+            .copied()
+            .collect();
         if pooled.len() < 3 || pooled.len() > 5000 {
             return None;
         }
@@ -71,7 +82,10 @@ impl CohortComparison {
         if min == max {
             return None;
         }
-        Some((shapiro_wilk(&pooled), fligner_killeen(&[&self.regular, &self.worker])))
+        Some((
+            shapiro_wilk(&pooled),
+            fligner_killeen(&[&self.regular, &self.worker]),
+        ))
     }
 }
 
@@ -186,8 +200,7 @@ pub struct MeasurementReport {
 impl MeasurementReport {
     /// Run every §6 analysis.
     pub fn compute(out: &StudyOutput) -> MeasurementReport {
-        let cohorts: Vec<Cohort> =
-            out.truth.iter().map(|t| t.persona.cohort()).collect();
+        let cohorts: Vec<Cohort> = out.truth.iter().map(|t| t.persona.cohort()).collect();
         let split = |f: &dyn Fn(usize) -> f64| -> (Vec<f64>, Vec<f64>) {
             let mut regular = Vec::new();
             let mut worker = Vec::new();
@@ -200,8 +213,11 @@ impl MeasurementReport {
             (regular, worker)
         };
 
-        // Figure 4 — engagement.
+        // Figure 4 — engagement. Per-device passes fan out over worker
+        // threads (order-preserving, so the report is thread-count
+        // independent like everything else in the pipeline).
         let engagement = (0..out.observations.len())
+            .into_par_iter()
             .map(|i| EngagementPoint {
                 snapshots_per_day: out.observations[i].record.avg_snapshots_per_day(),
                 active_days: out.observations[i].record.active_days(),
@@ -258,7 +274,9 @@ impl MeasurementReport {
                     continue;
                 }
                 for (app, reviews) in &obs.reviews_by_app {
-                    let Some(info) = obs.record.apps.get(app) else { continue };
+                    let Some(info) = obs.record.apps.get(app) else {
+                        continue;
+                    };
                     if !obs.record.installed_now.contains(app) {
                         continue;
                     }
@@ -272,8 +290,8 @@ impl MeasurementReport {
             }
             out_days
         };
-        let regular_days = delays(Cohort::Regular);
-        let worker_days = delays(Cohort::Worker);
+        let (regular_days, worker_days) =
+            rayon::join(|| delays(Cohort::Regular), || delays(Cohort::Worker));
         let install_to_review = InstallToReview {
             regular_within_one_day: regular_days.iter().filter(|&&d| d <= 1.0).count(),
             worker_within_one_day: worker_days.iter().filter(|&&d| d <= 1.0).count(),
@@ -292,6 +310,7 @@ impl MeasurementReport {
 
         // Figure 9 — churn.
         let churn: Vec<ChurnPoint> = (0..out.observations.len())
+            .into_par_iter()
             .map(|i| {
                 let rec = &out.observations[i].record;
                 let days = rec.active_days().max(1) as f64;
@@ -309,6 +328,7 @@ impl MeasurementReport {
 
         // Figure 10 — apps used per day vs installed.
         let apps_used = (0..out.observations.len())
+            .into_par_iter()
             .map(|i| {
                 let rec = &out.observations[i].record;
                 let mut per_day: HashMap<u64, usize> = HashMap::new();
@@ -345,7 +365,10 @@ impl MeasurementReport {
             (&on_regular, &on_worker, Cohort::Regular),
             (&on_worker, &on_regular, Cohort::Worker),
         ] {
-            for &app in set.iter().filter(|a| !other.contains(a)) {
+            let mut exclusive: Vec<racket_types::AppId> =
+                set.iter().filter(|a| !other.contains(a)).copied().collect();
+            exclusive.sort_unstable();
+            for app in exclusive {
                 let meta = out.fleet.catalog.app(app);
                 permissions.push(PermissionPoint {
                     total: meta.permissions.len(),
@@ -360,7 +383,9 @@ impl MeasurementReport {
         let mut malware_map: HashMap<racket_types::ApkHash, MalwarePoint> = HashMap::new();
         for (obs, cohort) in out.observations.iter().zip(&cohorts) {
             for info in obs.record.apps.values() {
-                let Some(Some(flags)) = obs.vt_flags.get(&info.app) else { continue };
+                let Some(Some(flags)) = obs.vt_flags.get(&info.app) else {
+                    continue;
+                };
                 if *flags < threshold {
                     continue;
                 }
@@ -391,7 +416,11 @@ impl MeasurementReport {
             daily_uninstalls,
             apps_used,
             permissions,
-            malware: malware_map.into_values().collect(),
+            malware: {
+                let mut entries: Vec<_> = malware_map.into_iter().collect();
+                entries.sort_unstable_by_key(|(hash, _)| *hash);
+                entries.into_iter().map(|(_, point)| point).collect()
+            },
             malware_flag_threshold: threshold,
         }
     }
@@ -433,11 +462,13 @@ mod tests {
     #[test]
     fn gmail_accounts_significantly_differ() {
         let r = report();
-        assert!(r.gmail_accounts.ks.significant(), "KS p = {}", r.gmail_accounts.ks.p_value);
-        assert!(r.gmail_accounts.kruskal.significant());
         assert!(
-            r.gmail_accounts.worker_summary().mean > r.gmail_accounts.regular_summary().mean
+            r.gmail_accounts.ks.significant(),
+            "KS p = {}",
+            r.gmail_accounts.ks.p_value
         );
+        assert!(r.gmail_accounts.kruskal.significant());
+        assert!(r.gmail_accounts.worker_summary().mean > r.gmail_accounts.regular_summary().mean);
     }
 
     #[test]
@@ -445,7 +476,12 @@ mod tests {
         let r = report();
         let w = r.total_reviews.worker_summary();
         let reg = r.total_reviews.regular_summary();
-        assert!(w.mean > 20.0 * reg.mean.max(0.5), "worker {} regular {}", w.mean, reg.mean);
+        assert!(
+            w.mean > 20.0 * reg.mean.max(0.5),
+            "worker {} regular {}",
+            w.mean,
+            reg.mean
+        );
         assert!(r.total_reviews.ks.significant());
     }
 
@@ -464,27 +500,21 @@ mod tests {
         let r = report();
         let itr = &r.install_to_review;
         assert!(itr.worker_days.len() > 10 * itr.regular_days.len().max(1));
-        let worker_fast =
-            itr.worker_within_one_day as f64 / itr.worker_days.len().max(1) as f64;
+        let worker_fast = itr.worker_within_one_day as f64 / itr.worker_days.len().max(1) as f64;
         assert!((0.15..0.6).contains(&worker_fast), "P(≤1d) = {worker_fast}");
     }
 
     #[test]
     fn stopped_apps_heavier_for_workers() {
         let r = report();
-        assert!(
-            r.stopped_apps.worker_summary().median
-                > r.stopped_apps.regular_summary().median
-        );
+        assert!(r.stopped_apps.worker_summary().median > r.stopped_apps.regular_summary().median);
         assert!(r.stopped_apps.kruskal.significant());
     }
 
     #[test]
     fn churn_means_ordered() {
         let r = report();
-        assert!(
-            r.daily_installs.worker_summary().mean > r.daily_installs.regular_summary().mean
-        );
+        assert!(r.daily_installs.worker_summary().mean > r.daily_installs.regular_summary().mean);
     }
 
     #[test]

@@ -1,26 +1,42 @@
 //! The study driver: simulate the fleet through its monitored windows
 //! under live collection, then assemble the measurement database.
+//!
+//! The simulate→collect→assemble pipeline is parallel end to end (see
+//! ARCHITECTURE.md): devices run as independent *lanes*, each with its own
+//! driver RNG stream, snapshot collector and upload buffer. Cross-lane
+//! state is either sharded ([`racket_collect::ShardedIngest`] on the
+//! direct path), commutative (server stats counters), or merged serially
+//! in lane order (review posts) — so the output is a pure function of the
+//! configuration, never of the worker-thread count.
 
-use racket_agents::{apply_action, Fleet, FleetConfig, TimelineAction};
-use racket_collect::{
-    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer,
-    InstallRecord, MemTransport, SnapshotCollector, Transport,
-};
+use racket_agents::{apply_action_collecting, stream_seed, Fleet, FleetConfig, TimelineAction};
 use racket_collect::transport::recv_message;
 use racket_collect::wire::{FrameCodec, Message};
+use racket_collect::{
+    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer,
+    InstallRecord, MemTransport, ShardedIngest, SnapshotCollector, Transport,
+};
 use racket_features::DeviceObservation;
 use racket_playstore::crawler::ReviewCrawler;
-use racket_types::{AppId, Cohort, Persona, SimDuration, SimTime};
+use racket_types::{AppId, Cohort, Persona, PipelineMetrics, Review, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Salt mixed into the study seed before deriving per-device driver RNG
+/// streams, so a fleet generated and driven from the same numeric seed
+/// (e.g. 2021/2021 at paper scale) does not replay the history streams.
+const DRIVER_STREAM_SALT: u64 = 0xA076_1D64_78BD_642F;
 
 /// How snapshots travel from collectors to the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CollectionPath {
-    /// In-process ingestion (fast; the default for large fleets). The
-    /// snapshots and aggregation logic are identical to the wire path —
-    /// only the framing/transport hop is skipped.
+    /// In-process ingestion (fast; the default for large fleets): device
+    /// lanes ingest concurrently through the sharded store. The snapshots
+    /// and aggregation logic are identical to the wire path — only the
+    /// framing/transport hop is skipped.
     Direct,
     /// Full protocol: snapshots → data buffer (rotation + LZSS) → framed
     /// upload over an in-memory transport → server decode → hash ack →
@@ -49,7 +65,10 @@ impl StudyConfig {
     pub fn test_scale() -> Self {
         StudyConfig {
             fleet: FleetConfig::test_scale(),
-            collector: CollectorConfig { fast_period_secs: 60, slow_period_secs: 120 },
+            collector: CollectorConfig {
+                fast_period_secs: 60,
+                slow_period_secs: 120,
+            },
             path: CollectionPath::Wire,
             seed: 11,
         }
@@ -60,7 +79,10 @@ impl StudyConfig {
     pub fn paper_scale() -> Self {
         StudyConfig {
             fleet: FleetConfig::paper_scale(),
-            collector: CollectorConfig { fast_period_secs: 30, slow_period_secs: 120 },
+            collector: CollectorConfig {
+                fast_period_secs: 30,
+                slow_period_secs: 120,
+            },
             path: CollectionPath::Direct,
             seed: 2021,
         }
@@ -89,6 +111,9 @@ pub struct StudyOutput {
     pub server_stats: racket_collect::server::ServerStats,
     /// Number of physical devices recovered by fingerprint coalescing.
     pub coalesced_devices: usize,
+    /// Pipeline wall-time and throughput metrics for this run. The only
+    /// thread-count-dependent part of the output.
+    pub metrics: PipelineMetrics,
 }
 
 impl StudyOutput {
@@ -100,6 +125,19 @@ impl StudyOutput {
             .filter(move |(_, t)| t.persona.cohort() == cohort)
             .map(|(o, _)| o)
     }
+}
+
+/// One device's lane through the study: the device plus all per-device
+/// driver state, mutated on a worker thread without touching other lanes.
+struct DeviceLane {
+    dev: racket_agents::StudyDevice,
+    collector: SnapshotCollector,
+    buffer: DataBuffer,
+    wire: Option<(MemTransport, MemTransport, FrameCodec)>,
+    /// Per-lane driver RNG stream (seeded from the study seed + lane index).
+    rng: StdRng,
+    /// Compressed bytes this lane uploaded over the wire path.
+    bytes_compressed: u64,
 }
 
 /// The study runner.
@@ -116,58 +154,71 @@ impl Study {
     /// Run the complete study.
     pub fn run(&self) -> StudyOutput {
         let config = &self.config;
-        let mut fleet = Fleet::generate(config.fleet.clone());
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut server =
-            CollectionServer::new(fleet.devices.iter().map(|d| d.participant));
-        let mut crawler = ReviewCrawler::new();
+        let mut metrics = PipelineMetrics {
+            threads: rayon::current_num_threads(),
+            ..PipelineMetrics::default()
+        };
 
-        // Sign in + per-device collector/buffer state.
-        let n = fleet.devices.len();
-        let mut collectors: Vec<SnapshotCollector> = fleet
+        let t0 = Instant::now();
+        let mut fleet = Fleet::generate(config.fleet.clone());
+        metrics.fleet_gen_secs = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let mut server = CollectionServer::new(fleet.devices.iter().map(|d| d.participant));
+        let mut crawler = ReviewCrawler::new();
+        let sharded = match config.path {
+            CollectionPath::Direct => Some(ShardedIngest::for_current_threads()),
+            CollectionPath::Wire => None,
+        };
+
+        // Sign in + per-device lane state. Sign-ins are serial (one frame
+        // per device); the simulation loop below is where the time goes.
+        let mut lanes: Vec<DeviceLane> = fleet
             .devices
-            .iter()
-            .map(|d| {
+            .drain(..)
+            .enumerate()
+            .map(|(i, d)| {
                 // Uptime thins the effective cadence: a device reporting
                 // half the day yields half the snapshots per day.
                 let uptime = d.agent.profile.uptime.clamp(0.05, 1.0);
                 let cfg = CollectorConfig {
-                    fast_period_secs: ((config.collector.fast_period_secs as f64 / uptime)
-                        .round() as u64)
+                    fast_period_secs: ((config.collector.fast_period_secs as f64 / uptime).round()
+                        as u64)
                         .max(1),
-                    slow_period_secs: ((config.collector.slow_period_secs as f64 / uptime)
-                        .round() as u64)
+                    slow_period_secs: ((config.collector.slow_period_secs as f64 / uptime).round()
+                        as u64)
                         .max(1),
                 };
-                SnapshotCollector::new(cfg, d.install_id, d.participant)
-            })
-            .collect();
-        let mut buffers: Vec<DataBuffer> = (0..n).map(|_| DataBuffer::new()).collect();
-
-        // Wire-path plumbing: one client/server transport pair per device.
-        let mut wire: Vec<Option<(MemTransport, MemTransport, FrameCodec)>> = (0..n)
-            .map(|_| match config.path {
-                CollectionPath::Wire => {
-                    let (c, s) = MemTransport::pair();
-                    Some((c, s, FrameCodec::new()))
+                let collector = SnapshotCollector::new(cfg, d.install_id, d.participant);
+                let wire = match config.path {
+                    CollectionPath::Wire => {
+                        let (c, s) = MemTransport::pair();
+                        Some((c, s, FrameCodec::new()))
+                    }
+                    CollectionPath::Direct => None,
+                };
+                DeviceLane {
+                    dev: d,
+                    collector,
+                    buffer: DataBuffer::new(),
+                    wire,
+                    rng: StdRng::seed_from_u64(stream_seed(
+                        config.seed ^ DRIVER_STREAM_SALT,
+                        i as u64,
+                    )),
+                    bytes_compressed: 0,
                 }
-                CollectionPath::Direct => None,
             })
             .collect();
 
-        for (i, d) in fleet.devices.iter().enumerate() {
-            match &mut wire[i] {
+        for lane in &mut lanes {
+            let sign_in = Message::SignIn {
+                participant: lane.dev.participant,
+                install: lane.dev.install_id,
+            };
+            match &mut lane.wire {
                 Some((client, server_end, _)) => {
-                    // Protocol sign-in.
-                    client
-                        .send(
-                            &Message::SignIn {
-                                participant: d.participant,
-                                install: d.install_id,
-                            }
-                            .encode(),
-                        )
-                        .expect("mem transport");
+                    client.send(&sign_in.encode()).expect("mem transport");
                     let mut codec = FrameCodec::new();
                     let msg = recv_message(server_end, &mut codec)
                         .expect("transport")
@@ -176,52 +227,38 @@ impl Study {
                     assert_eq!(reply, Message::SignInAck { accepted: true });
                 }
                 None => {
-                    server.handle(Message::SignIn {
-                        participant: d.participant,
-                        install: d.install_id,
-                    });
+                    server.handle(sign_in);
                 }
             }
         }
 
-        // ---- main loop: one study day at a time, all devices -------------
+        // ---- main loop: one study day at a time, all device lanes in ------
+        // ---- parallel, reviews merged serially in lane order --------------
+        let server = parking_lot::Mutex::new(server);
         let study_start = config.fleet.study_start();
         let horizon = config.fleet.horizon();
         let total_days = config.fleet.max_study_days;
+        let catalog = &fleet.catalog;
         for day in 0..total_days {
             let day_start = study_start + SimDuration::from_days(day);
-            for i in 0..n {
-                let dev = &mut fleet.devices[i];
-                if !dev.monitoring.contains(day_start) {
-                    continue;
-                }
-                let actions: Vec<TimelineAction> = dev.agent.plan_day(
-                    &dev.device,
-                    &fleet.catalog,
-                    day_start,
-                    horizon,
-                    &mut rng,
-                );
-                let day_end = (day_start + SimDuration::from_days(1)).min(dev.monitoring.end);
-                for ta in &actions {
-                    if ta.time >= day_end {
-                        continue;
-                    }
-                    // Sample everything due before the action, then apply.
-                    let snaps = collectors[i].poll(&dev.device, ta.time);
-                    Self::deliver(
-                        &snaps,
-                        &mut buffers[i],
-                        &mut wire[i],
-                        &mut server,
+            let day_reviews: Vec<Vec<Review>> = lanes
+                .par_iter_mut()
+                .map(|lane| {
+                    Self::run_lane_day(
+                        lane,
+                        catalog,
+                        day_start,
+                        horizon,
+                        sharded.as_ref(),
+                        &server,
                         config.path,
-                    );
-                    apply_action(&mut dev.device, &mut fleet.store, &fleet.catalog, ta, &mut rng);
-                }
-                // Close out the day.
-                let last_tick = SimTime::from_secs(day_end.as_secs().saturating_sub(1));
-                let snaps = collectors[i].poll(&dev.device, last_tick);
-                Self::deliver(&snaps, &mut buffers[i], &mut wire[i], &mut server, config.path);
+                    )
+                })
+                .collect();
+            // Reviews post serially in lane order: the store's pagination
+            // (and therefore the crawler) sees one canonical posting order.
+            for review in day_reviews.into_iter().flatten() {
+                fleet.store.post(review);
             }
 
             // 12-hourly review crawl over apps installed on participant
@@ -230,10 +267,9 @@ impl Study {
             for half in 0..2 {
                 let t = day_start + SimDuration::from_hours(12 * half);
                 if crawler.is_due(t) {
-                    let installed: HashSet<AppId> = fleet
-                        .devices
+                    let installed: HashSet<AppId> = lanes
                         .iter()
-                        .flat_map(|d| d.device.installed_apps().map(|a| a.app))
+                        .flat_map(|l| l.dev.device.installed_apps().map(|a| a.app))
                         .collect();
                     crawler.crawl_all(&fleet.store, installed, t);
                 }
@@ -241,15 +277,16 @@ impl Study {
         }
 
         // Final buffer flush (wire path only has residue in buffers).
-        for i in 0..n {
-            buffers[i].flush();
-            let pending: Vec<_> = buffers[i].pending().cloned().collect();
-            if let Some((client, server_end, server_codec)) = &mut wire[i] {
+        for lane in &mut lanes {
+            lane.buffer.flush();
+            let pending: Vec<_> = lane.buffer.pending().cloned().collect();
+            if let Some((client, server_end, server_codec)) = &mut lane.wire {
                 for f in &pending {
+                    lane.bytes_compressed += f.data.len() as u64;
                     client
                         .send(
                             &Message::SnapshotUpload {
-                                install: fleet.devices[i].install_id,
+                                install: lane.dev.install_id,
                                 file_id: f.file_id,
                                 fast: f.fast,
                                 payload: f.data.clone(),
@@ -260,67 +297,97 @@ impl Study {
                     let msg = recv_message(server_end, server_codec)
                         .expect("transport")
                         .expect("upload frame");
-                    if let Some(Message::UploadAck { file_id, sha256 }) = server.handle(msg) {
-                        buffers[i].acknowledge(file_id, sha256);
+                    if let Some(Message::UploadAck { file_id, sha256 }) = server.lock().handle(msg)
+                    {
+                        lane.buffer.acknowledge(file_id, sha256);
                     }
                 }
             }
         }
+        let mut server = server.into_inner();
+
+        // Devices return to the fleet in lane (= fleet) order.
+        metrics.bytes_compressed = lanes.iter().map(|l| l.bytes_compressed).sum();
+        fleet.devices = lanes.into_iter().map(|l| l.dev).collect();
+
+        // Sharded direct-path records converge into the server table.
+        if let Some(sharded) = sharded {
+            metrics.shard_occupancy = sharded.occupancy();
+            sharded.merge_into(&mut server);
+        }
+        metrics.simulate_secs = t1.elapsed().as_secs_f64();
+        metrics.snapshots_ingested = server.stats().snapshots;
 
         // ---- assemble the measurement database ----------------------------
-        let records: Vec<InstallRecord> = server.records().cloned().collect();
+        let t2 = Instant::now();
+        // Canonical record order: sorted by install ID (HashMap iteration
+        // order must never reach coalescing, which is order-sensitive).
+        let mut records: Vec<InstallRecord> = server.records().cloned().collect();
+        records.sort_by_key(|r| r.install_id);
         let candidates: Vec<CandidateInstall> =
             records.iter().map(CandidateInstall::from_record).collect();
         let coalesced = coalesce_installs(candidates);
         let coalesced_devices = coalesced.len();
 
-        let preinstalled: HashSet<AppId> =
-            fleet.catalog.system_apps().iter().copied().collect();
-        let mut observations = Vec::with_capacity(n);
-        let mut truth = Vec::with_capacity(n);
-        let by_install: HashMap<_, _> =
-            records.into_iter().map(|r| (r.install_id, r)).collect();
+        let preinstalled: HashSet<AppId> = fleet.catalog.system_apps().iter().copied().collect();
+        let by_install: HashMap<_, _> = records.into_iter().map(|r| (r.install_id, r)).collect();
 
-        for dev in &fleet.devices {
-            let Some(record) = by_install.get(&dev.install_id) else {
-                continue; // device produced no snapshots
-            };
-            // Google-ID crawl: resolve every Gmail account on the device.
-            let google_ids: Vec<_> = record
-                .accounts
-                .iter()
-                .filter(|a| a.service.is_gmail())
-                .filter_map(|a| fleet.directory.lookup(a.id))
-                .collect();
-            // Review join: everything those IDs ever posted (the 217k-review
-            // account crawl of §5), grouped by app.
-            let mut reviews_by_app: HashMap<AppId, Vec<racket_types::Review>> =
-                HashMap::new();
-            for &gid in &google_ids {
-                for r in fleet.store.reviews_by(gid) {
-                    reviews_by_app.entry(r.app).or_default().push(r.clone());
+        // Per-device joins (Google-ID crawl, review join, VirusTotal) are
+        // independent — one observation per device, built in parallel.
+        let joined: Vec<Option<(DeviceObservation, GroundTruth)>> = fleet
+            .devices
+            .par_iter()
+            .map(|dev| {
+                // Devices that never snapshotted have no record to join.
+                let record = by_install.get(&dev.install_id)?;
+                // Google-ID crawl: resolve every Gmail account on the device.
+                let google_ids: Vec<_> = record
+                    .accounts
+                    .iter()
+                    .filter(|a| a.service.is_gmail())
+                    .filter_map(|a| fleet.directory.lookup(a.id))
+                    .collect();
+                // Review join: everything those IDs ever posted (the
+                // 217k-review account crawl of §5), grouped by app.
+                let mut reviews_by_app: HashMap<AppId, Vec<Review>> = HashMap::new();
+                for &gid in &google_ids {
+                    for r in fleet.store.reviews_by(gid) {
+                        reviews_by_app.entry(r.app).or_default().push(r.clone());
+                    }
                 }
-            }
-            // VirusTotal reports for every app ever observed installed.
-            let vt_flags: HashMap<AppId, Option<u8>> = record
-                .apps
-                .values()
-                .map(|info| {
-                    let report = fleet.virustotal.query(info.apk_hash);
-                    (info.app, report.map(|r| r.flags))
-                })
-                .collect();
+                // VirusTotal reports for every app ever observed installed.
+                let vt_flags: HashMap<AppId, Option<u8>> = record
+                    .apps
+                    .values()
+                    .map(|info| {
+                        let report = fleet.virustotal.query(info.apk_hash);
+                        (info.app, report.map(|r| r.flags))
+                    })
+                    .collect();
 
-            observations.push(DeviceObservation {
-                record: record.clone(),
-                monitoring: dev.monitoring,
-                google_ids,
-                reviews_by_app,
-                vt_flags,
-                preinstalled: preinstalled.clone(),
-            });
-            truth.push(GroundTruth { persona: dev.persona() });
+                let obs = DeviceObservation {
+                    record: record.clone(),
+                    monitoring: dev.monitoring,
+                    google_ids,
+                    reviews_by_app,
+                    vt_flags,
+                    preinstalled: preinstalled.clone(),
+                };
+                Some((
+                    obs,
+                    GroundTruth {
+                        persona: dev.persona(),
+                    },
+                ))
+            })
+            .collect();
+        let mut observations = Vec::with_capacity(joined.len());
+        let mut truth = Vec::with_capacity(joined.len());
+        for (obs, gt) in joined.into_iter().flatten() {
+            observations.push(obs);
+            truth.push(gt);
         }
+        metrics.assemble_secs = t2.elapsed().as_secs_f64();
 
         StudyOutput {
             observations,
@@ -329,35 +396,85 @@ impl Study {
             server_stats: server.stats(),
             coalesced_devices,
             fleet,
+            metrics,
         }
     }
 
+    /// Drive one device lane through one study day: plan, sample snapshots
+    /// at every action boundary, deliver them, apply the actions. Returns
+    /// the reviews the day produced (posted by the caller, in lane order).
+    fn run_lane_day(
+        lane: &mut DeviceLane,
+        catalog: &racket_playstore::AppCatalog,
+        day_start: SimTime,
+        horizon: SimTime,
+        sharded: Option<&ShardedIngest>,
+        server: &parking_lot::Mutex<CollectionServer>,
+        path: CollectionPath,
+    ) -> Vec<Review> {
+        let mut reviews = Vec::new();
+        if !lane.dev.monitoring.contains(day_start) {
+            return reviews;
+        }
+        let actions: Vec<TimelineAction> =
+            lane.dev
+                .agent
+                .plan_day(&lane.dev.device, catalog, day_start, horizon, &mut lane.rng);
+        let day_end = (day_start + SimDuration::from_days(1)).min(lane.dev.monitoring.end);
+        for ta in &actions {
+            if ta.time >= day_end {
+                continue;
+            }
+            // Sample everything due before the action, then apply.
+            let snaps = lane.collector.poll(&lane.dev.device, ta.time);
+            Self::deliver(&snaps, lane, sharded, server, path);
+            apply_action_collecting(
+                &mut lane.dev.device,
+                &mut reviews,
+                catalog,
+                ta,
+                &mut lane.rng,
+            );
+        }
+        // Close out the day.
+        let last_tick = SimTime::from_secs(day_end.as_secs().saturating_sub(1));
+        let snaps = lane.collector.poll(&lane.dev.device, last_tick);
+        Self::deliver(&snaps, lane, sharded, server, path);
+        reviews
+    }
+
     /// Deliver snapshots along the configured path.
+    ///
+    /// Direct: straight into the sharded store (concurrent across lanes).
+    /// Wire: through the lane's buffer and transport, with the server
+    /// behind a mutex — per-install aggregation is disjoint across lanes,
+    /// so the lock order cannot change the result.
     fn deliver(
         snaps: &[racket_types::Snapshot],
-        buffer: &mut DataBuffer,
-        wire: &mut Option<(MemTransport, MemTransport, FrameCodec)>,
-        server: &mut CollectionServer,
+        lane: &mut DeviceLane,
+        sharded: Option<&ShardedIngest>,
+        server: &parking_lot::Mutex<CollectionServer>,
         path: CollectionPath,
     ) {
         match path {
             CollectionPath::Direct => {
-                for s in snaps {
-                    server.ingest_snapshot(s);
-                }
+                sharded
+                    .expect("direct path has a sharded store")
+                    .ingest_batch(snaps);
             }
             CollectionPath::Wire => {
                 let install = snaps.first().map(racket_types::Snapshot::install_id);
                 for s in snaps {
-                    buffer.push(s);
+                    lane.buffer.push(s);
                 }
                 let Some(install) = install else { return };
                 // Upload any rotated files and process acks inline.
-                let pending: Vec<_> = buffer.pending().cloned().collect();
-                let Some((client, server_end, server_codec)) = wire else {
+                let pending: Vec<_> = lane.buffer.pending().cloned().collect();
+                let Some((client, server_end, server_codec)) = &mut lane.wire else {
                     unreachable!("wire path without transports")
                 };
                 for f in pending {
+                    lane.bytes_compressed += f.data.len() as u64;
                     client
                         .send(
                             &Message::SnapshotUpload {
@@ -372,8 +489,9 @@ impl Study {
                     let msg = recv_message(server_end, server_codec)
                         .expect("transport")
                         .expect("upload frame");
-                    if let Some(Message::UploadAck { file_id, sha256 }) = server.handle(msg) {
-                        buffer.acknowledge(file_id, sha256);
+                    if let Some(Message::UploadAck { file_id, sha256 }) = server.lock().handle(msg)
+                    {
+                        lane.buffer.acknowledge(file_id, sha256);
                     }
                 }
             }
@@ -410,10 +528,8 @@ mod tests {
     #[test]
     fn observations_have_accounts_and_reviews() {
         let out = run_test_study();
-        let worker_reviews: usize =
-            out.cohort(Cohort::Worker).map(|o| o.total_reviews()).sum();
-        let regular_reviews: usize =
-            out.cohort(Cohort::Regular).map(|o| o.total_reviews()).sum();
+        let worker_reviews: usize = out.cohort(Cohort::Worker).map(|o| o.total_reviews()).sum();
+        let regular_reviews: usize = out.cohort(Cohort::Regular).map(|o| o.total_reviews()).sum();
         assert!(worker_reviews > 20 * regular_reviews.max(1));
         // Every observation saw at least two days of snapshots.
         for o in &out.observations {
@@ -432,6 +548,40 @@ mod tests {
         let out = run_test_study();
         // One install per device in this scenario.
         assert_eq!(out.coalesced_devices, 60);
+    }
+
+    #[test]
+    fn wire_path_reports_metrics() {
+        let out = run_test_study();
+        assert_eq!(out.metrics.snapshots_ingested, out.server_stats.snapshots);
+        assert!(
+            out.metrics.bytes_compressed > 0,
+            "wire path compresses uploads"
+        );
+        assert!(
+            out.metrics.shard_occupancy.is_empty(),
+            "wire path is unsharded"
+        );
+        assert!(out.metrics.simulate_secs > 0.0);
+        assert!(out.metrics.threads >= 1);
+    }
+
+    #[test]
+    fn direct_path_shards_and_matches_device_count() {
+        let mut config = StudyConfig::test_scale();
+        config.path = CollectionPath::Direct;
+        let out = Study::new(config).run();
+        assert_eq!(out.observations.len(), 60);
+        assert_eq!(
+            out.metrics.shard_occupancy.iter().sum::<usize>(),
+            60,
+            "every device's record lands on exactly one shard"
+        );
+        assert_eq!(
+            out.metrics.bytes_compressed, 0,
+            "direct path skips compression"
+        );
+        assert_eq!(out.metrics.snapshots_ingested, out.server_stats.snapshots);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 use crate::model::DeviceModel;
 use crate::usage::UsageStats;
 use racket_types::{
-    AccountService, AndroidId, ApkHash, AppId, DeviceEvent, DeviceId, EventKind,
-    InstalledApp, PermissionProfile, Rating, RegisteredAccount, SimTime,
+    AccountService, AndroidId, ApkHash, AppId, DeviceEvent, DeviceId, EventKind, InstalledApp,
+    PermissionProfile, Rating, RegisteredAccount, SimTime,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -21,7 +21,10 @@ pub struct DevicePermissions {
 
 impl Default for DevicePermissions {
     fn default() -> Self {
-        DevicePermissions { usage_stats: true, get_accounts: true }
+        DevicePermissions {
+            usage_stats: true,
+            get_accounts: true,
+        }
     }
 }
 
@@ -120,7 +123,11 @@ impl Device {
             self.foreground = None;
         }
         self.installs_total += 1;
-        self.events.push(DeviceEvent::new(self.id, time, EventKind::AppInstalled { app }));
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::AppInstalled { app },
+        ));
     }
 
     /// Install a preinstalled (system image) app at the epoch.
@@ -142,8 +149,11 @@ impl Device {
             self.foreground = None;
         }
         self.uninstalls_total += 1;
-        self.events
-            .push(DeviceEvent::new(self.id, time, EventKind::AppUninstalled { app }));
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::AppUninstalled { app },
+        ));
         true
     }
 
@@ -161,7 +171,10 @@ impl Device {
         self.events.push(DeviceEvent::new(
             self.id,
             time,
-            EventKind::AppOpened { app, foreground_secs: secs },
+            EventKind::AppOpened {
+                app,
+                foreground_secs: secs,
+            },
         ));
         true
     }
@@ -176,7 +189,11 @@ impl Device {
         if self.foreground == Some(app) {
             self.foreground = None;
         }
-        self.events.push(DeviceEvent::new(self.id, time, EventKind::AppStopped { app }));
+        self.events.push(DeviceEvent::new(
+            self.id,
+            time,
+            EventKind::AppStopped { app },
+        ));
         true
     }
 
@@ -187,7 +204,9 @@ impl Device {
         self.events.push(DeviceEvent::new(
             self.id,
             time,
-            EventKind::AccountRegistered { account: account.id },
+            EventKind::AccountRegistered {
+                account: account.id,
+            },
         ));
         self.accounts.push(account);
     }
@@ -204,7 +223,11 @@ impl Device {
         self.events.push(DeviceEvent::new(
             self.id,
             time,
-            EventKind::ReviewPosted { app, account, rating },
+            EventKind::ReviewPosted {
+                app,
+                account,
+                rating,
+            },
         ));
     }
 
@@ -216,7 +239,11 @@ impl Device {
             self.events.push(DeviceEvent::new(
                 self.id,
                 time,
-                if on { EventKind::ScreenOn } else { EventKind::ScreenOff },
+                if on {
+                    EventKind::ScreenOn
+                } else {
+                    EventKind::ScreenOff
+                },
             ));
         }
         self.screen_on = on;
@@ -281,7 +308,11 @@ impl Device {
     /// Apps currently in the stopped state (the slow snapshot's
     /// `stopped_apps` list).
     pub fn stopped_apps(&self) -> Vec<AppId> {
-        self.installed.values().filter(|a| a.stopped).map(|a| a.app).collect()
+        self.installed
+            .values()
+            .filter(|a| a.stopped)
+            .map(|a| a.app)
+            .collect()
     }
 
     /// Registered accounts (the slow snapshot's `accounts` list, gated on
@@ -297,8 +328,7 @@ impl Device {
 
     /// Number of distinct account services registered.
     pub fn account_service_count(&self) -> usize {
-        let mut services: Vec<AccountService> =
-            self.accounts.iter().map(|a| a.service).collect();
+        let mut services: Vec<AccountService> = self.accounts.iter().map(|a| a.service).collect();
         services.sort();
         services.dedup();
         services.len()
@@ -369,7 +399,10 @@ mod tests {
         assert!(!d.is_installed(AppId(1)));
         assert!(d.usage().app(AppId(1)).is_none());
         assert_eq!(d.foreground_app(), None);
-        assert!(!d.uninstall_app(AppId(1), SimTime::from_days(1)), "double uninstall");
+        assert!(
+            !d.uninstall_app(AppId(1), SimTime::from_days(1)),
+            "double uninstall"
+        );
         assert_eq!(d.churn_totals(), (1, 1));
     }
 
@@ -391,7 +424,11 @@ mod tests {
         install(&mut d, 1, 0);
         assert_eq!(d.installed_count(), 2);
         assert_eq!(d.preinstalled_count(), 1);
-        assert_eq!(d.stopped_apps(), vec![AppId(1)], "system app is not stopped");
+        assert_eq!(
+            d.stopped_apps(),
+            vec![AppId(1)],
+            "system app is not stopped"
+        );
     }
 
     #[test]
@@ -465,8 +502,7 @@ mod tests {
         install(&mut d, 1, 0);
         d.open_app(AppId(1), SimTime::from_days(1), 10);
         d.record_review(AppId(1), AccountId(1), Rating::FIVE, SimTime::from_days(2));
-        let levels: Vec<Option<u8>> =
-            d.events().iter().map(|e| e.kind.timeline_level()).collect();
+        let levels: Vec<Option<u8>> = d.events().iter().map(|e| e.kind.timeline_level()).collect();
         assert_eq!(levels, vec![Some(4), Some(2), Some(3)]);
     }
 }

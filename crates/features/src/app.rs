@@ -13,25 +13,25 @@ use racket_types::AppId;
 /// Column names of the app-usage feature vector, aligned with
 /// [`app_features`]. These names appear in the Figure 13 importance plot.
 pub const APP_FEATURE_NAMES: [&str; 19] = [
-    "n_reviewing_accounts_before",  // (1) device accounts reviewing before install of RacketStore
-    "n_reviewing_accounts_during",  // (1) … while RacketStore was installed
-    "n_reviewing_accounts_after",   // (1) … after it was uninstalled
-    "avg_install_review_days",      // (2) mean install-to-review delay
-    "min_install_review_days",      // (2) fastest review after install
-    "mean_inter_review_days",       // (3) consecutive review gaps, mean
-    "min_inter_review_days",        // (3) … min
-    "max_inter_review_days",        // (3) … max
-    "opened_multiple_days",         // (4) 0/1
-    "fg_snapshots_per_day",         // (5) on-screen fast snapshots per active day
-    "device_snapshots_per_day",     // (6) device-wide snapshots per active day
-    "inner_retention_days",         // (7) installed coverage during monitoring
+    "n_reviewing_accounts_before", // (1) device accounts reviewing before install of RacketStore
+    "n_reviewing_accounts_during", // (1) … while RacketStore was installed
+    "n_reviewing_accounts_after",  // (1) … after it was uninstalled
+    "avg_install_review_days",     // (2) mean install-to-review delay
+    "min_install_review_days",     // (2) fastest review after install
+    "mean_inter_review_days",      // (3) consecutive review gaps, mean
+    "min_inter_review_days",       // (3) … min
+    "max_inter_review_days",       // (3) … max
+    "opened_multiple_days",        // (4) 0/1
+    "fg_snapshots_per_day",        // (5) on-screen fast snapshots per active day
+    "device_snapshots_per_day",    // (6) device-wide snapshots per active day
+    "inner_retention_days",        // (7) installed coverage during monitoring
     "installed_before_racketstore", // (7) 0/1
-    "installed_at_end",             // (7) 0/1
-    "n_normal_permissions",         // (8)
-    "n_dangerous_permissions",      // (8)
-    "n_permissions_granted",        // (9)
-    "n_permissions_denied",         // (9)
-    "vt_flags",                     // (10)
+    "installed_at_end",            // (7) 0/1
+    "n_normal_permissions",        // (8)
+    "n_dangerous_permissions",     // (8)
+    "n_permissions_granted",       // (9)
+    "n_permissions_denied",        // (9)
+    "vt_flags",                    // (10)
 ];
 
 /// Index of the install/uninstall-count feature appended by
@@ -111,9 +111,7 @@ pub fn app_features(obs: &DeviceObservation, app: AppId) -> Vec<f64> {
     let fg = obs.record.foreground.get(&app);
     let opened_multiple_days = fg.is_some_and(|days| days.len() > 1);
     let fg_per_day = fg
-        .map(|days| {
-            days.values().sum::<u64>() as f64 / obs.record.active_days().max(1) as f64
-        })
+        .map(|days| days.values().sum::<u64>() as f64 / obs.record.active_days().max(1) as f64)
         .unwrap_or(0.0);
 
     // (6) device-wide snapshot rate.
@@ -148,10 +146,18 @@ pub fn app_features(obs: &DeviceObservation, app: AppId) -> Vec<f64> {
     let vt = obs.vt_flags.get(&app).copied().flatten().unwrap_or(0);
 
     // (11) churn of this app during monitoring.
-    let n_installs =
-        obs.record.install_events.iter().filter(|(a, _)| *a == app).count();
-    let n_uninstalls =
-        obs.record.uninstall_events.iter().filter(|(a, _)| *a == app).count();
+    let n_installs = obs
+        .record
+        .install_events
+        .iter()
+        .filter(|(a, _)| *a == app)
+        .count();
+    let n_uninstalls = obs
+        .record
+        .uninstall_events
+        .iter()
+        .filter(|(a, _)| *a == app)
+        .count();
 
     vec![
         before.len() as f64,
@@ -182,9 +188,8 @@ pub fn app_features(obs: &DeviceObservation, app: AppId) -> Vec<f64> {
 mod tests {
     use super::*;
     use racket_types::{
-        ApkHash, FastSnapshot, GoogleId, InstallDelta, InstallId, InstalledApp,
-        ParticipantId, Permission, PermissionProfile, Rating, Review, SimTime, Snapshot,
-        TimeInterval,
+        ApkHash, FastSnapshot, GoogleId, InstallDelta, InstallId, InstalledApp, ParticipantId,
+        Permission, PermissionProfile, Rating, Review, SimTime, Snapshot, TimeInterval,
     };
     use std::collections::{HashMap, HashSet};
 
@@ -212,12 +217,7 @@ mod tests {
             battery_pct: 90,
             install_events: vec![InstallDelta::Installed(InstalledApp {
                 stopped: false,
-                ..InstalledApp::fresh(
-                    AppId(1),
-                    SimTime::from_days(2),
-                    perms,
-                    ApkHash([1; 16]),
-                )
+                ..InstalledApp::fresh(AppId(1), SimTime::from_days(2), perms, ApkHash([1; 16]))
             })],
         }));
         // A second day of foreground observations.

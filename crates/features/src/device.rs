@@ -13,20 +13,20 @@ use racket_types::AccountService;
 /// [`device_features`]. These names appear in the Figure 14 importance
 /// plot.
 pub const DEVICE_FEATURE_NAMES: [&str; 14] = [
-    "n_preinstalled_apps",     // (1)
-    "n_user_installed_apps",   // (1)
-    "app_suspiciousness",      // (2) fraction flagged by the §7 classifier
-    "n_stopped_apps",          // (3)
-    "avg_daily_installs",      // (4)
-    "avg_daily_uninstalls",    // (4)
-    "n_gmail_accounts",        // (5)
-    "n_non_gmail_accounts",    // (5)
-    "n_account_types",         // (5)
-    "n_installed_and_reviewed",// (6)
-    "n_total_apps_reviewed",   // (7)
-    "avg_reviews_per_account", // (7) reviews / gmail accounts
-    "snapshots_per_day",       // engagement context (Figure 4)
-    "active_days",             // engagement context
+    "n_preinstalled_apps",      // (1)
+    "n_user_installed_apps",    // (1)
+    "app_suspiciousness",       // (2) fraction flagged by the §7 classifier
+    "n_stopped_apps",           // (3)
+    "avg_daily_installs",       // (4)
+    "avg_daily_uninstalls",     // (4)
+    "n_gmail_accounts",         // (5)
+    "n_non_gmail_accounts",     // (5)
+    "n_account_types",          // (5)
+    "n_installed_and_reviewed", // (6)
+    "n_total_apps_reviewed",    // (7)
+    "avg_reviews_per_account",  // (7) reviews / gmail accounts
+    "snapshots_per_day",        // engagement context (Figure 4)
+    "active_days",              // engagement context
 ];
 
 /// Extract the §8.1 feature vector for one device.
@@ -36,24 +36,32 @@ pub const DEVICE_FEATURE_NAMES: [&str; 14] = [
 pub fn device_features(obs: &DeviceObservation, app_suspiciousness: f64) -> Vec<f64> {
     let record = &obs.record;
     let installed: Vec<_> = record.installed_now.iter().collect();
-    let n_pre = installed.iter().filter(|a| obs.preinstalled.contains(a)).count();
+    let n_pre = installed
+        .iter()
+        .filter(|a| obs.preinstalled.contains(a))
+        .count();
     let n_user = installed.len() - n_pre;
 
     let active_days = record.active_days().max(1) as f64;
     let daily_installs = record.install_events.len() as f64 / active_days;
     let daily_uninstalls = record.uninstall_events.len() as f64 / active_days;
 
-    let n_gmail =
-        record.accounts.iter().filter(|a| a.service.is_gmail()).count();
+    let n_gmail = record
+        .accounts
+        .iter()
+        .filter(|a| a.service.is_gmail())
+        .count();
     let n_non_gmail = record.accounts.len() - n_gmail;
-    let mut services: Vec<AccountService> =
-        record.accounts.iter().map(|a| a.service).collect();
+    let mut services: Vec<AccountService> = record.accounts.iter().map(|a| a.service).collect();
     services.sort();
     services.dedup();
 
     let total_reviews = obs.total_reviews() as f64;
-    let reviews_per_account =
-        if n_gmail > 0 { total_reviews / n_gmail as f64 } else { 0.0 };
+    let reviews_per_account = if n_gmail > 0 {
+        total_reviews / n_gmail as f64
+    } else {
+        0.0
+    };
 
     vec![
         n_pre as f64,
@@ -77,9 +85,9 @@ pub fn device_features(obs: &DeviceObservation, app_suspiciousness: f64) -> Vec<
 mod tests {
     use super::*;
     use racket_types::{
-        AccountId, ApkHash, AppId, FastSnapshot, GoogleId, InstallDelta, InstallId,
-        InstalledApp, ParticipantId, PermissionProfile, Rating, RegisteredAccount, Review,
-        SimTime, SlowSnapshot, Snapshot, TimeInterval,
+        AccountId, ApkHash, AppId, FastSnapshot, GoogleId, InstallDelta, InstallId, InstalledApp,
+        ParticipantId, PermissionProfile, Rating, RegisteredAccount, Review, SimTime, SlowSnapshot,
+        Snapshot, TimeInterval,
     };
     use std::collections::HashMap;
 
@@ -129,7 +137,12 @@ mod tests {
         );
         reviews_by_app.insert(
             AppId(55), // not installed
-            vec![Review::new(AppId(55), GoogleId(1), SimTime::from_days(5), Rating::FOUR)],
+            vec![Review::new(
+                AppId(55),
+                GoogleId(1),
+                SimTime::from_days(5),
+                Rating::FOUR,
+            )],
         );
         DeviceObservation {
             record,

@@ -43,7 +43,10 @@ impl DeviceObservation {
     /// Number of distinct apps reviewed from device accounts, installed
     /// or not (Figure 6, right).
     pub fn total_apps_reviewed(&self) -> usize {
-        self.reviews_by_app.iter().filter(|(_, v)| !v.is_empty()).count()
+        self.reviews_by_app
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .count()
     }
 
     /// Number of *currently installed* apps reviewed from device accounts
@@ -90,7 +93,12 @@ mod tests {
         let mut reviews_by_app = HashMap::new();
         reviews_by_app.insert(
             AppId(1),
-            vec![Review::new(AppId(1), GoogleId(9), SimTime::from_days(3), Rating::FIVE)],
+            vec![Review::new(
+                AppId(1),
+                GoogleId(9),
+                SimTime::from_days(3),
+                Rating::FIVE,
+            )],
         );
         reviews_by_app.insert(
             AppId(2), // reviewed but not installed

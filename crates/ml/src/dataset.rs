@@ -19,11 +19,18 @@ impl Dataset {
     pub fn new(x: Vec<Vec<f64>>, y: Vec<u8>, feature_names: Vec<String>) -> Self {
         assert_eq!(x.len(), y.len(), "rows and labels must align");
         if let Some(first) = x.first() {
-            assert!(x.iter().all(|r| r.len() == first.len()), "ragged feature matrix");
+            assert!(
+                x.iter().all(|r| r.len() == first.len()),
+                "ragged feature matrix"
+            );
             assert_eq!(feature_names.len(), first.len(), "names must match columns");
         }
         assert!(y.iter().all(|&l| l <= 1), "labels must be binary");
-        Dataset { x, y, feature_names }
+        Dataset {
+            x,
+            y,
+            feature_names,
+        }
     }
 
     /// Number of rows.
@@ -168,7 +175,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "ragged feature matrix")]
     fn dataset_rejects_ragged_rows() {
-        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1], vec!["a".into()]);
+        Dataset::new(
+            vec![vec![1.0], vec![1.0, 2.0]],
+            vec![0, 1],
+            vec!["a".into()],
+        );
     }
 
     #[test]

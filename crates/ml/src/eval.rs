@@ -12,6 +12,7 @@ use crate::Classifier;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Binary confusion counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +42,14 @@ impl ConfusionMatrix {
     /// Total observations recorded.
     pub fn total(&self) -> usize {
         self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fold another matrix's counts into this one (pooling across folds).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
     }
 
     /// Precision `tp / (tp + fp)`; 1.0 when nothing was predicted positive
@@ -183,8 +192,7 @@ pub fn stratified_folds(y: &[u8], k: usize, seed: u64) -> Vec<usize> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut fold = vec![0usize; y.len()];
     for class in [0u8, 1u8] {
-        let mut members: Vec<usize> =
-            (0..y.len()).filter(|&i| y[i] == class).collect();
+        let mut members: Vec<usize> = (0..y.len()).filter(|&i| y[i] == class).collect();
         members.shuffle(&mut rng);
         for (pos, &i) in members.iter().enumerate() {
             fold[i] = pos % k;
@@ -210,6 +218,11 @@ pub struct CvReport {
 /// applied only to the training split. Predictions from every validation
 /// fold (across all `repeats`) are pooled into one confusion matrix and
 /// one ROC-AUC, the aggregation the paper's tables report.
+///
+/// Every `(repeat, fold)` pair trains and scores independently, so the
+/// pairs fan out across worker threads; their per-fold results are merged
+/// back in `(repeat, fold)` order, which makes the pooled report
+/// bit-identical to the serial loop regardless of thread count.
 pub fn cross_validate<F>(
     factory: F,
     data: &Dataset,
@@ -219,23 +232,25 @@ pub fn cross_validate<F>(
     seed: u64,
 ) -> CvReport
 where
-    F: Fn() -> Box<dyn Classifier>,
+    F: Fn() -> Box<dyn Classifier> + Sync,
 {
     assert!(repeats >= 1, "need at least one repeat");
-    let mut confusion = ConfusionMatrix::default();
-    let mut truths = Vec::new();
-    let mut scores = Vec::new();
-    let mut n_evaluations = 0;
+    let rep_folds: Vec<Vec<usize>> = (0..repeats)
+        .map(|rep| stratified_folds(&data.y, k, seed.wrapping_add(rep as u64)))
+        .collect();
+    let pairs: Vec<(usize, usize)> = (0..repeats)
+        .flat_map(|rep| (0..k).map(move |fold_id| (rep, fold_id)))
+        .collect();
 
-    for rep in 0..repeats {
-        let folds = stratified_folds(&data.y, k, seed.wrapping_add(rep as u64));
-        for fold_id in 0..k {
-            let train_idx: Vec<usize> =
-                (0..data.len()).filter(|&i| folds[i] != fold_id).collect();
-            let valid_idx: Vec<usize> =
-                (0..data.len()).filter(|&i| folds[i] == fold_id).collect();
+    type FoldResult = Option<(ConfusionMatrix, Vec<u8>, Vec<f64>)>;
+    let fold_results: Vec<FoldResult> = pairs
+        .into_par_iter()
+        .map(|(rep, fold_id)| {
+            let folds = &rep_folds[rep];
+            let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != fold_id).collect();
+            let valid_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == fold_id).collect();
             if valid_idx.is_empty() || train_idx.is_empty() {
-                continue;
+                return None;
             }
             let mut train = data.select(&train_idx);
             // A fold can end up single-class on tiny datasets; resampling
@@ -256,14 +271,29 @@ where
             }
             let mut model = factory();
             model.fit(&train.x, &train.y);
+            let mut fold_cm = ConfusionMatrix::default();
+            let mut fold_truths = Vec::with_capacity(valid_idx.len());
+            let mut fold_scores = Vec::with_capacity(valid_idx.len());
             for &i in &valid_idx {
                 let p = model.predict_proba(&data.x[i]);
-                confusion.record(data.y[i], u8::from(p >= 0.5));
-                truths.push(data.y[i]);
-                scores.push(p);
+                fold_cm.record(data.y[i], u8::from(p >= 0.5));
+                fold_truths.push(data.y[i]);
+                fold_scores.push(p);
             }
-            n_evaluations += 1;
-        }
+            Some((fold_cm, fold_truths, fold_scores))
+        })
+        .collect();
+
+    let mut confusion = ConfusionMatrix::default();
+    let mut truths = Vec::new();
+    let mut scores = Vec::new();
+    let mut n_evaluations = 0;
+    for result in fold_results.into_iter().flatten() {
+        let (fold_cm, fold_truths, fold_scores) = result;
+        confusion.merge(&fold_cm);
+        truths.extend(fold_truths);
+        scores.extend(fold_scores);
+        n_evaluations += 1;
     }
 
     let metrics = Metrics {
@@ -274,7 +304,11 @@ where
         fpr: confusion.fpr(),
         accuracy: confusion.accuracy(),
     };
-    CvReport { confusion, metrics, n_evaluations }
+    CvReport {
+        confusion,
+        metrics,
+        n_evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -409,7 +443,11 @@ mod tests {
             11,
         );
         assert_eq!(report.n_evaluations, 10);
-        assert!(report.metrics.recall > 0.9, "recall = {}", report.metrics.recall);
+        assert!(
+            report.metrics.recall > 0.9,
+            "recall = {}",
+            report.metrics.recall
+        );
     }
 
     #[test]

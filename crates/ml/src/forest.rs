@@ -50,7 +50,11 @@ pub struct RandomForest {
 impl RandomForest {
     /// Create an unfitted forest.
     pub fn new(params: RandomForestParams) -> Self {
-        RandomForest { params, trees: Vec::new(), n_features: 0 }
+        RandomForest {
+            params,
+            trees: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Number of fitted trees.
@@ -81,7 +85,11 @@ impl Classifier for RandomForest {
                 min_samples_split: self.params.min_samples_split,
                 min_samples_leaf: self.params.min_samples_leaf,
                 max_features: Some(mtry),
-                seed: self.params.seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B9),
+                seed: self
+                    .params
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x9E3779B9),
             });
             tree.fit(&sample_x, &sample_y);
             self.trees.push(tree);
@@ -164,7 +172,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = linearly_separable(40);
-        let params = RandomForestParams { n_trees: 10, ..RandomForestParams::default() };
+        let params = RandomForestParams {
+            n_trees: 10,
+            ..RandomForestParams::default()
+        };
         let mut a = RandomForest::new(params.clone());
         let mut b = RandomForest::new(params);
         a.fit(&x, &y);

@@ -61,8 +61,15 @@ impl Default for GradientBoostingParams {
 /// A node of a fitted regression tree.
 #[derive(Debug, Clone)]
 enum RegNode {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
-    Leaf { weight: f64 },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        weight: f64,
+    },
 }
 
 /// One regression tree of the boosted ensemble.
@@ -77,8 +84,17 @@ impl RegTree {
         loop {
             match self.nodes[at] {
                 RegNode::Leaf { weight } => return weight,
-                RegNode::Split { feature, threshold, left, right } => {
-                    at = if row[feature] <= threshold { left } else { right };
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -142,7 +158,9 @@ impl GradientBoosting {
         let lambda = self.params.lambda;
 
         let leaf = |tree: &mut Vec<RegNode>| {
-            tree.push(RegNode::Leaf { weight: -g_sum / (h_sum + lambda) });
+            tree.push(RegNode::Leaf {
+                weight: -g_sum / (h_sum + lambda),
+            });
             tree.len() - 1
         };
 
@@ -154,9 +172,7 @@ impl GradientBoosting {
         let mut best: Option<(usize, f64, f64)> = None;
         let mut order: Vec<usize> = idx.to_vec();
         for &f in feats {
-            order.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).expect("NaN feature value")
-            });
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("NaN feature value"));
             let mut gl = 0.0;
             let mut hl = 0.0;
             for w in 0..order.len() - 1 {
@@ -171,8 +187,7 @@ impl GradientBoosting {
                     continue;
                 }
                 let gr = g_sum - gl;
-                let gain = 0.5
-                    * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
                     - self.params.gamma;
                 if gain > best.map_or(1e-12, |(_, _, bg)| bg) {
                     let threshold = (x[order[w]][f] + x[order[w + 1]][f]) / 2.0;
@@ -193,7 +208,12 @@ impl GradientBoosting {
         tree.push(RegNode::Leaf { weight: 0.0 }); // placeholder
         let left = self.grow(tree, x, g, h, &left_idx, feats, depth + 1);
         let right = self.grow(tree, x, g, h, &right_idx, feats, depth + 1);
-        tree[slot] = RegNode::Split { feature, threshold, left, right };
+        tree[slot] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 
@@ -317,7 +337,11 @@ mod tests {
             .zip(&y)
             .filter(|(row, &label)| gbt.predict(row) == label)
             .count();
-        assert!(correct as f64 / x.len() as f64 > 0.98, "acc = {correct}/{}", x.len());
+        assert!(
+            correct as f64 / x.len() as f64 > 0.98,
+            "acc = {correct}/{}",
+            x.len()
+        );
     }
 
     #[test]
@@ -366,8 +390,11 @@ mod tests {
             ..GradientBoostingParams::default()
         });
         gbt.fit(&x, &y);
-        let correct =
-            x.iter().zip(&y).filter(|(r, &l)| gbt.predict(r) == l).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| gbt.predict(r) == l)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.9);
     }
 

@@ -23,7 +23,12 @@ impl KNearestNeighbors {
     /// If `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        KNearestNeighbors { k, train_x: Vec::new(), train_y: Vec::new(), scaler: None }
+        KNearestNeighbors {
+            k,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            scaler: None,
+        }
     }
 
     /// The paper's configuration (`k = 5`).
@@ -57,9 +62,7 @@ impl Classifier for KNearestNeighbors {
             .zip(&self.train_y)
             .map(|(t, &l)| (Self::sq_dist(&r, t), l))
             .collect();
-        dists.select_nth_unstable_by(k - 1, |a, b| {
-            a.0.partial_cmp(&b.0).expect("NaN distance")
-        });
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let votes: u32 = dists[..k].iter().map(|&(_, l)| u32::from(l)).sum();
         f64::from(votes) / k as f64
     }
@@ -128,7 +131,11 @@ mod tests {
         }
         let mut knn = KNearestNeighbors::new(3);
         knn.fit(&x, &y);
-        let acc = x.iter().zip(&y).filter(|(r, &l)| knn.predict(r) == l).count();
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| knn.predict(r) == l)
+            .count();
         assert!(acc as f64 / x.len() as f64 > 0.9, "acc = {acc}/30");
     }
 

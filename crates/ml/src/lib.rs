@@ -35,7 +35,9 @@ pub mod sampling;
 pub mod tree;
 
 pub use dataset::{Dataset, Standardizer};
-pub use eval::{cross_validate, roc_auc, stratified_folds, ConfusionMatrix, CvReport, Metrics, Resampling};
+pub use eval::{
+    cross_validate, roc_auc, stratified_folds, ConfusionMatrix, CvReport, Metrics, Resampling,
+};
 pub use forest::{RandomForest, RandomForestParams};
 pub use gbt::{GradientBoosting, GradientBoostingParams};
 pub use knn::KNearestNeighbors;

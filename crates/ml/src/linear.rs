@@ -24,7 +24,11 @@ pub struct LogisticRegressionParams {
 
 impl Default for LogisticRegressionParams {
     fn default() -> Self {
-        LogisticRegressionParams { n_iters: 500, learning_rate: 0.5, l2: 1e-4 }
+        LogisticRegressionParams {
+            n_iters: 500,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -41,7 +45,12 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Create an unfitted model.
     pub fn new(params: LogisticRegressionParams) -> Self {
-        LogisticRegression { params, weights: Vec::new(), bias: 0.0, scaler: None }
+        LogisticRegression {
+            params,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+        }
     }
 
     /// The fitted weight vector (standardized feature space).
@@ -70,7 +79,11 @@ impl Classifier for LogisticRegression {
             let mut grad_b = 0.0;
             for (row, &label) in xs.iter().zip(y) {
                 let z = self.bias
-                    + row.iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+                    + row
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 let err = Self::sigmoid(z) - f64::from(label);
                 for (g, v) in grad_w.iter_mut().zip(row) {
                     *g += err * v;
@@ -111,7 +124,11 @@ pub struct LinearSvmParams {
 
 impl Default for LinearSvmParams {
     fn default() -> Self {
-        LinearSvmParams { n_epochs: 60, lambda: 1e-3, seed: 42 }
+        LinearSvmParams {
+            n_epochs: 60,
+            lambda: 1e-3,
+            seed: 42,
+        }
     }
 }
 
@@ -132,7 +149,12 @@ pub struct LinearSvm {
 impl LinearSvm {
     /// Create an unfitted model.
     pub fn new(params: LinearSvmParams) -> Self {
-        LinearSvm { params, weights: Vec::new(), bias: 0.0, scaler: None }
+        LinearSvm {
+            params,
+            weights: Vec::new(),
+            bias: 0.0,
+            scaler: None,
+        }
     }
 
     /// Signed margin for a (raw, unstandardized) row.
@@ -164,7 +186,11 @@ impl Classifier for LinearSvm {
                 let label = if y[i] == 1 { 1.0 } else { -1.0 };
                 let eta = 1.0 / (lambda * t as f64);
                 let z = self.bias
-                    + xs[i].iter().zip(&self.weights).map(|(a, b)| a * b).sum::<f64>();
+                    + xs[i]
+                        .iter()
+                        .zip(&self.weights)
+                        .map(|(a, b)| a * b)
+                        .sum::<f64>();
                 // Sub-gradient step: shrink weights, and on margin violation
                 // also step toward the violating example.
                 for w in self.weights.iter_mut() {

@@ -25,7 +25,12 @@ pub struct LvqParams {
 
 impl Default for LvqParams {
     fn default() -> Self {
-        LvqParams { prototypes_per_class: 8, n_epochs: 40, learning_rate: 0.3, seed: 42 }
+        LvqParams {
+            prototypes_per_class: 8,
+            n_epochs: 40,
+            learning_rate: 0.3,
+            seed: 42,
+        }
     }
 }
 
@@ -40,8 +45,15 @@ pub struct Lvq {
 impl Lvq {
     /// Create an unfitted model.
     pub fn new(params: LvqParams) -> Self {
-        assert!(params.prototypes_per_class > 0, "need at least one prototype per class");
-        Lvq { params, prototypes: Vec::new(), scaler: None }
+        assert!(
+            params.prototypes_per_class > 0,
+            "need at least one prototype per class"
+        );
+        Lvq {
+            params,
+            prototypes: Vec::new(),
+            scaler: None,
+        }
     }
 
     fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -79,8 +91,7 @@ impl Classifier for Lvq {
         // Initialize prototypes with random samples of each class.
         self.prototypes.clear();
         for class in [0u8, 1u8] {
-            let mut members: Vec<usize> =
-                (0..xs.len()).filter(|&i| y[i] == class).collect();
+            let mut members: Vec<usize> = (0..xs.len()).filter(|&i| y[i] == class).collect();
             if members.is_empty() {
                 continue; // degenerate single-class training set
             }
@@ -162,7 +173,11 @@ mod tests {
         let (x, y) = blobs(80);
         let mut lvq = Lvq::new(LvqParams::default());
         lvq.fit(&x, &y);
-        let acc = x.iter().zip(&y).filter(|(r, &l)| lvq.predict(r) == l).count();
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &l)| lvq.predict(r) == l)
+            .count();
         assert!(acc as f64 / x.len() as f64 > 0.95, "acc = {acc}/80");
         assert_eq!(lvq.n_prototypes(), 16);
     }
@@ -200,6 +215,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "need at least one prototype per class")]
     fn zero_prototypes_rejected() {
-        Lvq::new(LvqParams { prototypes_per_class: 0, ..LvqParams::default() });
+        Lvq::new(LvqParams {
+            prototypes_per_class: 0,
+            ..LvqParams::default()
+        });
     }
 }

@@ -97,16 +97,26 @@ pub fn smote(data: &Dataset, k: usize, seed: u64) -> Dataset {
         x.push(row);
         y.push(minority_label);
     }
-    Dataset { x, y, feature_names: data.feature_names.clone() }
+    Dataset {
+        x,
+        y,
+        feature_names: data.feature_names.clone(),
+    }
 }
 
 /// Random oversampling: duplicate random minority rows until balanced.
 pub fn random_oversample(data: &Dataset, seed: u64) -> Dataset {
     assert!(!data.is_empty(), "cannot resample an empty dataset");
     let (neg, pos) = class_indices(&data.y);
-    assert!(!neg.is_empty() && !pos.is_empty(), "resampling requires both classes");
-    let (minority, majority_len) =
-        if pos.len() < neg.len() { (pos, neg.len()) } else { (neg, pos.len()) };
+    assert!(
+        !neg.is_empty() && !pos.is_empty(),
+        "resampling requires both classes"
+    );
+    let (minority, majority_len) = if pos.len() < neg.len() {
+        (pos, neg.len())
+    } else {
+        (neg, pos.len())
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut x = data.x.clone();
     let mut y = data.y.clone();
@@ -115,16 +125,26 @@ pub fn random_oversample(data: &Dataset, seed: u64) -> Dataset {
         x.push(data.x[i].clone());
         y.push(data.y[i]);
     }
-    Dataset { x, y, feature_names: data.feature_names.clone() }
+    Dataset {
+        x,
+        y,
+        feature_names: data.feature_names.clone(),
+    }
 }
 
 /// Random undersampling: drop random majority rows until balanced.
 pub fn random_undersample(data: &Dataset, seed: u64) -> Dataset {
     assert!(!data.is_empty(), "cannot resample an empty dataset");
     let (neg, pos) = class_indices(&data.y);
-    assert!(!neg.is_empty() && !pos.is_empty(), "resampling requires both classes");
-    let (mut majority, minority) =
-        if pos.len() < neg.len() { (neg, pos) } else { (pos, neg) };
+    assert!(
+        !neg.is_empty() && !pos.is_empty(),
+        "resampling requires both classes"
+    );
+    let (mut majority, minority) = if pos.len() < neg.len() {
+        (neg, pos)
+    } else {
+        (pos, neg)
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     majority.shuffle(&mut rng);
     majority.truncate(minority.len());
@@ -172,11 +192,7 @@ mod tests {
 
     #[test]
     fn smote_already_balanced_is_identity() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![1.0]],
-            vec![0, 1],
-            vec!["a".into()],
-        );
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1], vec!["a".into()]);
         assert_eq!(smote(&d, 5, 1), d);
     }
 
@@ -215,7 +231,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         assert_eq!(smote(&skewed(), 5, 11), smote(&skewed(), 5, 11));
-        assert_eq!(random_undersample(&skewed(), 2), random_undersample(&skewed(), 2));
+        assert_eq!(
+            random_undersample(&skewed(), 2),
+            random_undersample(&skewed(), 2)
+        );
     }
 
     #[test]

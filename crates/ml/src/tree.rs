@@ -46,7 +46,12 @@ impl Default for DecisionTreeParams {
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
     /// Internal split: `feature <= threshold` goes left.
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// Leaf: probability of class 1.
     Leaf { proba: f64 },
 }
@@ -64,7 +69,12 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Create an unfitted tree with the given parameters.
     pub fn new(params: DecisionTreeParams) -> Self {
-        DecisionTree { params, nodes: Vec::new(), importances: Vec::new(), n_features: 0 }
+        DecisionTree {
+            params,
+            nodes: Vec::new(),
+            importances: Vec::new(),
+            n_features: 0,
+        }
     }
 
     /// Gini impurity of a (weighted) class distribution.
@@ -117,9 +127,7 @@ impl DecisionTree {
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, decrease)
         let mut order: Vec<usize> = idx.to_vec();
         for &f in &feats {
-            order.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).expect("NaN feature value")
-            });
+            order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("NaN feature value"));
             let mut left_n = 0.0;
             let mut left_pos = 0.0;
             for w in 0..order.len() - 1 {
@@ -174,7 +182,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { proba: 0.0 }); // placeholder
         let left = self.grow(x, y, &mut left_idx, depth + 1, rng);
         let right = self.grow(x, y, &mut right_idx, depth + 1, rng);
-        self.nodes[node_slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_slot
     }
 
@@ -218,8 +231,17 @@ impl Classifier for DecisionTree {
         loop {
             match self.nodes[at] {
                 Node::Leaf { proba } => return proba,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if row[feature] <= threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -309,8 +331,7 @@ mod tests {
     #[test]
     fn importances_concentrate_on_informative_feature() {
         // Feature 0 is decisive; feature 1 is constant noise.
-        let x: Vec<Vec<f64>> =
-            (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
         let y: Vec<u8> = (0..20).map(|i| u8::from(i >= 10)).collect();
         let mut t = DecisionTree::new(DecisionTreeParams::default());
         t.fit(&x, &y);

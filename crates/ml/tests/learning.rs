@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 use racket_ml::{
     random_oversample, random_undersample, roc_auc, smote, Classifier, Dataset, DecisionTree,
-    DecisionTreeParams, GradientBoosting, GradientBoostingParams, KNearestNeighbors,
-    LinearSvm, LinearSvmParams, LogisticRegression, LogisticRegressionParams, Lvq, LvqParams,
-    RandomForest, RandomForestParams,
+    DecisionTreeParams, GradientBoosting, GradientBoostingParams, KNearestNeighbors, LinearSvm,
+    LinearSvmParams, LogisticRegression, LogisticRegressionParams, Lvq, LvqParams, RandomForest,
+    RandomForestParams,
 };
 
 /// Every learner must (a) emit probabilities in [0,1], (b) beat chance on

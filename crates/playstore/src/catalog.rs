@@ -234,7 +234,15 @@ impl AppCatalog {
             }
         }
 
-        AppCatalog { apps, popularity, system, consumer, promoted, off_store, malware }
+        AppCatalog {
+            apps,
+            popularity,
+            system,
+            consumer,
+            promoted,
+            off_store,
+            malware,
+        }
     }
 
     /// Sample a permission manifest for a category: every app gets the

@@ -53,7 +53,11 @@ impl ReviewCrawler {
     /// review is encountered. Returns the number of new reviews collected.
     pub fn crawl_app(&mut self, store: &ReviewStore, app: AppId) -> usize {
         let first_contact = self.known.insert(app);
-        let cap = if first_contact { FIRST_CRAWL_CAP } else { usize::MAX };
+        let cap = if first_contact {
+            FIRST_CRAWL_CAP
+        } else {
+            usize::MAX
+        };
         let mut new_reviews = Vec::new();
         let mut offset = 0;
         'pages: loop {
@@ -106,7 +110,10 @@ impl ReviewCrawler {
     /// Collected reviews for `app` posted by a given Google ID — the join
     /// used for install-to-review analysis (§6.3).
     pub fn reviews_by(&self, app: AppId, reviewer: GoogleId) -> Vec<&Review> {
-        self.reviews(app).iter().filter(|r| r.reviewer == reviewer).collect()
+        self.reviews(app)
+            .iter()
+            .filter(|r| r.reviewer == reviewer)
+            .collect()
     }
 
     /// Total reviews collected across all apps.

@@ -44,8 +44,7 @@ impl ReviewStore {
         if let Some(refs) = self.by_reviewer.get(&review.reviewer) {
             if let Some(&(_, idx)) = refs.iter().find(|(a, _)| *a == review.app) {
                 let summary = self.summaries.entry(review.app).or_default();
-                summary.star_sum = summary.star_sum
-                    - u64::from(app_log[idx].rating.stars())
+                summary.star_sum = summary.star_sum - u64::from(app_log[idx].rating.stars())
                     + u64::from(review.rating.stars());
                 app_log[idx] = review;
                 return;
@@ -53,9 +52,39 @@ impl ReviewStore {
         }
         let idx = app_log.len();
         app_log.push(review.clone());
-        self.by_reviewer.entry(review.reviewer).or_default().push((review.app, idx));
-        self.summaries.entry(review.app).or_default().add(review.rating);
+        self.by_reviewer
+            .entry(review.reviewer)
+            .or_default()
+            .push((review.app, idx));
+        self.summaries
+            .entry(review.app)
+            .or_default()
+            .add(review.rating);
         self.total += 1;
+    }
+
+    /// Merge a store built elsewhere (e.g. by one device's history
+    /// simulation on a worker thread) into this one.
+    ///
+    /// Reviews are re-posted app by app in ascending [`AppId`] order, each
+    /// app's log in its original posting order, so the result is a pure
+    /// function of `other`'s contents — never of the thread that built it.
+    /// Re-posting (rather than splicing the maps) preserves the
+    /// `by_reviewer` index invariant and the one-review-per-(account, app)
+    /// policy across store boundaries. Background volume is summed.
+    pub fn absorb(&mut self, other: ReviewStore) {
+        let mut apps: Vec<(AppId, Vec<Review>)> = other.by_app.into_iter().collect();
+        apps.sort_by_key(|(app, _)| *app);
+        for (_, log) in apps {
+            for review in log {
+                self.post(review);
+            }
+        }
+        let mut background: Vec<(AppId, u64)> = other.background.into_iter().collect();
+        background.sort_by_key(|(app, _)| *app);
+        for (app, n) in background {
+            self.seed_background(app, n);
+        }
     }
 
     /// Total number of (distinct account, app) reviews stored.
@@ -90,14 +119,20 @@ impl ReviewStore {
     pub fn reviews_by(&self, reviewer: GoogleId) -> Vec<&Review> {
         self.by_reviewer
             .get(&reviewer)
-            .map(|refs| refs.iter().map(|&(app, idx)| &self.by_app[&app][idx]).collect())
+            .map(|refs| {
+                refs.iter()
+                    .map(|&(app, idx)| &self.by_app[&app][idx])
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
     /// The review a Google ID posted for one app, if any.
     pub fn review_for(&self, reviewer: GoogleId, app: AppId) -> Option<&Review> {
         self.by_reviewer.get(&reviewer).and_then(|refs| {
-            refs.iter().find(|(a, _)| *a == app).map(|&(a, idx)| &self.by_app[&a][idx])
+            refs.iter()
+                .find(|(a, _)| *a == app)
+                .map(|&(a, idx)| &self.by_app[&a][idx])
         })
     }
 
@@ -122,7 +157,12 @@ impl ReviewStore {
 
 /// Convenience constructor used by tests and the fleet simulator.
 pub fn review(app: AppId, reviewer: GoogleId, t: SimTime, stars: u8) -> Review {
-    Review::new(app, reviewer, t, Rating::new(stars).expect("stars in 1..=5"))
+    Review::new(
+        app,
+        reviewer,
+        t,
+        Rating::new(stars).expect("stars in 1..=5"),
+    )
 }
 
 #[cfg(test)]
@@ -157,7 +197,12 @@ mod tests {
     fn newest_page_ordering_and_pagination() {
         let mut s = ReviewStore::new();
         for i in 0..10 {
-            s.post(review(AppId(1), GoogleId(i), SimTime::from_secs(i * 100), 5));
+            s.post(review(
+                AppId(1),
+                GoogleId(i),
+                SimTime::from_secs(i * 100),
+                5,
+            ));
         }
         let page = s.newest_page(AppId(1), 0, 3);
         assert_eq!(page.len(), 3);
@@ -190,6 +235,35 @@ mod tests {
         assert_eq!(s.review_count(AppId(1)), 1, "bodies not materialized");
         assert_eq!(s.newest_page(AppId(1), 0, 10).len(), 1);
         assert_eq!(s.public_review_count(AppId(2)), 0);
+    }
+
+    #[test]
+    fn absorb_merges_reviews_background_and_indexes() {
+        let mut a = ReviewStore::new();
+        a.post(review(AppId(1), GoogleId(1), SimTime::from_secs(10), 5));
+        a.seed_background(AppId(1), 100);
+        let mut b = ReviewStore::new();
+        b.post(review(AppId(2), GoogleId(2), SimTime::from_secs(20), 4));
+        b.post(review(AppId(1), GoogleId(2), SimTime::from_secs(30), 3));
+        b.seed_background(AppId(1), 50);
+        a.absorb(b);
+        assert_eq!(a.total_reviews(), 3);
+        assert_eq!(a.review_count(AppId(1)), 2);
+        assert_eq!(a.public_review_count(AppId(1)), 152);
+        // The reviewer index survives the merge.
+        assert_eq!(a.reviews_by(GoogleId(2)).len(), 2);
+        assert!(a.review_for(GoogleId(2), AppId(2)).is_some());
+    }
+
+    #[test]
+    fn absorb_applies_re_review_policy_across_stores() {
+        let mut a = ReviewStore::new();
+        a.post(review(AppId(1), GoogleId(1), SimTime::from_secs(10), 1));
+        let mut b = ReviewStore::new();
+        b.post(review(AppId(1), GoogleId(1), SimTime::from_secs(99), 5));
+        a.absorb(b);
+        assert_eq!(a.total_reviews(), 1, "same (account, app) replaces");
+        assert_eq!(a.rating(AppId(1)), Some(5.0));
     }
 
     #[test]

@@ -34,11 +34,24 @@ impl VtReport {
 }
 
 /// The simulated VirusTotal service.
-#[derive(Debug, Clone, Default)]
+///
+/// Queries take `&self` (the budget counter is atomic) so the study's
+/// assembly phase can resolve reports from several worker threads at once.
+#[derive(Debug, Default)]
 pub struct VirusTotalSim {
     reports: HashMap<ApkHash, VtReport>,
     unavailable: std::collections::HashSet<ApkHash>,
-    queries: u64,
+    queries: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for VirusTotalSim {
+    fn clone(&self) -> Self {
+        VirusTotalSim {
+            reports: self.reports.clone(),
+            unavailable: self.unavailable.clone(),
+            queries: std::sync::atomic::AtomicU64::new(self.queries_issued()),
+        }
+    }
 }
 
 impl VirusTotalSim {
@@ -56,18 +69,24 @@ impl VirusTotalSim {
             reports.insert(h, VtReport { flags: 0 });
         }
         for &(h, flags) in malware {
-            reports.insert(h, VtReport { flags: flags.min(VT_ENGINE_COUNT) });
+            reports.insert(
+                h,
+                VtReport {
+                    flags: flags.min(VT_ENGINE_COUNT),
+                },
+            );
         }
         VirusTotalSim {
             reports,
             unavailable: unavailable.into_iter().collect(),
-            queries: 0,
+            queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Query one hash. `None` means VirusTotal has no report for it.
-    pub fn query(&mut self, hash: ApkHash) -> Option<VtReport> {
-        self.queries += 1;
+    pub fn query(&self, hash: ApkHash) -> Option<VtReport> {
+        self.queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if self.unavailable.contains(&hash) {
             return None;
         }
@@ -76,16 +95,17 @@ impl VirusTotalSim {
 
     /// Number of queries issued (the study's research-license budget).
     pub fn queries_issued(&self) -> u64 {
-        self.queries
+        self.queries.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Number of hashes with available reports.
     pub fn available_count(&self) -> usize {
-        self.reports.len() - self
-            .reports
-            .keys()
-            .filter(|h| self.unavailable.contains(h))
-            .count()
+        self.reports.len()
+            - self
+                .reports
+                .keys()
+                .filter(|h| self.unavailable.contains(h))
+                .count()
     }
 }
 
@@ -99,11 +119,7 @@ mod tests {
 
     #[test]
     fn clean_flagged_and_missing() {
-        let mut vt = VirusTotalSim::new(
-            [h(1), h(2), h(3)],
-            &[(h(2), 9)],
-            [h(3)],
-        );
+        let vt = VirusTotalSim::new([h(1), h(2), h(3)], &[(h(2), 9)], [h(3)]);
         assert_eq!(vt.query(h(1)), Some(VtReport { flags: 0 }));
         let m = vt.query(h(2)).unwrap();
         assert_eq!(m.flags, 9);
@@ -122,7 +138,7 @@ mod tests {
 
     #[test]
     fn flags_clamped_to_engine_count() {
-        let mut vt = VirusTotalSim::new([h(1)], &[(h(1), 200)], []);
+        let vt = VirusTotalSim::new([h(1)], &[(h(1), 200)], []);
         assert_eq!(vt.query(h(1)).unwrap().flags, VT_ENGINE_COUNT);
     }
 }

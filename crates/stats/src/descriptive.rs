@@ -73,7 +73,10 @@ impl Summary {
 ///
 /// `q` must lie in `[0, 1]`. Returns `None` for an empty sample.
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
-    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0,1], got {q}"
+    );
     if data.is_empty() {
         return None;
     }

@@ -26,8 +26,8 @@ pub mod tests;
 pub use descriptive::{quantile, Summary};
 pub use rank::{average_ranks, tie_correction};
 pub use tests::{
-    anova_oneway, fligner_killeen, jaccard, kruskal_wallis, ks_2samp, mann_whitney_u,
-    shapiro_wilk, TestOutcome,
+    anova_oneway, fligner_killeen, jaccard, kruskal_wallis, ks_2samp, mann_whitney_u, shapiro_wilk,
+    TestOutcome,
 };
 
 /// Conventional significance level used throughout the paper (p < 0.05).

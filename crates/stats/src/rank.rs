@@ -73,7 +73,10 @@ mod tests {
     #[test]
     fn ranks_with_ties() {
         // [1, 2, 2, 3] -> ranks [1, 2.5, 2.5, 4]
-        assert_eq!(average_ranks(&[1.0, 2.0, 2.0, 3.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         // All equal -> everyone gets the middle rank.
         assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
     }

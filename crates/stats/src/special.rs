@@ -123,15 +123,17 @@ fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
 /// `I_{d1 f / (d1 f + d2)}(d1/2, d2/2)`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "beta_inc domain: a, b > 0");
-    assert!((0.0..=1.0).contains(&x), "beta_inc domain: 0 <= x <= 1, got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "beta_inc domain: 0 <= x <= 1, got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
     if x == 1.0 {
         return 1.0;
     }
-    let ln_front =
-        ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_contfrac(a, b, x) / a
@@ -218,7 +220,10 @@ pub fn norm_cdf(x: f64) -> f64 {
 /// Standard normal quantile function `Φ⁻¹(p)`, Acklam's approximation
 /// refined by one Halley step (absolute error < 1e-9).
 pub fn norm_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "norm_quantile domain: 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "norm_quantile domain: 0 < p < 1, got {p}"
+    );
     // Coefficients for Acklam's rational approximation.
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,

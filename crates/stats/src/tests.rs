@@ -44,7 +44,10 @@ impl TestOutcome {
 /// # Panics
 /// If either sample is empty or contains NaN.
 pub fn ks_2samp(x: &[f64], y: &[f64]) -> TestOutcome {
-    assert!(!x.is_empty() && !y.is_empty(), "ks_2samp requires non-empty samples");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "ks_2samp requires non-empty samples"
+    );
     let mut xs = x.to_vec();
     let mut ys = y.to_vec();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
@@ -68,7 +71,10 @@ pub fn ks_2samp(x: &[f64], y: &[f64]) -> TestOutcome {
     }
     let en = ((n * m) as f64 / (n + m) as f64).sqrt();
     let lambda = (en + 0.12 + 0.11 / en) * d;
-    TestOutcome { statistic: d, p_value: kolmogorov_sf(lambda) }
+    TestOutcome {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
 }
 
 /// One-way (parametric) analysis of variance.
@@ -80,13 +86,18 @@ pub fn ks_2samp(x: &[f64], y: &[f64]) -> TestOutcome {
 /// observations are identical (zero within-group variance with zero
 /// between-group variance).
 pub fn anova_oneway(groups: &[&[f64]]) -> TestOutcome {
-    assert!(groups.len() >= 2, "anova_oneway requires at least two groups");
-    assert!(groups.iter().all(|g| !g.is_empty()), "anova_oneway: empty group");
+    assert!(
+        groups.len() >= 2,
+        "anova_oneway requires at least two groups"
+    );
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "anova_oneway: empty group"
+    );
     let k = groups.len();
     let n_total: usize = groups.iter().map(|g| g.len()).sum();
     assert!(n_total > k, "anova_oneway requires n > k");
-    let grand_mean =
-        groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
+    let grand_mean = groups.iter().flat_map(|g| g.iter()).sum::<f64>() / n_total as f64;
     let mut ss_between = 0.0;
     let mut ss_within = 0.0;
     for g in groups {
@@ -102,13 +113,22 @@ pub fn anova_oneway(groups: &[&[f64]]) -> TestOutcome {
         // Degenerate: no within-group variation. Either groups differ
         // (F = ∞, p = 0) or everything is constant (no evidence, p = 1).
         return if ss_between > 0.0 {
-            TestOutcome { statistic: f64::INFINITY, p_value: 0.0 }
+            TestOutcome {
+                statistic: f64::INFINITY,
+                p_value: 0.0,
+            }
         } else {
-            TestOutcome { statistic: 0.0, p_value: 1.0 }
+            TestOutcome {
+                statistic: 0.0,
+                p_value: 1.0,
+            }
         };
     }
     let f = ms_between / ms_within;
-    TestOutcome { statistic: f, p_value: f_sf(f, df1, df2) }
+    TestOutcome {
+        statistic: f,
+        p_value: f_sf(f, df1, df2),
+    }
 }
 
 /// Kruskal–Wallis rank-sum test ("non-parametric ANOVA"), tie-corrected,
@@ -117,8 +137,14 @@ pub fn anova_oneway(groups: &[&[f64]]) -> TestOutcome {
 /// # Panics
 /// If fewer than two groups are given or any group is empty.
 pub fn kruskal_wallis(groups: &[&[f64]]) -> TestOutcome {
-    assert!(groups.len() >= 2, "kruskal_wallis requires at least two groups");
-    assert!(groups.iter().all(|g| !g.is_empty()), "kruskal_wallis: empty group");
+    assert!(
+        groups.len() >= 2,
+        "kruskal_wallis requires at least two groups"
+    );
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "kruskal_wallis: empty group"
+    );
     let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
     let n = pooled.len() as f64;
     let ranks = average_ranks(&pooled);
@@ -134,11 +160,17 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> TestOutcome {
     let correction = tie_correction(&pooled);
     if correction <= 0.0 {
         // All observations identical: no evidence of difference.
-        return TestOutcome { statistic: 0.0, p_value: 1.0 };
+        return TestOutcome {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     h /= correction;
     let df = (groups.len() - 1) as f64;
-    TestOutcome { statistic: h, p_value: chi2_sf(h, df) }
+    TestOutcome {
+        statistic: h,
+        p_value: chi2_sf(h, df),
+    }
 }
 
 /// Two-sided Mann–Whitney U test with normal approximation, tie correction
@@ -148,7 +180,10 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> TestOutcome {
 /// # Panics
 /// If either sample is empty.
 pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> TestOutcome {
-    assert!(!x.is_empty() && !y.is_empty(), "mann_whitney_u requires non-empty samples");
+    assert!(
+        !x.is_empty() && !y.is_empty(),
+        "mann_whitney_u requires non-empty samples"
+    );
     let n1 = x.len() as f64;
     let n2 = y.len() as f64;
     let pooled: Vec<f64> = x.iter().chain(y.iter()).copied().collect();
@@ -169,11 +204,17 @@ pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> TestOutcome {
         .sum();
     let sigma2 = n1 * n2 / 12.0 * ((n + 1.0) - tie_sum / (n * (n - 1.0)));
     if sigma2 <= 0.0 {
-        return TestOutcome { statistic: u, p_value: 1.0 };
+        return TestOutcome {
+            statistic: u,
+            p_value: 1.0,
+        };
     }
     let z = (u + 0.5 - mu) / sigma2.sqrt();
     let p = (2.0 * norm_cdf(z)).min(1.0);
-    TestOutcome { statistic: u, p_value: p }
+    TestOutcome {
+        statistic: u,
+        p_value: p,
+    }
 }
 
 /// Fligner–Killeen test of homogeneity of variances.
@@ -188,8 +229,14 @@ pub fn mann_whitney_u(x: &[f64], y: &[f64]) -> TestOutcome {
 /// # Panics
 /// If fewer than two groups are given or any group is empty.
 pub fn fligner_killeen(groups: &[&[f64]]) -> TestOutcome {
-    assert!(groups.len() >= 2, "fligner_killeen requires at least two groups");
-    assert!(groups.iter().all(|g| !g.is_empty()), "fligner_killeen: empty group");
+    assert!(
+        groups.len() >= 2,
+        "fligner_killeen requires at least two groups"
+    );
+    assert!(
+        groups.iter().all(|g| !g.is_empty()),
+        "fligner_killeen: empty group"
+    );
     // Absolute deviations from group medians, concatenated in group order.
     let mut abs_dev = Vec::new();
     let mut sizes = Vec::new();
@@ -213,7 +260,10 @@ pub fn fligner_killeen(groups: &[&[f64]]) -> TestOutcome {
     let grand = scores.iter().sum::<f64>() / n;
     let v2 = scores.iter().map(|a| (a - grand).powi(2)).sum::<f64>() / (n - 1.0);
     if v2 <= 0.0 {
-        return TestOutcome { statistic: 0.0, p_value: 1.0 };
+        return TestOutcome {
+            statistic: 0.0,
+            p_value: 1.0,
+        };
     }
     let mut stat = 0.0;
     let mut offset = 0;
@@ -224,7 +274,10 @@ pub fn fligner_killeen(groups: &[&[f64]]) -> TestOutcome {
     }
     stat /= v2;
     let df = (groups.len() - 1) as f64;
-    TestOutcome { statistic: stat, p_value: chi2_sf(stat, df) }
+    TestOutcome {
+        statistic: stat,
+        p_value: chi2_sf(stat, df),
+    }
 }
 
 /// Shapiro–Wilk test of normality, Royston's AS R94 approximation
@@ -236,7 +289,10 @@ pub fn fligner_killeen(groups: &[&[f64]]) -> TestOutcome {
 /// If `n < 3`, `n > 5000` or the sample is constant.
 pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
     let n = data.len();
-    assert!((3..=5000).contains(&n), "shapiro_wilk requires 3 <= n <= 5000, got {n}");
+    assert!(
+        (3..=5000).contains(&n),
+        "shapiro_wilk requires 3 <= n <= 5000, got {n}"
+    );
     let mut x = data.to_vec();
     x.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
     assert!(x[n - 1] > x[0], "shapiro_wilk: constant sample");
@@ -254,16 +310,10 @@ pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
     if n > 5 {
         let c_n = m[n - 1] / m_sq_sum.sqrt();
         let c_n1 = m[n - 2] / m_sq_sum.sqrt();
-        let a_n = c_n
-            + 0.221157 * rsn
-            - 0.147981 * rsn.powi(2)
-            - 2.071190 * rsn.powi(3)
+        let a_n = c_n + 0.221157 * rsn - 0.147981 * rsn.powi(2) - 2.071190 * rsn.powi(3)
             + 4.434685 * rsn.powi(4)
             - 2.706056 * rsn.powi(5);
-        let a_n1 = c_n1
-            + 0.042981 * rsn
-            - 0.293762 * rsn.powi(2)
-            - 1.752461 * rsn.powi(3)
+        let a_n1 = c_n1 + 0.042981 * rsn - 0.293762 * rsn.powi(2) - 1.752461 * rsn.powi(3)
             + 5.682633 * rsn.powi(4)
             - 3.582633 * rsn.powi(5);
         let phi = (m_sq_sum - 2.0 * m[n - 1].powi(2) - 2.0 * m[n - 2].powi(2))
@@ -280,9 +330,7 @@ pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
         let a_n = if n == 3 {
             std::f64::consts::FRAC_1_SQRT_2
         } else {
-            c_n + 0.221157 * rsn
-                - 0.147981 * rsn.powi(2)
-                - 2.071190 * rsn.powi(3)
+            c_n + 0.221157 * rsn - 0.147981 * rsn.powi(2) - 2.071190 * rsn.powi(3)
                 + 4.434685 * rsn.powi(4)
                 - 2.706056 * rsn.powi(5)
         };
@@ -297,27 +345,29 @@ pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
     // W statistic.
     let mean = x.iter().sum::<f64>() / nf;
     let ssq: f64 = x.iter().map(|v| (v - mean).powi(2)).sum();
-    let num: f64 = a.iter().zip(&x).map(|(ai, xi)| ai * xi).sum::<f64>().powi(2);
+    let num: f64 = a
+        .iter()
+        .zip(&x)
+        .map(|(ai, xi)| ai * xi)
+        .sum::<f64>()
+        .powi(2);
     let w = (num / ssq).min(1.0);
 
     // P-value (Royston 1995).
     let p = if n == 3 {
-        let pw = 6.0 / std::f64::consts::PI
-            * ((w.sqrt().asin()) - (0.75f64.sqrt().asin()));
+        let pw = 6.0 / std::f64::consts::PI * ((w.sqrt().asin()) - (0.75f64.sqrt().asin()));
         pw.clamp(0.0, 1.0)
     } else {
         let lw = (1.0 - w).ln();
         let (mu, sigma, z) = if n <= 11 {
             let g = -2.273 + 0.459 * nf;
             let mu = 0.5440 - 0.39978 * nf + 0.025054 * nf * nf - 0.0006714 * nf.powi(3);
-            let sigma =
-                (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf.powi(3)).exp();
+            let sigma = (1.3822 - 0.77857 * nf + 0.062767 * nf * nf - 0.0020322 * nf.powi(3)).exp();
             let z = (-(g - lw).ln() - mu) / sigma;
             (mu, sigma, z)
         } else {
             let ln_n = nf.ln();
-            let mu = -1.5861 - 0.31082 * ln_n - 0.083751 * ln_n * ln_n
-                + 0.0038915 * ln_n.powi(3);
+            let mu = -1.5861 - 0.31082 * ln_n - 0.083751 * ln_n * ln_n + 0.0038915 * ln_n.powi(3);
             let sigma = (-0.4803 - 0.082676 * ln_n + 0.0030302 * ln_n * ln_n).exp();
             let z = (lw - mu) / sigma;
             (mu, sigma, z)
@@ -325,7 +375,10 @@ pub fn shapiro_wilk(data: &[f64]) -> TestOutcome {
         let _ = (mu, sigma);
         1.0 - norm_cdf(z)
     };
-    TestOutcome { statistic: w, p_value: p.clamp(0.0, 1.0) }
+    TestOutcome {
+        statistic: w,
+        p_value: p.clamp(0.0, 1.0),
+    }
 }
 
 /// Jaccard similarity of two sets, `|A ∩ B| / |A ∪ B|`.
@@ -373,7 +426,10 @@ mod unit {
         // scipy.stats.ks_2samp([1,2,3,4],[3,4,5,6]).statistic = 0.5
         let out = ks_2samp(&[1.0, 2.0, 3.0, 4.0], &[3.0, 4.0, 5.0, 6.0]);
         assert!((out.statistic - 0.5).abs() < 1e-12);
-        assert!(out.p_value > 0.05, "small overlapping samples not significant");
+        assert!(
+            out.p_value > 0.05,
+            "small overlapping samples not significant"
+        );
     }
 
     #[test]
@@ -404,7 +460,11 @@ mod unit {
         // H = 3.857 with df = 1; scipy p = 0.04953.
         let out = kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         assert!((out.statistic - 3.857_142_857).abs() < 1e-6);
-        assert!((out.p_value - 0.049_535).abs() < 1e-4, "p = {}", out.p_value);
+        assert!(
+            (out.p_value - 0.049_535).abs() < 1e-4,
+            "p = {}",
+            out.p_value
+        );
     }
 
     #[test]
@@ -424,7 +484,9 @@ mod unit {
     #[test]
     fn fligner_equal_variances_not_significant() {
         let g1: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 2.0).collect();
-        let g2: Vec<f64> = (0..40).map(|i| (i as f64 * 0.53).cos() * 2.0 + 10.0).collect();
+        let g2: Vec<f64> = (0..40)
+            .map(|i| (i as f64 * 0.53).cos() * 2.0 + 10.0)
+            .collect();
         let out = fligner_killeen(&[&g1, &g2]);
         assert!(!out.significant(), "p = {}", out.p_value);
     }

@@ -12,9 +12,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Unique identifier of a registered account within the simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AccountId(pub u64);
 
 impl AccountId {
@@ -84,8 +82,8 @@ impl AccountService {
     pub fn consumer_services() -> &'static [AccountService] {
         use AccountService::*;
         &[
-            WhatsApp, Facebook, Instagram, Telegram, Twitter, TikTok, Snapchat, Viber, Imo,
-            Skype, LinkedIn, Outlook, Yahoo, Samsung, Xiaomi, Huawei,
+            WhatsApp, Facebook, Instagram, Telegram, Twitter, TikTok, Snapchat, Viber, Imo, Skype,
+            LinkedIn, Outlook, Yahoo, Samsung, Xiaomi, Huawei,
         ]
     }
 }
@@ -133,13 +131,21 @@ pub struct RegisteredAccount {
 impl RegisteredAccount {
     /// A Gmail account whose Google ID is already resolved.
     pub fn gmail(id: AccountId, google_id: GoogleId) -> Self {
-        RegisteredAccount { id, service: AccountService::Gmail, google_id: Some(google_id) }
+        RegisteredAccount {
+            id,
+            service: AccountService::Gmail,
+            google_id: Some(google_id),
+        }
     }
 
     /// A non-Gmail account on the given service.
     pub fn non_gmail(id: AccountId, service: AccountService) -> Self {
         debug_assert!(!service.is_gmail());
-        RegisteredAccount { id, service, google_id: None }
+        RegisteredAccount {
+            id,
+            service,
+            google_id: None,
+        }
     }
 }
 

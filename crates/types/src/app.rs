@@ -11,9 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of an app (a Play-Store package) within the simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(pub u32);
 
 impl AppId {
@@ -180,8 +178,8 @@ mod tests {
     #[test]
     fn apk_hash_hex() {
         let h = ApkHash([
-            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc,
-            0xdd, 0xee, 0xff,
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
         ]);
         assert_eq!(h.to_hex(), "00112233445566778899aabbccddeeff");
         assert_eq!(h.to_string(), h.to_hex());
@@ -189,7 +187,11 @@ mod tests {
 
     #[test]
     fn dangerous_permission_count() {
-        let m = meta(vec![Permission::Internet, Permission::Camera, Permission::ReadSms]);
+        let m = meta(vec![
+            Permission::Internet,
+            Permission::Camera,
+            Permission::ReadSms,
+        ]);
         assert_eq!(m.dangerous_permission_count(), 2);
     }
 
@@ -201,7 +203,10 @@ mod tests {
             PermissionProfile::default(),
             ApkHash([1; 16]),
         );
-        assert!(app.stopped, "Android 3.1+ places fresh installs in stopped state");
+        assert!(
+            app.stopped,
+            "Android 3.1+ places fresh installs in stopped state"
+        );
         assert_eq!(app.install_time, app.last_update);
         assert!(!app.preinstalled);
     }

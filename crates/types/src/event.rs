@@ -112,12 +112,20 @@ mod tests {
         let app = AppId(1);
         assert_eq!(EventKind::ScreenOn.timeline_level(), Some(1));
         assert_eq!(
-            EventKind::AppOpened { app, foreground_secs: 30 }.timeline_level(),
+            EventKind::AppOpened {
+                app,
+                foreground_secs: 30
+            }
+            .timeline_level(),
             Some(2)
         );
         assert_eq!(
-            EventKind::ReviewPosted { app, account: AccountId(1), rating: Rating::FIVE }
-                .timeline_level(),
+            EventKind::ReviewPosted {
+                app,
+                account: AccountId(1),
+                rating: Rating::FIVE
+            }
+            .timeline_level(),
             Some(3)
         );
         assert_eq!(EventKind::AppInstalled { app }.timeline_level(), Some(4));
@@ -130,7 +138,13 @@ mod tests {
         let app = AppId(9);
         assert_eq!(EventKind::AppStopped { app }.app(), Some(app));
         assert_eq!(EventKind::ScreenOff.app(), None);
-        assert_eq!(EventKind::AccountRegistered { account: AccountId(2) }.app(), None);
+        assert_eq!(
+            EventKind::AccountRegistered {
+                account: AccountId(2)
+            }
+            .app(),
+            None
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Pipeline throughput metrics.
+//!
+//! The paper's study ingested 58.3M snapshots from 803 devices (§5); the
+//! reproduction's simulate→collect→analyze pipeline reports its own
+//! throughput through [`PipelineMetrics`], filled in by the study driver
+//! and printed by the `study_summary` experiment binary. The struct is the
+//! observable half of the parallelism contract documented in
+//! `ARCHITECTURE.md`: stage wall times shrink with worker threads while
+//! every count stays bit-identical.
+
+/// Wall-clock and throughput statistics for one end-to-end study run.
+///
+/// All counts are thread-count independent (the pipeline's determinism
+/// contract); only the `*_secs` fields vary with `threads`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PipelineMetrics {
+    /// Worker threads the parallel stages ran with.
+    pub threads: usize,
+    /// Wall time of fleet generation (history simulation), in seconds.
+    pub fleet_gen_secs: f64,
+    /// Wall time of the monitored-window simulation + snapshot collection
+    /// loop, in seconds.
+    pub simulate_secs: f64,
+    /// Wall time of database assembly (coalescing, crawl joins, feature
+    /// inputs), in seconds.
+    pub assemble_secs: f64,
+    /// Snapshots ingested by the collection server.
+    pub snapshots_ingested: u64,
+    /// Compressed bytes uploaded over the wire path (0 on the direct,
+    /// in-process path, which skips framing and compression).
+    pub bytes_compressed: u64,
+    /// Install records held per ingest shard at the end of the run
+    /// (empty when the run used the unsharded wire path only).
+    pub shard_occupancy: Vec<usize>,
+}
+
+impl PipelineMetrics {
+    /// Total pipeline wall time across the three stages, in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.fleet_gen_secs + self.simulate_secs + self.assemble_secs
+    }
+
+    /// Ingestion throughput over the simulate stage, in snapshots/second.
+    pub fn snapshots_per_sec(&self) -> f64 {
+        if self.simulate_secs > 0.0 {
+            self.snapshots_ingested as f64 / self.simulate_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Multi-line human-readable report (what `study_summary` prints).
+    pub fn report(&self) -> String {
+        let occupancy = if self.shard_occupancy.is_empty() {
+            "unsharded (wire path)".to_string()
+        } else {
+            let min = self.shard_occupancy.iter().min().copied().unwrap_or(0);
+            let max = self.shard_occupancy.iter().max().copied().unwrap_or(0);
+            format!(
+                "{} shards, {min}..{max} records/shard",
+                self.shard_occupancy.len()
+            )
+        };
+        format!(
+            "threads: {}\n\
+             fleet generation: {:.2}s\n\
+             simulate+collect: {:.2}s ({:.0} snapshots/s)\n\
+             assembly:         {:.2}s\n\
+             total:            {:.2}s\n\
+             snapshots ingested: {}\n\
+             bytes compressed:   {}\n\
+             shard occupancy:    {occupancy}",
+            self.threads,
+            self.fleet_gen_secs,
+            self.simulate_secs,
+            self.snapshots_per_sec(),
+            self.assemble_secs,
+            self.total_secs(),
+            self.snapshots_ingested,
+            self.bytes_compressed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_throughput() {
+        let m = PipelineMetrics {
+            threads: 4,
+            fleet_gen_secs: 1.0,
+            simulate_secs: 2.0,
+            assemble_secs: 0.5,
+            snapshots_ingested: 10_000,
+            bytes_compressed: 0,
+            shard_occupancy: vec![10, 12, 9, 11],
+        };
+        assert!((m.total_secs() - 3.5).abs() < 1e-12);
+        assert!((m.snapshots_per_sec() - 5_000.0).abs() < 1e-9);
+        let report = m.report();
+        assert!(report.contains("4 shards"));
+        assert!(report.contains("threads: 4"));
+    }
+
+    #[test]
+    fn empty_metrics_do_not_divide_by_zero() {
+        let m = PipelineMetrics::default();
+        assert_eq!(m.snapshots_per_sec(), 0.0);
+        assert!(m.report().contains("unsharded"));
+    }
+}

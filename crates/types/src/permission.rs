@@ -205,8 +205,16 @@ impl PermissionProfile {
     /// Build a profile with every dangerous permission granted — the policy
     /// five of the interviewed workers reported ("grant all requested").
     pub fn grant_all(requested: Vec<Permission>) -> Self {
-        let granted = requested.iter().copied().filter(|p| p.is_dangerous()).collect();
-        PermissionProfile { requested, granted, denied: Vec::new() }
+        let granted = requested
+            .iter()
+            .copied()
+            .filter(|p| p.is_dangerous())
+            .collect();
+        PermissionProfile {
+            requested,
+            granted,
+            denied: Vec::new(),
+        }
     }
 
     /// Total number of requested permissions.
@@ -237,7 +245,8 @@ impl PermissionProfile {
     /// and subsets of the requested set.
     pub fn is_consistent(&self) -> bool {
         let dangerous_subset = |set: &[Permission]| {
-            set.iter().all(|p| p.is_dangerous() && self.requested.contains(p))
+            set.iter()
+                .all(|p| p.is_dangerous() && self.requested.contains(p))
         };
         dangerous_subset(&self.granted)
             && dangerous_subset(&self.denied)

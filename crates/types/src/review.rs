@@ -60,7 +60,12 @@ pub struct Review {
 impl Review {
     /// Construct a review.
     pub fn new(app: AppId, reviewer: GoogleId, posted_at: SimTime, rating: Rating) -> Self {
-        Review { app, reviewer, posted_at, rating }
+        Review {
+            app,
+            reviewer,
+            posted_at,
+            rating,
+        }
     }
 }
 

@@ -12,10 +12,10 @@
 //! cargo run --release --example aso_campaign
 //! ```
 
+use racket_types::{AppId, Cohort};
 use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
 use racketstore::labeling::{label_apps, LabelingConfig};
 use racketstore::study::{Study, StudyConfig};
-use racket_types::{AppId, Cohort};
 
 fn main() {
     println!("== Anatomy of an ASO campaign ==\n");
@@ -36,9 +36,10 @@ fn main() {
     // And the most popular legitimate app for contrast.
     let popular_app = out.fleet.catalog.consumer_apps()[0];
 
-    for (title, app) in
-        [("promoted (campaign target)", campaign_app), ("popular consumer app", popular_app)]
-    {
+    for (title, app) in [
+        ("promoted (campaign target)", campaign_app),
+        ("popular consumer app", popular_app),
+    ] {
         describe_app(&out, app, title);
     }
 
@@ -82,7 +83,9 @@ fn describe_app(out: &racketstore::StudyOutput, app: AppId, title: &str) {
     // Install-to-review delays from device accounts.
     let mut delays = Vec::new();
     for obs in &out.observations {
-        let Some(info) = obs.record.apps.get(&app) else { continue };
+        let Some(info) = obs.record.apps.get(&app) else {
+            continue;
+        };
         for r in obs.reviews_for(app) {
             let d = r.posted_at.signed_delta_secs(info.install_time);
             if d >= 0 {

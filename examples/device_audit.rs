@@ -9,11 +9,11 @@
 //! cargo run --release --example device_audit
 //! ```
 
+use racket_ml::Resampling;
 use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
 use racketstore::device_classifier::{evaluate, DeviceDataset};
 use racketstore::labeling::{label_apps, LabelingConfig};
 use racketstore::study::{Study, StudyConfig};
-use racket_ml::Resampling;
 
 fn main() {
     println!("== Device audit ==\n");
@@ -38,7 +38,10 @@ fn main() {
     );
 
     println!("10-fold CV with SMOTE (Table 2 algorithms):");
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "algo", "precision", "recall", "F1", "AUC");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "algo", "precision", "recall", "F1", "AUC"
+    );
     for row in &report.table {
         println!(
             "{:<6} {:>9.2}% {:>9.2}% {:>9.2}% {:>10.4}",

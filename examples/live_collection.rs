@@ -54,15 +54,22 @@ fn main() {
 
     // 1. Sign in with the recruitment code.
     transport
-        .send(&Message::SignIn { participant: PARTICIPANT, install: INSTALL }.encode())
+        .send(
+            &Message::SignIn {
+                participant: PARTICIPANT,
+                install: INSTALL,
+            }
+            .encode(),
+        )
         .expect("send");
-    let ack = recv_message(&mut transport, &mut codec).expect("recv").expect("ack");
+    let ack = recv_message(&mut transport, &mut codec)
+        .expect("recv")
+        .expect("ack");
     println!("sign-in: {ack:?}");
     assert_eq!(ack, Message::SignInAck { accepted: true });
 
     // 2. Collect snapshots for a simulated hour and buffer them.
-    let mut collector =
-        SnapshotCollector::new(CollectorConfig::default(), INSTALL, PARTICIPANT);
+    let mut collector = SnapshotCollector::new(CollectorConfig::default(), INSTALL, PARTICIPANT);
     let mut buffer = DataBuffer::new();
     for minute in 0..60 {
         let now = SimTime::from_mins(minute);
@@ -94,7 +101,10 @@ fn main() {
                 .encode(),
             )
             .expect("send");
-        match recv_message(&mut transport, &mut codec).expect("recv").expect("reply") {
+        match recv_message(&mut transport, &mut codec)
+            .expect("recv")
+            .expect("reply")
+        {
             Message::UploadAck { file_id, sha256 } => {
                 let deleted = buffer.acknowledge(file_id, sha256);
                 println!(
@@ -109,7 +119,10 @@ fn main() {
     assert_eq!(buffer.pending_count(), 0, "all files acknowledged");
 
     drop(transport); // close the connection so the server thread exits
-    server_thread.join().expect("server thread").expect("serve_tcp");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve_tcp");
 
     // 4. What the server aggregated.
     let server = server.lock();

@@ -12,10 +12,10 @@
 //! cargo run --release --example on_device_detector
 //! ```
 
+use racket_types::Cohort;
 use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
 use racketstore::labeling::{label_apps, LabelingConfig};
 use racketstore::study::{Study, StudyConfig};
-use racket_types::Cohort;
 
 /// What the device reports upstream: counts only, no usage data.
 struct PrivacyReport {
@@ -39,7 +39,10 @@ impl PrivacyReport {
                 flagged += 1;
             }
         }
-        PrivacyReport { apps_scanned: scanned, apps_flagged: flagged }
+        PrivacyReport {
+            apps_scanned: scanned,
+            apps_flagged: flagged,
+        }
     }
 
     fn suspiciousness(&self) -> f64 {
@@ -102,5 +105,7 @@ fn main() {
          {worker_high}/{worker_total} worker vs {regular_high}/{regular_total} regular"
     );
     assert!(worker_high * regular_total > regular_high * worker_total);
-    println!("\nonly these counters — never accounts, app lists or timestamps — would be reported.");
+    println!(
+        "\nonly these counters — never accounts, app lists or timestamps — would be reported."
+    );
 }

@@ -9,11 +9,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use racket_ml::Resampling;
+use racket_types::Cohort;
 use racketstore::app_classifier::{evaluate, AppUsageDataset};
 use racketstore::labeling::{label_apps, LabelingConfig};
 use racketstore::study::{Study, StudyConfig};
-use racket_ml::Resampling;
-use racket_types::Cohort;
 
 fn main() {
     println!("== RacketStore quickstart ==\n");
@@ -57,7 +57,10 @@ fn main() {
 
     // 4. Train and cross-validate the Table 1 algorithms.
     println!("10-fold cross-validation (Table 1 algorithms):");
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "algo", "precision", "recall", "F1", "AUC");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "algo", "precision", "recall", "F1", "AUC"
+    );
     let report = evaluate(&dataset, 1, Resampling::None);
     for row in &report.table {
         println!(

@@ -1,0 +1,165 @@
+//! Thread-count invariance of the parallel pipeline.
+//!
+//! The simulate→collect→analyze pipeline fans out across rayon worker
+//! threads, but every parallel region is constructed to be deterministic:
+//! per-device RNG streams, disjoint ID ranges, ordered merges, and sorted
+//! record drains. This test pins the contract: the same configuration and
+//! seed must produce a byte-identical study output whether the pipeline
+//! runs on 1, 2 or 8 worker threads.
+//!
+//! All runs happen inside one `#[test]` because the worker-thread count is
+//! pinned through the `RAYON_NUM_THREADS` environment variable, which is
+//! process-global — concurrent tests flipping it would race.
+
+use racket_agents::{Fleet, FleetConfig};
+use racket_collect::CollectorConfig;
+use racketstore::study::{CollectionPath, Study, StudyConfig, StudyOutput};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Canonical fingerprint of everything in a [`StudyOutput`] except the
+/// wall-time metrics (the only legitimately thread-dependent part).
+/// Hash-map contents are rendered in sorted key order so the fingerprint
+/// reflects *data*, never iteration order.
+fn fingerprint(out: &StudyOutput) -> String {
+    let mut s = String::new();
+    for (obs, truth) in out.observations.iter().zip(&out.truth) {
+        let r = &obs.record;
+        write!(
+            s,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            r.install_id,
+            r.participant,
+            r.android_id,
+            r.first_seen,
+            r.last_seen,
+            r.n_fast,
+            r.n_slow,
+            r.snapshots_per_day
+        )
+        .unwrap();
+        let foreground: BTreeMap<_, _> = r.foreground.iter().collect();
+        write!(s, "{foreground:?}").unwrap();
+        let apps: BTreeMap<_, _> = r.apps.iter().map(|(k, v)| (k, format!("{v:?}"))).collect();
+        write!(s, "{apps:?}").unwrap();
+        let mut installed: Vec<_> = r.installed_now.iter().collect();
+        installed.sort();
+        write!(
+            s,
+            "{installed:?}{:?}{:?}{:?}{:?}",
+            r.install_events, r.uninstall_events, r.accounts, r.stopped_apps
+        )
+        .unwrap();
+        write!(s, "{:?}{:?}", obs.monitoring, obs.google_ids).unwrap();
+        let reviews: BTreeMap<_, _> = obs
+            .reviews_by_app
+            .iter()
+            .map(|(k, v)| (k, format!("{v:?}")))
+            .collect();
+        write!(s, "{reviews:?}").unwrap();
+        let vt: BTreeMap<_, _> = obs.vt_flags.iter().collect();
+        write!(s, "{vt:?}").unwrap();
+        let mut pre: Vec<_> = obs.preinstalled.iter().collect();
+        pre.sort();
+        writeln!(s, "{pre:?}|{:?}", truth.persona).unwrap();
+    }
+    write!(
+        s,
+        "crawled={} coalesced={} stats={:?} store_reviews={}",
+        out.reviews_crawled,
+        out.coalesced_devices,
+        out.server_stats,
+        out.fleet.store.total_reviews()
+    )
+    .unwrap();
+    s
+}
+
+/// Canonical fingerprint of a generated fleet: per-device state in fleet
+/// order plus the review store rendered app-by-app in ID order.
+fn fleet_fingerprint(fleet: &Fleet) -> String {
+    let mut s = String::new();
+    for d in &fleet.devices {
+        let mut apps: Vec<_> = d.device.installed_apps().collect();
+        apps.sort_by_key(|a| a.app);
+        writeln!(
+            s,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{apps:?}|{:?}",
+            d.participant,
+            d.install_id,
+            d.monitoring,
+            d.persona(),
+            d.device.android_id(),
+            d.device.accounts()
+        )
+        .unwrap();
+    }
+    for raw in 0..=(fleet.catalog.len() as u32 + 1) {
+        let app = racket_types::AppId(raw);
+        let n = fleet.store.review_count(app);
+        if n == 0 {
+            continue;
+        }
+        writeln!(s, "app {raw}: {:?}", fleet.store.newest_page(app, 0, n)).unwrap();
+    }
+    s
+}
+
+fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
+}
+
+/// A deliberately small configuration so three full study runs stay cheap
+/// in debug builds; determinism does not depend on scale.
+fn small_config(path: CollectionPath) -> StudyConfig {
+    let mut fleet = FleetConfig::test_scale();
+    fleet.n_regular = 8;
+    fleet.n_organic = 8;
+    fleet.n_dedicated = 4;
+    fleet.history_days = 30;
+    fleet.max_study_days = 4;
+    StudyConfig {
+        fleet,
+        collector: CollectorConfig {
+            fast_period_secs: 120,
+            slow_period_secs: 240,
+        },
+        path,
+        seed: 11,
+    }
+}
+
+#[test]
+fn output_is_invariant_to_worker_thread_count() {
+    // Fleet generation: serial (1 thread) vs parallel (8 threads).
+    let fleet_serial = with_threads("1", || {
+        fleet_fingerprint(&Fleet::generate(FleetConfig::test_scale()))
+    });
+    let fleet_parallel = with_threads("8", || {
+        fleet_fingerprint(&Fleet::generate(FleetConfig::test_scale()))
+    });
+    assert_eq!(
+        fleet_serial, fleet_parallel,
+        "Fleet::generate depends on thread count"
+    );
+
+    // Full study, direct (sharded-ingest) path: 1 vs 2 vs 8 threads.
+    let run = |threads: &str, path| {
+        with_threads(threads, || {
+            fingerprint(&Study::new(small_config(path)).run())
+        })
+    };
+    let d1 = run("1", CollectionPath::Direct);
+    let d2 = run("2", CollectionPath::Direct);
+    let d8 = run("8", CollectionPath::Direct);
+    assert_eq!(d1, d2, "direct path differs between 1 and 2 threads");
+    assert_eq!(d1, d8, "direct path differs between 1 and 8 threads");
+
+    // Full study, wire (framed upload) path: 1 vs 8 threads.
+    let w1 = run("1", CollectionPath::Wire);
+    let w8 = run("8", CollectionPath::Wire);
+    assert_eq!(w1, w8, "wire path differs between 1 and 8 threads");
+}

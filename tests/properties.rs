@@ -16,26 +16,34 @@ use proptest::prelude::*;
 use racket_collect::wire::{FrameCodec, Message};
 use racket_collect::{coalesce_installs, CandidateInstall};
 use racket_ml::{smote, stratified_folds, Dataset};
-use racket_types::{
-    AccountId, AndroidId, AppId, InstallId, ParticipantId, SimTime, TimeInterval,
-};
+use racket_types::{AccountId, AndroidId, AppId, InstallId, ParticipantId, SimTime, TimeInterval};
 use std::collections::HashSet;
 
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (100_000u32..=999_999, 1_000_000_000u64..=9_999_999_999).prop_map(|(p, i)| {
-            Message::SignIn { participant: ParticipantId(p), install: InstallId(i) }
+            Message::SignIn {
+                participant: ParticipantId(p),
+                install: InstallId(i),
+            }
         }),
         any::<bool>().prop_map(|accepted| Message::SignInAck { accepted }),
-        (any::<u64>(), any::<u64>(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..2048))
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
             .prop_map(|(i, f, fast, payload)| Message::SnapshotUpload {
                 install: InstallId(i),
                 file_id: f,
                 fast,
                 payload,
             }),
-        (any::<u64>(), any::<[u8; 32]>())
-            .prop_map(|(f, h)| Message::UploadAck { file_id: f, sha256: h }),
+        (any::<u64>(), any::<[u8; 32]>()).prop_map(|(f, h)| Message::UploadAck {
+            file_id: f,
+            sha256: h
+        }),
         (any::<u16>(), ".{0,64}").prop_map(|(code, detail)| Message::Error { code, detail }),
     ]
 }

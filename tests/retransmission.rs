@@ -17,7 +17,10 @@ const I: InstallId = InstallId(1_000_000_000);
 #[test]
 fn corrupted_uploads_are_retried_until_acknowledged() {
     let mut server = CollectionServer::new([P]);
-    server.handle(Message::SignIn { participant: P, install: I });
+    server.handle(Message::SignIn {
+        participant: P,
+        install: I,
+    });
 
     // A device with some snapshots buffered.
     let mut device = Device::new(DeviceId(1), DeviceModel::generic(), AndroidId(1));
@@ -82,10 +85,17 @@ fn corrupted_uploads_are_retried_until_acknowledged() {
     }
 
     assert_eq!(delivered, total_files);
-    assert!(attempts > total_files, "corruption must have forced retries");
+    assert!(
+        attempts > total_files,
+        "corruption must have forced retries"
+    );
     // Every snapshot arrived exactly once despite the lossy channel.
     let rec = server.record(I).expect("record");
     assert_eq!(rec.n_fast + rec.n_slow, server.stats().snapshots);
     assert_eq!(server.stats().files as usize, total_files);
-    assert_eq!(server.stats().bad_uploads, 0, "CRC caught corruption before parsing");
+    assert_eq!(
+        server.stats().bad_uploads,
+        0,
+        "CRC caught corruption before parsing"
+    );
 }

@@ -38,8 +38,11 @@ fn concurrent_tcp_clients_are_fully_ingested() {
     let mut clients = Vec::new();
     for i in 0..N_CLIENTS {
         clients.push(std::thread::spawn(move || {
-            let mut device =
-                Device::new(DeviceId(i as u32), DeviceModel::generic(), AndroidId(i as u64));
+            let mut device = Device::new(
+                DeviceId(i as u32),
+                DeviceModel::generic(),
+                AndroidId(i as u64),
+            );
             for app in 0..3u32 {
                 device.install_app(
                     AppId(i as u32 * 10 + app),
@@ -51,18 +54,22 @@ fn concurrent_tcp_clients_are_fully_ingested() {
             let mut transport = TcpTransport::connect(addr).expect("connect");
             let mut codec = FrameCodec::new();
             transport
-                .send(&Message::SignIn { participant: participant(i), install: install(i) }
-                    .encode())
+                .send(
+                    &Message::SignIn {
+                        participant: participant(i),
+                        install: install(i),
+                    }
+                    .encode(),
+                )
                 .expect("send sign-in");
-            let ack = recv_message(&mut transport, &mut codec).expect("recv").expect("ack");
+            let ack = recv_message(&mut transport, &mut codec)
+                .expect("recv")
+                .expect("ack");
             assert_eq!(ack, Message::SignInAck { accepted: true });
 
             // 30 simulated minutes of snapshots.
-            let mut collector = SnapshotCollector::new(
-                CollectorConfig::default(),
-                install(i),
-                participant(i),
-            );
+            let mut collector =
+                SnapshotCollector::new(CollectorConfig::default(), install(i), participant(i));
             let mut buffer = DataBuffer::new();
             for minute in 0..30 {
                 for snap in collector.poll(&device, SimTime::from_mins(minute)) {
@@ -84,7 +91,10 @@ fn concurrent_tcp_clients_are_fully_ingested() {
                         .encode(),
                     )
                     .expect("send upload");
-                match recv_message(&mut transport, &mut codec).expect("recv").expect("reply") {
+                match recv_message(&mut transport, &mut codec)
+                    .expect("recv")
+                    .expect("reply")
+                {
                     Message::UploadAck { file_id, sha256 } => {
                         assert!(buffer.acknowledge(file_id, sha256), "hash must match");
                     }
@@ -97,7 +107,10 @@ fn concurrent_tcp_clients_are_fully_ingested() {
     for c in clients {
         c.join().expect("client thread");
     }
-    server_thread.join().expect("server thread").expect("serve_tcp");
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("serve_tcp");
 
     let server = server.lock();
     let stats = server.stats();
@@ -119,8 +132,7 @@ fn unknown_participant_is_rejected_over_tcp() {
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
     let server_bg = Arc::clone(&server);
-    let handle =
-        std::thread::spawn(move || CollectionServer::serve_tcp(server_bg, listener, 1));
+    let handle = std::thread::spawn(move || CollectionServer::serve_tcp(server_bg, listener, 1));
 
     let mut transport = TcpTransport::connect(addr).expect("connect");
     let mut codec = FrameCodec::new();
@@ -133,7 +145,9 @@ fn unknown_participant_is_rejected_over_tcp() {
             .encode(),
         )
         .expect("send");
-    let ack = recv_message(&mut transport, &mut codec).expect("recv").expect("ack");
+    let ack = recv_message(&mut transport, &mut codec)
+        .expect("recv")
+        .expect("ack");
     assert_eq!(ack, Message::SignInAck { accepted: false });
     drop(transport);
     handle.join().expect("thread").expect("serve");

@@ -1,0 +1,195 @@
+//! Vendored subset of the `bytes` API used by the wire codec:
+//! [`BytesMut`] plus the [`Buf`]/[`BufMut`] trait methods the frame
+//! parser calls. Backed by a plain `Vec<u8>` — `advance`/`split_to` move
+//! memory rather than adjusting refcounted views, which is fine at the
+//! frame sizes this workspace handles.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Discard the first `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Number of readable bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Consume and return a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume and return a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+    /// Consume and return one byte.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Write-side append operations.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// Growable byte buffer with cheap front-consumption semantics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Create an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Create an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Append bytes at the end.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Number of bytes currently in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Split off and return the first `n` bytes, leaving the rest.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.data.len(), "split_to out of bounds");
+        let rest = self.data.split_off(n);
+        BytesMut {
+            data: std::mem::replace(&mut self.data, rest),
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.data.len(), "advance out of bounds");
+        self.data.drain(..n);
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.data.len() >= 4, "get_u32_le underflow");
+        let v = u32::from_le_bytes([self.data[0], self.data[1], self.data[2], self.data[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        assert!(self.data.len() >= 2, "get_u16_le underflow");
+        let v = u16::from_le_bytes([self.data[0], self.data[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(!self.data.is_empty(), "get_u8 underflow");
+        let v = self.data[0];
+        self.advance(1);
+        v
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u16_le(0xBEEF);
+        b.put_u8(7);
+        b.put_u32_le(123_456);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 10);
+        assert_eq!(b.get_u16_le(), 0xBEEF);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 123_456);
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn split_and_advance() {
+        let mut b = BytesMut::from(vec![0, 1, 2, 3, 4, 5]);
+        b.advance(2);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn indexing_matches_slice_semantics() {
+        let b = BytesMut::from(&[9u8, 8, 7][..]);
+        assert_eq!(b[0], 9);
+        assert_eq!(&b[1..], &[8, 7]);
+    }
+}

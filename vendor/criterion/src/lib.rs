@@ -1,0 +1,242 @@
+//! Vendored subset of the `criterion` benchmarking API.
+//!
+//! Provides the types and macros the `crates/bench` benchmark targets
+//! compile against: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`Throughput`] and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of upstream's statistical sampling it
+//! runs a short warmup plus a small fixed number of timed passes and
+//! prints mean wall time (and throughput when configured) — enough to
+//! compare runs, cheap enough that accidentally executing a bench binary
+//! under `cargo test` stays fast.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement marker types (only wall-clock time is supported).
+pub mod measurement {
+    /// Wall-clock time measurement.
+    pub struct WallTime;
+}
+
+/// Prevent the optimizer from eliding a value. Re-exported for parity with
+/// upstream; `std::hint::black_box` works equally well.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter rendering.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.into() }
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time the routine: one warmup pass, then a fixed number of timed
+    /// passes whose mean is reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warmup / fault-in
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Print the closing summary (no-op in the vendored subset).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+/// Timed passes per benchmark. Small by design: the vendored harness
+/// reports a mean, not a distribution.
+const TIMED_ITERS: u64 = 5;
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accept upstream's sample-size hint (ignored; iteration count is
+    /// fixed in the vendored subset).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configure throughput reporting for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: TIMED_ITERS,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Run one benchmark against an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: TIMED_ITERS,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.name, &b);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let mut line = format!("{}/{:<28} {}", self.name, id, fmt_time(mean));
+        if let Some(t) = self.throughput {
+            let (amount, unit) = match t {
+                Throughput::Bytes(n) => (n as f64, "B"),
+                Throughput::Elements(n) => (n as f64, "elem"),
+            };
+            if mean > 0.0 {
+                line.push_str(&format!("  ({:.1} M{}/s)", amount / mean / 1e6, unit));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        let mut runs = 0u64;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.finish();
+        // One warmup + TIMED_ITERS timed passes.
+        assert_eq!(runs, 1 + TIMED_ITERS);
+    }
+
+    #[test]
+    fn benchmark_id_renders_param() {
+        let id = BenchmarkId::new("knn_query", 42);
+        assert_eq!(id.name, "knn_query/42");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,585 @@
+//! Vendored subset of the `proptest` property-testing API.
+//!
+//! Supports the patterns used by this workspace's test suites: the
+//! [`proptest!`] macro over functions with `arg in strategy`,
+//! `mut arg in strategy` and `arg: Type` bindings; range strategies over
+//! numeric types; tuple strategies; [`Strategy::prop_map`];
+//! [`prop_oneof!`] unions; `.{m,n}` string-pattern strategies;
+//! [`collection::vec`]/[`collection::hash_set`]; [`any`]; and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`
+//! assertion macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic runs), and failing cases are reported without input
+//! shrinking — the failure message carries the case index so a failure is
+//! reproducible by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Number of generated cases per property.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Outcome of a single property-test case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the property is falsified.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value from the RNG stream.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing a constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for `any::<T>()` — the full value domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Generate arbitrary values of a primitive type.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_via_gen {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+any_via_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        // Finite, sign-symmetric, broad magnitude range.
+        let mag: f64 = rng.gen::<f64>() * 1e6;
+        if rng.gen::<bool>() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+impl<const N: usize> Strategy for Any<[u8; N]> {
+    type Value = [u8; N];
+    fn generate(&self, rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// String-pattern strategy: a `&str` is interpreted as a (tiny) regex
+/// subset. Supported form: `.{m,n}` — between `m` and `n` arbitrary
+/// printable characters. Other patterns panic at generation time.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("vendored proptest: unsupported string pattern `{self}` (only `.{{m,n}}`)")
+        });
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Printable ASCII, biased toward letters — adequate for
+                // payload round-trip properties.
+                let c = rng.gen_range(0x20u8..0x7F);
+                c as char
+            })
+            .collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Boxed strategy choosing uniformly among alternatives; the output of
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.options.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Build a [`Union`]; used by [`prop_oneof!`].
+pub fn union_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+    Union { options }
+}
+
+/// Erase a strategy's concrete type; used by [`prop_oneof!`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union_of(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Size specification accepted by [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        /// Draw a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with the given size specification.
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    /// Build a vector strategy from an element strategy and a size.
+    pub fn vec<S: Strategy, R: IntoSizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`; duplicates shrink the set below
+    /// the drawn size, matching upstream's non-strict size semantics.
+    pub struct HashSetStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    /// Build a hash-set strategy from an element strategy and a size.
+    pub fn hash_set<S, R>(elem: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: IntoSizeRange,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: IntoSizeRange,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Drive one property: generate cases, skip rejects, panic on failure.
+///
+/// Called by the expansion of [`proptest!`]; not part of upstream's public
+/// API surface but harmless to expose.
+pub fn run_property<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut stream = 0u64;
+    while accepted < DEFAULT_CASES {
+        // Fixed seed per (property, stream) pair: runs are reproducible.
+        let mut rng =
+            StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15u64 ^ hash_name(name) ^ stream);
+        stream += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > 16 * DEFAULT_CASES {
+                    panic!(
+                        "property `{name}`: too many prop_assume rejections \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` falsified at case #{stream}: {msg}");
+            }
+        }
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, enough to decorrelate per-property streams.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Define property tests. Mirrors upstream's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(xs in proptest::collection::vec(0u8..10, 1..50), n: usize) {
+///         prop_assert!(xs.len() < 50);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident ( $($params:tt)* ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_property(stringify!($name), |__rng| {
+                $crate::__bind_params!(__rng; $($params)*);
+                $body
+                Ok(())
+            });
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: expand one `proptest!` parameter list into `let` bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_params {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $arg = $crate::Strategy::generate(&($strat), $rng);
+        $($crate::__bind_params!($rng; $($rest)*);)?
+    };
+    ($rng:ident; $arg:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $arg = $crate::Strategy::generate(&($strat), $rng);
+        $($crate::__bind_params!($rng; $($rest)*);)?
+    };
+    ($rng:ident; $arg:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $arg = $crate::Strategy::generate(&$crate::any::<$ty>(), $rng);
+        $($crate::__bind_params!($rng; $($rest)*);)?
+    };
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Reject the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Install(u8),
+        Toggle(bool),
+        Label(String),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..12).prop_map(Op::Install),
+            any::<bool>().prop_map(Op::Toggle),
+            ".{0,8}".prop_map(Op::Label),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..30, y in -1e3f64..1e3) {
+            prop_assert!((3..30).contains(&x));
+            prop_assert!((-1e3..1e3).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respected(
+            xs in collection::vec(0u8..2, 4..60),
+            ys in collection::vec(0f64..1.0, 7),
+        ) {
+            prop_assert!(xs.len() >= 4 && xs.len() < 60);
+            prop_assert_eq!(ys.len(), 7);
+            prop_assert!(xs.iter().all(|&v| v < 2));
+        }
+
+        #[test]
+        fn mixed_param_forms_bind(
+            mut data in collection::vec(0u32..10, 1..20),
+            flip: usize,
+            mask in any::<u64>(),
+        ) {
+            data.reverse();
+            prop_assert!(!data.is_empty());
+            let _ = flip.wrapping_add(mask as usize);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(ops in collection::vec(arb_op(), 64)) {
+            prop_assert_eq!(ops.len(), 64);
+            for op in &ops {
+                if let Op::Install(n) = op {
+                    prop_assert!(*n < 12);
+                }
+                if let Op::Label(s) = op {
+                    prop_assert!(s.len() <= 8);
+                }
+            }
+        }
+
+        #[test]
+        fn tuples_and_arrays_generate(
+            pair in (100_000u32..=999_999, any::<[u8; 32]>()),
+            sets in collection::hash_set(0u32..50, 0..20),
+        ) {
+            prop_assert!((100_000..=999_999).contains(&pair.0));
+            prop_assert_eq!(pair.1.len(), 32);
+            prop_assert!(sets.len() < 20);
+            prop_assert_ne!(pair.0, 0);
+        }
+
+        #[test]
+        fn assume_filters_cases(n in 0u32..10, m in 0u32..10) {
+            prop_assume!(n != m);
+            prop_assert!(n != m);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let err = std::panic::catch_unwind(|| {
+            crate::run_property("always_fails", |_rng| {
+                Err(crate::TestCaseError::fail("nope"))
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_property("determinism_probe", |rng| {
+                out.push(crate::Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,209 @@
+//! Vendored, dependency-free subset of the `rand_distr` 0.4 API.
+//!
+//! Implements exactly the distributions this workspace samples — normal,
+//! log-normal, exponential and Poisson — on top of the vendored [`rand`]
+//! crate. Algorithms are textbook (Box–Muller, inverse CDF, Knuth), chosen
+//! for portability and reproducibility rather than raw speed: a sample is
+//! a pure function of the RNG stream, which the simulation's determinism
+//! contract relies on.
+
+use rand::{Rng, RngCore};
+
+/// Sampling interface, mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draw a standard normal variate via Box–Muller (one of the pair).
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Construct; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("std_dev must be finite and non-negative"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct; `sigma` must be finite and non-negative.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("sigma must be finite and non-negative"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Construct; `lambda` must be finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error("lambda must be finite and positive"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        // Inverse CDF; 1 - u avoids ln(0).
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Poisson distribution with the given mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    mean: f64,
+}
+
+impl Poisson {
+    /// Construct; `mean` must be finite and positive.
+    pub fn new(mean: f64) -> Result<Self, Error> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(Error("mean must be finite and positive"));
+        }
+        Ok(Poisson { mean })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.mean < 300.0 {
+            // Knuth's product-of-uniforms method, exact for modest means.
+            let limit = (-self.mean).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                count += 1;
+            }
+            count as f64
+        } else {
+            // Normal approximation for large means (not used by the
+            // calibrated personas, but keeps the API total).
+            let z = standard_normal(rng);
+            (self.mean + self.mean.sqrt() * z).max(0.0).round()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    fn mean_of(samples: &[f64]) -> f64 {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let m = mean_of(&xs);
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((m - 3.0).abs() < 0.05, "mean {m}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_tracks_mu() {
+        let d = LogNormal::new(5.0f64.ln(), 0.8).unwrap();
+        let mut r = rng();
+        let mut xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 5.0).abs() / 5.0 < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn exp_mean_is_inverse_rate() {
+        let d = Exp::new(0.25).unwrap();
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        assert!((mean_of(&xs) - 4.0).abs() < 0.1);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_track() {
+        let d = Poisson::new(6.4).unwrap();
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut r)).collect();
+        let m = mean_of(&xs);
+        assert!((m - 6.4).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Exp::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+    }
+}

@@ -1,0 +1,462 @@
+//! Vendored, dependency-free subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so this crate supplies
+//! the slice of serde this workspace uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, serialized through an
+//! in-memory value tree ([`Content`]) that `serde_json` renders to and
+//! parses from JSON text.
+//!
+//! Deliberate simplifications versus upstream serde (documented because
+//! snapshots cross the wire in this format — see `ARCHITECTURE.md`):
+//!
+//! * serialization is eager into [`Content`] rather than visitor-driven;
+//! * maps serialize as arrays of `[key, value]` pairs, so non-string map
+//!   keys need no stringification;
+//! * enums use the externally-tagged representation, like upstream.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, JSON-shaped value tree — the intermediate representation
+/// between typed Rust values and serialized text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Look up an object key.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization failure: what was expected, and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error for a type mismatch.
+    pub fn expected(what: &str, got: &Content) -> Self {
+        let kind = match got {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        };
+        DeError(format!("expected {what}, found {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types reconstructible from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse from the value tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---- primitives -----------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} out of range"))),
+                    _ => Err(DeError::expected(stringify!($t), c)),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                if *self >= 0 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} out of range"))),
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} out of range"))),
+                    _ => Err(DeError::expected(stringify!($t), c)),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    _ => Err(DeError::expected("number", c)),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", c)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+// ---- composites -----------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_content(item)?;
+                }
+                Ok(out)
+            }
+            Content::Seq(items) => {
+                Err(DeError(format!("expected array of {N}, found {}", items.len())))
+            }
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+) [$n:expr];)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) if items.len() == $n => {
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple array", c)),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0) [1];
+    (A: 0, B: 1) [2];
+    (A: 0, B: 1, C: 2) [3];
+    (A: 0, B: 1, C: 2, D: 3) [4];
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_content(pair))
+                .collect(),
+            _ => Err(DeError::expected("map (array of pairs)", c)),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(
+            self.iter()
+                .map(|(k, v)| Content::Seq(vec![k.to_content(), v.to_content()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize
+    for std::collections::HashMap<K, V>
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items
+                .iter()
+                .map(|pair| <(K, V)>::from_content(pair))
+                .collect(),
+            _ => Err(DeError::expected("map (array of pairs)", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {
+    fn to_content(&self) -> Content {
+        // Sort the rendering for stable output across hasher states.
+        let mut rendered: Vec<String> =
+            self.iter().map(|v| format!("{:?}", v.to_content())).collect();
+        let mut items: Vec<Content> = self.iter().map(Serialize::to_content).collect();
+        let mut paired: Vec<(String, Content)> =
+            rendered.drain(..).zip(items.drain(..)).collect();
+        paired.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Seq(paired.into_iter().map(|(_, v)| v).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + std::hash::Hash> Deserialize for std::collections::HashSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+// ---- derive support -------------------------------------------------------
+
+/// Helpers used by generated code. Not part of the public API contract.
+pub mod __private {
+    use super::{Content, DeError};
+
+    /// Fetch a struct field from an object, erroring with the field name.
+    pub fn field<'c>(c: &'c Content, name: &str) -> Result<&'c Content, DeError> {
+        c.get(name).ok_or_else(|| DeError(format!("missing field `{name}`")))
+    }
+
+    /// Fetch element `i` of a tuple-struct array.
+    pub fn element(c: &Content, i: usize) -> Result<&Content, DeError> {
+        match c {
+            Content::Seq(items) => items
+                .get(i)
+                .ok_or_else(|| DeError(format!("missing tuple element {i}"))),
+            _ => Err(DeError::expected("array", c)),
+        }
+    }
+
+    /// Interpret an externally-tagged enum value: returns the variant name
+    /// and its payload (`None` for unit variants).
+    pub fn variant(c: &Content) -> Result<(&str, Option<&Content>), DeError> {
+        match c {
+            Content::Str(name) => Ok((name, None)),
+            Content::Map(entries) if entries.len() == 1 => {
+                Ok((&entries[0].0, Some(&entries[0].1)))
+            }
+            _ => Err(DeError::expected("enum (string or single-key object)", c)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        let some = Some(7u32).to_content();
+        assert_eq!(Option::<u32>::from_content(&some), Ok(Some(7)));
+        assert_eq!(Option::<u32>::from_content(&Content::Null), Ok(None));
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let a = [1u8, 2, 3];
+        let c = a.to_content();
+        assert_eq!(<[u8; 3]>::from_content(&c), Ok([1, 2, 3]));
+        assert!(<[u8; 4]>::from_content(&c).is_err());
+    }
+
+    #[test]
+    fn btreemap_round_trip() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(1u32, "y".to_string());
+        let c = m.to_content();
+        let back: std::collections::BTreeMap<u32, String> =
+            Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_range_errors() {
+        let c = Content::U64(300);
+        assert!(u8::from_content(&c).is_err());
+        assert_eq!(u16::from_content(&c), Ok(300));
+    }
+}

@@ -1,0 +1,458 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no `syn`/`quote`), which constrains the supported input
+//! shapes to what this workspace actually derives on:
+//!
+//! * structs with named fields, tuple structs (incl. newtypes), unit
+//!   structs;
+//! * enums with unit, tuple and struct variants (externally tagged);
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Unsupported shapes panic at compile time with a clear message rather
+//! than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Input {
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `struct S(T, U);` — field count.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S { a: T, ... }` — field names.
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `enum E { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip `#[...]` attribute pairs at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a `pub` / `pub(...)` visibility at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count top-level comma-separated non-empty segments, tracking `<...>`
+/// depth (parens/brackets/braces arrive pre-grouped).
+fn count_fields(group: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut seen_any = false;
+    let mut angle = 0i32;
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                seen_any = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                seen_any = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if seen_any {
+                    count += 1;
+                }
+                seen_any = false;
+            }
+            _ => seen_any = true,
+        }
+    }
+    if seen_any {
+        count += 1;
+    }
+    count
+}
+
+/// Field names of a named-field body.
+fn named_fields(group: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        i = skip_vis(group, i);
+        let Some(TokenTree::Ident(id)) = group.get(i) else { break };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`, then the type until a top-level comma.
+        let mut angle = 0i32;
+        while i < group.len() {
+            match &group[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn enum_variants(group: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group.len() {
+        i = skip_attrs(group, i);
+        let Some(TokenTree::Ident(id)) = group.get(i) else { break };
+        let name = id.to_string();
+        i += 1;
+        let shape = match group.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma (covers discriminants).
+        while i < group.len() {
+            if let TokenTree::Punct(p) = &group[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: unexpected token `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity =
+                    count_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                Input::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields =
+                    named_fields(&g.stream().into_iter().collect::<Vec<_>>());
+                Input::NamedStruct { name, fields }
+            }
+            _ => Input::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants =
+                    enum_variants(&g.stream().into_iter().collect::<Vec<_>>());
+                Input::Enum { name, variants }
+            }
+            _ => panic!("serde derive: malformed enum"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_content(&self) -> ::serde::Content {{ ::serde::Content::Null }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_content(&self) -> ::serde::Content {{
+                    ::serde::Serialize::to_content(&self.0)
+                }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Seq(::std::vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Input::NamedStruct { name, fields } => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        ::serde::Content::Map(::std::vec![{}])
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Content::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Content::Map(::std::vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_content(&self) -> ::serde::Content {{
+                        match self {{ {} }}
+                    }}
+                }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_content(_c: &::serde::Content)
+                    -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name})
+                }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_content(c: &::serde::Content)
+                    -> ::std::result::Result<Self, ::serde::DeError> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))
+                }}
+            }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..arity)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_content(\
+                         ::serde::__private::element(c, {i})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        ::std::result::Result::Ok({name}({}))
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Input::NamedStruct { name, fields } => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(\
+                         ::serde::__private::field(c, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        ::std::result::Result::Ok({name} {{ {} }})
+                    }}
+                }}",
+                items.join(", ")
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vname}\" => {{
+                                let p = payload.ok_or_else(|| ::serde::DeError(
+                                    ::std::format!(\"variant `{vname}` expects data\")))?;
+                                ::std::result::Result::Ok({name}::{vname}(
+                                    ::serde::Deserialize::from_content(p)?))
+                            }}"
+                        ),
+                        VariantShape::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(\
+                                         ::serde::__private::element(p, {i})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{
+                                    let p = payload.ok_or_else(|| ::serde::DeError(
+                                        ::std::format!(\"variant `{vname}` expects data\")))?;
+                                    ::std::result::Result::Ok({name}::{vname}({}))
+                                }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::__private::field(p, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{
+                                    let p = payload.ok_or_else(|| ::serde::DeError(
+                                        ::std::format!(\"variant `{vname}` expects data\")))?;
+                                    ::std::result::Result::Ok({name}::{vname} {{ {} }})
+                                }}",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_content(c: &::serde::Content)
+                        -> ::std::result::Result<Self, ::serde::DeError> {{
+                        let (name, payload) = ::serde::__private::variant(c)?;
+                        match name {{
+                            {}
+                            other => ::std::result::Result::Err(::serde::DeError(
+                                ::std::format!(\"unknown variant `{{other}}`\"))),
+                        }}
+                    }}
+                }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated Deserialize impl must parse")
+}
