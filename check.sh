@@ -12,6 +12,22 @@ cargo build --release
 step "cargo test -q"
 cargo test -q
 
+step "chaos matrix (release)"
+# The fault-injection suite runs eight full studies (one per fault
+# profile); release mode keeps it to seconds.
+cargo test --release --test chaos -q
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+  step "cargo clippy --all-targets (warnings denied)"
+  # First-party crates only; vendored dependency subsets are exempt.
+  cargo clippy --all-targets -q -p racket-types -p racket-stats \
+    -p racket-device -p racket-features -p racket-playstore \
+    -p racket-agents -p racket-collect -p racket-ml -p racketstore \
+    -p racket-bench -p racketstore-suite -- -D warnings
+else
+  step "cargo clippy skipped (clippy not installed)"
+fi
+
 step "cargo doc --no-deps (warnings denied)"
 # Only the workspace's own crates; vendored dependency subsets are excluded
 # from the documentation gate.

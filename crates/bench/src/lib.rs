@@ -64,6 +64,7 @@ impl Scale {
                 },
                 path: CollectionPath::Direct,
                 seed: 2021,
+                faults: racket_collect::FaultPlan::none(),
             },
             Scale::Paper => StudyConfig::paper_scale(),
         }

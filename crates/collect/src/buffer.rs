@@ -217,6 +217,40 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_ack_is_idempotent() {
+        // A duplicated ack frame (or a re-ack of a replayed upload) may
+        // reach the buffer twice; the second must be a harmless no-op.
+        let mut buf = DataBuffer::new();
+        buf.push(&fast(0));
+        buf.flush();
+        let f = buf.pending().next().unwrap().clone();
+        assert!(buf.acknowledge(f.file_id, f.expected_hash()));
+        assert!(
+            !buf.acknowledge(f.file_id, f.expected_hash()),
+            "second ack finds no file and reports false"
+        );
+        assert_eq!(buf.pending_count(), 0);
+    }
+
+    #[test]
+    fn ack_after_reconnect_still_matches_queued_file() {
+        // Files survive a transport reconnect (they live in the buffer,
+        // not the connection), so a late ack for a file queued before the
+        // reconnect must still delete it — and only it.
+        let mut buf = DataBuffer::new();
+        buf.push(&fast(0));
+        buf.flush();
+        buf.push(&slow(1));
+        buf.flush();
+        let files: Vec<UploadFile> = buf.pending().cloned().collect();
+        assert_eq!(files.len(), 2);
+        // "Reconnect happens here" — buffer state is connection-independent.
+        assert!(buf.acknowledge(files[0].file_id, files[0].expected_hash()));
+        assert_eq!(buf.pending_count(), 1);
+        assert_eq!(buf.pending().next().unwrap().file_id, files[1].file_id);
+    }
+
+    #[test]
     fn flush_on_empty_is_noop() {
         let mut buf = DataBuffer::new();
         buf.flush();

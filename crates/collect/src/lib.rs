@@ -15,7 +15,14 @@
 //! * [`wire`] — the length-prefixed, CRC-protected frame codec and message
 //!   set (sign-in, snapshot upload, hash acknowledgement);
 //! * [`transport`] — a blocking [`transport::Transport`] abstraction with
-//!   in-memory (crossbeam channel) and TCP implementations;
+//!   in-memory (crossbeam channel) and TCP implementations, plus the
+//!   seeded fault-injection layer ([`transport::FaultPlan`]) chaos tests
+//!   drive;
+//! * [`retry`] — the client-side retry/backoff state machine:
+//!   [`retry::WireLane`] runs one device's protocol session over a
+//!   (possibly fault-injected) loopback link with bounded exponential
+//!   backoff, reconnect-and-resume, and exactly-once delivery via the
+//!   server's idempotent ingest;
 //! * [`server`] — the collection server: sign-in validation, upload
 //!   ingestion (verify CRC → decompress → parse → acknowledge), and
 //!   per-install aggregation of snapshot statistics;
@@ -33,6 +40,7 @@ pub mod collector;
 pub mod fingerprint;
 pub mod hash;
 pub mod lzss;
+pub mod retry;
 pub mod server;
 pub mod shard;
 pub mod transport;
@@ -42,7 +50,8 @@ pub use buffer::{DataBuffer, UploadFile};
 pub use collector::{CollectorConfig, SnapshotCollector};
 pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
 pub use hash::{crc32, md5, sha256};
+pub use retry::{RetryPolicy, RetryStats, WireLane};
 pub use server::{CollectionServer, InstallRecord};
 pub use shard::ShardedIngest;
-pub use transport::{MemTransport, TcpTransport, Transport};
+pub use transport::{FaultPlan, MemTransport, TcpTransport, Transport};
 pub use wire::{Frame, FrameCodec, Message};

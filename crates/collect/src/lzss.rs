@@ -226,6 +226,38 @@ mod tests {
     }
 
     #[test]
+    fn run_longer_than_window_round_trips() {
+        // A uniform run longer than the 64 KiB search window: every match
+        // candidate distance must stay clamped to the window even though
+        // identical bytes continue far beyond it.
+        let data = vec![0x42u8; WINDOW + 10_000];
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len() / 50, "long run still compresses");
+    }
+
+    #[test]
+    fn repeat_exactly_at_window_distance_round_trips() {
+        // A motif that recurs at exactly the maximum representable
+        // distance, with incompressible noise in between: exercises the
+        // `i - cand <= WINDOW` boundary on both sides.
+        let motif = b"racketstore-window-boundary-motif";
+        let mut data = Vec::new();
+        data.extend_from_slice(motif);
+        // Pseudo-random filler (SplitMix-ish) that won't form long matches.
+        let mut x = 0x9E37_79B9u32;
+        while data.len() < WINDOW {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            data.push(x as u8);
+        }
+        data.truncate(WINDOW);
+        data.extend_from_slice(motif); // second copy, distance == WINDOW
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
     fn incompressible_input_round_trips() {
         // Pseudo-random bytes: no matches, pure literal stream.
         let mut x: u32 = 0x12345678;

@@ -159,16 +159,22 @@ impl InstallRecord {
 /// Ingestion statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
-    /// Sign-ins accepted.
+    /// Installs signed in (distinct installs — a retried sign-in for an
+    /// already-signed-in install is idempotent and counted once).
     pub sign_ins: u64,
     /// Sign-ins rejected (bad participant code).
     pub rejected_sign_ins: u64,
-    /// Snapshot files ingested.
+    /// Snapshot files ingested (distinct `(install, file_id)` pairs).
     pub files: u64,
     /// Snapshots ingested.
     pub snapshots: u64,
     /// Uploads that failed to decompress or parse.
     pub bad_uploads: u64,
+    /// Replayed uploads re-acknowledged without re-ingesting: the file's
+    /// `(install, file_id, sha256)` had already been ingested, so the
+    /// client's ack was lost in transit. Varies with the fault plan, so it
+    /// is *excluded* from the chaos determinism fingerprint.
+    pub dup_files: u64,
 }
 
 /// The collection server state.
@@ -178,6 +184,9 @@ pub struct CollectionServer {
     registered: HashSet<ParticipantId>,
     /// Installs that have signed in successfully.
     signed_in: HashSet<InstallId>,
+    /// Content hash of every file already ingested, per install — the
+    /// dedup table that makes upload replays idempotent (PROTOCOL.md §6).
+    ingested_files: HashMap<InstallId, HashMap<u64, [u8; 32]>>,
     records: HashMap<InstallId, InstallRecord>,
     stats: ServerStats,
 }
@@ -188,6 +197,7 @@ impl CollectionServer {
         CollectionServer {
             registered: participants.into_iter().collect(),
             signed_in: HashSet::new(),
+            ingested_files: HashMap::new(),
             records: HashMap::new(),
             stats: ServerStats::default(),
         }
@@ -207,8 +217,11 @@ impl CollectionServer {
             } => {
                 let accepted = participant.is_valid() && self.registered.contains(&participant);
                 if accepted {
-                    self.signed_in.insert(install);
-                    self.stats.sign_ins += 1;
+                    // Idempotent: a retried sign-in (lost ack) for an
+                    // already-known install must not double-count.
+                    if self.signed_in.insert(install) {
+                        self.stats.sign_ins += 1;
+                    }
                 } else {
                     self.stats.rejected_sign_ins += 1;
                 }
@@ -230,6 +243,24 @@ impl CollectionServer {
                 // payload (and CRC somehow passed), the client's comparison
                 // fails and it retries.
                 let digest = sha256(&payload);
+                // Idempotent ingest: a file whose ack was lost gets
+                // retransmitted by the client; re-acknowledge it without
+                // folding its snapshots in a second time. (A colliding
+                // file_id with *different* content falls through and is
+                // processed as a new upload — client file ids are
+                // monotonic, so this only happens across a reinstall.)
+                if self
+                    .ingested_files
+                    .get(&install)
+                    .and_then(|files| files.get(&file_id))
+                    == Some(&digest)
+                {
+                    self.stats.dup_files += 1;
+                    return Some(Message::UploadAck {
+                        file_id,
+                        sha256: digest,
+                    });
+                }
                 match lzss::decompress(&payload)
                     .map_err(|e| e.to_string())
                     .and_then(|raw| {
@@ -240,6 +271,10 @@ impl CollectionServer {
                             self.ingest_snapshot(s);
                         }
                         self.stats.files += 1;
+                        self.ingested_files
+                            .entry(install)
+                            .or_default()
+                            .insert(file_id, digest);
                         Some(Message::UploadAck {
                             file_id,
                             sha256: digest,
@@ -430,6 +465,47 @@ mod tests {
         assert_eq!(rec.apps.len(), 2);
         assert!(rec.installed_now.contains(&AppId(1)));
         assert_eq!(s.stats().snapshots, 2);
+    }
+
+    #[test]
+    fn replayed_upload_is_deduped_and_reacked() {
+        let mut s = server();
+        s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&SnapshotCollector::serialize(&fast_with_install(
+            100, 1, 50,
+        )));
+        let payload = lzss::compress(&raw);
+        let upload = Message::SnapshotUpload {
+            install: I,
+            file_id: 3,
+            fast: true,
+            payload,
+        };
+        let first = s.handle(upload.clone()).unwrap();
+        // Replay (the ack was "lost"): identical ack, nothing re-ingested.
+        let second = s.handle(upload).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(s.stats().snapshots, 1, "snapshot counted once");
+        assert_eq!(s.stats().files, 1, "file counted once");
+        assert_eq!(s.stats().dup_files, 1);
+        assert_eq!(s.record(I).unwrap().n_fast, 1);
+    }
+
+    #[test]
+    fn repeated_sign_in_is_idempotent() {
+        let mut s = server();
+        for _ in 0..3 {
+            let reply = s.handle(Message::SignIn {
+                participant: P,
+                install: I,
+            });
+            assert_eq!(reply, Some(Message::SignInAck { accepted: true }));
+        }
+        assert_eq!(s.stats().sign_ins, 1, "distinct installs, not messages");
     }
 
     #[test]

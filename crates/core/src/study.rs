@@ -10,11 +10,10 @@
 //! configuration, never of the worker-thread count.
 
 use racket_agents::{apply_action_collecting, stream_seed, Fleet, FleetConfig, TimelineAction};
-use racket_collect::transport::recv_message;
-use racket_collect::wire::{FrameCodec, Message};
+use racket_collect::wire::Message;
 use racket_collect::{
-    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer,
-    InstallRecord, MemTransport, ShardedIngest, SnapshotCollector, Transport,
+    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer, FaultPlan,
+    InstallRecord, RetryPolicy, ShardedIngest, SnapshotCollector, WireLane,
 };
 use racket_features::DeviceObservation;
 use racket_playstore::crawler::ReviewCrawler;
@@ -29,6 +28,11 @@ use std::time::Instant;
 /// streams, so a fleet generated and driven from the same numeric seed
 /// (e.g. 2021/2021 at paper scale) does not replay the history streams.
 const DRIVER_STREAM_SALT: u64 = 0xA076_1D64_78BD_642F;
+
+/// Salt for deriving per-lane fault-injection RNG streams on chaos runs,
+/// kept disjoint from the driver streams so enabling faults perturbs the
+/// network and nothing else.
+const FAULT_STREAM_SALT: u64 = 0x243F_6A88_85A3_08D3;
 
 /// How snapshots travel from collectors to the server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +61,13 @@ pub struct StudyConfig {
     pub path: CollectionPath,
     /// Driver RNG seed (behaviour replay).
     pub seed: u64,
+    /// Transport fault plan for chaos runs ([`FaultPlan::none`] for a
+    /// clean link). Wire path only; each device lane gets an independent
+    /// fault stream derived from [`StudyConfig::seed`]. By the idempotency
+    /// contract (PROTOCOL.md), the study's data output is identical for
+    /// every plan the retry budget survives — only the fault/retry metrics
+    /// differ.
+    pub faults: FaultPlan,
 }
 
 impl StudyConfig {
@@ -71,6 +82,7 @@ impl StudyConfig {
             },
             path: CollectionPath::Wire,
             seed: 11,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -85,6 +97,7 @@ impl StudyConfig {
             },
             path: CollectionPath::Direct,
             seed: 2021,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -133,10 +146,13 @@ struct DeviceLane {
     dev: racket_agents::StudyDevice,
     collector: SnapshotCollector,
     buffer: DataBuffer,
-    wire: Option<(MemTransport, MemTransport, FrameCodec)>,
+    /// Wire-path protocol session: fault-injected loopback transports,
+    /// sequence-checked codecs and the retry/backoff state machine.
+    wire: Option<WireLane>,
     /// Per-lane driver RNG stream (seeded from the study seed + lane index).
     rng: StdRng,
-    /// Compressed bytes this lane uploaded over the wire path.
+    /// Compressed bytes this lane uploaded over the wire path,
+    /// retransmissions included.
     bytes_compressed: u64,
 }
 
@@ -191,10 +207,13 @@ impl Study {
                 };
                 let collector = SnapshotCollector::new(cfg, d.install_id, d.participant);
                 let wire = match config.path {
-                    CollectionPath::Wire => {
-                        let (c, s) = MemTransport::pair();
-                        Some((c, s, FrameCodec::new()))
-                    }
+                    CollectionPath::Wire => Some(WireLane::new(
+                        d.install_id,
+                        d.participant,
+                        config.faults,
+                        RetryPolicy::default(),
+                        stream_seed(config.seed ^ FAULT_STREAM_SALT, i as u64),
+                    )),
                     CollectionPath::Direct => None,
                 };
                 DeviceLane {
@@ -212,22 +231,18 @@ impl Study {
             .collect();
 
         for lane in &mut lanes {
-            let sign_in = Message::SignIn {
-                participant: lane.dev.participant,
-                install: lane.dev.install_id,
-            };
             match &mut lane.wire {
-                Some((client, server_end, _)) => {
-                    client.send(&sign_in.encode()).expect("mem transport");
-                    let mut codec = FrameCodec::new();
-                    let msg = recv_message(server_end, &mut codec)
-                        .expect("transport")
-                        .expect("sign-in frame");
-                    let reply = server.handle(msg).expect("sign-in has a reply");
-                    assert_eq!(reply, Message::SignInAck { accepted: true });
+                Some(wire) => {
+                    let accepted = wire
+                        .sign_in(&mut |m| server.handle(m))
+                        .expect("sign-in retry budget exhausted");
+                    assert!(accepted, "study participants are registered");
                 }
                 None => {
-                    server.handle(sign_in);
+                    server.handle(Message::SignIn {
+                        participant: lane.dev.participant,
+                        install: lane.dev.install_id,
+                    });
                 }
             }
         }
@@ -276,35 +291,39 @@ impl Study {
             }
         }
 
-        // Final buffer flush (wire path only has residue in buffers).
+        // Final buffer flush (wire path only has residue in buffers). Also
+        // the resume point for any file whose retry budget ran out during
+        // the day loop: keep flushing until the lane drains (bounded — a
+        // fault plan the budget cannot beat would be a test bug, so cap
+        // the rounds and let the exhaustion counter surface it).
         for lane in &mut lanes {
             lane.buffer.flush();
-            let pending: Vec<_> = lane.buffer.pending().cloned().collect();
-            if let Some((client, server_end, server_codec)) = &mut lane.wire {
-                for f in &pending {
-                    lane.bytes_compressed += f.data.len() as u64;
-                    client
-                        .send(
-                            &Message::SnapshotUpload {
-                                install: lane.dev.install_id,
-                                file_id: f.file_id,
-                                fast: f.fast,
-                                payload: f.data.clone(),
-                            }
-                            .encode(),
-                        )
-                        .expect("mem transport");
-                    let msg = recv_message(server_end, server_codec)
-                        .expect("transport")
-                        .expect("upload frame");
-                    if let Some(Message::UploadAck { file_id, sha256 }) = server.lock().handle(msg)
-                    {
-                        lane.buffer.acknowledge(file_id, sha256);
+            if let Some(wire) = lane.wire.as_mut() {
+                for _ in 0..8 {
+                    lane.bytes_compressed +=
+                        wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
+                    if lane.buffer.pending_count() == 0 {
+                        break;
                     }
                 }
             }
         }
         let mut server = server.into_inner();
+
+        // Aggregate the chaos observability counters across lanes.
+        for lane in &lanes {
+            if let Some(wire) = &lane.wire {
+                let s = wire.stats();
+                metrics.faults.merge(&wire.fault_stats());
+                metrics.upload_attempts += s.attempts;
+                metrics.upload_retries += s.retries;
+                metrics.reconnects += s.reconnects;
+                metrics.backoff_ms += s.backoff_ms;
+                metrics.exchanges_exhausted += s.exhausted;
+                metrics.stale_frames += s.stale_frames;
+            }
+        }
+        metrics.dup_files_deduped = server.stats().dup_files;
 
         // Devices return to the fleet in lane (= fleet) order.
         metrics.bytes_compressed = lanes.iter().map(|l| l.bytes_compressed).sum();
@@ -463,37 +482,19 @@ impl Study {
                     .ingest_batch(snaps);
             }
             CollectionPath::Wire => {
-                let install = snaps.first().map(racket_types::Snapshot::install_id);
                 for s in snaps {
                     lane.buffer.push(s);
                 }
-                let Some(install) = install else { return };
-                // Upload any rotated files and process acks inline.
-                let pending: Vec<_> = lane.buffer.pending().cloned().collect();
-                let Some((client, server_end, server_codec)) = &mut lane.wire else {
-                    unreachable!("wire path without transports")
-                };
-                for f in pending {
-                    lane.bytes_compressed += f.data.len() as u64;
-                    client
-                        .send(
-                            &Message::SnapshotUpload {
-                                install,
-                                file_id: f.file_id,
-                                fast: f.fast,
-                                payload: f.data,
-                            }
-                            .encode(),
-                        )
-                        .expect("mem transport");
-                    let msg = recv_message(server_end, server_codec)
-                        .expect("transport")
-                        .expect("upload frame");
-                    if let Some(Message::UploadAck { file_id, sha256 }) = server.lock().handle(msg)
-                    {
-                        lane.buffer.acknowledge(file_id, sha256);
-                    }
+                if lane.buffer.pending_count() == 0 {
+                    return;
                 }
+                // Upload any rotated files through the retry/backoff state
+                // machine. Files whose retry budget runs out stay queued
+                // and resume on the next delivery tick or the final flush;
+                // replays are absorbed by the server's idempotent ingest.
+                let wire = lane.wire.as_mut().expect("wire path without lane");
+                lane.bytes_compressed +=
+                    wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
             }
         }
     }
@@ -564,6 +565,20 @@ mod tests {
         );
         assert!(out.metrics.simulate_secs > 0.0);
         assert!(out.metrics.threads >= 1);
+    }
+
+    #[test]
+    fn clean_wire_run_reports_zero_faults_and_retries() {
+        let out = run_test_study();
+        assert_eq!(out.metrics.faults.total(), 0);
+        assert!(out.metrics.upload_attempts > 0, "exchanges are counted");
+        assert_eq!(out.metrics.upload_retries, 0);
+        assert_eq!(out.metrics.reconnects, 0);
+        assert_eq!(out.metrics.backoff_ms, 0);
+        assert_eq!(out.metrics.exchanges_exhausted, 0);
+        assert_eq!(out.metrics.stale_frames, 0);
+        assert_eq!(out.metrics.dup_files_deduped, 0);
+        assert_eq!(out.server_stats.dup_files, 0);
     }
 
     #[test]

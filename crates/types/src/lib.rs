@@ -28,7 +28,7 @@ pub use account::{AccountId, AccountService, RegisteredAccount};
 pub use app::{ApkHash, AppCategory, AppId, AppMetadata, InstalledApp};
 pub use event::{DeviceEvent, EventKind};
 pub use id::{AndroidId, DeviceId, GoogleId, InstallId, ParticipantId};
-pub use metrics::PipelineMetrics;
+pub use metrics::{FaultCounters, PipelineMetrics};
 pub use permission::{Permission, PermissionProfile};
 pub use review::{Rating, RatingSummary, Review};
 pub use snapshot::{FastSnapshot, InstallDelta, SlowSnapshot, Snapshot};

@@ -8,10 +8,61 @@
 //! `ARCHITECTURE.md`: stage wall times shrink with worker threads while
 //! every count stays bit-identical.
 
+/// Per-class counts of transport faults injected by a chaos run.
+///
+/// Filled in by the fault-injection layer (`racket-collect`'s
+/// `FaultPlan` on `MemTransport`) and summed across all device lanes into
+/// [`PipelineMetrics::faults`]. All zeros on a clean (fault-free) run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Frames silently discarded in transit.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames held back and delivered after a later frame.
+    pub reordered: u64,
+    /// Frames cut off mid-stream.
+    pub truncated: u64,
+    /// Frames with one bit flipped.
+    pub corrupted: u64,
+    /// Connection resets surfaced to the sender.
+    pub disconnected: u64,
+    /// Frames stalled past the receiver's deadline (indefinitely delayed;
+    /// indistinguishable from loss within one retry deadline).
+    pub stalled: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        self.dropped
+            + self.duplicated
+            + self.reordered
+            + self.truncated
+            + self.corrupted
+            + self.disconnected
+            + self.stalled
+    }
+
+    /// Fold another counter set into this one (lane aggregation).
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.truncated += other.truncated;
+        self.corrupted += other.corrupted;
+        self.disconnected += other.disconnected;
+        self.stalled += other.stalled;
+    }
+}
+
 /// Wall-clock and throughput statistics for one end-to-end study run.
 ///
 /// All counts are thread-count independent (the pipeline's determinism
-/// contract); only the `*_secs` fields vary with `threads`.
+/// contract); only the `*_secs` fields vary with `threads`. The fault,
+/// retry and dedup counters are the observability surface of the chaos
+/// subsystem: they vary with the configured [`FaultCounters`] fault plan
+/// but — by the idempotency contract — the study's *data* output does not.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineMetrics {
     /// Worker threads the parallel stages ran with.
@@ -26,12 +77,34 @@ pub struct PipelineMetrics {
     pub assemble_secs: f64,
     /// Snapshots ingested by the collection server.
     pub snapshots_ingested: u64,
-    /// Compressed bytes uploaded over the wire path (0 on the direct,
-    /// in-process path, which skips framing and compression).
+    /// Compressed bytes uploaded over the wire path, including
+    /// retransmissions (0 on the direct, in-process path, which skips
+    /// framing and compression).
     pub bytes_compressed: u64,
     /// Install records held per ingest shard at the end of the run
     /// (empty when the run used the unsharded wire path only).
     pub shard_occupancy: Vec<usize>,
+    /// Transport faults injected by the configured fault plan.
+    pub faults: FaultCounters,
+    /// Protocol exchanges attempted over the wire path (first tries and
+    /// retries combined).
+    pub upload_attempts: u64,
+    /// Exchanges that were retried after a timeout, decode error or
+    /// connection reset.
+    pub upload_retries: u64,
+    /// Connection resets followed by a reconnect-and-resume.
+    pub reconnects: u64,
+    /// Simulated backoff time accumulated across all retries, in
+    /// milliseconds (the study driver never sleeps; delays are virtual).
+    pub backoff_ms: u64,
+    /// Exchanges abandoned after the retry budget was exhausted (must be 0
+    /// for the recovery contract to hold).
+    pub exchanges_exhausted: u64,
+    /// Duplicate or stale frames discarded by the sequence-checked codec.
+    pub stale_frames: u64,
+    /// Replayed upload files deduplicated (re-acknowledged without
+    /// re-ingesting) by the server's idempotent ingest.
+    pub dup_files_deduped: u64,
 }
 
 impl PipelineMetrics {
@@ -61,6 +134,7 @@ impl PipelineMetrics {
                 self.shard_occupancy.len()
             )
         };
+        let f = &self.faults;
         format!(
             "threads: {}\n\
              fleet generation: {:.2}s\n\
@@ -69,7 +143,13 @@ impl PipelineMetrics {
              total:            {:.2}s\n\
              snapshots ingested: {}\n\
              bytes compressed:   {}\n\
-             shard occupancy:    {occupancy}",
+             shard occupancy:    {occupancy}\n\
+             faults injected:    {} (drop {}, dup {}, reorder {}, truncate {}, \
+             corrupt {}, disconnect {}, stall {})\n\
+             upload exchanges:   {} attempts, {} retries, {} reconnects, \
+             {} ms backoff (simulated), {} exhausted\n\
+             dedup:              {} stale frames discarded, {} replayed files \
+             re-acked",
             self.threads,
             self.fleet_gen_secs,
             self.simulate_secs,
@@ -78,6 +158,21 @@ impl PipelineMetrics {
             self.total_secs(),
             self.snapshots_ingested,
             self.bytes_compressed,
+            f.total(),
+            f.dropped,
+            f.duplicated,
+            f.reordered,
+            f.truncated,
+            f.corrupted,
+            f.disconnected,
+            f.stalled,
+            self.upload_attempts,
+            self.upload_retries,
+            self.reconnects,
+            self.backoff_ms,
+            self.exchanges_exhausted,
+            self.stale_frames,
+            self.dup_files_deduped,
         )
     }
 }
@@ -96,6 +191,7 @@ mod tests {
             snapshots_ingested: 10_000,
             bytes_compressed: 0,
             shard_occupancy: vec![10, 12, 9, 11],
+            ..PipelineMetrics::default()
         };
         assert!((m.total_secs() - 3.5).abs() < 1e-12);
         assert!((m.snapshots_per_sec() - 5_000.0).abs() < 1e-9);
@@ -109,5 +205,44 @@ mod tests {
         let m = PipelineMetrics::default();
         assert_eq!(m.snapshots_per_sec(), 0.0);
         assert!(m.report().contains("unsharded"));
+    }
+
+    #[test]
+    fn fault_counters_total_and_merge() {
+        let mut a = FaultCounters {
+            dropped: 1,
+            duplicated: 2,
+            reordered: 3,
+            truncated: 4,
+            corrupted: 5,
+            disconnected: 6,
+            stalled: 7,
+        };
+        assert_eq!(a.total(), 28);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 56);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.stalled, 14);
+    }
+
+    #[test]
+    fn report_includes_fault_and_retry_counters() {
+        let m = PipelineMetrics {
+            faults: FaultCounters {
+                dropped: 3,
+                ..FaultCounters::default()
+            },
+            upload_attempts: 10,
+            upload_retries: 4,
+            reconnects: 1,
+            stale_frames: 2,
+            dup_files_deduped: 1,
+            ..PipelineMetrics::default()
+        };
+        let report = m.report();
+        assert!(report.contains("faults injected:    3 (drop 3,"));
+        assert!(report.contains("10 attempts, 4 retries, 1 reconnects"));
+        assert!(report.contains("2 stale frames discarded, 1 replayed files"));
     }
 }

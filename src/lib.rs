@@ -15,6 +15,8 @@
 //! * [`racket_stats`] — hypothesis tests and special functions;
 //! * [`racket_types`] — the shared domain vocabulary.
 
+#![deny(missing_docs)]
+
 pub use racket_agents as agents;
 pub use racket_collect as collect;
 pub use racket_device as device;

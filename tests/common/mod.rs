@@ -1,0 +1,115 @@
+//! Shared helpers for the integration-test binaries: canonical study
+//! fingerprints and the small study configuration used by the determinism
+//! and chaos suites.
+//!
+//! Each integration test compiles this module independently, so not every
+//! binary uses every helper.
+
+#![allow(dead_code)]
+
+use racket_agents::FleetConfig;
+use racket_collect::CollectorConfig;
+use racketstore::study::{CollectionPath, StudyConfig, StudyOutput};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Canonical fingerprint of everything in a [`StudyOutput`] except the
+/// pipeline metrics (wall times are thread-dependent; fault/retry counters
+/// vary with the fault plan by design). Hash-map contents are rendered in
+/// sorted key order so the fingerprint reflects *data*, never iteration
+/// order. Includes the full server stats — the right choice when comparing
+/// runs under the *same* fault plan (thread invariance).
+pub fn fingerprint(out: &StudyOutput) -> String {
+    let mut s = data_fingerprint(out);
+    write!(s, " dup_files={}", out.server_stats.dup_files).unwrap();
+    s
+}
+
+/// Like [`fingerprint`], but excluding the server's `dup_files` counter —
+/// the one data-plane stat that legitimately varies with the fault plan
+/// (it counts replays absorbed by idempotent ingest). This is the
+/// fingerprint the chaos suite compares across fault plans: everything in
+/// it must be byte-identical between a clean run and any survivable
+/// hostile-network run.
+pub fn data_fingerprint(out: &StudyOutput) -> String {
+    let mut s = String::new();
+    for (obs, truth) in out.observations.iter().zip(&out.truth) {
+        let r = &obs.record;
+        write!(
+            s,
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            r.install_id,
+            r.participant,
+            r.android_id,
+            r.first_seen,
+            r.last_seen,
+            r.n_fast,
+            r.n_slow,
+            r.snapshots_per_day
+        )
+        .unwrap();
+        let foreground: BTreeMap<_, _> = r.foreground.iter().collect();
+        write!(s, "{foreground:?}").unwrap();
+        let apps: BTreeMap<_, _> = r.apps.iter().map(|(k, v)| (k, format!("{v:?}"))).collect();
+        write!(s, "{apps:?}").unwrap();
+        let mut installed: Vec<_> = r.installed_now.iter().collect();
+        installed.sort();
+        write!(
+            s,
+            "{installed:?}{:?}{:?}{:?}{:?}",
+            r.install_events, r.uninstall_events, r.accounts, r.stopped_apps
+        )
+        .unwrap();
+        write!(s, "{:?}{:?}", obs.monitoring, obs.google_ids).unwrap();
+        let reviews: BTreeMap<_, _> = obs
+            .reviews_by_app
+            .iter()
+            .map(|(k, v)| (k, format!("{v:?}")))
+            .collect();
+        write!(s, "{reviews:?}").unwrap();
+        let vt: BTreeMap<_, _> = obs.vt_flags.iter().collect();
+        write!(s, "{vt:?}").unwrap();
+        let mut pre: Vec<_> = obs.preinstalled.iter().collect();
+        pre.sort();
+        writeln!(s, "{pre:?}|{:?}", truth.persona).unwrap();
+    }
+    // Render the stats field-by-field (not `{:?}` of the whole struct) so
+    // the fault-variant `dup_files` counter stays out of this fingerprint.
+    let st = &out.server_stats;
+    write!(
+        s,
+        "crawled={} coalesced={} sign_ins={} rejected={} files={} snapshots={} bad={} store_reviews={}",
+        out.reviews_crawled,
+        out.coalesced_devices,
+        st.sign_ins,
+        st.rejected_sign_ins,
+        st.files,
+        st.snapshots,
+        st.bad_uploads,
+        out.fleet.store.total_reviews()
+    )
+    .unwrap();
+    s
+}
+
+/// A deliberately small configuration so repeated full study runs stay
+/// cheap in debug builds; neither determinism nor chaos recovery depends
+/// on scale.
+pub fn small_config(path: CollectionPath) -> StudyConfig {
+    let mut fleet = FleetConfig::test_scale();
+    fleet.n_regular = 8;
+    fleet.n_organic = 8;
+    fleet.n_dedicated = 4;
+    fleet.history_days = 30;
+    fleet.max_study_days = 4;
+    StudyConfig {
+        fleet,
+        collector: CollectorConfig {
+            fast_period_secs: 120,
+            slow_period_secs: 240,
+        },
+        path,
+        seed: 11,
+        faults: racket_collect::FaultPlan::none(),
+    }
+}

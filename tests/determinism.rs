@@ -11,69 +11,12 @@
 //! pinned through the `RAYON_NUM_THREADS` environment variable, which is
 //! process-global — concurrent tests flipping it would race.
 
-use racket_agents::{Fleet, FleetConfig};
-use racket_collect::CollectorConfig;
-use racketstore::study::{CollectionPath, Study, StudyConfig, StudyOutput};
-use std::collections::BTreeMap;
-use std::fmt::Write;
+mod common;
 
-/// Canonical fingerprint of everything in a [`StudyOutput`] except the
-/// wall-time metrics (the only legitimately thread-dependent part).
-/// Hash-map contents are rendered in sorted key order so the fingerprint
-/// reflects *data*, never iteration order.
-fn fingerprint(out: &StudyOutput) -> String {
-    let mut s = String::new();
-    for (obs, truth) in out.observations.iter().zip(&out.truth) {
-        let r = &obs.record;
-        write!(
-            s,
-            "{:?}|{:?}|{:?}|{:?}|{:?}|{}|{}|{:?}",
-            r.install_id,
-            r.participant,
-            r.android_id,
-            r.first_seen,
-            r.last_seen,
-            r.n_fast,
-            r.n_slow,
-            r.snapshots_per_day
-        )
-        .unwrap();
-        let foreground: BTreeMap<_, _> = r.foreground.iter().collect();
-        write!(s, "{foreground:?}").unwrap();
-        let apps: BTreeMap<_, _> = r.apps.iter().map(|(k, v)| (k, format!("{v:?}"))).collect();
-        write!(s, "{apps:?}").unwrap();
-        let mut installed: Vec<_> = r.installed_now.iter().collect();
-        installed.sort();
-        write!(
-            s,
-            "{installed:?}{:?}{:?}{:?}{:?}",
-            r.install_events, r.uninstall_events, r.accounts, r.stopped_apps
-        )
-        .unwrap();
-        write!(s, "{:?}{:?}", obs.monitoring, obs.google_ids).unwrap();
-        let reviews: BTreeMap<_, _> = obs
-            .reviews_by_app
-            .iter()
-            .map(|(k, v)| (k, format!("{v:?}")))
-            .collect();
-        write!(s, "{reviews:?}").unwrap();
-        let vt: BTreeMap<_, _> = obs.vt_flags.iter().collect();
-        write!(s, "{vt:?}").unwrap();
-        let mut pre: Vec<_> = obs.preinstalled.iter().collect();
-        pre.sort();
-        writeln!(s, "{pre:?}|{:?}", truth.persona).unwrap();
-    }
-    write!(
-        s,
-        "crawled={} coalesced={} stats={:?} store_reviews={}",
-        out.reviews_crawled,
-        out.coalesced_devices,
-        out.server_stats,
-        out.fleet.store.total_reviews()
-    )
-    .unwrap();
-    s
-}
+use common::{fingerprint, small_config};
+use racket_agents::{Fleet, FleetConfig};
+use racketstore::study::{CollectionPath, Study};
+use std::fmt::Write;
 
 /// Canonical fingerprint of a generated fleet: per-device state in fleet
 /// order plus the review store rendered app-by-app in ID order.
@@ -110,26 +53,6 @@ fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
     let out = f();
     std::env::remove_var("RAYON_NUM_THREADS");
     out
-}
-
-/// A deliberately small configuration so three full study runs stay cheap
-/// in debug builds; determinism does not depend on scale.
-fn small_config(path: CollectionPath) -> StudyConfig {
-    let mut fleet = FleetConfig::test_scale();
-    fleet.n_regular = 8;
-    fleet.n_organic = 8;
-    fleet.n_dedicated = 4;
-    fleet.history_days = 30;
-    fleet.max_study_days = 4;
-    StudyConfig {
-        fleet,
-        collector: CollectorConfig {
-            fast_period_secs: 120,
-            slow_period_secs: 240,
-        },
-        path,
-        seed: 11,
-    }
 }
 
 #[test]

@@ -2,7 +2,8 @@
 //!
 //! Invariants pinned here:
 //! * the wire codec round-trips arbitrary messages, in arbitrary chunkings,
-//!   and detects arbitrary single-byte corruption of the payload;
+//!   and never accepts a frame with single-bit corruption anywhere the
+//!   CRC covers (header fields and payload alike);
 //! * LZSS round-trips arbitrary byte strings;
 //! * SMOTE balances exactly and synthesizes points inside the minority
 //!   class's bounding box;
@@ -88,14 +89,22 @@ proptest! {
             payload,
         };
         let mut bytes = msg.encode();
-        // Corrupt one payload bit (header is 8 bytes; trailer 4).
-        let payload_start = 8;
+        // Corrupt one bit anywhere the v2 CRC covers: version, type, seq,
+        // length or payload (bytes 2.. of the 12-byte header; trailer 4).
+        let crc_covered_start = 2;
         let payload_end = bytes.len() - 4;
-        let idx = payload_start + flip_byte % (payload_end - payload_start);
+        let idx = crc_covered_start + flip_byte % (payload_end - crc_covered_start);
         bytes[idx] ^= 1 << flip_bit;
         let mut codec = FrameCodec::new();
         codec.feed(&bytes);
-        prop_assert!(codec.try_decode().is_err(), "corruption must not pass CRC");
+        // A flip in the length field may leave the decoder waiting for
+        // bytes that never come (resolved by retry timeouts at the session
+        // layer); every other flip errors. Either way, corruption must
+        // never yield an accepted frame.
+        prop_assert!(
+            !matches!(codec.try_decode(), Ok(Some(_))),
+            "corruption must not pass CRC"
+        );
     }
 
     #[test]
