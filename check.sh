@@ -17,10 +17,20 @@ step "chaos matrix (release)"
 # profile); release mode keeps it to seconds.
 cargo test --release --test chaos -q
 
+step "bench smoke (release)"
+# End-to-end observability check: run the smallest benchmark scale,
+# emit BENCH_pipeline.json, and re-validate the emitted report.
+BENCH_SMOKE_OUT="$(mktemp -t bench_pipeline.XXXXXX.json)"
+trap 'rm -f "$BENCH_SMOKE_OUT"' EXIT
+cargo run --release -q -p racket-bench --bin bench_pipeline -- \
+  --smoke --out "$BENCH_SMOKE_OUT"
+cargo run --release -q -p racket-bench --bin bench_pipeline -- \
+  --validate "$BENCH_SMOKE_OUT"
+
 if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy --all-targets (warnings denied)"
   # First-party crates only; vendored dependency subsets are exempt.
-  cargo clippy --all-targets -q -p racket-types -p racket-stats \
+  cargo clippy --all-targets -q -p racket-obs -p racket-types -p racket-stats \
     -p racket-device -p racket-features -p racket-playstore \
     -p racket-agents -p racket-collect -p racket-ml -p racketstore \
     -p racket-bench -p racketstore-suite -- -D warnings
@@ -32,15 +42,15 @@ step "cargo doc --no-deps (warnings denied)"
 # Only the workspace's own crates; vendored dependency subsets are excluded
 # from the documentation gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
-  -p racket-types -p racket-stats -p racket-device -p racket-features \
-  -p racket-playstore -p racket-agents -p racket-collect -p racket-ml \
-  -p racketstore -p racket-bench
+  -p racket-obs -p racket-types -p racket-stats -p racket-device \
+  -p racket-features -p racket-playstore -p racket-agents -p racket-collect \
+  -p racket-ml -p racketstore -p racket-bench
 
 if command -v rustfmt >/dev/null 2>&1; then
   step "cargo fmt --check"
   # Vendored crates are formatted as imported; gate only first-party code.
-  cargo fmt --check -p racketstore-suite -p racket-types -p racket-stats \
-    -p racket-device -p racket-features -p racket-playstore \
+  cargo fmt --check -p racketstore-suite -p racket-obs -p racket-types \
+    -p racket-stats -p racket-device -p racket-features -p racket-playstore \
     -p racket-agents -p racket-collect -p racket-ml -p racketstore \
     -p racket-bench
 else

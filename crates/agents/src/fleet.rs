@@ -240,9 +240,16 @@ impl Fleet {
             .collect();
 
         let study_start = config.study_start();
+        // Per-device build timing goes to the process-default registry
+        // (fleet generation has no study registry yet — the study's own
+        // fleet_gen span wraps this whole function).
+        let obs = racket_obs::global();
         let built: Vec<(StudyDevice, ReviewStore, GoogleIdDirectory)> = personas
             .into_par_iter()
-            .map(|(i, persona)| Self::build_device(&config, &catalog, study_start, i, persona))
+            .map(|(i, persona)| {
+                let _span = racket_obs::span!(obs, "fleet_gen/device", device = i);
+                Self::build_device(&config, &catalog, study_start, i, persona)
+            })
             .collect();
 
         let mut devices = Vec::with_capacity(built.len());

@@ -1,0 +1,156 @@
+//! End-to-end pipeline benchmark: run the study (plus the downstream
+//! labeling/feature/CV stages) at increasing fleet scales and emit
+//! `BENCH_pipeline.json` — per-stage wall clock, ingestion throughput,
+//! compressed bytes, p50/p95/p99 stage latencies and every fault/retry
+//! counter. The schema lives in `racket_bench::report` and is documented
+//! in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_pipeline [--smoke] [--paper] [--out PATH] [--validate PATH]
+//! ```
+//!
+//! * default: test + mid scales (minutes);
+//! * `--smoke`: test scale only, then parse the emitted file back
+//!   (seconds — what `check.sh bench-smoke` runs);
+//! * `--paper`: add the full 803-device scale;
+//! * `--out PATH`: where to write (default `BENCH_pipeline.json`);
+//! * `--validate PATH`: no runs — just parse and sanity-check an
+//!   existing file, exiting non-zero on any violation.
+
+use racket_bench::report::{self, BenchReport};
+use racket_bench::Scale;
+use racket_ml::{cross_validate, Classifier, GradientBoosting, GradientBoostingParams, Resampling};
+use racket_obs::{install_global, render_timing_tree, Registry};
+use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
+use racketstore::device_classifier::DeviceDataset;
+use racketstore::labeling::{label_apps, LabelingConfig};
+use racketstore::study::{CollectionPath, Study};
+
+fn main() {
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut scales = vec![Scale::Test, Scale::Mid];
+    let mut validate_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => scales = vec![Scale::Test],
+            "--paper" => scales = vec![Scale::Test, Scale::Mid, Scale::Paper],
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--validate" => validate_path = Some(args.next().expect("--validate needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = validate_path {
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        match report::validate(&json) {
+            Ok(parsed) => {
+                println!(
+                    "{path}: valid ({} runs, schema v{})",
+                    parsed.runs.len(),
+                    parsed.schema_version
+                );
+                return;
+            }
+            Err(e) => fail(&format!("{path}: INVALID — {e}")),
+        }
+    }
+
+    let mut bench = BenchReport::new();
+    for scale in scales {
+        bench.runs.push(run_scale(scale));
+    }
+
+    let json = serde_json::to_string(&bench).expect("report serializes");
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    eprintln!("[bench_pipeline] wrote {out_path} ({} bytes)", json.len());
+
+    // Self-check: the file we just wrote must parse back clean.
+    match report::validate(&json) {
+        Ok(_) => println!("{out_path}: valid ({} runs)", bench.runs.len()),
+        Err(e) => fail(&format!("emitted report failed validation: {e}")),
+    }
+}
+
+/// One complete pipeline run at `scale`, isolated in a fresh process-global
+/// registry (so fleet-generation and CV-fold spans from different scales
+/// never mix), returning its merged run report.
+fn run_scale(scale: Scale) -> report::RunReport {
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::Mid => "mid",
+        Scale::Paper => "paper",
+    };
+    eprintln!("[bench_pipeline] running {} …", scale.label());
+    let previous = install_global(Registry::new());
+    let config = scale.config();
+    let path_name = match config.path {
+        CollectionPath::Wire => "wire",
+        CollectionPath::Direct => "direct",
+    };
+    let out = Study::new(config).run();
+
+    // Downstream analysis stages, timed through the same registries: §7.2
+    // labeling, app dataset + XGB cross-validation, deployable app
+    // classifier, §8 device dataset. A 2-fold CV keeps the smoke run in
+    // seconds while still exercising the `ml/cv_fold` spans.
+    let labeling = match scale {
+        Scale::Test => LabelingConfig::test_scale(),
+        Scale::Mid => LabelingConfig {
+            min_worker_installs: 3,
+            ..Default::default()
+        },
+        Scale::Paper => Default::default(),
+    };
+    let labels = {
+        let _span = out.obs.span("analyze/labeling");
+        label_apps(&out, &labeling)
+    };
+    let app_data = AppUsageDataset::build(&out, &labels);
+    {
+        let _span = out.obs.span("analyze/cv_app");
+        cross_validate(
+            || {
+                Box::new(GradientBoosting::new(GradientBoostingParams::default()))
+                    as Box<dyn Classifier>
+            },
+            &app_data.data,
+            2,
+            1,
+            Resampling::None,
+            42,
+        );
+    }
+    let app_clf = {
+        let _span = out.obs.span("analyze/train_app");
+        AppClassifier::train(&app_data)
+    };
+    DeviceDataset::build(&out, &app_clf, 2, None, 7);
+
+    // Merge the study's private registry with the global one (fleet
+    // per-device timing, ml/cv_fold spans) into the run's snapshot.
+    let mut snapshot = out.obs.snapshot();
+    snapshot.merge(&install_global(previous).snapshot());
+
+    eprintln!(
+        "[bench_pipeline] {} done: {} devices, {} snapshots, {:.0} snapshots/s",
+        scale_name,
+        out.observations.len(),
+        out.metrics.snapshots_ingested,
+        out.metrics.snapshots_per_sec()
+    );
+    eprintln!("{}", render_timing_tree(&snapshot));
+    report::run_report(scale_name, path_name, out.observations.len(), &snapshot)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[bench_pipeline] {msg}");
+    std::process::exit(1);
+}

@@ -55,4 +55,8 @@ fn main() {
         out.server_stats.files, out.server_stats.bad_uploads, out.server_stats.sign_ins
     );
     println!("\n== Pipeline metrics ==\n{}", out.metrics.report());
+    println!(
+        "\n== Stage timing tree ==\n{}",
+        racket_obs::render_timing_tree(&out.obs.snapshot())
+    );
 }

@@ -14,6 +14,8 @@
 
 #![deny(missing_docs)]
 
+pub mod report;
+
 use racket_agents::FleetConfig;
 use racket_collect::CollectorConfig;
 use racketstore::study::{CollectionPath, Study, StudyConfig, StudyOutput};

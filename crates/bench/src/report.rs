@@ -1,0 +1,236 @@
+//! The `BENCH_pipeline.json` schema and its builders.
+//!
+//! `bench_pipeline` runs the end-to-end study at two or three fleet
+//! scales and freezes each run's observability registry into a
+//! [`RunReport`]; the [`BenchReport`] wrapping them is the repository's
+//! machine-readable performance trajectory (schema documented in
+//! `EXPERIMENTS.md`). Everything here is *derived* statistics — stage
+//! wall-clock, throughput, p50/p95/p99 latencies, counter totals — never
+//! raw histogram buckets, so the file stays small and diff-friendly.
+//!
+//! The vendored `serde_json` has no untyped `Value`; validation is a
+//! round-trip parse back into these same structs ([`validate`]), which is
+//! exactly what any downstream consumer of the file will do.
+
+use racket_obs::{RegistrySnapshot, SPAN_PREFIX};
+use racket_types::metrics::keys;
+use racket_types::PipelineMetrics;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema identifier carried in every emitted file.
+pub const SCHEMA: &str = "racketstore/bench-pipeline";
+/// Current schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Derived statistics for one pipeline stage (one `span.*` histogram).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageReport {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall time across all spans, in seconds.
+    pub wall_secs: f64,
+    /// Median single-span latency, in milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile single-span latency, in milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile single-span latency, in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One study run at one scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Scale label (`test`, `mid`, `paper`).
+    pub scale: String,
+    /// Collection path the run used (`wire` or `direct`).
+    pub path: String,
+    /// Devices observed.
+    pub devices: usize,
+    /// Worker threads the parallel stages ran with.
+    pub threads: usize,
+    /// End-to-end study wall time (fleet gen + simulate + assemble), s.
+    pub total_secs: f64,
+    /// Snapshots ingested by the collection server.
+    pub snapshots_ingested: u64,
+    /// Ingestion throughput over the simulate stage, snapshots/second.
+    pub snapshots_per_sec: f64,
+    /// Compressed bytes uploaded over the wire path (0 on direct).
+    pub bytes_compressed: u64,
+    /// Every registry counter (faults, retries, dedup, ingest, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-stage timing, keyed by span path (`simulate/day/lane`, …).
+    pub stages: BTreeMap<String, StageReport>,
+}
+
+/// The emitted file: a schema header plus one report per run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Always [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// One entry per (scale, path) run, in execution order.
+    pub runs: Vec<RunReport>,
+}
+
+impl BenchReport {
+    /// A report with the current schema header and no runs yet.
+    pub fn new() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            schema_version: SCHEMA_VERSION,
+            runs: Vec::new(),
+        }
+    }
+}
+
+impl Default for BenchReport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Build one run's report from its merged registry snapshot (study
+/// registry + the process-global registry holding fleet/ML spans).
+pub fn run_report(
+    scale: &str,
+    path: &str,
+    devices: usize,
+    snapshot: &RegistrySnapshot,
+) -> RunReport {
+    let metrics = PipelineMetrics::from_snapshot(snapshot);
+    let stages = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, hist)| {
+            let stage = name.strip_prefix(SPAN_PREFIX)?;
+            Some((
+                stage.to_string(),
+                StageReport {
+                    count: hist.count,
+                    wall_secs: hist.sum_secs(),
+                    p50_ms: hist.quantile(0.50) / 1e6,
+                    p95_ms: hist.quantile(0.95) / 1e6,
+                    p99_ms: hist.quantile(0.99) / 1e6,
+                },
+            ))
+        })
+        .collect();
+    RunReport {
+        scale: scale.to_string(),
+        path: path.to_string(),
+        devices,
+        threads: metrics.threads,
+        total_secs: metrics.total_secs(),
+        snapshots_ingested: metrics.snapshots_ingested,
+        snapshots_per_sec: metrics.snapshots_per_sec(),
+        bytes_compressed: metrics.bytes_compressed,
+        counters: snapshot.counters.clone(),
+        stages,
+    }
+}
+
+/// Parse and sanity-check an emitted `BENCH_pipeline.json`.
+///
+/// Returns the parsed report, or a description of the first violation:
+/// wrong schema header, no runs, a run missing one of the three
+/// top-level stages, or a run with zero ingestion throughput.
+pub fn validate(json: &str) -> Result<BenchReport, String> {
+    let report: BenchReport =
+        serde_json::from_str(json).map_err(|e| format!("not a BenchReport: {e:?}"))?;
+    if report.schema != SCHEMA {
+        return Err(format!("schema is `{}`, want `{SCHEMA}`", report.schema));
+    }
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version is {}, want {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.runs.is_empty() {
+        return Err("report has no runs".to_string());
+    }
+    for run in &report.runs {
+        for stage in [
+            keys::SPAN_FLEET_GEN,
+            keys::SPAN_SIMULATE,
+            keys::SPAN_ASSEMBLE,
+        ] {
+            let s = run
+                .stages
+                .get(stage)
+                .ok_or_else(|| format!("run `{}` is missing stage `{stage}`", run.scale))?;
+            if s.count == 0 {
+                return Err(format!("run `{}` stage `{stage}` has count 0", run.scale));
+            }
+        }
+        if run.snapshots_ingested == 0 || run.snapshots_per_sec <= 0.0 {
+            return Err(format!("run `{}` reports zero ingestion", run.scale));
+        }
+        if run.threads == 0 {
+            return Err(format!("run `{}` reports zero threads", run.scale));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_obs::Registry;
+
+    fn plausible_snapshot() -> RegistrySnapshot {
+        let reg = Registry::new();
+        reg.gauge_set(keys::THREADS, 4);
+        reg.add(keys::SNAPSHOTS_INGESTED, 5_000);
+        for stage in [
+            keys::SPAN_FLEET_GEN,
+            keys::SPAN_SIMULATE,
+            keys::SPAN_ASSEMBLE,
+        ] {
+            reg.record(&format!("{SPAN_PREFIX}{stage}"), 2_000_000_000);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let mut report = BenchReport::new();
+        report
+            .runs
+            .push(run_report("test", "wire", 60, &plausible_snapshot()));
+        let json = serde_json::to_string(&report).unwrap();
+        let back = validate(&json).expect("valid report");
+        assert_eq!(back, report);
+        let run = &back.runs[0];
+        assert_eq!(run.devices, 60);
+        assert_eq!(run.threads, 4);
+        assert!(run.snapshots_per_sec > 0.0);
+        assert!(run.stages.contains_key("simulate"));
+    }
+
+    #[test]
+    fn validate_rejects_missing_stage() {
+        let mut report = BenchReport::new();
+        let mut run = run_report("test", "wire", 60, &plausible_snapshot());
+        run.stages.remove(keys::SPAN_SIMULATE);
+        report.runs.push(run);
+        let json = serde_json::to_string(&report).unwrap();
+        let err = validate(&json).unwrap_err();
+        assert!(err.contains("missing stage"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_empty_runs() {
+        let mut report = BenchReport::new();
+        report.schema = "something-else".to_string();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(validate(&json).unwrap_err().contains("schema"));
+
+        let empty = serde_json::to_string(&BenchReport::new()).unwrap();
+        assert!(validate(&empty).unwrap_err().contains("no runs"));
+
+        assert!(validate("not json").is_err());
+    }
+}

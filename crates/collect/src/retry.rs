@@ -91,6 +91,22 @@ pub struct RetryStats {
     pub stale_frames: u64,
 }
 
+impl RetryStats {
+    /// Add this lane's counts to the canonical `wire.*` counters of a
+    /// registry (see [`racket_types::metrics::keys`]). Lane aggregation
+    /// is a plain counter add, so the totals are independent of lane
+    /// retirement order.
+    pub fn record_to(&self, registry: &racket_obs::Registry) {
+        use racket_types::metrics::keys;
+        registry.add(keys::UPLOAD_ATTEMPTS, self.attempts);
+        registry.add(keys::UPLOAD_RETRIES, self.retries);
+        registry.add(keys::RECONNECTS, self.reconnects);
+        registry.add(keys::BACKOFF_MS, self.backoff_ms);
+        registry.add(keys::EXCHANGES_EXHAUSTED, self.exhausted);
+        registry.add(keys::STALE_FRAMES, self.stale_frames);
+    }
+}
+
 /// One device's protocol session over a fault-injected loopback pair.
 ///
 /// The lane owns both transport endpoints — the study driver is an

@@ -177,6 +177,22 @@ pub struct ServerStats {
     pub dup_files: u64,
 }
 
+impl ServerStats {
+    /// Add these ingestion counts to a registry: the canonical
+    /// `ingest.snapshots` / `ingest.dup_files` counters (see
+    /// [`racket_types::metrics::keys`]) plus `server.*` counters for the
+    /// remaining fields.
+    pub fn record_to(&self, registry: &racket_obs::Registry) {
+        use racket_types::metrics::keys;
+        registry.add(keys::SNAPSHOTS_INGESTED, self.snapshots);
+        registry.add(keys::DUP_FILES, self.dup_files);
+        registry.add("server.sign_ins", self.sign_ins);
+        registry.add("server.rejected_sign_ins", self.rejected_sign_ins);
+        registry.add("server.files", self.files);
+        registry.add("server.bad_uploads", self.bad_uploads);
+    }
+}
+
 /// The collection server state.
 #[derive(Debug, Default)]
 pub struct CollectionServer {

@@ -115,6 +115,17 @@ impl ShardedIngest {
         self.shards.iter().map(|s| s.lock().len()).collect()
     }
 
+    /// Publish the occupancy series as `ingest.shard_occupancy.<idx>`
+    /// gauges (zero-padded index, so gauge-name order is shard order —
+    /// the layout [`racket_types::PipelineMetrics::from_snapshot`] reads
+    /// back).
+    pub fn record_occupancy_to(&self, registry: &racket_obs::Registry) {
+        use racket_types::metrics::keys;
+        for (i, n) in self.occupancy().into_iter().enumerate() {
+            registry.gauge_set(&format!("{}{i:04}", keys::SHARD_OCCUPANCY_PREFIX), n as u64);
+        }
+    }
+
     /// Drain the store into its records, sorted by install ID (the
     /// canonical order downstream assembly relies on).
     pub fn into_records(self) -> Vec<InstallRecord> {

@@ -36,6 +36,7 @@ impl AppUsageDataset {
     /// applied to the full fleet, including devices it never saw, when the
     /// §8 pipeline computes app suspiciousness.
     pub fn build(out: &StudyOutput, labels: &AppLabels) -> AppUsageDataset {
+        let _span = out.obs.span("features/app_dataset");
         let mut x = Vec::new();
         let mut y = Vec::new();
         let mut provenance = Vec::new();

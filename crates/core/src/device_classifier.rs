@@ -38,6 +38,7 @@ impl DeviceDataset {
         subsample: Option<(usize, usize)>,
         seed: u64,
     ) -> DeviceDataset {
+        let _span = out.obs.span("features/device_dataset");
         let mut eligible: Vec<usize> = (0..out.observations.len())
             .filter(|&i| out.observations[i].record.active_days() >= min_days)
             .collect();

@@ -16,7 +16,9 @@ use racket_collect::{
     InstallRecord, RetryPolicy, ShardedIngest, SnapshotCollector, WireLane,
 };
 use racket_features::DeviceObservation;
+use racket_obs::{span, LocalHistogram, Registry};
 use racket_playstore::crawler::ReviewCrawler;
+use racket_types::metrics::keys;
 use racket_types::{AppId, Cohort, Persona, PipelineMetrics, Review, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -124,9 +126,18 @@ pub struct StudyOutput {
     pub server_stats: racket_collect::server::ServerStats,
     /// Number of physical devices recovered by fingerprint coalescing.
     pub coalesced_devices: usize,
-    /// Pipeline wall-time and throughput metrics for this run. The only
-    /// thread-count-dependent part of the output.
+    /// Pipeline wall-time and throughput metrics for this run
+    /// (a [`PipelineMetrics::from_snapshot`] projection of `obs`). The
+    /// only thread-count-dependent part of the output.
     pub metrics: PipelineMetrics,
+    /// The run's private observability registry: every stage span
+    /// (`span.fleet_gen`, `span.simulate/day`, …), fault/retry/ingest
+    /// counter and shard-occupancy gauge. Private per run — never the
+    /// process-global registry — so concurrent studies (e.g. the test
+    /// suite) cannot pollute each other's metrics. Excluded from output
+    /// fingerprints; downstream stages (dataset builders, the bench
+    /// harness) keep recording into it.
+    pub obs: Registry,
 }
 
 impl StudyOutput {
@@ -143,6 +154,8 @@ impl StudyOutput {
 /// One device's lane through the study: the device plus all per-device
 /// driver state, mutated on a worker thread without touching other lanes.
 struct DeviceLane {
+    /// Lane index (= fleet order); labels this lane's trace spans.
+    idx: usize,
     dev: racket_agents::StudyDevice,
     collector: SnapshotCollector,
     buffer: DataBuffer,
@@ -154,6 +167,11 @@ struct DeviceLane {
     /// Compressed bytes this lane uploaded over the wire path,
     /// retransmissions included.
     bytes_compressed: u64,
+    /// Per-lane shard of the `simulate/deliver` latency histogram:
+    /// recorded without synchronization on the worker thread, merged into
+    /// the study registry when the lane retires (merge is commutative, so
+    /// retirement order never shows in the totals).
+    deliver_hist: LocalHistogram,
 }
 
 /// The study runner.
@@ -170,16 +188,17 @@ impl Study {
     /// Run the complete study.
     pub fn run(&self) -> StudyOutput {
         let config = &self.config;
-        let mut metrics = PipelineMetrics {
-            threads: rayon::current_num_threads(),
-            ..PipelineMetrics::default()
+        // Every stage records into this run's private registry; the
+        // PipelineMetrics the output carries is a projection of it.
+        let obs = Registry::new();
+        obs.gauge_set(keys::THREADS, rayon::current_num_threads() as u64);
+
+        let mut fleet = {
+            let _span = span!(obs, keys::SPAN_FLEET_GEN);
+            Fleet::generate(config.fleet.clone())
         };
 
-        let t0 = Instant::now();
-        let mut fleet = Fleet::generate(config.fleet.clone());
-        metrics.fleet_gen_secs = t0.elapsed().as_secs_f64();
-
-        let t1 = Instant::now();
+        let simulate_span = obs.span(keys::SPAN_SIMULATE);
         let mut server = CollectionServer::new(fleet.devices.iter().map(|d| d.participant));
         let mut crawler = ReviewCrawler::new();
         let sharded = match config.path {
@@ -217,6 +236,7 @@ impl Study {
                     CollectionPath::Direct => None,
                 };
                 DeviceLane {
+                    idx: i,
                     dev: d,
                     collector,
                     buffer: DataBuffer::new(),
@@ -226,23 +246,27 @@ impl Study {
                         i as u64,
                     )),
                     bytes_compressed: 0,
+                    deliver_hist: LocalHistogram::new(),
                 }
             })
             .collect();
 
-        for lane in &mut lanes {
-            match &mut lane.wire {
-                Some(wire) => {
-                    let accepted = wire
-                        .sign_in(&mut |m| server.handle(m))
-                        .expect("sign-in retry budget exhausted");
-                    assert!(accepted, "study participants are registered");
-                }
-                None => {
-                    server.handle(Message::SignIn {
-                        participant: lane.dev.participant,
-                        install: lane.dev.install_id,
-                    });
+        {
+            let _span = obs.span("simulate/sign_in");
+            for lane in &mut lanes {
+                match &mut lane.wire {
+                    Some(wire) => {
+                        let accepted = wire
+                            .sign_in(&mut |m| server.handle(m))
+                            .expect("sign-in retry budget exhausted");
+                        assert!(accepted, "study participants are registered");
+                    }
+                    None => {
+                        server.handle(Message::SignIn {
+                            participant: lane.dev.participant,
+                            install: lane.dev.install_id,
+                        });
+                    }
                 }
             }
         }
@@ -255,10 +279,15 @@ impl Study {
         let total_days = config.fleet.max_study_days;
         let catalog = &fleet.catalog;
         for day in 0..total_days {
+            let _day_span = span!(obs, "simulate/day", day = day);
             let day_start = study_start + SimDuration::from_days(day);
             let day_reviews: Vec<Vec<Review>> = lanes
                 .par_iter_mut()
                 .map(|lane| {
+                    // Lane spans run on rayon workers; the slash path (not
+                    // any thread-local stack) is what nests them under the
+                    // day in the timing tree.
+                    let _lane_span = span!(obs, "simulate/day/lane", device = lane.idx);
                     Self::run_lane_day(
                         lane,
                         catalog,
@@ -296,63 +325,67 @@ impl Study {
         // the day loop: keep flushing until the lane drains (bounded — a
         // fault plan the budget cannot beat would be a test bug, so cap
         // the rounds and let the exhaustion counter surface it).
-        for lane in &mut lanes {
-            lane.buffer.flush();
-            if let Some(wire) = lane.wire.as_mut() {
-                for _ in 0..8 {
-                    lane.bytes_compressed +=
-                        wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
-                    if lane.buffer.pending_count() == 0 {
-                        break;
+        {
+            let _span = obs.span("simulate/flush");
+            for lane in &mut lanes {
+                lane.buffer.flush();
+                if let Some(wire) = lane.wire.as_mut() {
+                    for _ in 0..8 {
+                        lane.bytes_compressed +=
+                            wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
+                        if lane.buffer.pending_count() == 0 {
+                            break;
+                        }
                     }
                 }
             }
         }
         let mut server = server.into_inner();
 
-        // Aggregate the chaos observability counters across lanes.
+        // Lane retirement: chaos/retry counters and the per-lane deliver
+        // histogram shards fold into the registry. Everything here is a
+        // commutative add, so lane order cannot show in the totals.
+        let deliver_hist = obs.histogram("span.simulate/deliver");
         for lane in &lanes {
             if let Some(wire) = &lane.wire {
-                let s = wire.stats();
-                metrics.faults.merge(&wire.fault_stats());
-                metrics.upload_attempts += s.attempts;
-                metrics.upload_retries += s.retries;
-                metrics.reconnects += s.reconnects;
-                metrics.backoff_ms += s.backoff_ms;
-                metrics.exchanges_exhausted += s.exhausted;
-                metrics.stale_frames += s.stale_frames;
+                wire.stats().record_to(&obs);
+                wire.fault_stats().record_to(&obs);
             }
+            obs.add(keys::BYTES_COMPRESSED, lane.bytes_compressed);
+            deliver_hist.merge_local(&lane.deliver_hist);
         }
-        metrics.dup_files_deduped = server.stats().dup_files;
 
         // Devices return to the fleet in lane (= fleet) order.
-        metrics.bytes_compressed = lanes.iter().map(|l| l.bytes_compressed).sum();
         fleet.devices = lanes.into_iter().map(|l| l.dev).collect();
 
         // Sharded direct-path records converge into the server table.
         if let Some(sharded) = sharded {
-            metrics.shard_occupancy = sharded.occupancy();
+            let _span = obs.span("simulate/shard_merge");
+            sharded.record_occupancy_to(&obs);
             sharded.merge_into(&mut server);
         }
-        metrics.simulate_secs = t1.elapsed().as_secs_f64();
-        metrics.snapshots_ingested = server.stats().snapshots;
+        server.stats().record_to(&obs);
+        drop(simulate_span);
 
         // ---- assemble the measurement database ----------------------------
-        let t2 = Instant::now();
+        let assemble_span = obs.span(keys::SPAN_ASSEMBLE);
         // Canonical record order: sorted by install ID (HashMap iteration
         // order must never reach coalescing, which is order-sensitive).
         let mut records: Vec<InstallRecord> = server.records().cloned().collect();
         records.sort_by_key(|r| r.install_id);
-        let candidates: Vec<CandidateInstall> =
-            records.iter().map(CandidateInstall::from_record).collect();
-        let coalesced = coalesce_installs(candidates);
-        let coalesced_devices = coalesced.len();
+        let coalesced_devices = {
+            let _span = obs.span("assemble/coalesce");
+            let candidates: Vec<CandidateInstall> =
+                records.iter().map(CandidateInstall::from_record).collect();
+            coalesce_installs(candidates).len()
+        };
 
         let preinstalled: HashSet<AppId> = fleet.catalog.system_apps().iter().copied().collect();
         let by_install: HashMap<_, _> = records.into_iter().map(|r| (r.install_id, r)).collect();
 
         // Per-device joins (Google-ID crawl, review join, VirusTotal) are
         // independent — one observation per device, built in parallel.
+        let join_span = obs.span("assemble/join");
         let joined: Vec<Option<(DeviceObservation, GroundTruth)>> = fleet
             .devices
             .par_iter()
@@ -400,14 +433,16 @@ impl Study {
                 ))
             })
             .collect();
+        drop(join_span);
         let mut observations = Vec::with_capacity(joined.len());
         let mut truth = Vec::with_capacity(joined.len());
-        for (obs, gt) in joined.into_iter().flatten() {
-            observations.push(obs);
+        for (observation, gt) in joined.into_iter().flatten() {
+            observations.push(observation);
             truth.push(gt);
         }
-        metrics.assemble_secs = t2.elapsed().as_secs_f64();
+        drop(assemble_span);
 
+        let metrics = PipelineMetrics::from_snapshot(&obs.snapshot());
         StudyOutput {
             observations,
             truth,
@@ -416,6 +451,7 @@ impl Study {
             coalesced_devices,
             fleet,
             metrics,
+            obs,
         }
     }
 
@@ -475,6 +511,10 @@ impl Study {
         server: &parking_lot::Mutex<CollectionServer>,
         path: CollectionPath,
     ) {
+        // Timed into the lane's local histogram shard, not the shared
+        // registry: delivery is the per-lane hot path, and a shard costs
+        // one unsynchronized array bump per call.
+        let start = Instant::now();
         match path {
             CollectionPath::Direct => {
                 sharded
@@ -485,18 +525,19 @@ impl Study {
                 for s in snaps {
                     lane.buffer.push(s);
                 }
-                if lane.buffer.pending_count() == 0 {
-                    return;
+                if lane.buffer.pending_count() > 0 {
+                    // Upload any rotated files through the retry/backoff
+                    // state machine. Files whose retry budget runs out stay
+                    // queued and resume on the next delivery tick or the
+                    // final flush; replays are absorbed by the server's
+                    // idempotent ingest.
+                    let wire = lane.wire.as_mut().expect("wire path without lane");
+                    lane.bytes_compressed +=
+                        wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
                 }
-                // Upload any rotated files through the retry/backoff state
-                // machine. Files whose retry budget runs out stay queued
-                // and resume on the next delivery tick or the final flush;
-                // replays are absorbed by the server's idempotent ingest.
-                let wire = lane.wire.as_mut().expect("wire path without lane");
-                lane.bytes_compressed +=
-                    wire.upload_pending(&mut lane.buffer, &mut |m| server.lock().handle(m));
             }
         }
+        lane.deliver_hist.record(start.elapsed().as_nanos() as u64);
     }
 }
 

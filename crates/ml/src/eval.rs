@@ -242,10 +242,16 @@ where
         .flat_map(|rep| (0..k).map(move |fold_id| (rep, fold_id)))
         .collect();
 
+    // Per-fold train/score timing goes to the process-default registry
+    // (`span.ml/cv_fold`, with rep/fold trace fields) — the library has no
+    // study registry in scope, and harnesses that want isolated per-run
+    // numbers swap the global with `racket_obs::install_global`.
+    let obs = racket_obs::global();
     type FoldResult = Option<(ConfusionMatrix, Vec<u8>, Vec<f64>)>;
     let fold_results: Vec<FoldResult> = pairs
         .into_par_iter()
         .map(|(rep, fold_id)| {
+            let _span = racket_obs::span!(obs, "ml/cv_fold", rep = rep, fold = fold_id);
             let folds = &rep_folds[rep];
             let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != fold_id).collect();
             let valid_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == fold_id).collect();
@@ -461,5 +467,82 @@ mod tests {
         let r3 = cross_validate(factory, &data, 4, 3, Resampling::None, 3);
         assert_eq!(r1.confusion.total(), 40);
         assert_eq!(r3.confusion.total(), 120);
+    }
+
+    /// Bug-check for repeated-CV fold assignment: within every repeat,
+    /// the fold vector must place each row in exactly one validation fold
+    /// — i.e. it is a total assignment into `0..k` whose per-fold
+    /// validation sets partition the rows. A fold id ≥ k, or two repeats
+    /// sharing an RNG stream and degenerating into identical assignments,
+    /// would silently skew every pooled table in the paper reproduction.
+    #[test]
+    fn every_row_lands_in_exactly_one_validation_fold_per_repeat() {
+        let n = 103;
+        let k = 10;
+        let y: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+        let repeats = 5;
+        let seed = 42u64;
+        let mut assignments = Vec::new();
+        for rep in 0..repeats {
+            let fold = stratified_folds(&y, k, seed.wrapping_add(rep));
+            assert_eq!(fold.len(), n, "total assignment: one fold id per row");
+            let mut seen = vec![0usize; k];
+            for &f in &fold {
+                assert!(f < k, "fold id {f} out of range");
+                seen[f] += 1;
+            }
+            assert_eq!(seen.iter().sum::<usize>(), n, "folds partition the rows");
+            for (f, &count) in seen.iter().enumerate() {
+                assert!(count > 0, "fold {f} would be an empty validation set");
+            }
+            // The union of validation index sets, taken fold by fold, must
+            // recover every row exactly once (what cross_validate iterates).
+            let mut covered = vec![false; n];
+            for fold_id in 0..k {
+                for i in (0..n).filter(|&i| fold[i] == fold_id) {
+                    assert!(!covered[i], "row {i} validated twice in one repeat");
+                    covered[i] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "every row validates once");
+            assignments.push(fold);
+        }
+        // Distinct repeats must reshuffle: identical assignments would
+        // make "repeated" CV a no-op and shrink the pooled sample.
+        for rep in 1..repeats as usize {
+            assert_ne!(
+                assignments[0], assignments[rep],
+                "repeat {rep} reused repeat 0's folds"
+            );
+        }
+    }
+
+    /// Stratification: each fold's class counts may deviate from a
+    /// perfectly proportional split by at most one row per class (the
+    /// round-robin remainder).
+    #[test]
+    fn stratified_folds_preserve_class_ratio_within_one_row() {
+        for (n, pos_every, k, seed) in [(103, 3, 10, 7u64), (64, 4, 5, 11), (200, 2, 10, 13)] {
+            let y: Vec<u8> = (0..n).map(|i| u8::from(i % pos_every == 0)).collect();
+            let n_pos = y.iter().filter(|&&v| v == 1).count();
+            let n_neg = n - n_pos;
+            let fold = stratified_folds(&y, k, seed);
+            for fold_id in 0..k {
+                let pos_in_fold = (0..n).filter(|&i| fold[i] == fold_id && y[i] == 1).count();
+                let neg_in_fold = (0..n).filter(|&i| fold[i] == fold_id && y[i] == 0).count();
+                let pos_lo = n_pos / k;
+                let neg_lo = n_neg / k;
+                assert!(
+                    pos_in_fold == pos_lo || pos_in_fold == pos_lo + 1,
+                    "fold {fold_id}: {pos_in_fold} positives, expected {pos_lo} or {}",
+                    pos_lo + 1
+                );
+                assert!(
+                    neg_in_fold == neg_lo || neg_in_fold == neg_lo + 1,
+                    "fold {fold_id}: {neg_in_fold} negatives, expected {neg_lo} or {}",
+                    neg_lo + 1
+                );
+            }
+        }
     }
 }

@@ -95,4 +95,54 @@ proptest! {
         prop_assert!(s.min <= s.mean && s.mean <= s.max);
         prop_assert!(s.sd >= 0.0);
     }
+
+    // Rank statistics depend only on the ordering of the pooled sample, so
+    // any strictly increasing transform applied to BOTH samples must leave
+    // them exactly unchanged. The transforms are chosen to be exact in
+    // f64 — ×8 is a power-of-two exponent bump and cubing integer-grid
+    // values stays on the integer grid — so no rounding can create or
+    // destroy ties and perturb the tie corrections.
+    #[test]
+    fn rank_sum_invariant_under_scaling(
+        a in proptest::collection::vec(-512f64..512.0, 3..60),
+        b in proptest::collection::vec(-512f64..512.0, 3..60),
+    ) {
+        let base = mann_whitney_u(&a, &b);
+        let sa: Vec<f64> = a.iter().map(|v| v * 8.0).collect();
+        let sb: Vec<f64> = b.iter().map(|v| v * 8.0).collect();
+        let scaled = mann_whitney_u(&sa, &sb);
+        prop_assert!((base.statistic - scaled.statistic).abs() < 1e-9);
+        prop_assert!((base.p_value - scaled.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_sum_invariant_under_cubing(
+        a in proptest::collection::vec(-100i32..100, 3..60),
+        b in proptest::collection::vec(-100i32..100, 3..60),
+    ) {
+        // Integer grid in, integer grid out: x³ is strictly increasing
+        // and exact for |x| ≤ 100, preserving every tie structure.
+        let af: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        let bf: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+        let base = mann_whitney_u(&af, &bf);
+        let ca: Vec<f64> = af.iter().map(|v| v * v * v).collect();
+        let cb: Vec<f64> = bf.iter().map(|v| v * v * v).collect();
+        let cubed = mann_whitney_u(&ca, &cb);
+        prop_assert!((base.statistic - cubed.statistic).abs() < 1e-9);
+        prop_assert!((base.p_value - cubed.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kruskal_wallis_degenerates_on_identical_groups(
+        a in proptest::collection::vec(-1e3f64..1e3, 3..60),
+        k in 2usize..5,
+    ) {
+        // k copies of the same sample: every group has the same rank
+        // distribution, so H ≈ 0 and the test must not reject.
+        let groups: Vec<&[f64]> = (0..k).map(|_| a.as_slice()).collect();
+        let out = kruskal_wallis(&groups);
+        prop_assert!(out.statistic.abs() < 1e-6, "H = {}", out.statistic);
+        prop_assert!(out.p_value > 0.5, "p = {}", out.p_value);
+        prop_assert!(!out.significant());
+    }
 }

@@ -2,11 +2,72 @@
 //!
 //! The paper's study ingested 58.3M snapshots from 803 devices (§5); the
 //! reproduction's simulate→collect→analyze pipeline reports its own
-//! throughput through [`PipelineMetrics`], filled in by the study driver
-//! and printed by the `study_summary` experiment binary. The struct is the
-//! observable half of the parallelism contract documented in
-//! `ARCHITECTURE.md`: stage wall times shrink with worker threads while
-//! every count stays bit-identical.
+//! throughput through [`PipelineMetrics`], printed by the `study_summary`
+//! experiment binary. The struct is the observable half of the parallelism
+//! contract documented in `ARCHITECTURE.md`: stage wall times shrink with
+//! worker threads while every count stays bit-identical.
+//!
+//! Since the observability refactor the struct is a *projection*, not a
+//! ledger: every stage records into the study's `racket_obs::Registry`
+//! under the canonical names in [`keys`], and
+//! [`PipelineMetrics::from_snapshot`] derives the report from a frozen
+//! [`racket_obs::RegistrySnapshot`]. The registry is the single source of
+//! truth; nothing in it ever enters an output fingerprint.
+
+use racket_obs::{Registry, RegistrySnapshot};
+
+/// Canonical registry names for the pipeline's counters, gauges and spans.
+///
+/// Every stage that records into the study registry uses these constants,
+/// and [`PipelineMetrics::from_snapshot`] reads them back; string literals
+/// never appear at call sites, so the emitter and the recorders cannot
+/// drift apart.
+pub mod keys {
+    /// Gauge: worker threads the parallel stages ran with.
+    pub const THREADS: &str = "pipeline.threads";
+    /// Span: fleet generation (history simulation).
+    pub const SPAN_FLEET_GEN: &str = "fleet_gen";
+    /// Span: monitored-window simulation + snapshot collection loop.
+    pub const SPAN_SIMULATE: &str = "simulate";
+    /// Span: database assembly (coalescing, crawl joins, feature inputs).
+    pub const SPAN_ASSEMBLE: &str = "assemble";
+    /// Counter: snapshots ingested by the collection server.
+    pub const SNAPSHOTS_INGESTED: &str = "ingest.snapshots";
+    /// Counter: replayed upload files re-acked without re-ingesting.
+    pub const DUP_FILES: &str = "ingest.dup_files";
+    /// Gauge prefix: per-shard install-record occupancy
+    /// (`ingest.shard_occupancy.0007` → records in shard 7; the index is
+    /// zero-padded so gauge-name order is shard order).
+    pub const SHARD_OCCUPANCY_PREFIX: &str = "ingest.shard_occupancy.";
+    /// Counter: compressed bytes uploaded (incl. retransmissions).
+    pub const BYTES_COMPRESSED: &str = "wire.bytes_compressed";
+    /// Counter: protocol exchanges attempted (first tries + retries).
+    pub const UPLOAD_ATTEMPTS: &str = "wire.attempts";
+    /// Counter: exchanges retried after timeout/decode error/reset.
+    pub const UPLOAD_RETRIES: &str = "wire.retries";
+    /// Counter: reconnect-and-resume cycles.
+    pub const RECONNECTS: &str = "wire.reconnects";
+    /// Counter: simulated backoff milliseconds accumulated across retries.
+    pub const BACKOFF_MS: &str = "wire.backoff_ms";
+    /// Counter: exchanges abandoned after the retry budget ran out.
+    pub const EXCHANGES_EXHAUSTED: &str = "wire.exhausted";
+    /// Counter: duplicate/stale frames discarded by sequence-checked codecs.
+    pub const STALE_FRAMES: &str = "wire.stale_frames";
+    /// Counter: injected frame drops.
+    pub const FAULT_DROPPED: &str = "fault.dropped";
+    /// Counter: injected frame duplications.
+    pub const FAULT_DUPLICATED: &str = "fault.duplicated";
+    /// Counter: injected frame reorderings.
+    pub const FAULT_REORDERED: &str = "fault.reordered";
+    /// Counter: injected frame truncations.
+    pub const FAULT_TRUNCATED: &str = "fault.truncated";
+    /// Counter: injected bit corruptions.
+    pub const FAULT_CORRUPTED: &str = "fault.corrupted";
+    /// Counter: injected connection resets.
+    pub const FAULT_DISCONNECTED: &str = "fault.disconnected";
+    /// Counter: injected indefinite stalls.
+    pub const FAULT_STALLED: &str = "fault.stalled";
+}
 
 /// Per-class counts of transport faults injected by a chaos run.
 ///
@@ -53,6 +114,30 @@ impl FaultCounters {
         self.corrupted += other.corrupted;
         self.disconnected += other.disconnected;
         self.stalled += other.stalled;
+    }
+
+    /// Add these counts to the `fault.*` counters of a registry.
+    pub fn record_to(&self, registry: &Registry) {
+        registry.add(keys::FAULT_DROPPED, self.dropped);
+        registry.add(keys::FAULT_DUPLICATED, self.duplicated);
+        registry.add(keys::FAULT_REORDERED, self.reordered);
+        registry.add(keys::FAULT_TRUNCATED, self.truncated);
+        registry.add(keys::FAULT_CORRUPTED, self.corrupted);
+        registry.add(keys::FAULT_DISCONNECTED, self.disconnected);
+        registry.add(keys::FAULT_STALLED, self.stalled);
+    }
+
+    /// Read the `fault.*` counters back out of a snapshot.
+    pub fn from_snapshot(snapshot: &RegistrySnapshot) -> FaultCounters {
+        FaultCounters {
+            dropped: snapshot.counter(keys::FAULT_DROPPED),
+            duplicated: snapshot.counter(keys::FAULT_DUPLICATED),
+            reordered: snapshot.counter(keys::FAULT_REORDERED),
+            truncated: snapshot.counter(keys::FAULT_TRUNCATED),
+            corrupted: snapshot.counter(keys::FAULT_CORRUPTED),
+            disconnected: snapshot.counter(keys::FAULT_DISCONNECTED),
+            stalled: snapshot.counter(keys::FAULT_STALLED),
+        }
     }
 }
 
@@ -108,6 +193,38 @@ pub struct PipelineMetrics {
 }
 
 impl PipelineMetrics {
+    /// Derive the report from a frozen registry snapshot — the only way
+    /// the study driver builds one of these. Counts come from the
+    /// canonical [`keys`] counters, stage wall times from the top-level
+    /// `span.*` histograms, shard occupancy from the zero-padded
+    /// `ingest.shard_occupancy.*` gauges (gauge-name order is shard
+    /// order).
+    pub fn from_snapshot(snapshot: &RegistrySnapshot) -> PipelineMetrics {
+        let shard_occupancy = snapshot
+            .gauges
+            .iter()
+            .filter(|(k, _)| k.starts_with(keys::SHARD_OCCUPANCY_PREFIX))
+            .map(|(_, &v)| v as usize)
+            .collect();
+        PipelineMetrics {
+            threads: snapshot.gauge(keys::THREADS) as usize,
+            fleet_gen_secs: snapshot.span_secs(keys::SPAN_FLEET_GEN),
+            simulate_secs: snapshot.span_secs(keys::SPAN_SIMULATE),
+            assemble_secs: snapshot.span_secs(keys::SPAN_ASSEMBLE),
+            snapshots_ingested: snapshot.counter(keys::SNAPSHOTS_INGESTED),
+            bytes_compressed: snapshot.counter(keys::BYTES_COMPRESSED),
+            shard_occupancy,
+            faults: FaultCounters::from_snapshot(snapshot),
+            upload_attempts: snapshot.counter(keys::UPLOAD_ATTEMPTS),
+            upload_retries: snapshot.counter(keys::UPLOAD_RETRIES),
+            reconnects: snapshot.counter(keys::RECONNECTS),
+            backoff_ms: snapshot.counter(keys::BACKOFF_MS),
+            exchanges_exhausted: snapshot.counter(keys::EXCHANGES_EXHAUSTED),
+            stale_frames: snapshot.counter(keys::STALE_FRAMES),
+            dup_files_deduped: snapshot.counter(keys::DUP_FILES),
+        }
+    }
+
     /// Total pipeline wall time across the three stages, in seconds.
     pub fn total_secs(&self) -> f64 {
         self.fleet_gen_secs + self.simulate_secs + self.assemble_secs
@@ -224,6 +341,68 @@ mod tests {
         assert_eq!(a.total(), 56);
         assert_eq!(a.dropped, 2);
         assert_eq!(a.stalled, 14);
+    }
+
+    #[test]
+    fn from_snapshot_projects_canonical_keys() {
+        let reg = Registry::new();
+        reg.gauge_set(keys::THREADS, 4);
+        reg.add(keys::SNAPSHOTS_INGESTED, 1_000);
+        reg.add(keys::BYTES_COMPRESSED, 2_048);
+        reg.add(keys::UPLOAD_ATTEMPTS, 12);
+        reg.add(keys::UPLOAD_RETRIES, 2);
+        reg.add(keys::RECONNECTS, 1);
+        reg.add(keys::BACKOFF_MS, 80);
+        reg.add(keys::STALE_FRAMES, 3);
+        reg.add(keys::DUP_FILES, 1);
+        reg.gauge_set(&format!("{}0000", keys::SHARD_OCCUPANCY_PREFIX), 10);
+        reg.gauge_set(&format!("{}0001", keys::SHARD_OCCUPANCY_PREFIX), 12);
+        FaultCounters {
+            dropped: 5,
+            stalled: 2,
+            ..FaultCounters::default()
+        }
+        .record_to(&reg);
+        {
+            let _s = reg.span(keys::SPAN_SIMULATE);
+        }
+
+        let m = PipelineMetrics::from_snapshot(&reg.snapshot());
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.snapshots_ingested, 1_000);
+        assert_eq!(m.bytes_compressed, 2_048);
+        assert_eq!(m.shard_occupancy, vec![10, 12]);
+        assert_eq!(m.faults.dropped, 5);
+        assert_eq!(m.faults.stalled, 2);
+        assert_eq!(m.faults.total(), 7);
+        assert_eq!(m.upload_attempts, 12);
+        assert_eq!(m.upload_retries, 2);
+        assert_eq!(m.reconnects, 1);
+        assert_eq!(m.backoff_ms, 80);
+        assert_eq!(m.exchanges_exhausted, 0);
+        assert_eq!(m.stale_frames, 3);
+        assert_eq!(m.dup_files_deduped, 1);
+        assert!(m.simulate_secs >= 0.0);
+        assert_eq!(m.fleet_gen_secs, 0.0);
+    }
+
+    #[test]
+    fn fault_counters_round_trip_through_registry() {
+        let reg = Registry::new();
+        let f = FaultCounters {
+            dropped: 1,
+            duplicated: 2,
+            reordered: 3,
+            truncated: 4,
+            corrupted: 5,
+            disconnected: 6,
+            stalled: 7,
+        };
+        f.record_to(&reg);
+        f.record_to(&reg); // counters add — recording is commutative
+        let back = FaultCounters::from_snapshot(&reg.snapshot());
+        assert_eq!(back.total(), 2 * f.total());
+        assert_eq!(back.corrupted, 10);
     }
 
     #[test]
