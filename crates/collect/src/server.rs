@@ -205,6 +205,9 @@ pub struct CollectionServer {
     ingested_files: HashMap<InstallId, HashMap<u64, [u8; 32]>>,
     records: HashMap<InstallId, InstallRecord>,
     stats: ServerStats,
+    /// Pooled decompression scratch: every upload inflates into this one
+    /// allocation instead of a fresh `Vec` per file.
+    scratch: Vec<u8>,
 }
 
 impl CollectionServer {
@@ -216,6 +219,7 @@ impl CollectionServer {
             ingested_files: HashMap::new(),
             records: HashMap::new(),
             stats: ServerStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -277,15 +281,16 @@ impl CollectionServer {
                         sha256: digest,
                     });
                 }
-                match lzss::decompress(&payload)
+                // Decompress into the pooled scratch, then decode the whole
+                // file in one pass — parse once, ingest as a batch.
+                match lzss::decompress_into(&payload, &mut self.scratch)
                     .map_err(|e| e.to_string())
-                    .and_then(|raw| {
-                        SnapshotCollector::deserialize_file(&raw).map_err(|e| e.to_string())
+                    .and_then(|()| {
+                        SnapshotCollector::deserialize_file(&self.scratch)
+                            .map_err(|e| e.to_string())
                     }) {
                     Ok(snapshots) => {
-                        for s in &snapshots {
-                            self.ingest_snapshot(s);
-                        }
+                        self.ingest_file(&snapshots);
                         self.stats.files += 1;
                         self.ingested_files
                             .entry(install)
@@ -322,6 +327,28 @@ impl CollectionServer {
                 )
             });
         record.ingest(snapshot);
+    }
+
+    /// Fold one decoded upload file's snapshots in as a batch. Snapshots
+    /// in a rotated accumulation file come from a single install, so runs
+    /// sharing an install id are folded through one record lookup instead
+    /// of a map probe per snapshot (mixed files still ingest correctly —
+    /// each run resolves its own record).
+    fn ingest_file(&mut self, snapshots: &[Snapshot]) {
+        let mut i = 0;
+        while i < snapshots.len() {
+            let install = snapshots[i].install_id();
+            let record = self.records.entry(install).or_insert_with(|| {
+                InstallRecord::new(install, snapshots[i].participant_id(), snapshots[i].time())
+            });
+            let mut j = i;
+            while j < snapshots.len() && snapshots[j].install_id() == install {
+                record.ingest(&snapshots[j]);
+                j += 1;
+            }
+            self.stats.snapshots += (j - i) as u64;
+            i = j;
+        }
     }
 
     /// Adopt a fully aggregated record (from a [`crate::shard::ShardedIngest`]

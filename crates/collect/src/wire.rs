@@ -38,7 +38,7 @@
 //! they arrive on any transport, pull frames out as they complete.
 
 use crate::hash::crc32;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BytesMut};
 use racket_types::{InstallId, ParticipantId};
 
 /// Frame magic: "RS" (RacketStore).
@@ -176,9 +176,8 @@ impl Message {
         }
     }
 
-    /// Encode the payload body (without framing).
-    fn encode_payload(&self) -> Vec<u8> {
-        let mut p = Vec::new();
+    /// Append the payload body (without framing) to `p`.
+    fn write_payload(&self, p: &mut Vec<u8>) {
         match self {
             Message::SignIn {
                 participant,
@@ -208,7 +207,6 @@ impl Message {
                 p.extend_from_slice(detail.as_bytes());
             }
         }
-        p
     }
 
     /// Decode a message from a frame.
@@ -284,22 +282,60 @@ impl Message {
     /// payload, CRC trailer. The CRC covers bytes `2..` of the frame up to
     /// the trailer (version, type, seq, length and payload).
     pub fn encode_seq(&self, seq: u32) -> Vec<u8> {
-        let payload = self.encode_payload();
-        assert!(
-            payload.len() <= MAX_PAYLOAD,
-            "payload exceeds protocol limit"
-        );
-        let mut buf = BytesMut::with_capacity(HEADER + payload.len() + TRAILER);
-        buf.put_u16_le(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.msg_type());
-        buf.put_u32_le(seq);
-        buf.put_u32_le(payload.len() as u32);
-        buf.put_slice(&payload);
-        let crc = crc32(&buf[CRC_START..]);
-        buf.put_u32_le(crc);
-        buf.to_vec()
+        let mut out = Vec::new();
+        self.encode_seq_into(seq, &mut out);
+        out
     }
+
+    /// Encode a full frame into a caller-supplied buffer (cleared first).
+    ///
+    /// The payload is written straight into `out` after the header — no
+    /// intermediate payload `Vec` — with the length field backpatched once
+    /// the payload size is known, then the CRC computed in place. Hot
+    /// senders keep one frame buffer per connection and reuse it for every
+    /// transmission.
+    pub fn encode_seq_into(&self, seq: u32, out: &mut Vec<u8>) {
+        frame_into(self.msg_type(), seq, out, |p| self.write_payload(p));
+    }
+}
+
+/// Frame skeleton writer: header with a length placeholder, payload via
+/// `write_payload`, then the backpatched length and the CRC trailer.
+fn frame_into(msg_type: u8, seq: u32, out: &mut Vec<u8>, write_payload: impl FnOnce(&mut Vec<u8>)) {
+    out.clear();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // length, backpatched below
+    write_payload(out);
+    let len = out.len() - HEADER;
+    assert!(len <= MAX_PAYLOAD, "payload exceeds protocol limit");
+    out[HEADER - 4..HEADER].copy_from_slice(&(len as u32).to_le_bytes());
+    let crc = crc32(&out[CRC_START..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encode a snapshot-upload frame from a *borrowed* payload.
+///
+/// Byte-identical to encoding [`Message::SnapshotUpload`] with the same
+/// fields, but the compressed file contents are copied exactly once — from
+/// the buffer's queue into the frame — instead of first being cloned into
+/// an owned `Message`.
+pub fn encode_upload_into(
+    seq: u32,
+    install: InstallId,
+    file_id: u64,
+    fast: bool,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    frame_into(msg_type::SNAPSHOT_UPLOAD, seq, out, |p| {
+        p.extend_from_slice(&install.raw().to_le_bytes());
+        p.extend_from_slice(&file_id.to_le_bytes());
+        p.push(u8::from(fast));
+        p.extend_from_slice(payload);
+    });
 }
 
 /// Incremental frame decoder (sans-IO): feed bytes, pull complete frames.
@@ -411,12 +447,15 @@ impl FrameCodec {
             return Ok(None);
         }
         let actual = crc32(&self.buf[CRC_START..HEADER + len]);
-        self.buf.advance(HEADER);
-        let payload = self.buf.split_to(len).to_vec();
-        let expected = self.buf.get_u32_le();
+        let expected =
+            u32::from_le_bytes(self.buf[HEADER + len..total].try_into().expect("4 bytes"));
         if expected != actual {
             return Err(WireError::BadCrc { expected, actual });
         }
+        // The payload is copied exactly once (into the frame); the whole
+        // frame is then released with one O(1) cursor advance.
+        let payload = self.buf[HEADER..HEADER + len].to_vec();
+        self.buf.advance(total);
         Ok(Some(Frame {
             msg_type,
             seq,
@@ -436,6 +475,7 @@ impl FrameCodec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::BufMut;
 
     fn samples() -> Vec<Message> {
         vec![
@@ -661,6 +701,40 @@ mod tests {
             assert!(codec.try_decode_message().unwrap().is_some());
         }
         assert_eq!(codec.stale_discards(), 0);
+    }
+
+    #[test]
+    fn borrowed_upload_encoder_matches_owned_message() {
+        let payload = b"compressed file bytes".to_vec();
+        let msg = Message::SnapshotUpload {
+            install: InstallId(77),
+            file_id: 9,
+            fast: true,
+            payload: payload.clone(),
+        };
+        let mut pooled = Vec::new();
+        encode_upload_into(5, InstallId(77), 9, true, &payload, &mut pooled);
+        assert_eq!(pooled, msg.encode_seq(5));
+    }
+
+    #[test]
+    fn pooled_frame_buffer_is_reused_across_encodes() {
+        let mut buf = Vec::new();
+        let big = Message::SnapshotUpload {
+            install: InstallId(1),
+            file_id: 1,
+            fast: true,
+            payload: vec![0xCD; 2048],
+        };
+        big.encode_seq_into(0, &mut buf);
+        let (ptr, cap) = (buf.as_ptr(), buf.capacity());
+        // A same-size or smaller frame must not reallocate the buffer.
+        big.encode_seq_into(1, &mut buf);
+        assert_eq!((buf.as_ptr(), buf.capacity()), (ptr, cap));
+        Message::SignInAck { accepted: true }.encode_seq_into(2, &mut buf);
+        assert_eq!((buf.as_ptr(), buf.capacity()), (ptr, cap));
+        // Each encode replaces the contents (cleared, not appended).
+        assert_eq!(buf, Message::SignInAck { accepted: true }.encode_seq(2));
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Property tests for the delivery fast-path kernels.
+//!
+//! * The binary snapshot codec must round-trip *every* representable
+//!   snapshot and agree with the serde model it replaced (the same struct
+//!   encoded as legacy JSON lines must decode to the same value).
+//! * A reused LZSS workspace must be a pure optimization: its output is
+//!   byte-for-byte the output of a fresh compressor.
+//! * `deserialize_file` must reject truncated or corrupted input — both
+//!   binary and legacy JSON — with an error, never a panic.
+
+use proptest::prelude::*;
+use racket_collect::collector::SnapshotCollector;
+use racket_collect::lzss;
+use racket_types::{
+    AccountId, AccountService, AndroidId, ApkHash, AppId, FastSnapshot, GoogleId, InstallDelta,
+    InstallId, InstalledApp, ParticipantId, Permission, PermissionProfile, RegisteredAccount,
+    SimTime, SlowSnapshot, Snapshot,
+};
+
+fn permission() -> impl Strategy<Value = Permission> {
+    (0..Permission::ALL.len()).prop_map(|i| Permission::ALL[i])
+}
+
+fn profile() -> impl Strategy<Value = PermissionProfile> {
+    (
+        proptest::collection::vec(permission(), 0..8),
+        proptest::collection::vec(permission(), 0..4),
+        proptest::collection::vec(permission(), 0..4),
+    )
+        .prop_map(|(requested, granted, denied)| PermissionProfile {
+            requested,
+            granted,
+            denied,
+        })
+}
+
+fn option_u64() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn option_u32() -> impl Strategy<Value = Option<u32>> {
+    (any::<bool>(), any::<u32>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn installed_app() -> impl Strategy<Value = InstalledApp> {
+    (
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        (profile(), any::<[u8; 16]>()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((app, install_time, last_update), (permissions, hash), (stopped, preinstalled))| {
+                InstalledApp {
+                    app: AppId(app),
+                    install_time: SimTime::from_secs(install_time),
+                    last_update: SimTime::from_secs(last_update),
+                    permissions,
+                    apk_hash: ApkHash(hash),
+                    stopped,
+                    preinstalled,
+                }
+            },
+        )
+}
+
+fn install_delta() -> impl Strategy<Value = InstallDelta> {
+    prop_oneof![
+        installed_app().prop_map(InstallDelta::Installed),
+        any::<u32>().prop_map(|app| InstallDelta::Uninstalled { app: AppId(app) }),
+    ]
+}
+
+fn account_service() -> impl Strategy<Value = AccountService> {
+    (0usize..8, any::<u16>()).prop_map(|(pick, other)| match pick {
+        0 => AccountService::Gmail,
+        1 => AccountService::WhatsApp,
+        2 => AccountService::Facebook,
+        3 => AccountService::TikTok,
+        4 => AccountService::DualSpace,
+        5 => AccountService::Freelancer,
+        6 => AccountService::Easypaisa,
+        _ => AccountService::Other(other),
+    })
+}
+
+fn account() -> impl Strategy<Value = RegisteredAccount> {
+    (any::<u64>(), account_service(), option_u64()).prop_map(|(id, service, google_id)| {
+        RegisteredAccount {
+            id: AccountId(id),
+            service,
+            google_id: google_id.map(GoogleId),
+        }
+    })
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    let fast = (
+        (any::<u64>(), any::<u32>(), any::<u64>()),
+        (option_u32(), any::<bool>(), any::<u8>()),
+        proptest::collection::vec(install_delta(), 0..5),
+    )
+        .prop_map(
+            |((install, participant, time), (fg, screen_on, battery_pct), install_events)| {
+                Snapshot::Fast(FastSnapshot {
+                    install_id: InstallId(install),
+                    participant_id: ParticipantId(participant),
+                    time: SimTime::from_secs(time),
+                    foreground_app: fg.map(AppId),
+                    screen_on,
+                    battery_pct,
+                    install_events,
+                })
+            },
+        );
+    let slow = (
+        (any::<u64>(), any::<u32>(), option_u64(), any::<u64>()),
+        proptest::collection::vec(account(), 0..5),
+        any::<bool>(),
+        proptest::collection::vec(any::<u32>(), 0..8),
+    )
+        .prop_map(
+            |((install, participant, android, time), accounts, save_mode, stopped)| {
+                Snapshot::Slow(SlowSnapshot {
+                    install_id: InstallId(install),
+                    participant_id: ParticipantId(participant),
+                    android_id: android.map(AndroidId),
+                    time: SimTime::from_secs(time),
+                    accounts,
+                    save_mode,
+                    stopped_apps: stopped.into_iter().map(AppId).collect(),
+                })
+            },
+        );
+    prop_oneof![fast, slow]
+}
+
+proptest! {
+    /// Binary encode → decode is the identity on any snapshot sequence.
+    #[test]
+    fn binary_codec_round_trips(snaps in proptest::collection::vec(snapshot(), 0..12)) {
+        let mut file = Vec::new();
+        for s in &snaps {
+            SnapshotCollector::serialize_into(s, &mut file);
+        }
+        let decoded = SnapshotCollector::deserialize_file(&file).expect("round trip");
+        prop_assert_eq!(decoded, snaps);
+    }
+
+    /// The binary codec agrees with the serde data model it replaced: the
+    /// same snapshots shipped as legacy JSON lines decode to the same
+    /// values as the binary encoding.
+    #[test]
+    fn binary_codec_agrees_with_serde_baseline(
+        snaps in proptest::collection::vec(snapshot(), 1..8)
+    ) {
+        let mut binary = Vec::new();
+        let mut json = Vec::new();
+        for s in &snaps {
+            SnapshotCollector::serialize_into(s, &mut binary);
+            json.extend_from_slice(&serde_json::to_vec(s).expect("serde encode"));
+            json.push(b'\n');
+        }
+        let from_binary = SnapshotCollector::deserialize_file(&binary).expect("binary");
+        let from_json = SnapshotCollector::deserialize_file(&json).expect("legacy json");
+        prop_assert_eq!(from_binary, from_json);
+    }
+
+    /// Workspace reuse is invisible in the output: compressing through a
+    /// workspace dirtied by unrelated inputs yields bytes identical to a
+    /// fresh compressor's, and both decompress back to the input.
+    #[test]
+    fn reused_workspace_output_is_byte_identical(
+        inputs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..2_048), 1..6
+        )
+    ) {
+        let mut ws = lzss::Workspace::new();
+        for data in &inputs {
+            let pooled = ws.compress(data);
+            let fresh = lzss::compress(data);
+            prop_assert_eq!(&pooled, &fresh);
+            prop_assert_eq!(&lzss::decompress(&pooled).expect("round trip"), data);
+        }
+    }
+
+    /// Truncating a valid binary file anywhere inside a record must error,
+    /// never panic. (Cuts at record boundaries are valid shorter files.)
+    #[test]
+    fn truncated_binary_errors_without_panic(
+        snaps in proptest::collection::vec(snapshot(), 1..4),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut file = Vec::new();
+        let mut boundaries = vec![0usize];
+        for s in &snaps {
+            SnapshotCollector::serialize_into(s, &mut file);
+            boundaries.push(file.len());
+        }
+        let cut = ((file.len() as f64) * frac) as usize;
+        let result = SnapshotCollector::deserialize_file(&file[..cut]);
+        if boundaries.contains(&cut) {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    /// Arbitrary garbage — random bytes under either format sniff — must
+    /// decode to `Ok` (if it happens to be valid) or `Err`, never panic.
+    #[test]
+    fn garbage_input_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SnapshotCollector::deserialize_file(&data);
+        // Force the binary path too, whatever the first byte was.
+        let mut tagged = vec![racket_collect::codec::TAG_BINARY_V1];
+        tagged.extend_from_slice(&data);
+        let _ = SnapshotCollector::deserialize_file(&tagged);
+        // And the legacy JSON path.
+        let mut json = vec![b'{'];
+        json.extend_from_slice(&data);
+        let _ = SnapshotCollector::deserialize_file(&json);
+    }
+}

@@ -346,11 +346,23 @@ impl Study {
         // histogram shards fold into the registry. Everything here is a
         // commutative add, so lane order cannot show in the totals.
         let deliver_hist = obs.histogram("span.simulate/deliver");
+        let serialize_hist = obs.histogram("span.simulate/deliver/serialize");
+        let compress_hist = obs.histogram("span.simulate/deliver/compress");
+        let hash_hist = obs.histogram("span.simulate/deliver/hash");
+        let frame_hist = obs.histogram("span.simulate/deliver/frame");
         for lane in &lanes {
             if let Some(wire) = &lane.wire {
                 wire.stats().record_to(&obs);
                 wire.fault_stats().record_to(&obs);
+                // Wire-path kernel shards: ack-hash verification and frame
+                // encoding live on the lane.
+                hash_hist.merge_local(&wire.timers.hash);
+                frame_hist.merge_local(&wire.timers.frame);
             }
+            // Buffer-side kernel shards: snapshot serialization and LZSS
+            // compression (recorded on both direct and wire paths).
+            serialize_hist.merge_local(&lane.buffer.timers.serialize);
+            compress_hist.merge_local(&lane.buffer.timers.compress);
             obs.add(keys::BYTES_COMPRESSED, lane.bytes_compressed);
             deliver_hist.merge_local(&lane.deliver_hist);
         }

@@ -1,8 +1,10 @@
 //! Vendored subset of the `bytes` API used by the wire codec:
 //! [`BytesMut`] plus the [`Buf`]/[`BufMut`] trait methods the frame
-//! parser calls. Backed by a plain `Vec<u8>` — `advance`/`split_to` move
-//! memory rather than adjusting refcounted views, which is fine at the
-//! frame sizes this workspace handles.
+//! parser calls. Backed by a `Vec<u8>` plus a read cursor: `advance` is
+//! O(1) (it bumps the cursor), and the consumed prefix is reclaimed by
+//! compacting only when it exceeds the live bytes — so a streaming
+//! decoder that feeds and drains frame-by-frame never pays a per-frame
+//! memmove of the residual buffer.
 
 // Vendored code is linted as imported; the workspace clippy gate
 // (-D warnings) applies to first-party crates only.
@@ -37,81 +39,106 @@ pub trait BufMut {
 }
 
 /// Growable byte buffer with cheap front-consumption semantics.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone)]
 pub struct BytesMut {
     data: Vec<u8>,
+    /// Read cursor: bytes before it are consumed; the live contents are
+    /// `data[start..]`.
+    start: usize,
 }
 
 impl BytesMut {
     /// Create an empty buffer.
     pub fn new() -> Self {
-        BytesMut { data: Vec::new() }
+        BytesMut::default()
     }
 
     /// Create an empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
         BytesMut {
             data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Reclaim the consumed prefix when it outweighs the live bytes.
+    /// Amortized O(1): each live byte is moved at most once per doubling
+    /// of the consumed region.
+    fn maybe_compact(&mut self) {
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > self.data.len() - self.start {
+            self.data.copy_within(self.start.., 0);
+            self.data.truncate(self.data.len() - self.start);
+            self.start = 0;
         }
     }
 
     /// Append bytes at the end.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.maybe_compact();
         self.data.extend_from_slice(src);
     }
 
     /// Number of bytes currently in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.len() - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
     /// Split off and return the first `n` bytes, leaving the rest.
     pub fn split_to(&mut self, n: usize) -> BytesMut {
-        assert!(n <= self.data.len(), "split_to out of bounds");
-        let rest = self.data.split_off(n);
-        BytesMut {
-            data: std::mem::replace(&mut self.data, rest),
-        }
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = BytesMut {
+            data: self[..n].to_vec(),
+            start: 0,
+        };
+        self.advance(n);
+        head
     }
 
     /// Copy the contents into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.clone()
+        self[..].to_vec()
     }
 }
 
 impl Buf for BytesMut {
     fn advance(&mut self, n: usize) {
-        assert!(n <= self.data.len(), "advance out of bounds");
-        self.data.drain(..n);
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        }
     }
 
     fn remaining(&self) -> usize {
-        self.data.len()
+        self.len()
     }
 
     fn get_u32_le(&mut self) -> u32 {
-        assert!(self.data.len() >= 4, "get_u32_le underflow");
-        let v = u32::from_le_bytes([self.data[0], self.data[1], self.data[2], self.data[3]]);
+        assert!(self.len() >= 4, "get_u32_le underflow");
+        let v = u32::from_le_bytes([self[0], self[1], self[2], self[3]]);
         self.advance(4);
         v
     }
 
     fn get_u16_le(&mut self) -> u16 {
-        assert!(self.data.len() >= 2, "get_u16_le underflow");
-        let v = u16::from_le_bytes([self.data[0], self.data[1]]);
+        assert!(self.len() >= 2, "get_u16_le underflow");
+        let v = u16::from_le_bytes([self[0], self[1]]);
         self.advance(2);
         v
     }
 
     fn get_u8(&mut self) -> u8 {
-        assert!(!self.data.is_empty(), "get_u8 underflow");
-        let v = self.data[0];
+        assert!(!self.is_empty(), "get_u8 underflow");
+        let v = self[0];
         self.advance(1);
         v
     }
@@ -119,38 +146,49 @@ impl Buf for BytesMut {
 
 impl BufMut for BytesMut {
     fn put_u8(&mut self, v: u8) {
+        self.maybe_compact();
         self.data.push(v);
     }
 
     fn put_u16_le(&mut self, v: u16) {
-        self.data.extend_from_slice(&v.to_le_bytes());
+        self.extend_from_slice(&v.to_le_bytes());
     }
 
     fn put_u32_le(&mut self, v: u32) {
-        self.data.extend_from_slice(&v.to_le_bytes());
+        self.extend_from_slice(&v.to_le_bytes());
     }
 
     fn put_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
+        self.extend_from_slice(src);
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..]
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        &mut self.data[self.start..]
     }
 }
 
+/// Equality is over the live contents only — a buffer that consumed and
+/// compacted differently but holds the same bytes compares equal.
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
 impl From<Vec<u8>> for BytesMut {
     fn from(data: Vec<u8>) -> Self {
-        BytesMut { data }
+        BytesMut { data, start: 0 }
     }
 }
 
@@ -158,6 +196,7 @@ impl From<&[u8]> for BytesMut {
     fn from(data: &[u8]) -> Self {
         BytesMut {
             data: data.to_vec(),
+            start: 0,
         }
     }
 }
@@ -195,5 +234,39 @@ mod tests {
         let b = BytesMut::from(&[9u8, 8, 7][..]);
         assert_eq!(b[0], 9);
         assert_eq!(&b[1..], &[8, 7]);
+    }
+
+    #[test]
+    fn equality_ignores_cursor_position() {
+        let mut a = BytesMut::from(vec![0, 0, 1, 2]);
+        a.advance(2);
+        let b = BytesMut::from(vec![1, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_feed_and_drain_stays_bounded() {
+        // A decoder-shaped workload: append a chunk, consume most of it,
+        // repeat. The internal allocation must stay proportional to the
+        // live bytes, not the total bytes ever fed.
+        let mut b = BytesMut::new();
+        for round in 0..10_000u32 {
+            b.extend_from_slice(&round.to_le_bytes());
+            if b.len() >= 4 {
+                let v = b.get_u32_le();
+                assert_eq!(v, round);
+            }
+        }
+        assert!(b.data.capacity() < 1024, "capacity {}", b.data.capacity());
+    }
+
+    #[test]
+    fn fully_consumed_buffer_resets_cursor() {
+        let mut b = BytesMut::from(vec![1, 2, 3]);
+        b.advance(3);
+        assert!(b.is_empty());
+        assert_eq!(b.start, 0, "cursor reset on full consumption");
+        b.extend_from_slice(&[4, 5]);
+        assert_eq!(&b[..], &[4, 5]);
     }
 }
