@@ -17,6 +17,15 @@ step "chaos matrix (release)"
 # profile); release mode keeps it to seconds.
 cargo test --release --test chaos -q
 
+step "streaming equivalence matrix (release)"
+# Differential harness: feature vectors emitted from streaming state must
+# be f64-bit-identical to the batch formulas, across thread counts and
+# every fault profile. Run twice so the ambient (unpinned) scenario sees
+# both a serial and a parallel worker pool; the suite manages
+# RAYON_NUM_THREADS internally for the pinned matrix, so single-threaded.
+RAYON_NUM_THREADS=1 cargo test --release --test streaming_equivalence -q -- --test-threads=1
+RAYON_NUM_THREADS=8 cargo test --release --test streaming_equivalence -q -- --test-threads=1
+
 step "criterion benches compile"
 # Microbenchmarks (substrate, pipeline, delivery) must stay buildable
 # even though CI never runs them to completion.

@@ -22,10 +22,12 @@
 use racket_bench::report::{self, BenchReport};
 use racket_bench::Scale;
 use racket_ml::{cross_validate, Classifier, GradientBoosting, GradientBoostingParams, Resampling};
-use racket_obs::{install_global, render_timing_tree, Registry};
+use racket_obs::{install_global, render_timing_tree, Registry, SPAN_PREFIX};
+use racket_types::metrics::keys;
 use racketstore::app_classifier::{AppClassifier, AppUsageDataset};
 use racketstore::device_classifier::DeviceDataset;
 use racketstore::labeling::{label_apps, LabelingConfig};
+use racketstore::scoring::DetectionService;
 use racketstore::study::{CollectionPath, Study};
 
 fn main() {
@@ -132,12 +134,66 @@ fn run_scale(scale: Scale) -> report::RunReport {
         let _span = out.obs.span("analyze/train_app");
         AppClassifier::train(&app_data)
     };
-    DeviceDataset::build(&out, &app_clf, 2, None, 7);
+    let device_data = DeviceDataset::build(&out, &app_clf, 2, None, 7);
+
+    // Live detection service: train, round-trip through the RKML codec
+    // (the deployment artifact must behave identically to the in-memory
+    // models), prime from streaming state, then time both scoring paths.
+    let service = {
+        let _span = out.obs.span("analyze/train_service");
+        let trained = DetectionService::train(&app_clf, &device_data);
+        DetectionService::from_bytes(&trained.to_bytes())
+            .unwrap_or_else(|e| fail(&format!("service round-trip failed: {e}")))
+    };
+    let primed = service.prime(&out);
+    let batch = service.score_batch(&out);
+    let streaming = service.score_streaming(&out, &primed);
+    for (i, (s, b)) in streaming.iter().zip(&batch).enumerate() {
+        if s.proba.to_bits() != b.proba.to_bits()
+            || s.suspiciousness.to_bits() != b.suspiciousness.to_bits()
+        {
+            fail(&format!(
+                "device {i}: streaming verdict ({}, {}) != batch ({}, {})",
+                s.suspiciousness, s.proba, b.suspiciousness, b.proba
+            ));
+        }
+    }
 
     // Merge the study's private registry with the global one (fleet
     // per-device timing, ml/cv_fold spans) into the run's snapshot.
     let mut snapshot = out.obs.snapshot();
     snapshot.merge(&install_global(previous).snapshot());
+
+    // The streaming engine's payoff: classifying every device from primed
+    // streaming state must be far cheaper than the batch re-scan.
+    let stage_secs = |stage: &str| {
+        snapshot
+            .histograms
+            .get(&format!("{SPAN_PREFIX}{stage}"))
+            .map(|h| h.sum_secs())
+            .unwrap_or(0.0)
+    };
+    let batch_secs = stage_secs(keys::SPAN_SCORE_BATCH);
+    let streaming_secs = stage_secs(keys::SPAN_SCORE_STREAM);
+    let speedup = if streaming_secs > 0.0 {
+        batch_secs / streaming_secs
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "[bench_pipeline] {} live detection: {} devices scored; batch {:.1} ms, \
+         streaming {:.3} ms ({speedup:.0}x)",
+        scale_name,
+        streaming.len(),
+        batch_secs * 1e3,
+        streaming_secs * 1e3
+    );
+    if scale != Scale::Test && speedup < 5.0 {
+        fail(&format!(
+            "streaming scoring only {speedup:.1}x faster than batch at {scale_name} scale \
+             (contract: >= 5x)"
+        ));
+    }
 
     eprintln!(
         "[bench_pipeline] {} done: {} devices, {} snapshots, {:.0} snapshots/s",

@@ -3,8 +3,9 @@
 //! slow + 57,770,204 fast snapshots, 110,511,637 reviews for 12,341 apps,
 //! and 217,041 reviews by 10,310 registered Gmail accounts.
 
-use racket_bench::{study, Scale};
+use racket_bench::{app_classifier, device_dataset, study, Scale};
 use racket_types::Cohort;
+use racketstore::scoring::DetectionService;
 
 fn main() {
     let scale = Scale::from_env();
@@ -54,6 +55,30 @@ fn main() {
         "server: {} uploaded files, {} bad uploads, {} sign-ins",
         out.server_stats.files, out.server_stats.bad_uploads, out.server_stats.sign_ins
     );
+    // Live detection from streaming state: the feature vectors were
+    // maintained incrementally at ingest time, so end-of-study
+    // classification is a model pass over cached state — no re-scan of
+    // the raw snapshot database.
+    let service = DetectionService::train(app_classifier(), device_dataset());
+    let primed = service.prime(out);
+    let verdicts = service.score_streaming(out, &primed);
+    let flagged = verdicts.iter().filter(|v| v.is_worker).count();
+    let dedicated = verdicts.iter().filter(|v| v.is_dedicated()).count();
+    let correct = verdicts
+        .iter()
+        .zip(&out.truth)
+        .filter(|(v, t)| v.is_worker == (t.persona.cohort() == Cohort::Worker))
+        .count();
+    println!(
+        "\n== Live detection (streaming state) ==\n\
+         devices flagged as worker-controlled: {flagged} of {} \
+         ({dedicated} promotion-dedicated)\n\
+         agreement with ground truth: {correct}/{} ({:.1}%)",
+        verdicts.len(),
+        verdicts.len(),
+        100.0 * correct as f64 / verdicts.len() as f64
+    );
+
     println!("\n== Pipeline metrics ==\n{}", out.metrics.report());
     println!(
         "\n== Stage timing tree ==\n{}",

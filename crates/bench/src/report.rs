@@ -134,8 +134,9 @@ pub fn run_report(
 /// Parse and sanity-check an emitted `BENCH_pipeline.json`.
 ///
 /// Returns the parsed report, or a description of the first violation:
-/// wrong schema header, no runs, a run missing one of the three
-/// top-level stages, or a run with zero ingestion throughput.
+/// wrong schema header, no runs, a run missing one of the required
+/// stages (the three top-level study stages plus the two end-of-study
+/// scoring paths), or a run with zero ingestion throughput.
 pub fn validate(json: &str) -> Result<BenchReport, String> {
     let report: BenchReport =
         serde_json::from_str(json).map_err(|e| format!("not a BenchReport: {e:?}"))?;
@@ -156,6 +157,8 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
             keys::SPAN_FLEET_GEN,
             keys::SPAN_SIMULATE,
             keys::SPAN_ASSEMBLE,
+            keys::SPAN_SCORE_BATCH,
+            keys::SPAN_SCORE_STREAM,
         ] {
             let s = run
                 .stages
@@ -188,6 +191,8 @@ mod tests {
             keys::SPAN_FLEET_GEN,
             keys::SPAN_SIMULATE,
             keys::SPAN_ASSEMBLE,
+            keys::SPAN_SCORE_BATCH,
+            keys::SPAN_SCORE_STREAM,
         ] {
             reg.record(&format!("{SPAN_PREFIX}{stage}"), 2_000_000_000);
         }

@@ -46,6 +46,7 @@ pub mod lzss;
 pub mod retry;
 pub mod server;
 pub mod shard;
+pub mod stream;
 pub mod transport;
 pub mod wire;
 
@@ -57,5 +58,6 @@ pub use hash::{crc32, md5, sha256};
 pub use retry::{RetryPolicy, RetryStats, WireLane};
 pub use server::{CollectionServer, InstallRecord};
 pub use shard::ShardedIngest;
+pub use stream::{AppStream, StreamAggregates};
 pub use transport::{FaultPlan, MemTransport, TcpTransport, Transport};
 pub use wire::{Frame, FrameCodec, Message};

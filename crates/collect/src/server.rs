@@ -19,6 +19,7 @@
 use crate::collector::SnapshotCollector;
 use crate::hash::sha256;
 use crate::lzss;
+use crate::stream::StreamAggregates;
 use crate::wire::{FrameCodec, Message};
 use parking_lot::Mutex;
 use racket_types::{
@@ -62,6 +63,9 @@ pub struct InstallRecord {
     pub accounts: Vec<RegisteredAccount>,
     /// Latest stopped-app list.
     pub stopped_apps: Vec<AppId>,
+    /// Per-app streaming aggregates folded at the same program points as
+    /// the batch-visible vectors above (see [`crate::stream`]).
+    pub stream: StreamAggregates,
 }
 
 impl InstallRecord {
@@ -82,6 +86,7 @@ impl InstallRecord {
             uninstall_events: Vec::new(),
             accounts: Vec::new(),
             stopped_apps: Vec::new(),
+            stream: StreamAggregates::new(),
         }
     }
 
@@ -122,6 +127,7 @@ impl InstallRecord {
                         .or_default()
                         .entry(t.day_index())
                         .or_insert(0) += 1;
+                    self.stream.note_foreground(app);
                 }
                 for delta in &f.install_events {
                     match delta {
@@ -131,12 +137,14 @@ impl InstallRecord {
                             // after monitoring began count as events.
                             if info.install_time >= self.first_seen {
                                 self.install_events.push((info.app, info.install_time));
+                                self.stream.note_install(info.app);
                             }
                             self.installed_now.insert(info.app);
                             self.apps.insert(info.app, info.clone());
                         }
                         InstallDelta::Uninstalled { app } => {
                             self.uninstall_events.push((*app, t));
+                            self.stream.note_uninstall(*app, t);
                             self.installed_now.remove(app);
                         }
                     }
@@ -536,6 +544,111 @@ mod tests {
         assert_eq!(s.stats().files, 1, "file counted once");
         assert_eq!(s.stats().dup_files, 1);
         assert_eq!(s.record(I).unwrap().n_fast, 1);
+    }
+
+    #[test]
+    fn replayed_upload_folds_streaming_state_exactly_once() {
+        // Regression guard for the latent double-count hazard: a replayed
+        // upload chunk walks the same server batch path as the original,
+        // and every per-install counter *and* streaming aggregate must
+        // fold once — never per delivery attempt.
+        let mut s = server();
+        s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
+        let mut raw = Vec::new();
+        // t=0 creates the record (first_seen = 0), so installed_at = 5 is
+        // a monitored install event; the t=60 snapshot uninstalls it.
+        raw.extend_from_slice(&SnapshotCollector::serialize(&fast_with_install(0, 7, 5)));
+        raw.extend_from_slice(&SnapshotCollector::serialize(&Snapshot::Fast(
+            FastSnapshot {
+                install_id: I,
+                participant_id: P,
+                time: SimTime::from_secs(60),
+                foreground_app: Some(AppId(7)),
+                screen_on: true,
+                battery_pct: 79,
+                install_events: vec![InstallDelta::Uninstalled { app: AppId(7) }],
+            },
+        )));
+        let payload = lzss::compress(&raw);
+        let upload = Message::SnapshotUpload {
+            install: I,
+            file_id: 9,
+            fast: true,
+            payload,
+        };
+        s.handle(upload.clone()).unwrap();
+        let once = s.record(I).unwrap().clone();
+        for _ in 0..3 {
+            s.handle(upload.clone()).unwrap();
+        }
+        let rec = s.record(I).unwrap();
+        assert_eq!(s.stats().snapshots, 2, "snapshots counted once");
+        assert_eq!(s.stats().dup_files, 3);
+        assert_eq!(rec.n_fast, once.n_fast);
+        assert_eq!(rec.snapshots_per_day, once.snapshots_per_day);
+        assert_eq!(rec.install_events, once.install_events);
+        assert_eq!(rec.uninstall_events, once.uninstall_events);
+        let app = rec.stream.app(AppId(7)).unwrap();
+        assert_eq!(app.n_installs, 1, "install folded once");
+        assert_eq!(app.n_uninstalls, 1, "uninstall folded once");
+        assert_eq!(app.last_uninstall, Some(SimTime::from_secs(60)));
+        assert_eq!(app.fg_total, 2, "one foreground fold per snapshot");
+        assert_eq!(rec.stream.n_install_events, 1);
+        assert_eq!(rec.stream.n_uninstall_events, 1);
+    }
+
+    #[test]
+    fn stream_state_mirrors_batch_event_vectors() {
+        // The stream aggregate is folded at the same program points as the
+        // batch-visible vectors, so counts must agree by construction.
+        let mut s = server();
+        s.ingest_snapshot(&fast_with_install(0, 1, 0));
+        s.ingest_snapshot(&fast_with_install(86_400, 2, 86_400));
+        s.ingest_snapshot(&Snapshot::Fast(FastSnapshot {
+            install_id: I,
+            participant_id: P,
+            time: SimTime::from_secs(90_000),
+            foreground_app: None,
+            screen_on: false,
+            battery_pct: 50,
+            install_events: vec![InstallDelta::Uninstalled { app: AppId(1) }],
+        }));
+        let rec = s.record(I).unwrap();
+        assert_eq!(
+            rec.stream.n_install_events as usize,
+            rec.install_events.len()
+        );
+        assert_eq!(
+            rec.stream.n_uninstall_events as usize,
+            rec.uninstall_events.len()
+        );
+        for (app, stream) in rec.stream.apps() {
+            let batch_installs = rec.install_events.iter().filter(|(a, _)| a == app).count();
+            let batch_uninstalls = rec
+                .uninstall_events
+                .iter()
+                .filter(|(a, _)| a == app)
+                .count();
+            let batch_fg: u64 = rec
+                .foreground
+                .get(app)
+                .map(|days| days.values().sum())
+                .unwrap_or(0);
+            assert_eq!(stream.n_installs as usize, batch_installs);
+            assert_eq!(stream.n_uninstalls as usize, batch_uninstalls);
+            assert_eq!(stream.fg_total, batch_fg);
+            assert_eq!(
+                stream.last_uninstall,
+                rec.uninstall_events
+                    .iter()
+                    .filter(|(a, _)| a == app)
+                    .map(|&(_, t)| t)
+                    .max()
+            );
+        }
     }
 
     #[test]

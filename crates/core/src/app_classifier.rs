@@ -251,6 +251,12 @@ impl AppClassifier {
         self.model.predict_proba(&app_features(obs, app))
     }
 
+    /// Export the fitted model as a serializable [`racket_ml::Model`] for
+    /// the live detection service (ARCHITECTURE.md §7).
+    pub fn export(&self) -> racket_ml::Model {
+        racket_ml::Model::Xgb(self.model.clone())
+    }
+
     /// Fraction of the device's observed apps flagged as promotion-used —
     /// the §8.1 *app suspiciousness* feature and the Figure 15 x-axis.
     /// Preinstalled apps count toward the denominator: the paper's

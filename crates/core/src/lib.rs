@@ -21,6 +21,11 @@
 //! 5. [`device_classifier`] — §8: detect worker-controlled devices
 //!    (Table 2, Figures 14 and 15), coupling in the app classifier through
 //!    the *app suspiciousness* feature.
+//! 6. [`scoring`] — §9: the live detection service. Fitted models are
+//!    serialized through the `racket-ml` RKML codec and score devices
+//!    directly from the streaming feature state the study maintained at
+//!    ingest time — bitwise-equal to a batch re-scan, at a fraction of
+//!    the end-of-study latency.
 
 #![deny(missing_docs)]
 
@@ -28,10 +33,12 @@ pub mod app_classifier;
 pub mod device_classifier;
 pub mod labeling;
 pub mod measurements;
+pub mod scoring;
 pub mod study;
 
 pub use app_classifier::{AppClassifierReport, AppUsageDataset};
 pub use device_classifier::{DeviceClassifierReport, OrganicSplit};
 pub use labeling::{AppLabels, LabelingConfig};
 pub use measurements::MeasurementReport;
+pub use scoring::{DetectionService, DeviceVerdict, PrimedScores};
 pub use study::{Study, StudyConfig, StudyOutput};

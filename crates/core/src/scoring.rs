@@ -1,0 +1,324 @@
+//! §9: the live detection service — scoring devices from streaming state.
+//!
+//! The paper closes by arguing that RacketStore-style detection could run
+//! *inside* the store, flagging worker devices as their snapshots arrive
+//! rather than in an offline batch job. This module is that deployment
+//! surface:
+//!
+//! * [`DetectionService`] bundles the fitted §7 app model and §8 device
+//!   model behind the `racket-ml` RKML codec, so a trained service can be
+//!   serialized, shipped, and restored with byte-exact behaviour
+//!   ([`DetectionService::to_bytes`] / [`DetectionService::from_bytes`]).
+//! * [`DetectionService::prime`] folds the streaming feature state that
+//!   `Study::run` maintained at ingest time into cached per-device vectors
+//!   (one app-model pass per observed app — the same work the batch path
+//!   spends *re-deriving* every feature from raw snapshots).
+//! * [`DetectionService::score_streaming`] then classifies every device
+//!   with a single device-model pass over the cached vectors — the
+//!   "moment the last snapshot lands" latency the streaming engine buys.
+//! * [`DetectionService::score_batch`] is the reference path: recompute
+//!   every app and device feature from the assembled observations and
+//!   classify from scratch.
+//!
+//! The two paths must agree **bitwise**: streaming state is maintained
+//! from exact sufficient statistics (see `racket_features::streaming`),
+//! so every suspiciousness ratio, feature vector and verdict probability
+//! is `f64`-identical between them. `tests/streaming_equivalence.rs`
+//! pins this across thread counts and chaos fault profiles.
+
+use crate::app_classifier::AppClassifier;
+use crate::device_classifier::DEDICATED_SUSPICIOUSNESS;
+use crate::study::StudyOutput;
+use racket_features::{app_features, device_features};
+use racket_ml::{Model, PersistError};
+use racket_types::metrics::keys;
+
+/// The deployable pair of fitted models, ready to score devices either
+/// from streaming state or from a batch re-scan.
+#[derive(Debug)]
+pub struct DetectionService {
+    app_model: Model,
+    device_model: Model,
+}
+
+/// Cached per-device scoring state built from streaming feature state by
+/// [`DetectionService::prime`].
+#[derive(Debug, Clone)]
+pub struct PrimedScores {
+    /// App-suspiciousness ratio per observation (Figure 15 x-axis).
+    pub suspiciousness: Vec<f64>,
+    /// Device feature vector per observation, emitted from streaming
+    /// state — ready for a single device-model pass.
+    pub device_vectors: Vec<Vec<f64>>,
+}
+
+/// One device's classification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceVerdict {
+    /// Fraction of observed apps the app model flags as promotion-used.
+    pub suspiciousness: f64,
+    /// Device-model probability that the device is worker-controlled.
+    pub proba: f64,
+    /// `proba >= 0.5`.
+    pub is_worker: bool,
+}
+
+impl DeviceVerdict {
+    /// Whether the device reads as promotion-dedicated (Figure 15 cut).
+    pub fn is_dedicated(&self) -> bool {
+        self.suspiciousness >= DEDICATED_SUSPICIOUSNESS
+    }
+}
+
+impl DetectionService {
+    /// Assemble a service from already-fitted models.
+    ///
+    /// The app model must consume §7 app feature vectors and the device
+    /// model §8 device feature vectors; [`DetectionService::train`] is the
+    /// usual constructor.
+    pub fn from_parts(app_model: Model, device_model: Model) -> DetectionService {
+        DetectionService {
+            app_model,
+            device_model,
+        }
+    }
+
+    /// Train the service's device model on a labeled device dataset and
+    /// adopt the app classifier that produced its suspiciousness column.
+    pub fn train(
+        app_classifier: &AppClassifier,
+        device_dataset: &crate::device_classifier::DeviceDataset,
+    ) -> DetectionService {
+        use racket_ml::{Classifier, GradientBoosting, GradientBoostingParams};
+        let mut device = GradientBoosting::new(GradientBoostingParams::default());
+        device.fit(&device_dataset.data.x, &device_dataset.data.y);
+        DetectionService {
+            app_model: app_classifier.export(),
+            device_model: Model::Xgb(device),
+        }
+    }
+
+    /// The fitted app model.
+    pub fn app_model(&self) -> &Model {
+        &self.app_model
+    }
+
+    /// The fitted device model.
+    pub fn device_model(&self) -> &Model {
+        &self.device_model
+    }
+
+    /// Serialize both models: `u64` little-endian app-blob length, the
+    /// app model's RKML bytes, then the same for the device model. Each
+    /// blob carries its own magic/version/checksum envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let app = self.app_model.to_bytes();
+        let dev = self.device_model.to_bytes();
+        let mut out = Vec::with_capacity(16 + app.len() + dev.len());
+        out.extend_from_slice(&(app.len() as u64).to_le_bytes());
+        out.extend_from_slice(&app);
+        out.extend_from_slice(&(dev.len() as u64).to_le_bytes());
+        out.extend_from_slice(&dev);
+        out
+    }
+
+    /// Restore a service serialized by [`DetectionService::to_bytes`].
+    /// Corrupted or truncated input returns `Err`, never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DetectionService, PersistError> {
+        fn split_blob(bytes: &[u8]) -> Result<(&[u8], &[u8]), PersistError> {
+            if bytes.len() < 8 {
+                return Err(PersistError::Truncated);
+            }
+            let len = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice")) as usize;
+            let rest = &bytes[8..];
+            if rest.len() < len {
+                return Err(PersistError::Truncated);
+            }
+            Ok(rest.split_at(len))
+        }
+        let (app, rest) = split_blob(bytes)?;
+        let (dev, tail) = split_blob(rest)?;
+        if !tail.is_empty() {
+            return Err(PersistError::Malformed("trailing bytes after device model"));
+        }
+        Ok(DetectionService {
+            app_model: Model::from_bytes(app)?,
+            device_model: Model::from_bytes(dev)?,
+        })
+    }
+
+    /// Fold the streaming feature state into cached scoring state: one
+    /// app-model pass per (device, app) to compute suspiciousness, plus
+    /// the device feature vector emitted straight from streaming state.
+    ///
+    /// This is the incremental cost the streaming engine pays *once*; the
+    /// per-query work left for [`DetectionService::score_streaming`] is a
+    /// single device-model pass per device.
+    pub fn prime(&self, out: &StudyOutput) -> PrimedScores {
+        let _span = out.obs.span(keys::SPAN_STREAM_PRIME);
+        let mut suspiciousness = Vec::with_capacity(out.observations.len());
+        let mut device_vectors = Vec::with_capacity(out.observations.len());
+        for (obs, stream) in out.observations.iter().zip(&out.streaming) {
+            let apps: Vec<racket_types::AppId> = obs.record.apps.keys().copied().collect();
+            let susp = if apps.is_empty() {
+                0.0
+            } else {
+                let flagged = apps
+                    .iter()
+                    .filter(|&&a| self.app_model.score(&stream.app_vector(obs, a)) >= 0.5)
+                    .count();
+                flagged as f64 / apps.len() as f64
+            };
+            suspiciousness.push(susp);
+            device_vectors.push(stream.device_vector(obs, susp));
+        }
+        PrimedScores {
+            suspiciousness,
+            device_vectors,
+        }
+    }
+
+    /// Classify every device from primed streaming state: one device-model
+    /// pass per cached vector, no feature recomputation.
+    pub fn score_streaming(&self, out: &StudyOutput, primed: &PrimedScores) -> Vec<DeviceVerdict> {
+        let _span = out.obs.span(keys::SPAN_SCORE_STREAM);
+        primed
+            .device_vectors
+            .iter()
+            .zip(&primed.suspiciousness)
+            .map(|(vector, &suspiciousness)| {
+                let proba = self.device_model.score(vector);
+                DeviceVerdict {
+                    suspiciousness,
+                    proba,
+                    is_worker: proba >= 0.5,
+                }
+            })
+            .collect()
+    }
+
+    /// Classify every device by re-deriving all features from the raw
+    /// assembled observations — the offline reference path the streaming
+    /// engine replaces. Bitwise-equal verdicts to
+    /// [`DetectionService::score_streaming`].
+    pub fn score_batch(&self, out: &StudyOutput) -> Vec<DeviceVerdict> {
+        let _span = out.obs.span(keys::SPAN_SCORE_BATCH);
+        out.observations
+            .iter()
+            .map(|obs| {
+                let apps: Vec<racket_types::AppId> = obs.record.apps.keys().copied().collect();
+                let suspiciousness = if apps.is_empty() {
+                    0.0
+                } else {
+                    let flagged = apps
+                        .iter()
+                        .filter(|&&a| self.app_model.score(&app_features(obs, a)) >= 0.5)
+                        .count();
+                    flagged as f64 / apps.len() as f64
+                };
+                let proba = self
+                    .device_model
+                    .score(&device_features(obs, suspiciousness));
+                DeviceVerdict {
+                    suspiciousness,
+                    proba,
+                    is_worker: proba >= 0.5,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app_classifier::{AppClassifier, AppUsageDataset};
+    use crate::device_classifier::DeviceDataset;
+    use crate::labeling::{label_apps, LabelingConfig};
+    use crate::study::{Study, StudyConfig};
+    use std::sync::OnceLock;
+
+    fn service() -> &'static (StudyOutput, DetectionService) {
+        static S: OnceLock<(StudyOutput, DetectionService)> = OnceLock::new();
+        S.get_or_init(|| {
+            let out = Study::new(StudyConfig::test_scale()).run();
+            let labels = label_apps(&out, &LabelingConfig::test_scale());
+            let app_ds = AppUsageDataset::build(&out, &labels);
+            let clf = AppClassifier::train(&app_ds);
+            let dev_ds = DeviceDataset::build(&out, &clf, 2, None, 5);
+            let svc = DetectionService::train(&clf, &dev_ds);
+            (out, svc)
+        })
+    }
+
+    #[test]
+    fn streaming_and_batch_verdicts_are_bitwise_equal() {
+        let (out, svc) = service();
+        let primed = svc.prime(out);
+        let streaming = svc.score_streaming(out, &primed);
+        let batch = svc.score_batch(out);
+        assert_eq!(streaming.len(), batch.len());
+        assert_eq!(streaming.len(), out.observations.len());
+        for (i, (s, b)) in streaming.iter().zip(&batch).enumerate() {
+            assert_eq!(
+                s.suspiciousness.to_bits(),
+                b.suspiciousness.to_bits(),
+                "device {i} suspiciousness"
+            );
+            assert_eq!(s.proba.to_bits(), b.proba.to_bits(), "device {i} proba");
+            assert_eq!(s.is_worker, b.is_worker, "device {i} verdict");
+        }
+    }
+
+    #[test]
+    fn verdicts_separate_cohorts() {
+        let (out, svc) = service();
+        let primed = svc.prime(out);
+        let verdicts = svc.score_streaming(out, &primed);
+        let mean = |cohort| {
+            let vals: Vec<f64> = verdicts
+                .iter()
+                .zip(&out.truth)
+                .filter(|(_, t)| t.persona.cohort() == cohort)
+                .map(|(v, _)| v.proba)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let worker = mean(racket_types::Cohort::Worker);
+        let regular = mean(racket_types::Cohort::Regular);
+        assert!(
+            worker > regular + 0.2,
+            "worker proba {worker:.3} vs regular {regular:.3}"
+        );
+    }
+
+    #[test]
+    fn service_round_trips_through_bytes() {
+        let (out, svc) = service();
+        let bytes = svc.to_bytes();
+        let restored = DetectionService::from_bytes(&bytes).expect("round-trip");
+        let primed = svc.prime(out);
+        let before = svc.score_streaming(out, &primed);
+        let primed_after = restored.prime(out);
+        let after = restored.score_streaming(out, &primed_after);
+        for (a, b) in before.iter().zip(&after) {
+            assert_eq!(a.proba.to_bits(), b.proba.to_bits());
+            assert_eq!(a.suspiciousness.to_bits(), b.suspiciousness.to_bits());
+        }
+    }
+
+    #[test]
+    fn corrupted_service_bytes_return_err() {
+        let (_, svc) = service();
+        let bytes = svc.to_bytes();
+        assert!(DetectionService::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(DetectionService::from_bytes(&bytes[..4]).is_err());
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xff;
+        assert!(DetectionService::from_bytes(&flipped).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(DetectionService::from_bytes(&trailing).is_err());
+    }
+}

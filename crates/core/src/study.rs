@@ -15,7 +15,7 @@ use racket_collect::{
     coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer, FaultPlan,
     InstallRecord, RetryPolicy, ShardedIngest, SnapshotCollector, WireLane,
 };
-use racket_features::DeviceObservation;
+use racket_features::{DeviceObservation, DeviceStreamState};
 use racket_obs::{span, LocalHistogram, Registry};
 use racket_playstore::crawler::ReviewCrawler;
 use racket_types::metrics::keys;
@@ -116,6 +116,10 @@ pub struct GroundTruth {
 pub struct StudyOutput {
     /// One joined observation per physical device, in fleet order.
     pub observations: Vec<DeviceObservation>,
+    /// Streaming feature state aligned with `observations`: ready the
+    /// moment the last snapshot lands, emits Table 1/Table 2 feature
+    /// vectors bitwise-equal to the batch extractors (ARCHITECTURE.md §7).
+    pub streaming: Vec<DeviceStreamState>,
     /// Ground truth aligned with `observations`.
     pub truth: Vec<GroundTruth>,
     /// The fleet (catalog, store, directory, VirusTotal) post-run.
@@ -398,7 +402,7 @@ impl Study {
         // Per-device joins (Google-ID crawl, review join, VirusTotal) are
         // independent — one observation per device, built in parallel.
         let join_span = obs.span("assemble/join");
-        let joined: Vec<Option<(DeviceObservation, GroundTruth)>> = fleet
+        let joined: Vec<Option<(DeviceObservation, DeviceStreamState, GroundTruth)>> = fleet
             .devices
             .par_iter()
             .map(|dev| {
@@ -429,7 +433,7 @@ impl Study {
                     })
                     .collect();
 
-                let obs = DeviceObservation {
+                let observation = DeviceObservation {
                     record: record.clone(),
                     monitoring: dev.monitoring,
                     google_ids,
@@ -437,8 +441,21 @@ impl Study {
                     vt_flags,
                     preinstalled: preinstalled.clone(),
                 };
+                // Streaming feature state: the review-side aggregates fold
+                // here (the snapshot-side half already lives on the
+                // record, folded at ingest), so the feature vectors are
+                // ready without any later re-scan.
+                let stream_state = {
+                    let _span = span!(
+                        obs,
+                        keys::SPAN_STREAM_FOLD,
+                        device = observation.record.install_id.0
+                    );
+                    DeviceStreamState::fold(&observation)
+                };
                 Some((
-                    obs,
+                    observation,
+                    stream_state,
                     GroundTruth {
                         persona: dev.persona(),
                     },
@@ -447,9 +464,11 @@ impl Study {
             .collect();
         drop(join_span);
         let mut observations = Vec::with_capacity(joined.len());
+        let mut streaming = Vec::with_capacity(joined.len());
         let mut truth = Vec::with_capacity(joined.len());
-        for (observation, gt) in joined.into_iter().flatten() {
+        for (observation, stream_state, gt) in joined.into_iter().flatten() {
             observations.push(observation);
+            streaming.push(stream_state);
             truth.push(gt);
         }
         drop(assemble_span);
@@ -457,6 +476,7 @@ impl Study {
         let metrics = PipelineMetrics::from_snapshot(&obs.snapshot());
         StudyOutput {
             observations,
+            streaming,
             truth,
             reviews_crawled: crawler.total_collected(),
             server_stats: server.stats(),

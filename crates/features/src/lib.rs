@@ -15,13 +15,22 @@
 //! Both operate on a [`DeviceObservation`] — the joined per-device view the
 //! study pipeline assembles from the collection server's install records,
 //! the review crawler and the VirusTotal reports.
+//!
+//! The [`online`] and [`streaming`] modules add the streaming analysis
+//! engine (ARCHITECTURE.md §7): single-pass review-side aggregators and a
+//! per-device [`DeviceStreamState`] that emits both feature vectors
+//! bitwise-equal to the batch extractors, with no post-hoc scan.
 
 #![deny(missing_docs)]
 
 pub mod app;
 pub mod device;
 pub mod observation;
+pub mod online;
+pub mod streaming;
 
 pub use app::{app_feature_names, app_features, APP_FEATURE_NAMES, N_APP_FEATURES};
 pub use device::{device_features, DEVICE_FEATURE_NAMES};
 pub use observation::DeviceObservation;
+pub use online::AppReviewStream;
+pub use streaming::DeviceStreamState;

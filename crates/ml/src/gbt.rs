@@ -13,6 +13,7 @@
 //! Feature importance is total split gain per feature, the analogue of the
 //! Gini importance used for Figures 13 and 14.
 
+use crate::persist::{PersistError, Reader, Writer};
 use crate::{Classifier, FeatureImportance};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -304,6 +305,112 @@ impl FeatureImportance for GradientBoosting {
             return vec![0.0; self.gain_importance.len()];
         }
         self.gain_importance.iter().map(|v| v / total).collect()
+    }
+}
+
+impl GradientBoosting {
+    /// Encode the fitted ensemble (params, trees, base score,
+    /// importances).
+    pub(crate) fn write_to(&self, w: &mut Writer) {
+        w.usize(self.params.n_rounds);
+        w.usize(self.params.max_depth);
+        w.f64(self.params.learning_rate);
+        w.f64(self.params.lambda);
+        w.f64(self.params.gamma);
+        w.f64(self.params.min_child_weight);
+        w.f64(self.params.subsample);
+        w.f64(self.params.colsample);
+        w.u64(self.params.seed);
+        w.usize(self.trees.len());
+        for tree in &self.trees {
+            w.usize(tree.nodes.len());
+            for node in &tree.nodes {
+                match *node {
+                    RegNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        w.u8(0);
+                        w.usize(feature);
+                        w.f64(threshold);
+                        w.usize(left);
+                        w.usize(right);
+                    }
+                    RegNode::Leaf { weight } => {
+                        w.u8(1);
+                        w.f64(weight);
+                    }
+                }
+            }
+        }
+        w.f64(self.base_score);
+        w.f64s(&self.gain_importance);
+        w.usize(self.n_features);
+    }
+
+    /// Decode an ensemble written by [`GradientBoosting::write_to`],
+    /// re-validating the constructor invariants so hostile bytes error
+    /// instead of panicking.
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let params = GradientBoostingParams {
+            n_rounds: r.usize()?,
+            max_depth: r.usize()?,
+            learning_rate: r.f64()?,
+            lambda: r.f64()?,
+            gamma: r.f64()?,
+            min_child_weight: r.f64()?,
+            subsample: r.f64()?,
+            colsample: r.f64()?,
+            seed: r.u64()?,
+        };
+        if !(params.subsample > 0.0 && params.subsample <= 1.0) {
+            return Err(PersistError::Malformed("subsample out of (0, 1]"));
+        }
+        if !(params.colsample > 0.0 && params.colsample <= 1.0) {
+            return Err(PersistError::Malformed("colsample out of (0, 1]"));
+        }
+        let n_trees = r.len(9)?;
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let n_nodes = r.len(9)?;
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                nodes.push(match r.u8()? {
+                    0 => {
+                        let feature = r.usize()?;
+                        let threshold = r.f64()?;
+                        let left = r.usize()?;
+                        let right = r.usize()?;
+                        if left >= n_nodes || right >= n_nodes {
+                            return Err(PersistError::Malformed(
+                                "regression-tree child index out of range",
+                            ));
+                        }
+                        RegNode::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        }
+                    }
+                    1 => RegNode::Leaf { weight: r.f64()? },
+                    _ => return Err(PersistError::Malformed("regression-node discriminant")),
+                });
+            }
+            trees.push(RegTree { nodes });
+        }
+        let base_score = r.f64()?;
+        let gain_importance = r.f64s()?;
+        let n_features = r.usize()?;
+        Ok(GradientBoosting {
+            params,
+            trees,
+            base_score,
+            gain_importance,
+            n_features,
+        })
     }
 }
 

@@ -5,6 +5,7 @@
 //! dominated by large-scale features like snapshots-per-day).
 
 use crate::dataset::Standardizer;
+use crate::persist::{PersistError, Reader, Writer};
 use crate::Classifier;
 
 /// Brute-force KNN classifier with internal standardization.
@@ -69,6 +70,61 @@ impl Classifier for KNearestNeighbors {
 
     fn name(&self) -> &'static str {
         "KNN"
+    }
+}
+
+impl KNearestNeighbors {
+    /// Encode the classifier (k, training set, scaler).
+    pub(crate) fn write_to(&self, w: &mut Writer) {
+        w.usize(self.k);
+        w.usize(self.train_x.len());
+        w.usize(self.train_x.first().map_or(0, Vec::len));
+        for row in &self.train_x {
+            for &v in row {
+                w.f64(v);
+            }
+        }
+        for &label in &self.train_y {
+            w.u8(label);
+        }
+        w.scaler(&self.scaler);
+    }
+
+    /// Decode a classifier written by [`KNearestNeighbors::write_to`],
+    /// re-validating the `k > 0` constructor invariant.
+    pub(crate) fn read_from(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let k = r.usize()?;
+        if k == 0 {
+            return Err(PersistError::Malformed("k must be positive"));
+        }
+        let rows = r.len(1)?;
+        let cols = r.usize()?;
+        if rows.saturating_mul(cols).saturating_mul(8) > r.remaining() {
+            return Err(PersistError::Truncated);
+        }
+        let mut train_x = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(cols);
+            for _ in 0..cols {
+                row.push(r.f64()?);
+            }
+            train_x.push(row);
+        }
+        let mut train_y = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let label = r.u8()?;
+            if label > 1 {
+                return Err(PersistError::Malformed("labels must be binary"));
+            }
+            train_y.push(label);
+        }
+        let scaler = r.scaler()?;
+        Ok(KNearestNeighbors {
+            k,
+            train_x,
+            train_y,
+            scaler,
+        })
     }
 }
 

@@ -31,6 +31,7 @@ pub mod gbt;
 pub mod knn;
 pub mod linear;
 pub mod lvq;
+pub mod persist;
 pub mod sampling;
 pub mod tree;
 
@@ -43,6 +44,7 @@ pub use gbt::{GradientBoosting, GradientBoostingParams};
 pub use knn::KNearestNeighbors;
 pub use linear::{LinearSvm, LinearSvmParams, LogisticRegression, LogisticRegressionParams};
 pub use lvq::{Lvq, LvqParams};
+pub use persist::{Model, PersistError};
 pub use sampling::{random_oversample, random_undersample, smote};
 pub use tree::{DecisionTree, DecisionTreeParams};
 

@@ -19,6 +19,7 @@ pub mod app;
 pub mod event;
 pub mod id;
 pub mod metrics;
+pub mod online;
 pub mod permission;
 pub mod review;
 pub mod snapshot;
@@ -29,6 +30,7 @@ pub use app::{ApkHash, AppCategory, AppId, AppMetadata, InstalledApp};
 pub use event::{DeviceEvent, EventKind};
 pub use id::{AndroidId, DeviceId, GoogleId, InstallId, ParticipantId};
 pub use metrics::{FaultCounters, PipelineMetrics};
+pub use online::{Distinct, GapAccum, MinMax, Welford};
 pub use permission::{Permission, PermissionProfile};
 pub use review::{Rating, RatingSummary, Review};
 pub use snapshot::{FastSnapshot, InstallDelta, SlowSnapshot, Snapshot};

@@ -31,6 +31,17 @@ pub mod keys {
     pub const SPAN_SIMULATE: &str = "simulate";
     /// Span: database assembly (coalescing, crawl joins, feature inputs).
     pub const SPAN_ASSEMBLE: &str = "assemble";
+    /// Span: folding per-device streaming feature state at assemble time.
+    pub const SPAN_STREAM_FOLD: &str = "assemble/stream_fold";
+    /// Span: priming the detection service from streaming state (per-app
+    /// scores + cached device vectors).
+    pub const SPAN_STREAM_PRIME: &str = "analyze/stream_prime";
+    /// Span: end-of-study device classification from primed streaming
+    /// state (the latency the streaming engine is measured on).
+    pub const SPAN_SCORE_STREAM: &str = "analyze/score_streaming";
+    /// Span: device classification via the batch re-scan path (recomputes
+    /// every feature from the raw record).
+    pub const SPAN_SCORE_BATCH: &str = "analyze/score_batch";
     /// Counter: snapshots ingested by the collection server.
     pub const SNAPSHOTS_INGESTED: &str = "ingest.snapshots";
     /// Counter: replayed upload files re-acked without re-ingesting.

@@ -1,0 +1,341 @@
+//! Property suite for the online aggregators behind the streaming engine.
+//!
+//! The streaming feature state (ARCHITECTURE.md §7) is built from the
+//! aggregators in `racket_types::online` and the per-app ingest-time
+//! aggregates in `racket_collect::stream`. These properties pin the two
+//! algebraic laws the engine depends on:
+//!
+//! * **fold is order-insensitive after coalescing** — exact (bitwise) for
+//!   the integer/set/min-max aggregates under any permutation of the
+//!   input; within a ULP-scaled tolerance for Welford, whose running mean
+//!   is a float recurrence;
+//! * **merge is associative with the empty aggregate as identity** (and
+//!   commutative for everything except [`GapAccum`], whose append is
+//!   defined on adjacent time ranges) — so state built over shards can be
+//!   combined in any grouping.
+//!
+//! Welford is additionally checked against the two-pass reference
+//! mean/variance, the accuracy contract its rustdoc promises.
+
+use proptest::prelude::*;
+use racket_collect::{AppStream, StreamAggregates};
+use racket_types::{AppId, Distinct, GapAccum, MinMax, SimTime, Welford};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Tolerance for comparing a Welford statistic against a reference value:
+/// a small multiple of one ULP at the magnitude of the data, scaled by
+/// how many rounding steps the fold performed.
+fn welford_tol(values: &[f64]) -> f64 {
+    let mag = values.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    8.0 * values.len().max(1) as f64 * mag * f64::EPSILON
+}
+
+fn two_pass(values: &[f64]) -> (f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+fn shuffled(values: &[f64], seed: u64) -> Vec<f64> {
+    let mut v = values.to_vec();
+    v.shuffle(&mut StdRng::seed_from_u64(seed));
+    v
+}
+
+fn fold_welford(values: &[f64]) -> Welford {
+    let mut w = Welford::new();
+    for &v in values {
+        w.fold(v);
+    }
+    w
+}
+
+fn fold_minmax(values: &[f64]) -> MinMax {
+    let mut m = MinMax::new();
+    for &v in values {
+        m.fold(v);
+    }
+    m
+}
+
+fn fold_distinct(values: &[u32]) -> Distinct<u32> {
+    let mut d = Distinct::new();
+    for &v in values {
+        d.fold(v);
+    }
+    d
+}
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass_reference(
+        values in collection::vec(-1e9f64..1e9, 1..64),
+    ) {
+        let w = fold_welford(&values);
+        let (mean, var) = two_pass(&values);
+        let tol = welford_tol(&values);
+        prop_assert!((w.mean - mean).abs() <= tol,
+            "mean {} vs two-pass {} (tol {tol:e})", w.mean, mean);
+        // Variance compounds squared magnitudes; scale the tolerance.
+        let var_tol = tol * welford_tol(&values) / f64::EPSILON;
+        prop_assert!((w.variance() - var).abs() <= var_tol,
+            "variance {} vs two-pass {} (tol {var_tol:e})", w.variance(), var);
+        prop_assert_eq!(w.count, values.len() as u64);
+    }
+
+    #[test]
+    fn welford_fold_is_order_insensitive_within_tolerance(
+        values in collection::vec(-1e6f64..1e6, 1..64),
+        seed in any::<u64>(),
+    ) {
+        let a = fold_welford(&values);
+        let b = fold_welford(&shuffled(&values, seed));
+        let tol = welford_tol(&values);
+        prop_assert!((a.mean - b.mean).abs() <= tol);
+        prop_assert!((a.variance() - b.variance()).abs() <= tol * welford_tol(&values) / f64::EPSILON);
+        prop_assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn welford_merge_is_associative_commutative_with_identity(
+        values in collection::vec(-1e6f64..1e6, 0..48),
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        let n = values.len();
+        let (mut i, mut j) = (cut_a as usize % (n + 1), cut_b as usize % (n + 1));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let (a, b, c) = (
+            fold_welford(&values[..i]),
+            fold_welford(&values[i..j]),
+            fold_welford(&values[j..]),
+        );
+        let tol = welford_tol(&values);
+        let close = |x: &Welford, y: &Welford| {
+            x.count == y.count
+                && (x.mean - y.mean).abs() <= tol
+                && (x.m2 - y.m2).abs() <= tol * welford_tol(&values) / f64::EPSILON
+        };
+
+        // Associativity: (a ⊕ b) ⊕ c ≈ a ⊕ (b ⊕ c).
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert!(close(&left, &right), "assoc: {left:?} vs {right:?}");
+
+        // Commutativity: b ⊕ a ≈ a ⊕ b.
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert!(close(&ab, &ba), "comm: {ab:?} vs {ba:?}");
+
+        // The empty aggregate is a two-sided identity, exactly.
+        let mut left_id = Welford::new();
+        left_id.merge(&a);
+        prop_assert_eq!(left_id, a);
+        let mut right_id = a;
+        right_id.merge(&Welford::new());
+        prop_assert_eq!(right_id, a);
+    }
+
+    #[test]
+    fn minmax_is_exact_under_permutation_and_shard_split(
+        values in collection::vec(-1e12f64..1e12, 0..64),
+        seed in any::<u64>(),
+        cut in any::<u16>(),
+    ) {
+        let whole = fold_minmax(&values);
+
+        // Any permutation folds to the bitwise-identical aggregate.
+        prop_assert_eq!(fold_minmax(&shuffled(&values, seed)), whole);
+
+        // Any shard split merges back to the whole, and merge commutes.
+        let i = cut as usize % (values.len() + 1);
+        let (lo, hi) = (fold_minmax(&values[..i]), fold_minmax(&values[i..]));
+        let mut merged = lo;
+        merged.merge(&hi);
+        prop_assert_eq!(merged, whole);
+        let mut swapped = hi;
+        swapped.merge(&lo);
+        prop_assert_eq!(swapped, whole);
+
+        // Empty identity.
+        let mut id = MinMax::new();
+        id.merge(&whole);
+        prop_assert_eq!(id, whole);
+    }
+
+    #[test]
+    fn distinct_is_exact_under_permutation_and_shard_split(
+        values in collection::vec(0u32..200, 0..96),
+        seed in any::<u64>(),
+        cut in any::<u16>(),
+    ) {
+        let whole = fold_distinct(&values);
+        let mut v = values.clone();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(fold_distinct(&v), whole.clone());
+
+        let i = cut as usize % (values.len() + 1);
+        let (lo, hi) = (fold_distinct(&values[..i]), fold_distinct(&values[i..]));
+        let mut merged = lo.clone();
+        merged.merge(&hi);
+        prop_assert_eq!(merged, whole.clone());
+        let mut swapped = hi;
+        swapped.merge(&lo);
+        prop_assert_eq!(swapped, whole);
+    }
+
+    #[test]
+    fn gap_append_is_associative_over_any_three_way_split(
+        mut times in collection::vec(0u64..1_000_000, 0..64),
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        times.sort_unstable();
+        let n = times.len();
+        let (mut i, mut j) = (cut_a as usize % (n + 1), cut_b as usize % (n + 1));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let fold = |ts: &[u64]| {
+            let mut g = GapAccum::new();
+            for &t in ts {
+                g.fold(t);
+            }
+            g
+        };
+        let (a, b, c) = (fold(&times[..i]), fold(&times[i..j]), fold(&times[j..]));
+        let whole = fold(&times);
+
+        // ((a + b) + c) == (a + (b + c)) == whole fold, exactly.
+        let mut left = a;
+        left.append(&b);
+        left.append(&c);
+        prop_assert_eq!(left, whole);
+        let mut bc = b;
+        bc.append(&c);
+        let mut right = a;
+        right.append(&bc);
+        prop_assert_eq!(right, whole);
+
+        // Empty identity on both sides.
+        let mut id = GapAccum::new();
+        id.append(&whole);
+        prop_assert_eq!(id, whole);
+        let mut right_id = whole;
+        right_id.append(&GapAccum::new());
+        prop_assert_eq!(right_id, whole);
+    }
+}
+
+/// `GapAccum::append` is deliberately *not* commutative: gaps are defined
+/// on the coalesced event order, so appending ranges out of order is a
+/// caller bug and panics rather than silently producing a wrong aggregate.
+#[test]
+#[should_panic(expected = "start after")]
+fn gap_append_rejects_out_of_order_ranges() {
+    let mut early = GapAccum::new();
+    early.fold(10);
+    early.fold(20);
+    let mut late = GapAccum::new();
+    late.fold(100);
+    late.append(&early);
+}
+
+/// Canonical view of a [`StreamAggregates`] for equality checks (its
+/// internal map is a `HashMap`; render in sorted order).
+fn canon(s: &StreamAggregates) -> (Vec<(AppId, AppStream)>, u64, u64) {
+    let per_app: BTreeMap<AppId, AppStream> = s.apps().map(|(k, v)| (*k, *v)).collect();
+    (
+        per_app.into_iter().collect(),
+        s.n_install_events,
+        s.n_uninstall_events,
+    )
+}
+
+/// One ingest-time event against a [`StreamAggregates`].
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Install(u8),
+    Uninstall(u8, u32),
+    Foreground(u8),
+}
+
+fn apply(s: &mut StreamAggregates, op: Op) {
+    match op {
+        Op::Install(app) => s.note_install(AppId(app as u32)),
+        Op::Uninstall(app, t) => s.note_uninstall(AppId(app as u32), SimTime::from_secs(t as u64)),
+        Op::Foreground(app) => s.note_foreground(AppId(app as u32)),
+    }
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..6).prop_map(Op::Install),
+        (0u8..6, any::<u32>()).prop_map(|(a, t)| Op::Uninstall(a, t)),
+        (0u8..6).prop_map(Op::Foreground),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn stream_aggregates_merge_is_associative_commutative_with_identity(
+        ops in collection::vec(arb_op(), 0..64),
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        let n = ops.len();
+        let (mut i, mut j) = (cut_a as usize % (n + 1), cut_b as usize % (n + 1));
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let fold = |slice: &[Op]| {
+            let mut s = StreamAggregates::new();
+            for &op in slice {
+                apply(&mut s, op);
+            }
+            s
+        };
+        let (a, b, c) = (fold(&ops[..i]), fold(&ops[i..j]), fold(&ops[j..]));
+        let whole = fold(&ops);
+
+        // Sharded folding merges back to the single-pass aggregate…
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        prop_assert_eq!(canon(&left), canon(&whole));
+
+        // …in any grouping…
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(canon(&right), canon(&whole));
+
+        // …and any order (counters add, the uninstall latch takes max).
+        let mut reversed = c;
+        reversed.merge(&b);
+        reversed.merge(&a);
+        prop_assert_eq!(canon(&reversed), canon(&whole));
+
+        // Empty identity on both sides.
+        let mut id = StreamAggregates::new();
+        id.merge(&whole);
+        prop_assert_eq!(canon(&id), canon(&whole));
+        let mut right_id = whole.clone();
+        right_id.merge(&StreamAggregates::new());
+        prop_assert_eq!(canon(&right_id), canon(&whole));
+    }
+}

@@ -17,7 +17,7 @@
 
 mod common;
 
-use common::{data_fingerprint, small_config};
+use common::{data_fingerprint, small_config, streaming_fingerprint};
 use racket_collect::FaultPlan;
 use racketstore::study::{CollectionPath, Study, StudyOutput};
 
@@ -31,6 +31,7 @@ fn run_with(faults: FaultPlan) -> (String, StudyOutput) {
 #[test]
 fn study_output_survives_every_fault_class() {
     let (baseline, clean) = run_with(FaultPlan::none());
+    let streaming_baseline = streaming_fingerprint(&clean);
 
     // The clean run is genuinely clean: the fault layer is off and the
     // retry machinery never fires.
@@ -62,6 +63,16 @@ fn study_output_survives_every_fault_class() {
         assert_eq!(
             fp, baseline,
             "{name}: study data diverged from the fault-free baseline"
+        );
+
+        // The streaming feature state folded at ingest time must recover
+        // byte-identically too: replays, reorders and reconnects are
+        // deduplicated *before* the fold hooks run, so a hostile network
+        // can never double-count an aggregate.
+        assert_eq!(
+            streaming_fingerprint(&out),
+            streaming_baseline,
+            "{name}: streaming feature state diverged from the fault-free baseline"
         );
 
         // The faults really happened…

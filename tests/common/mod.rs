@@ -9,6 +9,8 @@
 
 use racket_agents::FleetConfig;
 use racket_collect::CollectorConfig;
+use racket_features::{app_features, device_features};
+use racket_types::AppId;
 use racketstore::study::{CollectionPath, StudyConfig, StudyOutput};
 use std::collections::BTreeMap;
 use std::fmt::Write;
@@ -90,6 +92,107 @@ pub fn data_fingerprint(out: &StudyOutput) -> String {
     )
     .unwrap();
     s
+}
+
+/// Canonical fingerprint of the *streaming* feature state: the per-app
+/// ingest-time aggregates latched on each install record, plus the exact
+/// bit pattern (`f64::to_bits`) of every feature vector emitted from
+/// streaming state. Per-app maps render in sorted ID order. The chaos
+/// suite compares this across fault plans: streaming state recovered from
+/// a hostile network must be byte-identical to a clean run's.
+pub fn streaming_fingerprint(out: &StudyOutput) -> String {
+    let mut s = String::new();
+    for (obs, stream) in out.observations.iter().zip(&out.streaming) {
+        let r = &obs.record;
+        write!(
+            s,
+            "{:?} installs={} uninstalls={}",
+            r.install_id, r.stream.n_install_events, r.stream.n_uninstall_events
+        )
+        .unwrap();
+        let per_app: BTreeMap<_, _> = r
+            .stream
+            .apps()
+            .map(|(k, v)| (k, format!("{v:?}")))
+            .collect();
+        write!(s, "{per_app:?}").unwrap();
+        let mut apps: Vec<AppId> = r.apps.keys().copied().collect();
+        apps.sort_unstable();
+        for app in apps {
+            let bits: Vec<u64> = stream
+                .app_vector(obs, app)
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            write!(s, "|{app:?}:{bits:x?}").unwrap();
+        }
+        let bits: Vec<u64> = stream
+            .device_vector(obs, 0.0)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        writeln!(s, "|device:{bits:x?}").unwrap();
+    }
+    s
+}
+
+/// Assert that every feature vector emitted from streaming state is
+/// `f64`-bit-identical to the batch formulas recomputed from the raw
+/// assembled observation — the differential contract of the streaming
+/// engine (ARCHITECTURE.md §7). `context` names the scenario in failures.
+pub fn assert_stream_equals_batch(out: &StudyOutput, context: &str) {
+    assert_eq!(
+        out.streaming.len(),
+        out.observations.len(),
+        "{context}: streaming state misaligned with observations"
+    );
+    for (i, (obs, stream)) in out.observations.iter().zip(&out.streaming).enumerate() {
+        let mut apps: Vec<AppId> = obs.record.apps.keys().copied().collect();
+        apps.sort_unstable();
+        for app in apps {
+            let streamed = stream.app_vector(obs, app);
+            let batch = app_features(obs, app);
+            assert_eq!(streamed.len(), batch.len(), "{context}: app vector arity");
+            for (col, (sv, bv)) in streamed.iter().zip(&batch).enumerate() {
+                assert_eq!(
+                    sv.to_bits(),
+                    bv.to_bits(),
+                    "{context}: device {i} app {app:?} feature {col}: \
+                     streaming {sv:?} != batch {bv:?}"
+                );
+            }
+        }
+        // Any suspiciousness constant passes through both paths untouched;
+        // exercise the 0 edge and an arbitrary interior value.
+        for susp in [0.0, 0.375] {
+            let streamed = stream.device_vector(obs, susp);
+            let batch = device_features(obs, susp);
+            assert_eq!(
+                streamed.len(),
+                batch.len(),
+                "{context}: device vector arity"
+            );
+            for (col, (sv, bv)) in streamed.iter().zip(&batch).enumerate() {
+                assert_eq!(
+                    sv.to_bits(),
+                    bv.to_bits(),
+                    "{context}: device {i} feature {col} (susp {susp}): \
+                     streaming {sv:?} != batch {bv:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Run `f` with the rayon worker-thread count pinned through the
+/// process-global `RAYON_NUM_THREADS` variable. Callers that pin threads
+/// must run their scenarios inside a single `#[test]` — concurrent tests
+/// flipping the variable would race.
+pub fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let out = f();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    out
 }
 
 /// A deliberately small configuration so repeated full study runs stay

@@ -13,7 +13,7 @@
 
 mod common;
 
-use common::{fingerprint, small_config};
+use common::{fingerprint, small_config, with_threads};
 use racket_agents::{Fleet, FleetConfig};
 use racketstore::study::{CollectionPath, Study};
 use std::fmt::Write;
@@ -46,13 +46,6 @@ fn fleet_fingerprint(fleet: &Fleet) -> String {
         writeln!(s, "app {raw}: {:?}", fleet.store.newest_page(app, 0, n)).unwrap();
     }
     s
-}
-
-fn with_threads<T>(threads: &str, f: impl FnOnce() -> T) -> T {
-    std::env::set_var("RAYON_NUM_THREADS", threads);
-    let out = f();
-    std::env::remove_var("RAYON_NUM_THREADS");
-    out
 }
 
 #[test]

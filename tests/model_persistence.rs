@@ -1,0 +1,142 @@
+//! Model serialization round-trips for every learner the paper evaluates.
+//!
+//! The live detection service ships fitted models as RKML blobs
+//! (`racket_ml::persist`), so the codec's contract is pinned here for all
+//! six learners (XGB, RF, LR, SVM, KNN, LVQ):
+//!
+//! * **round-trip fidelity** — a deserialized model produces bit-identical
+//!   probabilities to the original on every probe row;
+//! * **hostile bytes fail closed** — truncated prefixes, single-byte
+//!   corruption anywhere in the blob, trailing garbage and empty input
+//!   all return `Err`, never panic, never a silently different model.
+
+use racket_ml::{
+    Classifier, GradientBoosting, GradientBoostingParams, KNearestNeighbors, LinearSvm,
+    LinearSvmParams, LogisticRegression, LogisticRegressionParams, Lvq, LvqParams, Model,
+    RandomForest, RandomForestParams,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small two-cluster binary dataset: class 1 sits a couple of units away
+/// from class 0 in every dimension, with overlap so probabilities are not
+/// degenerate 0/1 everywhere.
+fn synthetic(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = (i % 2) as u8;
+        let center = if label == 1 { 2.0 } else { 0.0 };
+        x.push(
+            (0..dims)
+                .map(|_| center + 3.0 * (rng.gen::<f64>() - 0.5))
+                .collect(),
+        );
+        y.push(label);
+    }
+    (x, y)
+}
+
+/// Every learner of Tables 1 and 2, fitted on the same dataset and wrapped
+/// in the [`Model`] envelope.
+fn fitted_models(x: &[Vec<f64>], y: &[u8]) -> Vec<Model> {
+    let mut xgb = GradientBoosting::new(GradientBoostingParams::default());
+    xgb.fit(x, y);
+    let mut rf = RandomForest::new(RandomForestParams::default());
+    rf.fit(x, y);
+    let mut lr = LogisticRegression::new(LogisticRegressionParams::default());
+    lr.fit(x, y);
+    let mut svm = LinearSvm::new(LinearSvmParams::default());
+    svm.fit(x, y);
+    let mut knn = KNearestNeighbors::paper_default();
+    knn.fit(x, y);
+    let mut lvq = Lvq::new(LvqParams::default());
+    lvq.fit(x, y);
+    vec![
+        Model::Xgb(xgb),
+        Model::Rf(rf),
+        Model::Lr(lr),
+        Model::Svm(svm),
+        Model::Knn(knn),
+        Model::Lvq(lvq),
+    ]
+}
+
+#[test]
+fn every_learner_round_trips_with_identical_predictions() {
+    let (x, y) = synthetic(80, 6, 4242);
+    let (probe, _) = synthetic(40, 6, 999);
+    for model in fitted_models(&x, &y) {
+        let bytes = model.to_bytes();
+        let restored = Model::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{}: clean bytes failed to decode: {e}", model.name()));
+        assert_eq!(model.name(), restored.name());
+        for (i, row) in probe.iter().enumerate() {
+            let before = model.score(row);
+            let after = restored.score(row);
+            assert_eq!(
+                before.to_bits(),
+                after.to_bits(),
+                "{}: probe {i}: {before:?} != {after:?} after round-trip",
+                model.name()
+            );
+            assert_eq!(model.predict(row), restored.predict(row));
+        }
+        // Re-serializing the restored model reproduces the same blob.
+        assert_eq!(
+            bytes,
+            restored.to_bytes(),
+            "{}: bytes unstable",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn truncated_bytes_return_err_never_panic() {
+    let (x, y) = synthetic(40, 4, 7);
+    for model in fitted_models(&x, &y) {
+        let bytes = model.to_bytes();
+        // Every strict prefix must fail closed — the checksum trailer is
+        // checked before any payload parsing, so no prefix can decode.
+        let step = (bytes.len() / 97).max(1);
+        for len in (0..bytes.len()).step_by(step) {
+            assert!(
+                Model::from_bytes(&bytes[..len]).is_err(),
+                "{}: {len}-byte prefix of {} decoded",
+                model.name(),
+                bytes.len()
+            );
+        }
+        assert!(Model::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+}
+
+#[test]
+fn corrupted_bytes_return_err_never_panic() {
+    let (x, y) = synthetic(40, 4, 8);
+    for model in fitted_models(&x, &y) {
+        let bytes = model.to_bytes();
+        // A single flipped byte anywhere breaks the FNV-1a trailer (or is
+        // the trailer itself); sample positions to keep the suite fast.
+        let step = (bytes.len() / 211).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0xa5;
+            assert!(
+                Model::from_bytes(&bad).is_err(),
+                "{}: flip at {pos}/{} decoded",
+                model.name(),
+                bytes.len()
+            );
+        }
+        // Trailing garbage after a valid blob is rejected too.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Model::from_bytes(&trailing).is_err());
+    }
+    assert!(Model::from_bytes(&[]).is_err());
+    assert!(Model::from_bytes(b"RKML").is_err());
+    assert!(Model::from_bytes(&[0u8; 256]).is_err());
+}
