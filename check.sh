@@ -44,13 +44,19 @@ cargo run --release -q -p racket-bench --bin bench_pipeline -- \
 cargo run --release -q -p racket-bench --bin bench_pipeline -- \
   --validate BENCH_pipeline.json
 
+step "async plane smoke (release)"
+# Hundreds of live connections through the async collection server;
+# exactly-once ingest is asserted inside the harness. The throughput
+# floor is only enforced at the full `large` scale, not here.
+cargo run --release -q -p racket-bench --bin bench_pipeline -- --async-smoke
+
 if command -v cargo-clippy >/dev/null 2>&1; then
   step "cargo clippy --all-targets (warnings denied)"
   # First-party crates only; vendored dependency subsets are exempt.
   cargo clippy --all-targets -q -p racket-obs -p racket-types -p racket-stats \
     -p racket-device -p racket-features -p racket-playstore \
-    -p racket-agents -p racket-collect -p racket-ml -p racketstore \
-    -p racket-bench -p racketstore-suite -- -D warnings
+    -p racket-agents -p racket-reactor -p racket-collect -p racket-ml \
+    -p racketstore -p racket-bench -p racketstore-suite -- -D warnings
 else
   step "cargo clippy skipped (clippy not installed)"
 fi
@@ -60,16 +66,16 @@ step "cargo doc --no-deps (warnings denied)"
 # from the documentation gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p racket-obs -p racket-types -p racket-stats -p racket-device \
-  -p racket-features -p racket-playstore -p racket-agents -p racket-collect \
-  -p racket-ml -p racketstore -p racket-bench
+  -p racket-features -p racket-playstore -p racket-agents -p racket-reactor \
+  -p racket-collect -p racket-ml -p racketstore -p racket-bench
 
 if command -v rustfmt >/dev/null 2>&1; then
   step "cargo fmt --check"
   # Vendored crates are formatted as imported; gate only first-party code.
   cargo fmt --check -p racketstore-suite -p racket-obs -p racket-types \
     -p racket-stats -p racket-device -p racket-features -p racket-playstore \
-    -p racket-agents -p racket-collect -p racket-ml -p racketstore \
-    -p racket-bench
+    -p racket-agents -p racket-reactor -p racket-collect -p racket-ml \
+    -p racketstore -p racket-bench
 else
   step "cargo fmt --check skipped (rustfmt not installed)"
 fi

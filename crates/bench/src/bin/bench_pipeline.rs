@@ -8,17 +8,23 @@
 //! Usage:
 //!
 //! ```text
-//! bench_pipeline [--smoke] [--paper] [--out PATH] [--validate PATH]
+//! bench_pipeline [--smoke] [--paper] [--out PATH] [--validate PATH] [--async-smoke]
 //! ```
 //!
-//! * default: test + mid scales (minutes);
+//! * default: test + mid study scales plus the `large` ingest-plane run
+//!   (10⁴ concurrent connections through the async collection server,
+//!   validated against its ≥ 1M snapshots/s floor);
 //! * `--smoke`: test scale only, then parse the emitted file back
 //!   (seconds — what `check.sh bench-smoke` runs);
-//! * `--paper`: add the full 803-device scale;
+//! * `--paper`: add the full 803-device scale (large still included);
 //! * `--out PATH`: where to write (default `BENCH_pipeline.json`);
 //! * `--validate PATH`: no runs — just parse and sanity-check an
-//!   existing file, exiting non-zero on any violation.
+//!   existing file, exiting non-zero on any violation;
+//! * `--async-smoke`: no report — run the ingest plane at a small shape
+//!   (hundreds of connections) purely as a correctness check on the
+//!   async plane's plumbing, the step `check.sh` adds to its gate.
 
+use racket_bench::ingest_plane::{self, IngestPlaneConfig};
 use racket_bench::report::{self, BenchReport};
 use racket_bench::Scale;
 use racket_ml::{cross_validate, Classifier, GradientBoosting, GradientBoostingParams, Resampling};
@@ -33,19 +39,39 @@ use racketstore::study::{CollectionPath, Study};
 fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut scales = vec![Scale::Test, Scale::Mid];
+    let mut with_large = true;
     let mut validate_path: Option<String> = None;
+    let mut async_smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--smoke" => scales = vec![Scale::Test],
+            "--smoke" => {
+                scales = vec![Scale::Test];
+                with_large = false;
+            }
             "--paper" => scales = vec![Scale::Test, Scale::Mid, Scale::Paper],
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--validate" => validate_path = Some(args.next().expect("--validate needs a path")),
+            "--async-smoke" => async_smoke = true,
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
+    }
+
+    if async_smoke {
+        // Pure plumbing check: a few hundred live connections through the
+        // async plane, every upload acked, exactly-once ingest asserted
+        // inside `ingest_plane::run`. No report is written.
+        let cfg = IngestPlaneConfig::smoke();
+        let result = ingest_plane::run(cfg);
+        println!(
+            "async smoke: {} connections, {} snapshots ingested exactly once, \
+             {:.0} snapshots/s",
+            result.devices, result.snapshots, result.snapshots_per_sec
+        );
+        return;
     }
 
     if let Some(path) = validate_path {
@@ -67,6 +93,9 @@ fn main() {
     let mut bench = BenchReport::new();
     for scale in scales {
         bench.runs.push(run_scale(scale));
+    }
+    if with_large {
+        bench.runs.push(run_large());
     }
 
     let json = serde_json::to_string(&bench).expect("report serializes");
@@ -95,6 +124,7 @@ fn run_scale(scale: Scale) -> report::RunReport {
     let config = scale.config();
     let path_name = match config.path {
         CollectionPath::Wire => "wire",
+        CollectionPath::AsyncWire => "async",
         CollectionPath::Direct => "direct",
     };
     let out = Study::new(config).run();
@@ -204,6 +234,36 @@ fn run_scale(scale: Scale) -> report::RunReport {
     );
     eprintln!("{}", render_timing_tree(&snapshot));
     report::run_report(scale_name, path_name, out.observations.len(), &snapshot)
+}
+
+/// The `large` scale: not a study, but the async ingest plane at fleet
+/// width — 10⁴ concurrent connections flooding pre-encoded uploads into
+/// the reactor workers, measured first-byte-in to last-ack-out. The
+/// measured throughput overrides the report's study-oriented
+/// `snapshots_per_sec` derivation (which divides by the `simulate` span
+/// this run does not have).
+fn run_large() -> report::RunReport {
+    let cfg = IngestPlaneConfig::large();
+    eprintln!(
+        "[bench_pipeline] running large (ingest plane: {} connections, {} snapshots) …",
+        cfg.connections,
+        cfg.total_snapshots()
+    );
+    let result = ingest_plane::run(cfg);
+    let snapshot = result.registry.snapshot();
+    let mut run = report::run_report("large", "async", result.devices, &snapshot);
+    run.total_secs = result.elapsed_secs;
+    run.snapshots_per_sec = result.snapshots_per_sec;
+    eprintln!(
+        "[bench_pipeline] large done: {} connections, {} snapshots in {:.2}s \
+         ({:.2}M snapshots/s)",
+        result.devices,
+        result.snapshots,
+        result.elapsed_secs,
+        result.snapshots_per_sec / 1e6
+    );
+    eprintln!("{}", render_timing_tree(&snapshot));
+    run
 }
 
 fn fail(msg: &str) -> ! {

@@ -11,9 +11,15 @@
 //! * `test`  — 60 devices, seconds per experiment (CI-friendly);
 //! * `mid`   — 268 devices (default);
 //! * `paper` — the full 803-device population of §5.
+//!
+//! The `bench_pipeline` binary additionally runs a `large` scale that is
+//! not a study at all: the [`ingest_plane`] harness floods the async
+//! collection server from ≥ 10⁴ concurrent connections and reports the
+//! aggregate ingest throughput (floor: 1M snapshots/s).
 
 #![deny(missing_docs)]
 
+pub mod ingest_plane;
 pub mod report;
 
 use racket_agents::FleetConfig;

@@ -131,12 +131,21 @@ pub fn run_report(
     }
 }
 
+/// Ingest-throughput floor the `large` run must clear (snapshots/s
+/// aggregate across ≥ [`LARGE_MIN_DEVICES`] concurrent connections).
+pub const LARGE_MIN_SNAPSHOTS_PER_SEC: f64 = 1_000_000.0;
+/// Minimum concurrent connections for a valid `large` run.
+pub const LARGE_MIN_DEVICES: usize = 10_000;
+
 /// Parse and sanity-check an emitted `BENCH_pipeline.json`.
 ///
 /// Returns the parsed report, or a description of the first violation:
 /// wrong schema header, no runs, a run missing one of the required
 /// stages (the three top-level study stages plus the two end-of-study
-/// scoring paths), or a run with zero ingestion throughput.
+/// scoring paths), or a run with zero ingestion throughput. A `large`
+/// run is held to the async ingest-plane contract instead: path
+/// `async`, ≥ 10⁴ devices, a nonzero `ingest` stage, and at least
+/// [`LARGE_MIN_SNAPSHOTS_PER_SEC`] aggregate throughput.
 pub fn validate(json: &str) -> Result<BenchReport, String> {
     let report: BenchReport =
         serde_json::from_str(json).map_err(|e| format!("not a BenchReport: {e:?}"))?;
@@ -153,6 +162,37 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
         return Err("report has no runs".to_string());
     }
     for run in &report.runs {
+        if run.scale == "large" {
+            if run.path != "async" {
+                return Err(format!("large run has path `{}`, want `async`", run.path));
+            }
+            if run.devices < LARGE_MIN_DEVICES {
+                return Err(format!(
+                    "large run has {} devices, want >= {LARGE_MIN_DEVICES}",
+                    run.devices
+                ));
+            }
+            let s = run
+                .stages
+                .get("ingest")
+                .ok_or_else(|| "large run is missing stage `ingest`".to_string())?;
+            if s.count == 0 {
+                return Err("large run stage `ingest` has count 0".to_string());
+            }
+            if run.snapshots_ingested == 0 {
+                return Err("large run reports zero ingestion".to_string());
+            }
+            if run.snapshots_per_sec < LARGE_MIN_SNAPSHOTS_PER_SEC {
+                return Err(format!(
+                    "large run sustains {:.0} snapshots/s, below the {:.0} floor",
+                    run.snapshots_per_sec, LARGE_MIN_SNAPSHOTS_PER_SEC
+                ));
+            }
+            if run.threads == 0 {
+                return Err("large run reports zero threads".to_string());
+            }
+            continue;
+        }
         for stage in [
             keys::SPAN_FLEET_GEN,
             keys::SPAN_SIMULATE,
@@ -224,6 +264,56 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let err = validate(&json).unwrap_err();
         assert!(err.contains("missing stage"), "{err}");
+    }
+
+    fn plausible_large_run() -> RunReport {
+        let reg = Registry::new();
+        reg.gauge_set(keys::THREADS, 1);
+        reg.add(keys::SNAPSHOTS_INGESTED, 1_280_000);
+        reg.record(&format!("{SPAN_PREFIX}ingest"), 1_000_000_000);
+        let mut run = run_report("large", "async", 10_000, &reg.snapshot());
+        run.snapshots_per_sec = 1_280_000.0;
+        run
+    }
+
+    #[test]
+    fn validate_holds_large_runs_to_the_ingest_plane_contract() {
+        let mut report = BenchReport::new();
+        report.runs.push(plausible_large_run());
+        let json = serde_json::to_string(&report).unwrap();
+        validate(&json).expect("a compliant large run validates");
+
+        // Below the throughput floor.
+        let mut slow = BenchReport::new();
+        let mut run = plausible_large_run();
+        run.snapshots_per_sec = 999_999.0;
+        slow.runs.push(run);
+        let err = validate(&serde_json::to_string(&slow).unwrap()).unwrap_err();
+        assert!(err.contains("floor"), "{err}");
+
+        // Too few connections.
+        let mut small = BenchReport::new();
+        let mut run = plausible_large_run();
+        run.devices = 9_999;
+        small.runs.push(run);
+        let err = validate(&serde_json::to_string(&small).unwrap()).unwrap_err();
+        assert!(err.contains("devices"), "{err}");
+
+        // Wrong path.
+        let mut wrong = BenchReport::new();
+        let mut run = plausible_large_run();
+        run.path = "wire".to_string();
+        wrong.runs.push(run);
+        let err = validate(&serde_json::to_string(&wrong).unwrap()).unwrap_err();
+        assert!(err.contains("async"), "{err}");
+
+        // Missing the ingest stage.
+        let mut missing = BenchReport::new();
+        let mut run = plausible_large_run();
+        run.stages.remove("ingest");
+        missing.runs.push(run);
+        let err = validate(&serde_json::to_string(&missing).unwrap()).unwrap_err();
+        assert!(err.contains("ingest"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,1027 @@
+//! The asynchronous collection front end: a reactor-driven server that
+//! multiplexes thousands of device connections over a small pool of
+//! worker threads.
+//!
+//! The synchronous paths ([`crate::server::CollectionServer::serve_tcp`],
+//! the loopback lane in [`crate::retry`]) dedicate a thread or an inline
+//! pump to every connection. That is the right shape for tens of devices
+//! and the wrong one for the paper's scale ambition (§5 ingested 58.3M
+//! snapshots from a fleet): a million idle installs must not cost a
+//! million stacks. This module is the scale path:
+//!
+//! * [`AsyncCollectServer::start`] spawns a thread-per-core pool of
+//!   workers. Each worker owns a [`racket_reactor::Poller`] over its
+//!   share of connections, a [`racket_reactor::TimerWheel`] for stall
+//!   deadlines and an [`racket_reactor::IdleStrategy`] so an idle fleet
+//!   costs no CPU.
+//! * [`AsyncCollectServer::connect`] hands out an [`AsyncConn`] — the
+//!   client half of an in-memory duplex pair, optionally behind the same
+//!   seeded [`FaultPlan`] the chaos suite drives — and registers the
+//!   server half with one worker. A connection lives on exactly one
+//!   worker for its lifetime, so per-connection frame order is preserved
+//!   without any cross-thread coordination.
+//! * Decoded messages land in a **bounded per-connection queue**
+//!   (admission control). When the queue is full, further uploads are
+//!   *load-shed* with a protocol `Error {{ code: 429 }}` reply instead of
+//!   buffered without limit — the client's retry loop redelivers them
+//!   later, and the end-to-end idempotency contract (fresh frame seqs +
+//!   server-side file dedup) makes the shed invisible in the study data.
+//!   Sign-ins are never shed: they are tiny, and admission decisions
+//!   depend on them.
+//! * Sign-in gating and upload dedup live in a sharded admission table
+//!   (`Admission`'s internals) so workers only contend on installs that
+//!   hash to the same shard; decompression and parsing happen *outside*
+//!   every lock, and parsed snapshots feed the same
+//!   [`crate::shard::ShardedIngest`] the direct path uses.
+//!
+//! # Equivalence with the synchronous paths
+//!
+//! The async plane produces byte-identical study output because nothing
+//! order-dependent crosses a connection boundary: one install is one
+//! connection is one worker (per-install messages stay sequential), and
+//! everything cross-install — shard maps, atomic counters, admission
+//! stats — is commutative and idempotent. Timing-dependent quantities
+//! (load sheds, stall sweeps, queue depths, duplicate-file re-acks) exist
+//! only as observability counters, which are excluded from every output
+//! fingerprint. `ARCHITECTURE.md` §8 states the full contract;
+//! `tests/async_equivalence.rs` and `tests/backpressure.rs` enforce it.
+
+use crate::collector::SnapshotCollector;
+use crate::hash::sha256;
+use crate::lzss;
+use crate::retry::SERVER_FAULT_SALT;
+use crate::server::ServerStats;
+use crate::shard::ShardedIngest;
+use crate::transport::{FaultPlan, MemTransport, Transport};
+use crate::wire::{FrameCodec, Message};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use racket_obs::{LocalHistogram, Registry, SPAN_PREFIX};
+use racket_reactor::{IdleStrategy, Poller, Source, TimerWheel, Token};
+use racket_types::metrics::keys;
+use racket_types::{FaultCounters, InstallId, ParticipantId, Snapshot};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Number of admission shards (sign-in sets, dedup tables, stats). Sized
+/// so that even a full worker pool rarely contends on one lock.
+const ADMISSION_SHARDS: usize = 64;
+
+/// Protocol error code for a load-shed upload (the wire-visible half of
+/// admission control; see `PROTOCOL.md` §"Concurrent connections").
+pub const SHED_ERROR_CODE: u16 = 429;
+
+/// Tuning knobs for the async collection plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncServerConfig {
+    /// Worker threads (thread-per-core topology; clamped to ≥ 1).
+    pub workers: usize,
+    /// Bound on each connection's decoded-message queue. Uploads that
+    /// would overflow it are load-shed with [`SHED_ERROR_CODE`].
+    pub queue_limit: usize,
+    /// A connection buffering a partial frame with no progress for this
+    /// long (worker-clock milliseconds) is swept: transport purged, fresh
+    /// strict codec. Recovers streams wedged by a corrupted length field.
+    pub stall_deadline_ms: u64,
+    /// Max ready connections serviced per poll round (fairness bound; the
+    /// poller's rotating cursor resumes where a truncated round stopped).
+    pub poll_budget: usize,
+    /// Max queued messages processed per connection per service round, so
+    /// one chatty device cannot starve its worker's other connections.
+    /// Ignored during shutdown drain (everything queued is processed).
+    pub drain_per_conn: usize,
+}
+
+impl Default for AsyncServerConfig {
+    fn default() -> Self {
+        AsyncServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_limit: 64,
+            stall_deadline_ms: 50,
+            poll_budget: 1024,
+            drain_per_conn: 32,
+        }
+    }
+}
+
+/// Client/worker rendezvous for the reconnect handshake.
+///
+/// A reconnect must atomically retire both sequence spaces of a
+/// connection, but the two halves live on different threads. The client
+/// bumps `reset_req` and waits (bounded) for the worker to acknowledge;
+/// the worker, which checks the flag at the top of every service round,
+/// purges its incoming direction, installs a fresh strict codec, resets
+/// its outgoing sequence counter and publishes the acknowledged
+/// generation in `reset_ack`.
+#[derive(Debug, Default)]
+struct ConnShared {
+    /// Reconnect generation requested by the client.
+    reset_req: AtomicU32,
+    /// Latest generation the worker has acknowledged.
+    reset_ack: AtomicU32,
+}
+
+/// The client half of an async-plane connection.
+///
+/// Handed out by [`AsyncCollectServer::connect`]; the matching server
+/// half lives inside one worker's poll set. All methods are plain
+/// non-blocking or deadline-bounded byte-pipe operations — the protocol
+/// state machine on top of them is the caller's (normally
+/// [`crate::retry::WireLane`] in async mode, or a bench client).
+pub struct AsyncConn {
+    transport: MemTransport,
+    shared: Arc<ConnShared>,
+}
+
+impl AsyncConn {
+    /// Send one frame towards the server. Errors surface injected
+    /// connection resets exactly like the loopback lane.
+    pub fn send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.transport.send(bytes)
+    }
+
+    /// Non-blocking receive (`WouldBlock` when nothing is waiting).
+    pub fn try_recv(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.transport.try_recv(buf)
+    }
+
+    /// Receive with a deadline: parks on the reply channel up to
+    /// `timeout`, so a client awaiting an ack costs no CPU.
+    pub fn recv_deadline(&mut self, buf: &mut [u8], timeout: Duration) -> std::io::Result<usize> {
+        self.transport.recv_deadline(buf, timeout)
+    }
+
+    /// Discard everything in flight towards this endpoint (the client's
+    /// transport half of a reconnect).
+    pub fn purge(&mut self) {
+        self.transport.purge();
+    }
+
+    /// Faults injected on the client→server direction so far.
+    pub fn fault_stats(&self) -> FaultCounters {
+        self.transport.fault_stats()
+    }
+
+    /// Run the reconnect handshake: request a server-side reset and wait
+    /// (bounded) for the worker to acknowledge it, then purge this end.
+    /// After it returns the client must install a fresh strict codec and
+    /// restart its sequence numbers at 0 — the worker has done the same.
+    ///
+    /// The bound (1 s of yields) only matters if the worker is wedged or
+    /// gone; the handshake normally completes within one poll round. An
+    /// unacknowledged reset is still safe: the worker applies it at its
+    /// next service round, and until then the strict codec discards the
+    /// client's restarted sequence numbers exactly like stale frames —
+    /// the retry loop absorbs the extra round trips.
+    pub fn request_reset(&mut self) {
+        let generation = self.shared.reset_req.fetch_add(1, Ordering::SeqCst) + 1;
+        let deadline = Instant::now() + Duration::from_secs(1);
+        while self.shared.reset_ack.load(Ordering::SeqCst) < generation {
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        self.transport.purge();
+    }
+}
+
+/// The worker-side half of one connection: transport, decode state, the
+/// bounded message queue and stall-tracking bookkeeping.
+struct Connection {
+    transport: MemTransport,
+    codec: FrameCodec,
+    /// Server→client frame sequence counter.
+    out_seq: u32,
+    shared: Arc<ConnShared>,
+    /// Last reconnect generation this worker acknowledged.
+    handled_reset: u32,
+    /// Decoded messages awaiting admission (bounded by
+    /// [`AsyncServerConfig::queue_limit`]).
+    queue: VecDeque<Message>,
+    /// `(buffered_bytes, stamp)` while the codec holds a partial frame:
+    /// the stall detector's progress marker. A timer expiry whose stamp
+    /// and byte count both still match means the stream is wedged.
+    wedge: Option<(usize, u64)>,
+    /// Stale-frame discards accumulated from retired codec instances.
+    stale_accum: u64,
+    /// Peer closed its half (drain the queue, then deregister).
+    closed: bool,
+    /// Pooled reply-frame buffer.
+    frame_buf: Vec<u8>,
+}
+
+impl Source for Connection {
+    fn ready(&mut self) -> bool {
+        self.shared.reset_req.load(Ordering::Acquire) != self.handled_reset
+            || self.transport.has_incoming()
+            || !self.queue.is_empty()
+    }
+}
+
+/// One admission shard: the sign-in set, the upload dedup table and the
+/// protocol stats for the installs hashing here.
+#[derive(Default)]
+struct AdmShard {
+    signed_in: HashSet<InstallId>,
+    /// `(install, file_id) → sha256` of every ingested file (the dedup
+    /// table that makes upload replays idempotent, PROTOCOL.md §6).
+    ingested: HashMap<InstallId, HashMap<u64, [u8; 32]>>,
+    stats: ServerStats,
+}
+
+/// Shared admission state: participant gating, sharded sign-in/dedup
+/// tables, and the ingest sink.
+///
+/// The lock discipline that keeps the hot path parallel: hashing,
+/// decompression and parsing happen on the worker thread *outside* any
+/// shard lock; the lock is held only for set/map probes and counter
+/// bumps. Per-install sequentiality (one install = one connection = one
+/// worker) means the check-then-insert dedup window is race-free without
+/// holding the lock across the parse.
+struct Admission {
+    registered: HashSet<ParticipantId>,
+    shards: Vec<Mutex<AdmShard>>,
+    sharded: Arc<ShardedIngest>,
+}
+
+impl Admission {
+    fn new(
+        participants: impl IntoIterator<Item = ParticipantId>,
+        sharded: Arc<ShardedIngest>,
+    ) -> Self {
+        Admission {
+            registered: participants.into_iter().collect(),
+            shards: (0..ADMISSION_SHARDS)
+                .map(|_| Mutex::new(AdmShard::default()))
+                .collect(),
+            sharded,
+        }
+    }
+
+    fn shard(&self, install: InstallId) -> &Mutex<AdmShard> {
+        &self.shards[install.raw() as usize % self.shards.len()]
+    }
+
+    /// Handle one admitted message, producing the reply to send (if any).
+    /// Mirrors [`crate::server::CollectionServer::handle`] decision for
+    /// decision; the differences are purely structural (sharded state,
+    /// scratch owned by the worker, ingest through [`ShardedIngest`]).
+    fn handle(&self, msg: Message, scratch: &mut Vec<u8>) -> Option<Message> {
+        match msg {
+            Message::SignIn {
+                participant,
+                install,
+            } => {
+                let accepted = participant.is_valid() && self.registered.contains(&participant);
+                let mut shard = self.shard(install).lock();
+                if accepted {
+                    if shard.signed_in.insert(install) {
+                        shard.stats.sign_ins += 1;
+                    }
+                } else {
+                    shard.stats.rejected_sign_ins += 1;
+                }
+                Some(Message::SignInAck { accepted })
+            }
+            Message::SnapshotUpload {
+                install,
+                file_id,
+                fast: _,
+                payload,
+            } => Some(self.handle_upload(install, file_id, &payload, scratch)),
+            // Acks and errors addressed to clients are ignored, as on the
+            // synchronous server.
+            Message::SignInAck { .. } | Message::UploadAck { .. } | Message::Error { .. } => None,
+        }
+    }
+
+    fn handle_upload(
+        &self,
+        install: InstallId,
+        file_id: u64,
+        payload: &[u8],
+        scratch: &mut Vec<u8>,
+    ) -> Message {
+        // Hash exactly what was received, outside any lock.
+        let digest = sha256(payload);
+        {
+            let mut shard = self.shard(install).lock();
+            if !shard.signed_in.contains(&install) {
+                return Message::Error {
+                    code: 401,
+                    detail: "install not signed in".into(),
+                };
+            }
+            if shard
+                .ingested
+                .get(&install)
+                .and_then(|files| files.get(&file_id))
+                == Some(&digest)
+            {
+                // Replay of an already-ingested file (the ack was lost):
+                // re-acknowledge without re-ingesting.
+                shard.stats.dup_files += 1;
+                return Message::UploadAck {
+                    file_id,
+                    sha256: digest,
+                };
+            }
+        }
+        // Decompress + parse outside the lock; only the bookkeeping
+        // re-acquires it.
+        match lzss::decompress_into(payload, scratch)
+            .map_err(|e| e.to_string())
+            .and_then(|()| SnapshotCollector::deserialize_file(scratch).map_err(|e| e.to_string()))
+        {
+            Ok(snapshots) => {
+                self.ingest_file(&snapshots);
+                let mut shard = self.shard(install).lock();
+                shard.stats.files += 1;
+                shard
+                    .ingested
+                    .entry(install)
+                    .or_default()
+                    .insert(file_id, digest);
+                Message::UploadAck {
+                    file_id,
+                    sha256: digest,
+                }
+            }
+            Err(detail) => {
+                self.shard(install).lock().stats.bad_uploads += 1;
+                Message::Error { code: 400, detail }
+            }
+        }
+    }
+
+    /// Feed one decoded file's snapshots to the sharded ingest in
+    /// single-install runs (files are single-install in practice; mixed
+    /// files still ingest correctly, one batch per run).
+    fn ingest_file(&self, snapshots: &[Snapshot]) {
+        let mut i = 0;
+        while i < snapshots.len() {
+            let install = snapshots[i].install_id();
+            let mut j = i + 1;
+            while j < snapshots.len() && snapshots[j].install_id() == install {
+                j += 1;
+            }
+            self.sharded.ingest_batch(&snapshots[i..j]);
+            i = j;
+        }
+    }
+}
+
+/// Per-worker counters and span histograms, returned on join and merged
+/// into the study registry at shutdown. Everything here is observability
+/// only — none of it enters an output fingerprint.
+#[derive(Default)]
+struct WorkerReport {
+    load_sheds: u64,
+    stall_sweeps: u64,
+    queue_depth_peak: u64,
+    stale_frames: u64,
+    faults: FaultCounters,
+    accept: LocalHistogram,
+    poll: LocalHistogram,
+    shed: LocalHistogram,
+}
+
+/// One reactor worker: accepts connections from its intake channel,
+/// polls them for readiness, decodes/admits/replies, sweeps stalls.
+struct Worker {
+    intake: Receiver<Connection>,
+    stop: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+    cfg: AsyncServerConfig,
+    poller: Poller<Connection>,
+    wheel: TimerWheel,
+    idle: IdleStrategy,
+    /// Pooled decompression scratch shared by every upload this worker
+    /// processes.
+    scratch: Vec<u8>,
+    /// Monotonic stamp generator for stall-timer entries.
+    stamp_counter: u64,
+    report: WorkerReport,
+}
+
+impl Worker {
+    fn new(
+        intake: Receiver<Connection>,
+        stop: Arc<AtomicBool>,
+        admission: Arc<Admission>,
+        cfg: AsyncServerConfig,
+    ) -> Self {
+        Worker {
+            intake,
+            stop,
+            admission,
+            cfg,
+            poller: Poller::new(),
+            wheel: TimerWheel::new(256),
+            idle: IdleStrategy::default_for_io(),
+            scratch: Vec::new(),
+            stamp_counter: 0,
+            report: WorkerReport::default(),
+        }
+    }
+
+    fn run(mut self) -> WorkerReport {
+        let start = Instant::now();
+        let mut ready: Vec<Token> = Vec::new();
+        let mut expired: Vec<(Token, u64)> = Vec::new();
+        loop {
+            let mut progressed = false;
+            // Accept newly connected clients into the poll set.
+            let accept_start = Instant::now();
+            let mut accepted = 0usize;
+            while let Ok(conn) = self.intake.try_recv() {
+                self.poller.register(conn);
+                accepted += 1;
+            }
+            if accepted > 0 {
+                self.report
+                    .accept
+                    .record(accept_start.elapsed().as_nanos() as u64);
+                progressed = true;
+            }
+            // One poll round over this worker's share of the fleet.
+            let now_ms = start.elapsed().as_millis() as u64;
+            let poll_start = Instant::now();
+            let n_ready = self.poller.poll(&mut ready, self.cfg.poll_budget);
+            if n_ready > 0 {
+                for &token in &ready {
+                    let (progress, close) = self.service(token, now_ms);
+                    progressed |= progress;
+                    if close {
+                        if let Some(conn) = self.poller.deregister(token) {
+                            self.retire(conn);
+                        }
+                    }
+                }
+                self.report
+                    .poll
+                    .record(poll_start.elapsed().as_nanos() as u64);
+            }
+            // Fire stall deadlines.
+            self.wheel.advance(now_ms, &mut expired);
+            for &(token, stamp) in &expired {
+                self.sweep(token, stamp);
+            }
+            if self.stop.load(Ordering::Acquire) && !progressed && self.intake.is_empty() {
+                break;
+            }
+            if progressed {
+                self.idle.reset();
+            } else {
+                self.idle.idle();
+            }
+        }
+        // Fold the surviving connections' codec/transport tallies in.
+        let mut leftovers: Vec<Token> = self.poller.iter_mut().map(|(t, _)| t).collect();
+        for token in leftovers.drain(..) {
+            if let Some(conn) = self.poller.deregister(token) {
+                self.retire(conn);
+            }
+        }
+        self.report
+    }
+
+    /// Service one ready connection: reconnect handshake, reads, decode,
+    /// admission-bounded queueing (load-shedding overflow uploads), then
+    /// a fairness-bounded drain of the queue through admission. Returns
+    /// `(made_progress, should_close)`.
+    fn service(&mut self, token: Token, now_ms: u64) -> (bool, bool) {
+        let Some(conn) = self.poller.get_mut(token) else {
+            return (false, false);
+        };
+        let mut progress = false;
+        // Reconnect handshake: retire both sequence spaces, then publish
+        // the acknowledged generation so the blocked client proceeds.
+        let reset_req = conn.shared.reset_req.load(Ordering::Acquire);
+        if reset_req != conn.handled_reset {
+            conn.stale_accum += conn.codec.stale_discards();
+            conn.transport.purge();
+            conn.codec = FrameCodec::strict();
+            conn.out_seq = 0;
+            conn.wedge = None;
+            conn.handled_reset = reset_req;
+            conn.shared.reset_ack.store(reset_req, Ordering::Release);
+            progress = true;
+        }
+        // Drain the transport into the codec (bounded for fairness; any
+        // remainder keeps the connection ready for the next round).
+        let mut buf = [0u8; 4096];
+        for _ in 0..256 {
+            match conn.transport.try_recv(&mut buf) {
+                Ok(0) => {
+                    conn.closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.codec.feed(&buf[..n]);
+                    progress = true;
+                }
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+        // Decode everything decodable; queue or shed.
+        loop {
+            match conn.codec.try_decode_message() {
+                Ok(None) => break,
+                Ok(Some(msg)) => {
+                    progress = true;
+                    let sheddable = matches!(msg, Message::SnapshotUpload { .. });
+                    if sheddable && conn.queue.len() >= self.cfg.queue_limit {
+                        // Admission control: reply 429 instead of
+                        // buffering without bound. The client retries
+                        // later; idempotency makes the retry safe.
+                        let shed_start = Instant::now();
+                        self.report.load_sheds += 1;
+                        let reply = Message::Error {
+                            code: SHED_ERROR_CODE,
+                            detail: "upload queue full".into(),
+                        };
+                        let seq = conn.out_seq;
+                        conn.out_seq += 1;
+                        reply.encode_seq_into(seq, &mut conn.frame_buf);
+                        let _ = conn.transport.send(&conn.frame_buf);
+                        self.report
+                            .shed
+                            .record(shed_start.elapsed().as_nanos() as u64);
+                    } else {
+                        conn.queue.push_back(msg);
+                        self.report.queue_depth_peak =
+                            self.report.queue_depth_peak.max(conn.queue.len() as u64);
+                    }
+                }
+                Err(_) => {
+                    // Poisoned frame stream (corruption/truncation):
+                    // discard it and resynchronize on the client's next
+                    // transmission — a fresh strict codec accepts any
+                    // continuing sequence number (monotonic acceptance).
+                    conn.stale_accum += conn.codec.stale_discards();
+                    conn.transport.purge();
+                    conn.codec = FrameCodec::strict();
+                    conn.wedge = None;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        // Stall bookkeeping: a partial frame with no byte progress past
+        // the deadline will be swept; any progress re-arms the timer.
+        let buffered = conn.codec.buffered();
+        if buffered > 0 {
+            let rearm = match conn.wedge {
+                Some((len, _)) => len != buffered,
+                None => true,
+            };
+            if rearm {
+                self.stamp_counter += 1;
+                conn.wedge = Some((buffered, self.stamp_counter));
+                self.wheel.schedule(
+                    now_ms + self.cfg.stall_deadline_ms,
+                    token,
+                    self.stamp_counter,
+                );
+            }
+        } else {
+            conn.wedge = None;
+        }
+        // Admit queued messages, bounded per round for fairness (the
+        // shutdown drain processes everything).
+        let budget = if self.stop.load(Ordering::Acquire) {
+            usize::MAX
+        } else {
+            self.cfg.drain_per_conn
+        };
+        let mut served = 0usize;
+        while served < budget {
+            let Some(msg) = conn.queue.pop_front() else {
+                break;
+            };
+            served += 1;
+            progress = true;
+            if let Some(reply) = self.admission.handle(msg, &mut self.scratch) {
+                let seq = conn.out_seq;
+                conn.out_seq += 1;
+                reply.encode_seq_into(seq, &mut conn.frame_buf);
+                // A failed reply send (injected reset, client gone) is
+                // the client's problem to recover: its retry loop times
+                // out and retransmits.
+                let _ = conn.transport.send(&conn.frame_buf);
+            }
+        }
+        let close = conn.closed && conn.queue.is_empty();
+        (progress, close)
+    }
+
+    /// Timer expiry: sweep the connection if its wedge marker still
+    /// matches (same stamp, same buffered byte count — no progress since
+    /// the deadline was armed).
+    fn sweep(&mut self, token: Token, stamp: u64) {
+        let Some(conn) = self.poller.get_mut(token) else {
+            return; // connection retired; lazily cancelled timer
+        };
+        match conn.wedge {
+            Some((len, s)) if s == stamp && conn.codec.buffered() == len => {
+                conn.stale_accum += conn.codec.stale_discards();
+                conn.transport.purge();
+                conn.codec = FrameCodec::strict();
+                conn.wedge = None;
+                self.report.stall_sweeps += 1;
+            }
+            _ => {} // progress was made, or a newer wedge owns the timer
+        }
+    }
+
+    /// Fold a retiring connection's transport and codec tallies into the
+    /// worker report.
+    fn retire(&mut self, conn: Connection) {
+        self.report.stale_frames += conn.stale_accum + conn.codec.stale_discards();
+        self.report.faults.merge(&conn.transport.fault_stats());
+    }
+}
+
+/// The async collection plane: a worker pool plus the shared admission
+/// state. See the module docs for the architecture and
+/// `ARCHITECTURE.md` §8 for the full contract.
+pub struct AsyncCollectServer {
+    intakes: Vec<Sender<Connection>>,
+    handles: Vec<std::thread::JoinHandle<WorkerReport>>,
+    stop: Arc<AtomicBool>,
+    admission: Arc<Admission>,
+    /// Round-robin cursor for connection placement.
+    next: AtomicUsize,
+}
+
+impl AsyncCollectServer {
+    /// Start the worker pool. `participants` seeds the sign-in gate;
+    /// parsed snapshots flow into `sharded` (the caller keeps its own
+    /// `Arc` and drains it after [`AsyncCollectServer::shutdown`]).
+    pub fn start(
+        participants: impl IntoIterator<Item = ParticipantId>,
+        sharded: Arc<ShardedIngest>,
+        cfg: AsyncServerConfig,
+    ) -> Self {
+        let admission = Arc::new(Admission::new(participants, sharded));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = cfg.workers.max(1);
+        let mut intakes = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = unbounded();
+            let worker = Worker::new(rx, Arc::clone(&stop), Arc::clone(&admission), cfg);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("collect-worker-{w}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn collection worker"),
+            );
+            intakes.push(tx);
+        }
+        AsyncCollectServer {
+            intakes,
+            handles,
+            stop,
+            admission,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Open one connection, placing its server half on a worker
+    /// (round-robin). `plan` is installed on both directions with
+    /// independent seeded streams — the client's from `seed`, the
+    /// server's from `seed ^ SERVER_FAULT_SALT`, matching the loopback
+    /// lane's convention so chaos seeds are comparable across paths.
+    pub fn connect(&self, plan: FaultPlan, seed: u64) -> AsyncConn {
+        let (mut client, mut server_end) = MemTransport::pair();
+        client.inject_faults(plan, seed);
+        server_end.inject_faults(plan, seed ^ SERVER_FAULT_SALT);
+        let shared = Arc::new(ConnShared::default());
+        let conn = Connection {
+            transport: server_end,
+            codec: FrameCodec::strict(),
+            out_seq: 0,
+            shared: Arc::clone(&shared),
+            handled_reset: 0,
+            queue: VecDeque::new(),
+            wedge: None,
+            stale_accum: 0,
+            closed: false,
+            frame_buf: Vec::new(),
+        };
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.intakes.len();
+        assert!(
+            self.intakes[w].send(conn).is_ok(),
+            "collection worker is running"
+        );
+        AsyncConn {
+            transport: client,
+            shared,
+        }
+    }
+
+    /// Stop the workers (after they drain every queued message), merge
+    /// their reports into `registry` (`server/*` spans, `server.*`
+    /// counters, server-side fault and stale-frame tallies) and return
+    /// the folded protocol stats.
+    ///
+    /// The returned [`ServerStats`] counts sign-ins, files, dedups and
+    /// bad uploads; `snapshots` stays 0 because ingested snapshots are
+    /// counted by the [`ShardedIngest`] the caller drains (fold them via
+    /// [`crate::server::CollectionServer::add_ingested_snapshots`] or a
+    /// shard merge, exactly like the direct path).
+    pub fn shutdown(self, registry: &Registry) -> ServerStats {
+        self.stop.store(true, Ordering::SeqCst);
+        drop(self.intakes);
+        let mut totals = WorkerReport::default();
+        for handle in self.handles {
+            let report = handle.join().expect("collection worker panicked");
+            totals.load_sheds += report.load_sheds;
+            totals.stall_sweeps += report.stall_sweeps;
+            totals.queue_depth_peak = totals.queue_depth_peak.max(report.queue_depth_peak);
+            totals.stale_frames += report.stale_frames;
+            totals.faults.merge(&report.faults);
+            registry
+                .histogram(&format!("{SPAN_PREFIX}{}", keys::SPAN_SERVER_ACCEPT))
+                .merge_local(&report.accept);
+            registry
+                .histogram(&format!("{SPAN_PREFIX}{}", keys::SPAN_SERVER_POLL))
+                .merge_local(&report.poll);
+            registry
+                .histogram(&format!("{SPAN_PREFIX}{}", keys::SPAN_SERVER_SHED))
+                .merge_local(&report.shed);
+        }
+        registry.add(keys::SERVER_LOAD_SHED, totals.load_sheds);
+        registry.add(keys::SERVER_STALL_SWEEPS, totals.stall_sweeps);
+        registry.gauge_set(keys::SERVER_QUEUE_DEPTH_PEAK, totals.queue_depth_peak);
+        registry.add(keys::STALE_FRAMES, totals.stale_frames);
+        totals.faults.record_to(registry);
+        let mut stats = ServerStats::default();
+        for shard in &self.admission.shards {
+            stats.merge(&shard.lock().stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_types::{
+        ApkHash, AppId, FastSnapshot, InstallDelta, InstalledApp, PermissionProfile, SimTime,
+    };
+
+    const P: ParticipantId = ParticipantId(123_456);
+    const I: InstallId = InstallId(1_000_000_000);
+
+    fn test_cfg() -> AsyncServerConfig {
+        AsyncServerConfig {
+            workers: 1,
+            ..AsyncServerConfig::default()
+        }
+    }
+
+    fn start(cfg: AsyncServerConfig) -> (AsyncCollectServer, Arc<ShardedIngest>) {
+        let sharded = Arc::new(ShardedIngest::new(4));
+        let srv = AsyncCollectServer::start([P], Arc::clone(&sharded), cfg);
+        (srv, sharded)
+    }
+
+    /// One compressed single-snapshot upload payload, distinct per `t`.
+    fn payload(t: u64) -> Vec<u8> {
+        let snap = Snapshot::Fast(FastSnapshot {
+            install_id: I,
+            participant_id: P,
+            time: SimTime::from_secs(t),
+            foreground_app: Some(AppId(1)),
+            screen_on: true,
+            battery_pct: 90,
+            install_events: vec![InstallDelta::Installed(InstalledApp::fresh(
+                AppId(1),
+                SimTime::from_secs(0),
+                PermissionProfile::default(),
+                ApkHash([1; 16]),
+            ))],
+        });
+        lzss::compress(&SnapshotCollector::serialize(&snap))
+    }
+
+    /// Drain replies until one decodes or the deadline passes.
+    fn recv_reply(
+        conn: &mut AsyncConn,
+        codec: &mut FrameCodec,
+        timeout: Duration,
+    ) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Ok(Some(m)) = codec.try_decode_message() {
+                return Some(m);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match conn.recv_deadline(&mut buf, deadline - now) {
+                Ok(0) => return None,
+                Ok(n) => codec.feed(&buf[..n]),
+                Err(_) => {} // deadline re-checked above
+            }
+        }
+    }
+
+    fn sign_in(conn: &mut AsyncConn, codec: &mut FrameCodec, seq: &mut u32) {
+        let msg = Message::SignIn {
+            participant: P,
+            install: I,
+        };
+        conn.send(&msg.encode_seq(*seq)).unwrap();
+        *seq += 1;
+        let reply = recv_reply(conn, codec, Duration::from_secs(5)).expect("sign-in ack");
+        assert_eq!(reply, Message::SignInAck { accepted: true });
+    }
+
+    #[test]
+    fn clean_connection_signs_in_and_uploads() {
+        let (srv, sharded) = start(test_cfg());
+        let mut conn = srv.connect(FaultPlan::none(), 1);
+        let mut codec = FrameCodec::strict();
+        let mut seq = 0u32;
+        sign_in(&mut conn, &mut codec, &mut seq);
+        for file_id in 1..=2u64 {
+            let data = payload(file_id * 100);
+            let expected = sha256(&data);
+            let msg = Message::SnapshotUpload {
+                install: I,
+                file_id,
+                fast: true,
+                payload: data,
+            };
+            conn.send(&msg.encode_seq(seq)).unwrap();
+            seq += 1;
+            let reply = recv_reply(&mut conn, &mut codec, Duration::from_secs(5)).expect("ack");
+            assert_eq!(
+                reply,
+                Message::UploadAck {
+                    file_id,
+                    sha256: expected
+                }
+            );
+        }
+        let registry = Registry::new();
+        let stats = srv.shutdown(&registry);
+        assert_eq!(stats.sign_ins, 1);
+        assert_eq!(stats.files, 2);
+        assert_eq!(stats.bad_uploads, 0);
+        assert_eq!(sharded.snapshots_ingested(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(keys::SERVER_LOAD_SHED), 0);
+        assert_eq!(snap.counter(keys::SERVER_STALL_SWEEPS), 0);
+    }
+
+    #[test]
+    fn overflowed_queue_sheds_uploads_without_data_loss() {
+        let (srv, sharded) = start(AsyncServerConfig {
+            queue_limit: 1,
+            ..test_cfg()
+        });
+        let mut conn = srv.connect(FaultPlan::none(), 2);
+        let mut codec = FrameCodec::strict();
+        let mut seq = 0u32;
+        sign_in(&mut conn, &mut codec, &mut seq);
+        // Flood far more uploads than the queue admits, then keep
+        // retrying whatever was shed until every file is acked.
+        let n_files = 32u64;
+        let mut unacked: HashSet<u64> = (1..=n_files).collect();
+        for round in 0..100 {
+            assert!(round < 99, "files should ack within the retry budget");
+            let sent = unacked.len();
+            for &file_id in &unacked {
+                let msg = Message::SnapshotUpload {
+                    install: I,
+                    file_id,
+                    fast: true,
+                    payload: payload(file_id * 10),
+                };
+                conn.send(&msg.encode_seq(seq)).unwrap();
+                seq += 1;
+            }
+            // On a clean link every sent frame gets exactly one reply:
+            // an ack if it was admitted, a 429 if it was shed.
+            let mut replies = 0;
+            while replies < sent {
+                let Some(reply) = recv_reply(&mut conn, &mut codec, Duration::from_secs(5)) else {
+                    break;
+                };
+                replies += 1;
+                if let Message::UploadAck { file_id, .. } = reply {
+                    unacked.remove(&file_id);
+                }
+            }
+            if unacked.is_empty() {
+                break;
+            }
+        }
+        let registry = Registry::new();
+        let stats = srv.shutdown(&registry);
+        // Zero data loss and exactly-once ingest despite the sheds.
+        assert_eq!(stats.files, n_files);
+        assert_eq!(sharded.snapshots_ingested(), n_files);
+        let snap = registry.snapshot();
+        assert!(
+            snap.counter(keys::SERVER_LOAD_SHED) > 0,
+            "a 64-deep flood into a 1-deep queue must shed"
+        );
+        assert!(snap.gauge(keys::SERVER_QUEUE_DEPTH_PEAK) >= 1);
+    }
+
+    #[test]
+    fn reconnect_handshake_restarts_both_sequence_spaces() {
+        let (srv, _sharded) = start(test_cfg());
+        let mut conn = srv.connect(FaultPlan::none(), 3);
+        let mut codec = FrameCodec::strict();
+        let mut seq = 5u32; // pretend earlier traffic consumed 0..5
+        sign_in(&mut conn, &mut codec, &mut seq);
+        // Without a handshake, restarting at seq 0 would be discarded by
+        // the server's strict codec as stale. The handshake must make it
+        // acceptable again.
+        conn.request_reset();
+        let mut codec = FrameCodec::strict();
+        let mut seq = 0u32;
+        sign_in(&mut conn, &mut codec, &mut seq);
+        let registry = Registry::new();
+        let stats = srv.shutdown(&registry);
+        assert_eq!(stats.sign_ins, 1, "re-sign-in is idempotent");
+    }
+
+    #[test]
+    fn wedged_partial_frame_is_stall_swept() {
+        let (srv, sharded) = start(AsyncServerConfig {
+            stall_deadline_ms: 25,
+            ..test_cfg()
+        });
+        let mut conn = srv.connect(FaultPlan::none(), 4);
+        let mut codec = FrameCodec::strict();
+        let mut seq = 0u32;
+        sign_in(&mut conn, &mut codec, &mut seq);
+        // A frame cut off mid-header wedges the server's decoder: it
+        // waits for bytes that never come. The stall sweeper must purge
+        // and resynchronize without the client reconnecting.
+        let data = payload(7);
+        let frame = Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload: data.clone(),
+        }
+        .encode_seq(seq);
+        seq += 1;
+        conn.send(&frame[..frame.len() / 2]).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        // The retransmission (fresh seq) decodes on the swept codec.
+        let msg = Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload: data,
+        };
+        conn.send(&msg.encode_seq(seq)).unwrap();
+        let reply = recv_reply(&mut conn, &mut codec, Duration::from_secs(5)).expect("ack");
+        assert!(matches!(reply, Message::UploadAck { file_id: 1, .. }));
+        let registry = Registry::new();
+        let stats = srv.shutdown(&registry);
+        assert_eq!(stats.files, 1);
+        assert_eq!(sharded.snapshots_ingested(), 1);
+        assert!(
+            registry.snapshot().counter(keys::SERVER_STALL_SWEEPS) >= 1,
+            "the wedged stream must be recovered by a sweep"
+        );
+    }
+
+    #[test]
+    fn upload_before_sign_in_is_rejected() {
+        let (srv, sharded) = start(test_cfg());
+        let mut conn = srv.connect(FaultPlan::none(), 5);
+        let mut codec = FrameCodec::strict();
+        let msg = Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload: payload(1),
+        };
+        conn.send(&msg.encode_seq(0)).unwrap();
+        let reply = recv_reply(&mut conn, &mut codec, Duration::from_secs(5)).expect("reply");
+        assert!(matches!(reply, Message::Error { code: 401, .. }));
+        let registry = Registry::new();
+        let stats = srv.shutdown(&registry);
+        assert_eq!(stats.files, 0);
+        assert_eq!(sharded.snapshots_ingested(), 0);
+    }
+}

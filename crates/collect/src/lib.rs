@@ -28,6 +28,11 @@
 //! * [`server`] — the collection server: sign-in validation, upload
 //!   ingestion (verify CRC → decompress → parse → acknowledge), and
 //!   per-install aggregation of snapshot statistics;
+//! * [`async_server`] — the reactor-driven collection plane:
+//!   thread-per-core workers multiplexing thousands of connections over
+//!   [`racket_reactor`] readiness polling, with bounded per-connection
+//!   queues, load-shedding admission control and server-side stall
+//!   sweeps (the million-device scale path; see `ARCHITECTURE.md` §8);
 //! * [`shard`] — the sharded ingestion facade: per-install records spread
 //!   over independently locked shards so batches from different devices
 //!   ingest concurrently (the parallel study driver's direct path);
@@ -37,6 +42,7 @@
 
 #![deny(missing_docs)]
 
+pub mod async_server;
 pub mod buffer;
 pub mod codec;
 pub mod collector;
@@ -50,6 +56,7 @@ pub mod stream;
 pub mod transport;
 pub mod wire;
 
+pub use async_server::{AsyncCollectServer, AsyncConn, AsyncServerConfig};
 pub use buffer::{DataBuffer, UploadFile};
 pub use codec::DecodeError;
 pub use collector::{CollectorConfig, SnapshotCollector};

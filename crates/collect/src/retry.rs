@@ -26,18 +26,45 @@
 //! decisions come from SplitMix64 streams, and no wall-clock time is
 //! involved (delays are accounted, not slept — the study driver is a
 //! simulation). The full state machine is specified in `PROTOCOL.md`.
+//!
+//! # Backends
+//!
+//! A lane runs over one of two backends (`LaneBackend`, chosen at
+//! construction):
+//!
+//! * **Loopback** ([`WireLane::new`]) — the lane owns both transport
+//!   endpoints and pumps the server side inline through a caller-supplied
+//!   handler closure. Fully deterministic, no threads; the original
+//!   synchronous study path.
+//! * **Async** ([`WireLane::new_async`]) — the lane owns only the client
+//!   half of an [`AsyncConn`] from
+//!   [`crate::async_server::AsyncCollectServer::connect`]; replies are
+//!   awaited with escalating deadlines and the server side runs on the
+//!   async plane's reactor workers. Same state machine, same wire
+//!   semantics; reconnect becomes the explicit cross-thread handshake
+//!   ([`AsyncConn::request_reset`]).
 
+use crate::async_server::AsyncConn;
 use crate::buffer::{DataBuffer, StageTimers};
 use crate::transport::{splitmix64, FaultPlan, MemTransport, Transport};
 use crate::wire::{self, FrameCodec, Message};
 use racket_types::{FaultCounters, InstallId, ParticipantId};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Salt separating the server endpoint's fault RNG stream from the
-/// client's, so the two directions of one lane fail independently.
-const SERVER_FAULT_SALT: u64 = 0x9E6C_63D0_3F15_2A85;
+/// client's, so the two directions of one lane fail independently. Shared
+/// with the async plane's `connect`, which installs the same two streams
+/// on the two ends of a connection.
+pub(crate) const SERVER_FAULT_SALT: u64 = 0x9E6C_63D0_3F15_2A85;
 /// Salt separating backoff jitter from fault sampling.
 const JITTER_SALT: u64 = 0x4CF5_AD43_2745_937F;
+
+/// Async backend: reply deadline for the first attempt of an exchange, in
+/// milliseconds. Doubles per retry up to [`ASYNC_REPLY_CAP_MS`] — slow
+/// (but alive) workers get more slack before the client retransmits.
+const ASYNC_REPLY_BASE_MS: u64 = 4;
+/// Async backend: ceiling on any single reply deadline, in milliseconds.
+const ASYNC_REPLY_CAP_MS: u64 = 64;
 
 /// Bounded exponential backoff configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,21 +135,43 @@ impl RetryStats {
     }
 }
 
-/// One device's protocol session over a fault-injected loopback pair.
+/// Which kind of link a [`WireLane`] runs over.
 ///
-/// The lane owns both transport endpoints — the study driver is an
-/// in-process simulation, so the "server side" of the pipe is pumped by a
-/// caller-supplied handler closure (`FnMut(Message) -> Option<Message>`,
-/// normally `|m| server.lock().handle(m)`); replies travel back through
-/// the same fault layer. Both directions get independent seeded fault
-/// streams derived from the lane seed.
+/// Private enum, public concept: the lane's observable protocol behaviour
+/// (sequence discipline, retry/backoff, idempotent recovery) is identical
+/// across backends; only the mechanics of moving bytes and reconnecting
+/// differ. The equivalence is enforced end-to-end by
+/// `tests/async_equivalence.rs`.
+enum LaneBackend {
+    /// The lane owns both endpoints of an in-memory pair and pumps the
+    /// server side inline through a handler closure (the deterministic,
+    /// thread-free study path).
+    Loopback {
+        client: MemTransport,
+        server_end: MemTransport,
+        server_codec: FrameCodec,
+        server_seq: u32,
+    },
+    /// The lane owns the client half of an async-plane connection; the
+    /// server half lives on a reactor worker thread.
+    Async { conn: AsyncConn },
+}
+
+/// One device's protocol session over a fault-injected link.
+///
+/// With the loopback backend the lane owns both transport endpoints — the
+/// study driver is an in-process simulation, so the "server side" of the
+/// pipe is pumped by a caller-supplied handler closure
+/// (`FnMut(Message) -> Option<Message>`, normally
+/// `|m| server.lock().handle(m)`); replies travel back through the same
+/// fault layer. Both directions get independent seeded fault streams
+/// derived from the lane seed. With the async backend the handler is
+/// unused (the async plane's workers handle messages) and replies are
+/// awaited with escalating deadlines.
 pub struct WireLane {
-    client: MemTransport,
-    server_end: MemTransport,
+    backend: LaneBackend,
     client_codec: FrameCodec,
-    server_codec: FrameCodec,
     client_seq: u32,
-    server_seq: u32,
     install: InstallId,
     participant: ParticipantId,
     policy: RetryPolicy,
@@ -153,12 +202,40 @@ impl WireLane {
         client.inject_faults(plan, seed);
         server_end.inject_faults(plan, seed ^ SERVER_FAULT_SALT);
         WireLane {
-            client,
-            server_end,
+            backend: LaneBackend::Loopback {
+                client,
+                server_end,
+                server_codec: FrameCodec::strict(),
+                server_seq: 0,
+            },
             client_codec: FrameCodec::strict(),
-            server_codec: FrameCodec::strict(),
             client_seq: 0,
-            server_seq: 0,
+            install,
+            participant,
+            policy,
+            jitter_rng: seed ^ JITTER_SALT,
+            stats: RetryStats::default(),
+            frame_buf: Vec::new(),
+            timers: StageTimers::default(),
+        }
+    }
+
+    /// Create a lane over an async-plane connection (from
+    /// [`crate::async_server::AsyncCollectServer::connect`], which
+    /// installed the fault plan on both directions). `seed` drives only
+    /// the backoff jitter here — pass the same lane seed used for
+    /// `connect` so a chaos run stays on comparable streams.
+    pub fn new_async(
+        install: InstallId,
+        participant: ParticipantId,
+        policy: RetryPolicy,
+        seed: u64,
+        conn: AsyncConn,
+    ) -> Self {
+        WireLane {
+            backend: LaneBackend::Async { conn },
+            client_codec: FrameCodec::strict(),
+            client_seq: 0,
             install,
             participant,
             policy,
@@ -170,18 +247,33 @@ impl WireLane {
     }
 
     /// The lane's retry counters, including the live codecs' stale-frame
-    /// discards.
+    /// discards. (The async backend counts only client-side discards
+    /// here; the server side's are folded in by the worker reports at
+    /// plane shutdown.)
     pub fn stats(&self) -> RetryStats {
         let mut s = self.stats;
-        s.stale_frames += self.client_codec.stale_discards() + self.server_codec.stale_discards();
+        s.stale_frames += self.client_codec.stale_discards();
+        if let LaneBackend::Loopback { server_codec, .. } = &self.backend {
+            s.stale_frames += server_codec.stale_discards();
+        }
         s
     }
 
-    /// Faults injected on this lane so far, both directions combined.
+    /// Faults injected on this lane so far. Loopback lanes report both
+    /// directions; async lanes report the client→server direction only
+    /// (the server→client direction is tallied by the worker that owns
+    /// the connection and recorded at plane shutdown).
     pub fn fault_stats(&self) -> FaultCounters {
-        let mut f = self.client.fault_stats();
-        f.merge(&self.server_end.fault_stats());
-        f
+        match &self.backend {
+            LaneBackend::Loopback {
+                client, server_end, ..
+            } => {
+                let mut f = client.fault_stats();
+                f.merge(&server_end.fault_stats());
+                f
+            }
+            LaneBackend::Async { conn } => conn.fault_stats(),
+        }
     }
 
     /// Sign in (with retries). Returns the server's verdict, or `None` if
@@ -292,15 +384,15 @@ impl WireLane {
             let start = Instant::now();
             encode(seq, &mut self.frame_buf);
             self.timers.frame.record(start.elapsed().as_nanos() as u64);
-            if self.client.send(&self.frame_buf).is_err() {
+            let sent = match &mut self.backend {
+                LaneBackend::Loopback { client, .. } => client.send(&self.frame_buf),
+                LaneBackend::Async { conn } => conn.send(&self.frame_buf),
+            };
+            if sent.is_err() {
                 self.reconnect();
                 continue;
             }
-            if self.pump_server(handler).is_err() {
-                self.reconnect();
-                continue;
-            }
-            match self.drain_client() {
+            match self.exchange_replies(handler, attempt) {
                 Err(()) => {
                     self.reconnect();
                     continue;
@@ -323,55 +415,101 @@ impl WireLane {
         None
     }
 
-    /// Deliver buffered client→server bytes to the handler and send its
-    /// replies back. `Err` means the server-side frame stream is poisoned
-    /// (truncation/corruption) or the reply link reset.
-    fn pump_server(
+    /// Move the exchange forward after a send: on loopback, pump the
+    /// server side through the handler and drain its replies; on async,
+    /// await replies up to a per-attempt escalating deadline. Returns the
+    /// decoded replies (possibly none — loss or stall); `Err` means a
+    /// poisoned frame stream or a reset link (the caller reconnects).
+    fn exchange_replies(
         &mut self,
         handler: &mut impl FnMut(Message) -> Option<Message>,
-    ) -> Result<(), ()> {
+        attempt: u32,
+    ) -> Result<Vec<Message>, ()> {
+        let WireLane {
+            backend,
+            client_codec,
+            ..
+        } = self;
         let mut buf = [0u8; 4096];
-        loop {
-            match self.server_end.try_recv(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => self.server_codec.feed(&buf[..n]),
-                Err(_) => break, // WouldBlock: drained
-            }
-        }
-        loop {
-            match self.server_codec.try_decode_message() {
-                Ok(None) => return Ok(()),
-                Ok(Some(msg)) => {
-                    if let Some(reply) = handler(msg) {
-                        let seq = self.server_seq;
-                        self.server_seq += 1;
-                        if self.server_end.send(&reply.encode_seq(seq)).is_err() {
-                            return Err(());
-                        }
+        let mut msgs = Vec::new();
+        match backend {
+            LaneBackend::Loopback {
+                client,
+                server_end,
+                server_codec,
+                server_seq,
+            } => {
+                // Deliver buffered client→server bytes to the handler and
+                // send its replies back through the fault layer.
+                loop {
+                    match server_end.try_recv(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => server_codec.feed(&buf[..n]),
+                        Err(_) => break, // WouldBlock: drained
                     }
                 }
-                Err(_) => return Err(()),
+                loop {
+                    match server_codec.try_decode_message() {
+                        Ok(None) => break,
+                        Ok(Some(msg)) => {
+                            if let Some(reply) = handler(msg) {
+                                let seq = *server_seq;
+                                *server_seq += 1;
+                                if server_end.send(&reply.encode_seq(seq)).is_err() {
+                                    return Err(());
+                                }
+                            }
+                        }
+                        Err(_) => return Err(()),
+                    }
+                }
+                // Drain everything waiting on the client side.
+                loop {
+                    match client.try_recv(&mut buf) {
+                        Ok(0) => break,
+                        Ok(n) => client_codec.feed(&buf[..n]),
+                        Err(_) => break, // WouldBlock: drained
+                    }
+                }
+                loop {
+                    match client_codec.try_decode_message() {
+                        Ok(None) => return Ok(msgs),
+                        Ok(Some(m)) => msgs.push(m),
+                        Err(_) => return Err(()),
+                    }
+                }
             }
-        }
-    }
-
-    /// Drain and decode everything waiting on the client side. `Err`
-    /// means the client's frame stream is poisoned.
-    fn drain_client(&mut self) -> Result<Vec<Message>, ()> {
-        let mut buf = [0u8; 4096];
-        loop {
-            match self.client.try_recv(&mut buf) {
-                Ok(0) => break,
-                Ok(n) => self.client_codec.feed(&buf[..n]),
-                Err(_) => break, // WouldBlock: drained
-            }
-        }
-        let mut msgs = Vec::new();
-        loop {
-            match self.client_codec.try_decode_message() {
-                Ok(None) => return Ok(msgs),
-                Ok(Some(m)) => msgs.push(m),
-                Err(_) => return Err(()),
+            LaneBackend::Async { conn } => {
+                // Await replies from the worker thread. The deadline
+                // escalates with the attempt number so a slow-but-alive
+                // server eventually gets enough slack; a reply batch
+                // returns as soon as anything decodes (the matcher
+                // decides whether it settles the exchange).
+                let wait_ms = ASYNC_REPLY_BASE_MS
+                    .saturating_mul(1u64 << attempt.saturating_sub(1).min(10))
+                    .min(ASYNC_REPLY_CAP_MS);
+                let deadline = Instant::now() + Duration::from_millis(wait_ms);
+                loop {
+                    loop {
+                        match client_codec.try_decode_message() {
+                            Ok(None) => break,
+                            Ok(Some(m)) => msgs.push(m),
+                            Err(_) => return Err(()),
+                        }
+                    }
+                    if !msgs.is_empty() {
+                        return Ok(msgs);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Ok(msgs); // timed out: loss or stall
+                    }
+                    match conn.recv_deadline(&mut buf, deadline - now) {
+                        Ok(0) => return Err(()), // server closed the pipe
+                        Ok(n) => client_codec.feed(&buf[..n]),
+                        Err(_) => {} // deadline re-checked above
+                    }
+                }
             }
         }
     }
@@ -379,17 +517,29 @@ impl WireLane {
     /// Simulated reconnect: discard everything in flight, restart both
     /// codecs (fresh per-connection sequence spaces) and resume. The
     /// server keeps the install's sign-in session, so resuming is just
-    /// replaying unacknowledged files.
+    /// replaying unacknowledged files. On the async backend this runs the
+    /// cross-thread handshake ([`AsyncConn::request_reset`]) so the
+    /// worker retires its half of the sequence space in step.
     fn reconnect(&mut self) {
         self.stats.reconnects += 1;
-        self.stats.stale_frames +=
-            self.client_codec.stale_discards() + self.server_codec.stale_discards();
-        self.client.purge();
-        self.server_end.purge();
+        self.stats.stale_frames += self.client_codec.stale_discards();
+        match &mut self.backend {
+            LaneBackend::Loopback {
+                client,
+                server_end,
+                server_codec,
+                server_seq,
+            } => {
+                self.stats.stale_frames += server_codec.stale_discards();
+                client.purge();
+                server_end.purge();
+                *server_codec = FrameCodec::strict();
+                *server_seq = 0;
+            }
+            LaneBackend::Async { conn } => conn.request_reset(),
+        }
         self.client_codec = FrameCodec::strict();
-        self.server_codec = FrameCodec::strict();
         self.client_seq = 0;
-        self.server_seq = 0;
     }
 
     /// Jittered exponential delay for the n-th retry (1-based), in
@@ -519,6 +669,78 @@ mod tests {
             server.stats().dup_files > 0,
             "seed 7 drops at least one ack, forcing a replay"
         );
+    }
+
+    fn start_async(
+        plan: FaultPlan,
+        seed: u64,
+    ) -> (
+        crate::async_server::AsyncCollectServer,
+        std::sync::Arc<crate::shard::ShardedIngest>,
+        WireLane,
+    ) {
+        use crate::async_server::{AsyncCollectServer, AsyncServerConfig};
+        let sharded = std::sync::Arc::new(crate::shard::ShardedIngest::new(4));
+        let srv = AsyncCollectServer::start(
+            [P],
+            std::sync::Arc::clone(&sharded),
+            AsyncServerConfig {
+                workers: 1,
+                ..AsyncServerConfig::default()
+            },
+        );
+        let conn = srv.connect(plan, seed);
+        let lane = WireLane::new_async(I, P, RetryPolicy::default(), seed, conn);
+        (srv, sharded, lane)
+    }
+
+    /// The handler is unused on the async backend; the worker replies.
+    fn no_handler(_: Message) -> Option<Message> {
+        unreachable!("async lanes never invoke the loopback handler")
+    }
+
+    #[test]
+    fn clean_async_lane_delivers_through_the_worker() {
+        let (srv, sharded, mut lane) = start_async(FaultPlan::none(), 11);
+        assert_eq!(lane.sign_in(&mut no_handler), Some(true));
+        let (mut buffer, n_snapshots) = loaded_buffer();
+        let n_files = buffer.pending_count() as u64;
+        for _ in 0..10 {
+            lane.upload_pending(&mut buffer, &mut no_handler);
+            if buffer.pending_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(buffer.pending_count(), 0, "all files acked");
+        assert_eq!(lane.stats().files_acked, n_files);
+        let registry = racket_obs::Registry::new();
+        let stats = srv.shutdown(&registry);
+        assert_eq!(stats.sign_ins, 1);
+        assert_eq!(stats.files, n_files);
+        assert_eq!(sharded.snapshots_ingested(), n_snapshots);
+    }
+
+    #[test]
+    fn hostile_async_lane_delivers_every_snapshot_exactly_once() {
+        let (srv, sharded, mut lane) = start_async(FaultPlan::hostile(), 2021);
+        assert_eq!(lane.sign_in(&mut no_handler), Some(true));
+        let (mut buffer, n_snapshots) = loaded_buffer();
+        let n_files = buffer.pending_count() as u64;
+        for _ in 0..20 {
+            lane.upload_pending(&mut buffer, &mut no_handler);
+            if buffer.pending_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(buffer.pending_count(), 0, "all files eventually acked");
+        assert!(lane.stats().retries > 0, "hostile link must force retries");
+        assert!(lane.fault_stats().total() > 0);
+        let registry = racket_obs::Registry::new();
+        let stats = srv.shutdown(&registry);
+        // The recovery guarantee holds across threads: exactly-once
+        // ingestion despite replays, resets and reconnect handshakes.
+        assert_eq!(stats.files, n_files);
+        assert_eq!(sharded.snapshots_ingested(), n_snapshots);
     }
 
     #[test]

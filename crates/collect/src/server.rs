@@ -186,6 +186,18 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
+    /// Fold another stats block into this one. Every field is a plain
+    /// count, so merging is commutative — the async plane's admission
+    /// shards can fold in any order without changing the totals.
+    pub fn merge(&mut self, other: &ServerStats) {
+        self.sign_ins += other.sign_ins;
+        self.rejected_sign_ins += other.rejected_sign_ins;
+        self.files += other.files;
+        self.snapshots += other.snapshots;
+        self.bad_uploads += other.bad_uploads;
+        self.dup_files += other.dup_files;
+    }
+
     /// Add these ingestion counts to a registry: the canonical
     /// `ingest.snapshots` / `ingest.dup_files` counters (see
     /// [`racket_types::metrics::keys`]) plus `server.*` counters for the
@@ -369,6 +381,13 @@ impl CollectionServer {
     /// direct path counts its own ingests; this folds them back in).
     pub fn add_ingested_snapshots(&mut self, n: u64) {
         self.stats.snapshots += n;
+    }
+
+    /// Fold externally accumulated protocol stats into this server's —
+    /// the convergence point for the async plane, whose admission shards
+    /// count sign-ins, files, dedups and bad uploads on worker threads.
+    pub fn absorb_stats(&mut self, other: &ServerStats) {
+        self.stats.merge(other);
     }
 
     /// All install records.

@@ -22,7 +22,7 @@
 //! stall is indistinguishable from a drop within one retry deadline) are
 //! specified in `PROTOCOL.md`.
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use racket_types::FaultCounters;
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -321,6 +321,45 @@ impl MemTransport {
                     ))
                 }
                 Err(TryRecvError::Disconnected) => return Ok(0),
+            }
+        }
+        let n = buf.len().min(self.pending.len());
+        buf[..n].copy_from_slice(&self.pending[..n]);
+        self.pending.drain(..n);
+        Ok(n)
+    }
+
+    /// Whether bytes are waiting to be received — the readiness probe the
+    /// async plane's poller calls once per connection per round. A `true`
+    /// is definitive (residue or a queued chunk exists); a `false` may be
+    /// stale by the next instruction, which level-triggered polling
+    /// tolerates (the next round sees it).
+    pub fn has_incoming(&self) -> bool {
+        !self.pending.is_empty() || !self.rx.is_empty()
+    }
+
+    /// Blocking receive with a timeout: the async client's reply wait.
+    ///
+    /// Like [`MemTransport::try_recv`] but parks on the channel's condvar
+    /// up to `timeout` when nothing is waiting, so a client thread waiting
+    /// for a reply from an async-plane worker costs no CPU while it waits.
+    /// Returns `Err(WouldBlock)` on timeout with a live peer and `Ok(0)`
+    /// for a disconnected peer.
+    pub fn recv_deadline(
+        &mut self,
+        buf: &mut [u8],
+        timeout: std::time::Duration,
+    ) -> std::io::Result<usize> {
+        if self.pending.is_empty() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(chunk) => self.pending = chunk,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "no data within deadline",
+                    ))
+                }
+                Err(RecvTimeoutError::Disconnected) => return Ok(0),
             }
         }
         let n = buf.len().min(self.pending.len());

@@ -12,8 +12,9 @@
 use racket_agents::{apply_action_collecting, stream_seed, Fleet, FleetConfig, TimelineAction};
 use racket_collect::wire::Message;
 use racket_collect::{
-    coalesce_installs, CandidateInstall, CollectionServer, CollectorConfig, DataBuffer, FaultPlan,
-    InstallRecord, RetryPolicy, ShardedIngest, SnapshotCollector, WireLane,
+    coalesce_installs, AsyncCollectServer, AsyncServerConfig, CandidateInstall, CollectionServer,
+    CollectorConfig, DataBuffer, FaultPlan, InstallRecord, RetryPolicy, ShardedIngest,
+    SnapshotCollector, WireLane,
 };
 use racket_features::{DeviceObservation, DeviceStreamState};
 use racket_obs::{span, LocalHistogram, Registry};
@@ -24,6 +25,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Salt mixed into the study seed before deriving per-device driver RNG
@@ -49,6 +51,15 @@ pub enum CollectionPath {
     /// buffer deletion. Exercises every §3 component; used by tests and
     /// the protocol-heavy experiments.
     Wire,
+    /// Full protocol through the asynchronous collection plane: every
+    /// device lane holds a live connection to an
+    /// [`racket_collect::AsyncCollectServer`], whose reactor workers
+    /// multiplex the whole fleet with bounded per-connection queues and
+    /// load-shedding admission control (ARCHITECTURE.md §8). Wire-v2
+    /// semantics are identical to [`CollectionPath::Wire`] — the study
+    /// data output is byte-for-byte the same; only throughput/shed
+    /// observability differs.
+    AsyncWire,
 }
 
 /// Study configuration.
@@ -64,8 +75,9 @@ pub struct StudyConfig {
     /// Driver RNG seed (behaviour replay).
     pub seed: u64,
     /// Transport fault plan for chaos runs ([`FaultPlan::none`] for a
-    /// clean link). Wire path only; each device lane gets an independent
-    /// fault stream derived from [`StudyConfig::seed`]. By the idempotency
+    /// clean link). Wire paths only (`Wire` and `AsyncWire`); each device
+    /// lane gets an independent fault stream derived from
+    /// [`StudyConfig::seed`]. By the idempotency
     /// contract (PROTOCOL.md), the study's data output is identical for
     /// every plan the retry budget survives — only the fault/retry metrics
     /// differ.
@@ -163,8 +175,9 @@ struct DeviceLane {
     dev: racket_agents::StudyDevice,
     collector: SnapshotCollector,
     buffer: DataBuffer,
-    /// Wire-path protocol session: fault-injected loopback transports,
-    /// sequence-checked codecs and the retry/backoff state machine.
+    /// Wire-path protocol session: a fault-injected loopback link (sync
+    /// wire) or a live connection into the async collection plane, plus
+    /// the sequence-checked codec and retry/backoff state machine.
     wire: Option<WireLane>,
     /// Per-lane driver RNG stream (seeded from the study seed + lane index).
     rng: StdRng,
@@ -207,7 +220,24 @@ impl Study {
         let mut crawler = ReviewCrawler::new();
         let sharded = match config.path {
             CollectionPath::Direct => Some(ShardedIngest::for_current_threads()),
-            CollectionPath::Wire => None,
+            CollectionPath::Wire | CollectionPath::AsyncWire => None,
+        };
+        // Async plane: the reactor server owns its own sharded store (its
+        // workers ingest into it concurrently); both drain back into the
+        // aggregation server at shutdown. The worker count never shows in
+        // the data output (ARCHITECTURE.md §8's equivalence contract), so
+        // the default topology is always safe here.
+        let async_plane = match config.path {
+            CollectionPath::AsyncWire => {
+                let store = Arc::new(ShardedIngest::for_current_threads());
+                let srv = AsyncCollectServer::start(
+                    fleet.devices.iter().map(|d| d.participant),
+                    Arc::clone(&store),
+                    AsyncServerConfig::default(),
+                );
+                Some((srv, store))
+            }
+            CollectionPath::Direct | CollectionPath::Wire => None,
         };
 
         // Sign in + per-device lane state. Sign-ins are serial (one frame
@@ -229,14 +259,29 @@ impl Study {
                         .max(1),
                 };
                 let collector = SnapshotCollector::new(cfg, d.install_id, d.participant);
+                let lane_seed = stream_seed(config.seed ^ FAULT_STREAM_SALT, i as u64);
                 let wire = match config.path {
                     CollectionPath::Wire => Some(WireLane::new(
                         d.install_id,
                         d.participant,
                         config.faults,
                         RetryPolicy::default(),
-                        stream_seed(config.seed ^ FAULT_STREAM_SALT, i as u64),
+                        lane_seed,
                     )),
+                    // Same per-lane fault stream as the sync path: the
+                    // connection's two fault injectors are seeded exactly
+                    // as a loopback lane's would be, so a chaos plan
+                    // perturbs both paths identically.
+                    CollectionPath::AsyncWire => {
+                        let (srv, _) = async_plane.as_ref().expect("async plane is running");
+                        Some(WireLane::new_async(
+                            d.install_id,
+                            d.participant,
+                            RetryPolicy::default(),
+                            lane_seed,
+                            srv.connect(config.faults, lane_seed),
+                        ))
+                    }
                     CollectionPath::Direct => None,
                 };
                 DeviceLane {
@@ -379,6 +424,21 @@ impl Study {
             let _span = obs.span("simulate/shard_merge");
             sharded.record_occupancy_to(&obs);
             sharded.merge_into(&mut server);
+        }
+        // Async-plane teardown: stop the reactor workers (their reports —
+        // shed/stall/queue-depth counters and server spans — land in the
+        // registry), then drain the plane's sharded store and protocol
+        // stats into the aggregation server. Every lane has fully drained
+        // by now, so the workers' shutdown sweep only flushes queued
+        // duplicate retransmissions, which the idempotent ingest absorbs.
+        if let Some((srv, store)) = async_plane {
+            let _span = obs.span("simulate/async_shutdown");
+            let async_stats = srv.shutdown(&obs);
+            let store = Arc::try_unwrap(store)
+                .expect("workers joined at shutdown; the driver holds the last reference");
+            store.record_occupancy_to(&obs);
+            store.merge_into(&mut server);
+            server.absorb_stats(&async_stats);
         }
         server.stats().record_to(&obs);
         drop(simulate_span);
@@ -553,7 +613,7 @@ impl Study {
                     .expect("direct path has a sharded store")
                     .ingest_batch(snaps);
             }
-            CollectionPath::Wire => {
+            CollectionPath::Wire | CollectionPath::AsyncWire => {
                 for s in snaps {
                     lane.buffer.push(s);
                 }
@@ -670,6 +730,33 @@ mod tests {
             "direct path skips compression"
         );
         assert_eq!(out.metrics.snapshots_ingested, out.server_stats.snapshots);
+    }
+
+    #[test]
+    fn async_wire_path_matches_sync_wire_output() {
+        let sync = run_test_study();
+        let mut config = StudyConfig::test_scale();
+        config.path = CollectionPath::AsyncWire;
+        let out = Study::new(config).run();
+        // Data output identical to the sync wire path (the §8 equivalence
+        // contract); dup_files is deliberately NOT compared — premature
+        // retries under load inflate it without touching the data.
+        assert_eq!(out.observations.len(), sync.observations.len());
+        assert_eq!(out.server_stats.snapshots, sync.server_stats.snapshots);
+        assert_eq!(out.server_stats.files, sync.server_stats.files);
+        assert_eq!(out.server_stats.sign_ins, 60);
+        assert_eq!(out.server_stats.bad_uploads, 0);
+        for (x, y) in out.observations.iter().zip(&sync.observations) {
+            assert_eq!(x.record.install_id, y.record.install_id);
+            assert_eq!(x.record.n_fast, y.record.n_fast);
+            assert_eq!(x.record.snapshots_per_day, y.record.snapshots_per_day);
+        }
+        assert!(
+            !out.metrics.shard_occupancy.is_empty(),
+            "the async plane ingests through its sharded store"
+        );
+        assert!(out.metrics.bytes_compressed > 0);
+        assert_eq!(out.metrics.faults.total(), 0, "clean link injects nothing");
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Escalating idle backoff for reactor worker threads.
+
+use std::time::Duration;
+
+/// Spin → yield → park backoff for a worker loop with nothing to do.
+///
+/// A worker that found no ready sources calls [`IdleStrategy::idle`] once
+/// per empty round and [`IdleStrategy::reset`] as soon as any round makes
+/// progress. The escalation bounds both sides of the trade-off:
+///
+/// * fresh idleness spins (`spin_hint`), so a reply that is microseconds
+///   away is picked up without a syscall;
+/// * sustained idleness yields, giving the CPU to the client threads that
+///   must run before new work can exist (critical on small machines where
+///   workers and clients share cores);
+/// * long idleness parks with a timeout, capping an idle worker's CPU
+///   cost at a few wakeups per millisecond while bounding worst-case
+///   wakeup latency at `park_timeout` (there is no cross-thread unparker;
+///   the in-memory transports have no readiness notification to hook).
+#[derive(Debug, Clone)]
+pub struct IdleStrategy {
+    spin_limit: u32,
+    yield_limit: u32,
+    park_timeout: Duration,
+    rounds: u32,
+}
+
+impl IdleStrategy {
+    /// Create a strategy: `spin_limit` busy rounds, then `yield_limit`
+    /// yielding rounds, then parks of `park_timeout` each.
+    pub fn new(spin_limit: u32, yield_limit: u32, park_timeout: Duration) -> Self {
+        IdleStrategy {
+            spin_limit,
+            yield_limit,
+            park_timeout,
+            rounds: 0,
+        }
+    }
+
+    /// The tuning the collection plane's workers use: a short spin, a
+    /// yield phase sized for single-core timeslicing, 200 µs parks.
+    pub fn default_for_io() -> Self {
+        IdleStrategy::new(16, 64, Duration::from_micros(200))
+    }
+
+    /// Consecutive idle rounds since the last reset.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Record one idle round and back off accordingly.
+    pub fn idle(&mut self) {
+        self.rounds = self.rounds.saturating_add(1);
+        if self.rounds <= self.spin_limit {
+            std::hint::spin_loop();
+        } else if self.rounds <= self.spin_limit + self.yield_limit {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(self.park_timeout);
+        }
+    }
+
+    /// Work happened: drop back to the spin phase.
+    pub fn reset(&mut self) {
+        self.rounds = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_and_resets() {
+        let mut s = IdleStrategy::new(2, 2, Duration::from_micros(1));
+        for _ in 0..6 {
+            s.idle(); // walks through spin, yield and park phases
+        }
+        assert_eq!(s.rounds(), 6);
+        s.reset();
+        assert_eq!(s.rounds(), 0);
+    }
+
+    #[test]
+    fn park_phase_bounds_latency_not_liveness() {
+        // Even deep in the park phase, idle() returns promptly (the park
+        // is timed) — the loop stays live without an unparker.
+        let mut s = IdleStrategy::new(0, 0, Duration::from_micros(50));
+        let start = std::time::Instant::now();
+        for _ in 0..4 {
+            s.idle();
+        }
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(s.rounds(), 4);
+    }
+}

@@ -1,0 +1,189 @@
+//! Hashed timer wheel for coarse retry/stall deadlines.
+
+use crate::poll::Token;
+
+/// One scheduled deadline.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline: u64,
+    token: Token,
+    stamp: u64,
+}
+
+/// A hashed timer wheel: `O(1)` schedule, amortized `O(1)` expiry.
+///
+/// Time is measured in caller-defined ticks (the collection plane uses
+/// milliseconds since worker start). Each deadline hashes into one of
+/// `n_slots` buckets by `deadline % n_slots`; advancing the clock scans
+/// only the buckets the elapsed ticks map to — or every bucket once, if
+/// the clock jumped further than a full wheel revolution.
+///
+/// Cancellation is lazy: deadlines carry a caller-supplied `stamp`
+/// (typically a per-connection generation counter). Instead of removing
+/// an entry on cancel, the caller bumps the connection's generation and
+/// ignores expiries whose stamp no longer matches. This keeps the wheel
+/// free of per-entry handles, which is what makes rescheduling a stall
+/// deadline on every byte of progress affordable.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    /// The wheel's current tick: everything at or before it has expired.
+    now: u64,
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// Create a wheel with `n_slots` buckets (at least 1) starting at
+    /// tick 0.
+    pub fn new(n_slots: usize) -> Self {
+        TimerWheel {
+            slots: (0..n_slots.max(1)).map(|_| Vec::new()).collect(),
+            now: 0,
+            pending: 0,
+        }
+    }
+
+    /// The wheel's current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Deadlines scheduled and not yet expired (cancelled ones included —
+    /// cancellation is lazy).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Schedule `(token, stamp)` to expire at tick `deadline`. A deadline
+    /// at or before the current tick fires on the next
+    /// [`TimerWheel::advance`].
+    pub fn schedule(&mut self, deadline: u64, token: Token, stamp: u64) {
+        // Clamp past deadlines forward one tick so they land in a bucket
+        // the next advance is guaranteed to scan.
+        let deadline = deadline.max(self.now + 1);
+        let idx = (deadline % self.slots.len() as u64) as usize;
+        self.slots[idx].push(Entry {
+            deadline,
+            token,
+            stamp,
+        });
+        self.pending += 1;
+    }
+
+    /// Advance the clock to tick `now`, appending every `(token, stamp)`
+    /// whose deadline has passed to `expired` (cleared first). A `now` at
+    /// or before the current tick is a no-op. Callers must validate each
+    /// stamp against their own generation state — a mismatch means the
+    /// deadline was cancelled after scheduling.
+    pub fn advance(&mut self, now: u64, expired: &mut Vec<(Token, u64)>) {
+        expired.clear();
+        if now <= self.now {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        let elapsed = now - self.now;
+        if elapsed >= n {
+            // Full revolution (or more): every bucket's turn has come up.
+            for slot in &mut self.slots {
+                Self::drain_expired(slot, now, expired, &mut self.pending);
+            }
+        } else {
+            for tick in (self.now + 1)..=now {
+                let idx = (tick % n) as usize;
+                Self::drain_expired(&mut self.slots[idx], now, expired, &mut self.pending);
+            }
+        }
+        self.now = now;
+    }
+
+    /// Move entries with `deadline <= now` out of `slot` into `expired`;
+    /// later rounds of the same bucket stay put.
+    fn drain_expired(
+        slot: &mut Vec<Entry>,
+        now: u64,
+        expired: &mut Vec<(Token, u64)>,
+        pending: &mut usize,
+    ) {
+        slot.retain(|e| {
+            if e.deadline <= now {
+                expired.push((e.token, e.stamp));
+                *pending -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_at_deadline_not_before() {
+        let mut w = TimerWheel::new(8);
+        w.schedule(5, Token(1), 0);
+        let mut exp = Vec::new();
+        w.advance(4, &mut exp);
+        assert!(exp.is_empty());
+        assert_eq!(w.pending(), 1);
+        w.advance(5, &mut exp);
+        assert_eq!(exp, vec![(Token(1), 0)]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn survives_full_revolutions_and_big_jumps() {
+        let mut w = TimerWheel::new(4);
+        // Two entries hash to the same bucket, one revolution apart.
+        w.schedule(3, Token(1), 0);
+        w.schedule(7, Token(2), 0);
+        let mut exp = Vec::new();
+        w.advance(3, &mut exp);
+        assert_eq!(exp, vec![(Token(1), 0)], "later round stays put");
+        // A jump far past the wheel size scans every bucket once.
+        w.schedule(100, Token(3), 0);
+        w.advance(1_000, &mut exp);
+        let mut got = exp.clone();
+        got.sort();
+        assert_eq!(got, vec![(Token(2), 0), (Token(3), 0)]);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let mut w = TimerWheel::new(8);
+        let mut exp = Vec::new();
+        w.advance(10, &mut exp);
+        w.schedule(3, Token(9), 7); // already in the past
+        w.advance(11, &mut exp);
+        assert_eq!(exp, vec![(Token(9), 7)]);
+    }
+
+    #[test]
+    fn stamps_ride_through_for_lazy_cancellation() {
+        let mut w = TimerWheel::new(8);
+        w.schedule(2, Token(1), 1);
+        w.schedule(2, Token(1), 2); // rescheduled: generation bumped
+        let mut exp = Vec::new();
+        w.advance(2, &mut exp);
+        // Both fire; the caller keeps only the entry matching its current
+        // generation (2) and ignores the stale one.
+        assert_eq!(exp.len(), 2);
+        assert!(exp.contains(&(Token(1), 1)));
+        assert!(exp.contains(&(Token(1), 2)));
+    }
+
+    #[test]
+    fn rewinding_is_a_no_op() {
+        let mut w = TimerWheel::new(8);
+        w.schedule(5, Token(1), 0);
+        let mut exp = Vec::new();
+        w.advance(6, &mut exp);
+        assert_eq!(exp.len(), 1);
+        w.advance(3, &mut exp);
+        assert!(exp.is_empty());
+        assert_eq!(w.now(), 6, "clock never rewinds");
+    }
+}

@@ -42,6 +42,25 @@ pub mod keys {
     /// Span: device classification via the batch re-scan path (recomputes
     /// every feature from the raw record).
     pub const SPAN_SCORE_BATCH: &str = "analyze/score_batch";
+    /// Span: async plane — accepting newly connected clients into a
+    /// worker's poll set.
+    pub const SPAN_SERVER_ACCEPT: &str = "server/accept";
+    /// Span: async plane — one worker poll round (readiness scan + frame
+    /// decode + admission + ingest for every ready connection).
+    pub const SPAN_SERVER_POLL: &str = "server/poll";
+    /// Span: async plane — rejecting a frame because the connection's
+    /// bounded upload queue was full (encoding and sending the 429).
+    pub const SPAN_SERVER_SHED: &str = "server/shed";
+    /// Counter: async plane — uploads load-shed with a 429 because a
+    /// per-connection queue was full. Varies with timing; excluded from
+    /// all output fingerprints (same contract as `ingest.dup_files`).
+    pub const SERVER_LOAD_SHED: &str = "server.load_shed";
+    /// Counter: async plane — wedged connections recovered by a server-side
+    /// stall sweep (mid-frame with no progress past the stall deadline).
+    pub const SERVER_STALL_SWEEPS: &str = "server.stall_sweeps";
+    /// Gauge: async plane — deepest per-connection upload queue observed
+    /// by any worker (high-water mark across the run).
+    pub const SERVER_QUEUE_DEPTH_PEAK: &str = "server.queue_depth_peak";
     /// Counter: snapshots ingested by the collection server.
     pub const SNAPSHOTS_INGESTED: &str = "ingest.snapshots";
     /// Counter: replayed upload files re-acked without re-ingesting.
@@ -201,6 +220,14 @@ pub struct PipelineMetrics {
     /// Replayed upload files deduplicated (re-acknowledged without
     /// re-ingesting) by the server's idempotent ingest.
     pub dup_files_deduped: u64,
+    /// Uploads load-shed (rejected with a 429) by the async plane's
+    /// admission control because a per-connection queue was full. Zero on
+    /// the synchronous paths; timing-dependent on the async path, so —
+    /// like every other field here — never part of an output fingerprint.
+    pub load_sheds: u64,
+    /// Deepest per-connection upload queue any async worker observed
+    /// (high-water mark; 0 on the synchronous paths).
+    pub queue_depth_peak: u64,
 }
 
 impl PipelineMetrics {
@@ -233,6 +260,8 @@ impl PipelineMetrics {
             exchanges_exhausted: snapshot.counter(keys::EXCHANGES_EXHAUSTED),
             stale_frames: snapshot.counter(keys::STALE_FRAMES),
             dup_files_deduped: snapshot.counter(keys::DUP_FILES),
+            load_sheds: snapshot.counter(keys::SERVER_LOAD_SHED),
+            queue_depth_peak: snapshot.gauge(keys::SERVER_QUEUE_DEPTH_PEAK),
         }
     }
 
@@ -277,7 +306,8 @@ impl PipelineMetrics {
              upload exchanges:   {} attempts, {} retries, {} reconnects, \
              {} ms backoff (simulated), {} exhausted\n\
              dedup:              {} stale frames discarded, {} replayed files \
-             re-acked",
+             re-acked\n\
+             admission:          {} uploads shed, queue depth peak {}",
             self.threads,
             self.fleet_gen_secs,
             self.simulate_secs,
@@ -301,6 +331,8 @@ impl PipelineMetrics {
             self.exchanges_exhausted,
             self.stale_frames,
             self.dup_files_deduped,
+            self.load_sheds,
+            self.queue_depth_peak,
         )
     }
 }

@@ -21,8 +21,8 @@ use common::{data_fingerprint, small_config, streaming_fingerprint};
 use racket_collect::FaultPlan;
 use racketstore::study::{CollectionPath, Study, StudyOutput};
 
-fn run_with(faults: FaultPlan) -> (String, StudyOutput) {
-    let mut config = small_config(CollectionPath::Wire);
+fn run_with(path: CollectionPath, faults: FaultPlan) -> (String, StudyOutput) {
+    let mut config = small_config(path);
     config.faults = faults;
     let out = Study::new(config).run();
     (data_fingerprint(&out), out)
@@ -30,7 +30,7 @@ fn run_with(faults: FaultPlan) -> (String, StudyOutput) {
 
 #[test]
 fn study_output_survives_every_fault_class() {
-    let (baseline, clean) = run_with(FaultPlan::none());
+    let (baseline, clean) = run_with(CollectionPath::Wire, FaultPlan::none());
     let streaming_baseline = streaming_fingerprint(&clean);
 
     // The clean run is genuinely clean: the fault layer is off and the
@@ -56,7 +56,7 @@ fn study_output_survives_every_fault_class() {
         ("hostile", FaultPlan::hostile()),
     ];
     for (name, plan) in profiles {
-        let (fp, out) = run_with(plan);
+        let (fp, out) = run_with(CollectionPath::Wire, plan);
 
         // The headline assertion: data output byte-identical to the
         // fault-free run.
@@ -130,6 +130,37 @@ fn study_output_survives_every_fault_class() {
             assert_eq!(m.dup_files_deduped, out.server_stats.dup_files);
         }
         // Nothing was abandoned: every exchange eventually completed.
+        assert_eq!(
+            m.exchanges_exhausted, 0,
+            "{name}: retry budget exhausted on some exchange"
+        );
+    }
+
+    // The async collection plane is a different front end, not a
+    // different protocol: driven through the reactor server — clean and
+    // under the combined hostile profile — the study must reproduce the
+    // same bytes as the synchronous baseline (ARCHITECTURE.md §8).
+    for (name, plan) in [
+        ("async/clean", FaultPlan::none()),
+        ("async/hostile", FaultPlan::hostile()),
+    ] {
+        let (fp, out) = run_with(CollectionPath::AsyncWire, plan);
+        assert_eq!(
+            fp, baseline,
+            "{name}: async-plane study data diverged from the fault-free baseline"
+        );
+        assert_eq!(
+            streaming_fingerprint(&out),
+            streaming_baseline,
+            "{name}: async-plane streaming state diverged from the fault-free baseline"
+        );
+        let m = &out.metrics;
+        if name == "async/hostile" {
+            assert!(m.faults.total() > 0, "{name}: plan injected no faults");
+            assert!(m.upload_retries > 0, "{name}: no retries");
+        } else {
+            assert_eq!(m.faults.total(), 0, "{name}: clean link injects nothing");
+        }
         assert_eq!(
             m.exchanges_exhausted, 0,
             "{name}: retry budget exhausted on some exchange"

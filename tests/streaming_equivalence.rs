@@ -14,8 +14,9 @@
 //!
 //! * **thread counts** — 1, 2 and 8 rayon workers (sharded ingest merges
 //!   stream state across shards in adopt order);
-//! * **collection paths** — direct in-process delivery and the framed
-//!   wire protocol;
+//! * **collection paths** — direct in-process delivery, the framed wire
+//!   protocol over a synchronous loopback, and the asynchronous reactor
+//!   plane (`CollectionPath::AsyncWire`), clean and hostile;
 //! * **chaos fault profiles** — every fault class alone plus the combined
 //!   hostile profile: replays, reorders and reconnects must never
 //!   double-fold streaming state (idempotent ingest dedups uploads before
@@ -42,7 +43,7 @@ fn ambient_streaming_state_equals_batch_features() {
 
 #[test]
 fn matrix_streaming_state_equals_batch_features() {
-    let scenarios: [(&str, CollectionPath, FaultPlan); 10] = [
+    let scenarios: [(&str, CollectionPath, FaultPlan); 12] = [
         ("direct/clean", CollectionPath::Direct, FaultPlan::none()),
         ("wire/clean", CollectionPath::Wire, FaultPlan::none()),
         ("wire/drop", CollectionPath::Wire, FaultPlan::drops()),
@@ -69,6 +70,12 @@ fn matrix_streaming_state_equals_batch_features() {
         ),
         ("wire/stall", CollectionPath::Wire, FaultPlan::stalls()),
         ("wire/hostile", CollectionPath::Wire, FaultPlan::hostile()),
+        ("async/clean", CollectionPath::AsyncWire, FaultPlan::none()),
+        (
+            "async/hostile",
+            CollectionPath::AsyncWire,
+            FaultPlan::hostile(),
+        ),
     ];
     for threads in ["1", "2", "8"] {
         for (name, path, plan) in scenarios {

@@ -51,6 +51,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message available.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -101,6 +110,17 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Whether the queue is currently empty (a racy hint for pollers:
+        /// a `false` may be stale by the time the caller acts on it).
+        pub fn is_empty(&self) -> bool {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .items
+                .is_empty()
+        }
+
         /// Dequeue without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -108,6 +128,42 @@ pub mod channel {
                 Some(v) => Ok(v),
                 None if st.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives, every sender is dropped, or the
+        /// timeout elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.0.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .ready
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                if res.timed_out() {
+                    // One last non-blocking check before reporting timeout:
+                    // a send may have raced the wakeup.
+                    if let Some(v) = st.items.pop_front() {
+                        return Ok(v);
+                    }
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -183,6 +239,24 @@ mod tests {
         let h = std::thread::spawn(move || rx.recv().unwrap());
         tx.send(41u64).unwrap();
         assert_eq!(h.join().unwrap(), 41);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use super::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = unbounded();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(9u8).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
