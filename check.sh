@@ -26,6 +26,15 @@ step "streaming equivalence matrix (release)"
 RAYON_NUM_THREADS=1 cargo test --release --test streaming_equivalence -q -- --test-threads=1
 RAYON_NUM_THREADS=8 cargo test --release --test streaming_equivalence -q -- --test-threads=1
 
+step "columnar equivalence matrix (release)"
+# Differential harness for the columnar analyze engine: the columnar
+# store must mirror the row records (with dictionary codes invariant
+# across paths and thread counts), the presorted GBT split search must be
+# byte-identical to the row-oriented reference, and batch scoring must be
+# bitwise per-row scoring. Same RAYON_NUM_THREADS discipline as above.
+RAYON_NUM_THREADS=1 cargo test --release --test columnar_equivalence -q -- --test-threads=1
+RAYON_NUM_THREADS=8 cargo test --release --test columnar_equivalence -q -- --test-threads=1
+
 step "criterion benches compile"
 # Microbenchmarks (substrate, pipeline, delivery) must stay buildable
 # even though CI never runs them to completion.
@@ -55,8 +64,8 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   # First-party crates only; vendored dependency subsets are exempt.
   cargo clippy --all-targets -q -p racket-obs -p racket-types -p racket-stats \
     -p racket-device -p racket-features -p racket-playstore \
-    -p racket-agents -p racket-reactor -p racket-collect -p racket-ml \
-    -p racketstore -p racket-bench -p racketstore-suite -- -D warnings
+    -p racket-agents -p racket-reactor -p racket-collect -p racket-columnar \
+    -p racket-ml -p racketstore -p racket-bench -p racketstore-suite -- -D warnings
 else
   step "cargo clippy skipped (clippy not installed)"
 fi
@@ -67,15 +76,15 @@ step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p racket-obs -p racket-types -p racket-stats -p racket-device \
   -p racket-features -p racket-playstore -p racket-agents -p racket-reactor \
-  -p racket-collect -p racket-ml -p racketstore -p racket-bench
+  -p racket-collect -p racket-columnar -p racket-ml -p racketstore -p racket-bench
 
 if command -v rustfmt >/dev/null 2>&1; then
   step "cargo fmt --check"
   # Vendored crates are formatted as imported; gate only first-party code.
   cargo fmt --check -p racketstore-suite -p racket-obs -p racket-types \
     -p racket-stats -p racket-device -p racket-features -p racket-playstore \
-    -p racket-agents -p racket-reactor -p racket-collect -p racket-ml \
-    -p racketstore -p racket-bench
+    -p racket-agents -p racket-reactor -p racket-collect -p racket-columnar \
+    -p racket-ml -p racketstore -p racket-bench
 else
   step "cargo fmt --check skipped (rustfmt not installed)"
 fi

@@ -55,6 +55,14 @@ fn main() {
         "server: {} uploaded files, {} bad uploads, {} sign-ins",
         out.server_stats.files, out.server_stats.bad_uploads, out.server_stats.sign_ins
     );
+    println!(
+        "columnar store: {} installs x {} apps ({} CSR app entries, {} services; {} KiB of columns)",
+        out.columnar.n_installs(),
+        out.columnar.n_apps(),
+        out.columnar.n_app_entries(),
+        out.columnar.n_services(),
+        out.columnar.column_bytes() / 1024
+    );
     // Live detection from streaming state: the feature vectors were
     // maintained incrementally at ingest time, so end-of-study
     // classification is a model pass over cached state — no re-scan of

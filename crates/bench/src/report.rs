@@ -136,6 +136,14 @@ pub fn run_report(
 pub const LARGE_MIN_SNAPSHOTS_PER_SEC: f64 = 1_000_000.0;
 /// Minimum concurrent connections for a valid `large` run.
 pub const LARGE_MIN_DEVICES: usize = 10_000;
+/// Ceiling on the `mid` run's total `analyze/*` wall time, in seconds.
+///
+/// The columnar analyze engine's performance contract: the pre-columnar
+/// baseline (row-oriented split search and per-row scoring) spent 1.73 s
+/// across the analyze stage group at mid scale, so holding the group
+/// under 0.87 s enforces the promised ≥ 2× on every future regeneration
+/// of `BENCH_pipeline.json`.
+pub const MID_ANALYZE_MAX_SECS: f64 = 0.87;
 
 /// Parse and sanity-check an emitted `BENCH_pipeline.json`.
 ///
@@ -213,6 +221,26 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
         }
         if run.threads == 0 {
             return Err(format!("run `{}` reports zero threads", run.scale));
+        }
+        // The columnar analyze engine's wall-clock contract (mid scale
+        // only: the test scale is noise-dominated and paper scale is not
+        // part of the default matrix).
+        if run.scale == "mid" {
+            let analyze_secs: f64 = run
+                .stages
+                .iter()
+                .filter(|(name, _)| name.starts_with("analyze/"))
+                .map(|(_, s)| s.wall_secs)
+                .sum();
+            if analyze_secs <= 0.0 {
+                return Err("mid run reports no analyze/* wall time".to_string());
+            }
+            if analyze_secs > MID_ANALYZE_MAX_SECS {
+                return Err(format!(
+                    "mid run spends {analyze_secs:.3} s in analyze/*, above the \
+                     {MID_ANALYZE_MAX_SECS} s columnar-engine ceiling"
+                ));
+            }
         }
     }
     Ok(report)
@@ -314,6 +342,42 @@ mod tests {
         missing.runs.push(run);
         let err = validate(&serde_json::to_string(&missing).unwrap()).unwrap_err();
         assert!(err.contains("ingest"), "{err}");
+    }
+
+    #[test]
+    fn validate_holds_mid_runs_to_the_analyze_ceiling() {
+        // A mid run whose analyze group fits under the ceiling validates.
+        let mut ok = BenchReport::new();
+        ok.runs
+            .push(run_report("mid", "direct", 240, &plausible_snapshot()));
+        // plausible_snapshot records 2 s in each analyze span — push the
+        // two scoring stages under the ceiling first.
+        for stage in [keys::SPAN_SCORE_BATCH, keys::SPAN_SCORE_STREAM] {
+            ok.runs[0].stages.get_mut(stage).unwrap().wall_secs = 0.05;
+        }
+        validate(&serde_json::to_string(&ok).unwrap()).expect("fast mid run validates");
+
+        // The same run with a slow analyze stage is rejected.
+        let mut slow = ok.clone();
+        slow.runs[0]
+            .stages
+            .get_mut(keys::SPAN_SCORE_BATCH)
+            .unwrap()
+            .wall_secs = MID_ANALYZE_MAX_SECS + 1.0;
+        let err = validate(&serde_json::to_string(&slow).unwrap()).unwrap_err();
+        assert!(err.contains("ceiling"), "{err}");
+
+        // Test-scale runs are exempt (noise-dominated).
+        let mut test_run = BenchReport::new();
+        test_run
+            .runs
+            .push(run_report("test", "wire", 60, &plausible_snapshot()));
+        test_run.runs[0]
+            .stages
+            .get_mut(keys::SPAN_SCORE_BATCH)
+            .unwrap()
+            .wall_secs = 100.0;
+        validate(&serde_json::to_string(&test_run).unwrap()).expect("test runs have no ceiling");
     }
 
     #[test]

@@ -1,0 +1,372 @@
+//! Columnar (struct-of-arrays) projection of the ingest store.
+//!
+//! The row-oriented [`InstallRecord`] is what the collection server and
+//! the protocol paths mutate: per-install `HashMap`s of `BTreeMap`s,
+//! optimized for idempotent snapshot ingest. Analyze-side passes want the
+//! opposite shape — every install's value for one field, contiguous. A
+//! [`ColumnarSnapshots`] store is that projection: dictionary-encoded
+//! identifiers, one dense column per scalar field, and CSR (offsets +
+//! values) layouts for the per-`(install, app)` and per-`(install,
+//! account)` families. ARCHITECTURE.md §9 documents the layout in full.
+//!
+//! The store is **derived, append-only and lossy by design**: it carries
+//! exactly the fields the analyze stages read (activity columns, per-app
+//! streaming aggregates, account services), never the full protocol
+//! state, and it is rebuilt from records rather than updated in place.
+//! Population happens either in batch ([`ColumnarSnapshots::from_records`]
+//! over [`ShardedIngest::into_records`] output — see
+//! [`ShardedIngest::columnarize`]) or incrementally
+//! ([`ColumnarSnapshots::adopt`] per record at the study's assembly fold
+//! point, where records are already merged and sorted). Both produce
+//! identical stores for identical record sequences; adopting records in
+//! ascending-install order is what makes dictionary codes deterministic
+//! run to run.
+
+use crate::server::InstallRecord;
+use crate::shard::ShardedIngest;
+use racket_columnar::Dict;
+use racket_types::{AccountService, AppId, InstallId, ParticipantId};
+
+/// Struct-of-arrays snapshot store over dictionary-encoded identifiers.
+///
+/// Row `code` of every per-install column describes the install with
+/// dictionary code `code`; the CSR families hang off `app_offsets` /
+/// `account_offsets` (standard offsets-array encoding: the entries of
+/// install `c` live at `offsets[c] .. offsets[c + 1]`). Within one
+/// install the app entries are sorted by ascending [`AppId`] — the same
+/// canonical order the batch feature builders iterate apps in.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarSnapshots {
+    installs: Dict<InstallId>,
+    apps: Dict<AppId>,
+    services: Dict<AccountService>,
+
+    // Per-install scalar columns, indexed by install code.
+    participant: Vec<ParticipantId>,
+    n_fast: Vec<u64>,
+    n_slow: Vec<u64>,
+    active_days: Vec<u32>,
+    avg_snapshots_per_day: Vec<f64>,
+    n_install_events: Vec<u64>,
+    n_uninstall_events: Vec<u64>,
+
+    // CSR per-(install, app), ascending AppId within each install.
+    app_offsets: Vec<u32>,
+    app_codes: Vec<u32>,
+    fg_total: Vec<u64>,
+    app_installs: Vec<u64>,
+    app_uninstalls: Vec<u64>,
+    last_uninstall: Vec<u64>,
+
+    // CSR per-(install, account): the service of each registered account.
+    account_offsets: Vec<u32>,
+    service_codes: Vec<u32>,
+}
+
+/// Sentinel in the `last_uninstall` column for "never uninstalled".
+///
+/// Uninstall times are simulation seconds (small); `u64::MAX` cannot be
+/// a real timestamp.
+pub const NEVER_UNINSTALLED: u64 = u64::MAX;
+
+/// One decoded per-(install, app) entry, as returned by
+/// [`ColumnarSnapshots::apps_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppEntry {
+    /// The app.
+    pub app: AppId,
+    /// Fast snapshots with the app on screen (streaming `fg_total`).
+    pub fg_total: u64,
+    /// Monitored install events for the app.
+    pub n_installs: u64,
+    /// Monitored uninstall events for the app.
+    pub n_uninstalls: u64,
+    /// Latest uninstall time in seconds, or [`NEVER_UNINSTALLED`].
+    pub last_uninstall: u64,
+}
+
+impl ColumnarSnapshots {
+    /// An empty store (zero installs; `adopt` to populate).
+    pub fn new() -> ColumnarSnapshots {
+        let mut s = ColumnarSnapshots::default();
+        s.app_offsets.push(0);
+        s.account_offsets.push(0);
+        s
+    }
+
+    /// Batch population: adopt every record in the given order.
+    ///
+    /// Callers that need deterministic dictionary codes pass records in
+    /// ascending-install order ([`ShardedIngest::into_records`] already
+    /// does).
+    pub fn from_records(records: &[InstallRecord]) -> ColumnarSnapshots {
+        let mut s = ColumnarSnapshots::new();
+        for r in records {
+            s.adopt(r);
+        }
+        s
+    }
+
+    /// Incremental population: append one merged install record's columns.
+    ///
+    /// This is the streaming fold point — the study's assembly loop calls
+    /// it once per coalesced record, right where the per-device streaming
+    /// state is folded.
+    ///
+    /// # Panics
+    /// If the install was already adopted (the store is append-only; a
+    /// record must be fully merged before adoption), or if a dictionary
+    /// or offset column would overflow `u32`.
+    pub fn adopt(&mut self, r: &InstallRecord) {
+        let code = self.installs.encode(r.install_id);
+        assert_eq!(
+            code as usize,
+            self.participant.len(),
+            "install adopted twice: {}",
+            r.install_id
+        );
+
+        self.participant.push(r.participant);
+        self.n_fast.push(r.n_fast);
+        self.n_slow.push(r.n_slow);
+        self.active_days
+            .push(u32::try_from(r.active_days()).expect("active days overflow"));
+        self.avg_snapshots_per_day.push(r.avg_snapshots_per_day());
+        self.n_install_events.push(r.stream.n_install_events);
+        self.n_uninstall_events.push(r.stream.n_uninstall_events);
+
+        // Per-app entries in ascending AppId order — the canonical order
+        // the batch feature builders use.
+        let mut app_ids: Vec<AppId> = r.apps.keys().copied().collect();
+        app_ids.sort_unstable();
+        for app in app_ids {
+            self.app_codes.push(self.apps.encode(app));
+            let stream = r.stream.app(app).copied().unwrap_or_default();
+            self.fg_total.push(stream.fg_total);
+            self.app_installs.push(stream.n_installs);
+            self.app_uninstalls.push(stream.n_uninstalls);
+            self.last_uninstall.push(
+                stream
+                    .last_uninstall
+                    .map_or(NEVER_UNINSTALLED, |t| t.as_secs()),
+            );
+        }
+        self.app_offsets
+            .push(u32::try_from(self.app_codes.len()).expect("app column overflow"));
+
+        for account in &r.accounts {
+            self.service_codes
+                .push(self.services.encode(account.service));
+        }
+        self.account_offsets
+            .push(u32::try_from(self.service_codes.len()).expect("account column overflow"));
+    }
+
+    /// Number of installs adopted.
+    pub fn n_installs(&self) -> usize {
+        self.participant.len()
+    }
+
+    /// Number of distinct apps seen across all installs.
+    pub fn n_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Number of distinct account services seen.
+    pub fn n_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Total per-(install, app) entries (CSR payload length).
+    pub fn n_app_entries(&self) -> usize {
+        self.app_codes.len()
+    }
+
+    /// The dictionary code for an install, if adopted.
+    pub fn install_code(&self, id: InstallId) -> Option<u32> {
+        self.installs.code(id)
+    }
+
+    /// The install behind a dictionary code.
+    ///
+    /// # Panics
+    /// If `code` was never assigned.
+    pub fn install_id(&self, code: u32) -> InstallId {
+        self.installs.value(code)
+    }
+
+    /// Participant column entry for an install code.
+    pub fn participant(&self, code: u32) -> ParticipantId {
+        self.participant[code as usize]
+    }
+
+    /// Fast/slow snapshot counts for an install code.
+    pub fn snapshot_counts(&self, code: u32) -> (u64, u64) {
+        (self.n_fast[code as usize], self.n_slow[code as usize])
+    }
+
+    /// Days with at least one snapshot, for an install code.
+    pub fn active_days(&self, code: u32) -> u32 {
+        self.active_days[code as usize]
+    }
+
+    /// Average snapshots per active day, for an install code.
+    pub fn avg_snapshots_per_day(&self, code: u32) -> f64 {
+        self.avg_snapshots_per_day[code as usize]
+    }
+
+    /// Device-level (install event, uninstall event) totals.
+    pub fn event_totals(&self, code: u32) -> (u64, u64) {
+        (
+            self.n_install_events[code as usize],
+            self.n_uninstall_events[code as usize],
+        )
+    }
+
+    /// Decoded per-app entries of one install, ascending by [`AppId`].
+    pub fn apps_of(&self, code: u32) -> impl Iterator<Item = AppEntry> + '_ {
+        let lo = self.app_offsets[code as usize] as usize;
+        let hi = self.app_offsets[code as usize + 1] as usize;
+        (lo..hi).map(move |k| AppEntry {
+            app: self.apps.value(self.app_codes[k]),
+            fg_total: self.fg_total[k],
+            n_installs: self.app_installs[k],
+            n_uninstalls: self.app_uninstalls[k],
+            last_uninstall: self.last_uninstall[k],
+        })
+    }
+
+    /// Account services registered on one install, in snapshot order.
+    pub fn services_of(&self, code: u32) -> impl Iterator<Item = AccountService> + '_ {
+        let lo = self.account_offsets[code as usize] as usize;
+        let hi = self.account_offsets[code as usize + 1] as usize;
+        (lo..hi).map(move |k| self.services.value(self.service_codes[k]))
+    }
+
+    /// Approximate heap footprint of the columns, in bytes — what the
+    /// study summary reports next to the row-store size.
+    pub fn column_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.participant.len()
+            * (size_of::<ParticipantId>()
+                + 2 * size_of::<u64>()
+                + size_of::<u32>()
+                + size_of::<f64>()
+                + 2 * size_of::<u64>())
+            + (self.app_offsets.len() + self.account_offsets.len()) * size_of::<u32>()
+            + self.app_codes.len() * (size_of::<u32>() + 4 * size_of::<u64>())
+            + self.service_codes.len() * size_of::<u32>()
+    }
+}
+
+impl ShardedIngest {
+    /// Drain the store into its canonical record vector *and* the
+    /// columnar projection built from it — the batch population path.
+    pub fn columnarize(self) -> (Vec<InstallRecord>, ColumnarSnapshots) {
+        let records = self.into_records();
+        let columnar = ColumnarSnapshots::from_records(&records);
+        (records, columnar)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_types::{
+        ApkHash, FastSnapshot, InstallDelta, InstalledApp, PermissionProfile, SimTime, Snapshot,
+    };
+
+    fn snap(install: u64, t: u64, foreground: Option<AppId>, installs: Vec<AppId>) -> Snapshot {
+        Snapshot::Fast(FastSnapshot {
+            install_id: InstallId(install),
+            participant_id: ParticipantId(100_000),
+            time: SimTime::from_secs(t),
+            foreground_app: foreground,
+            screen_on: foreground.is_some(),
+            battery_pct: 80,
+            install_events: installs
+                .into_iter()
+                .map(|app| {
+                    InstallDelta::Installed(InstalledApp::fresh(
+                        app,
+                        SimTime::from_secs(t),
+                        PermissionProfile::default(),
+                        ApkHash([app.0 as u8; 16]),
+                    ))
+                })
+                .collect(),
+        })
+    }
+
+    fn ingest_fixture() -> ShardedIngest {
+        let ingest = ShardedIngest::new(4);
+        ingest.ingest(&snap(2_000_000_001, 10, None, vec![AppId(7), AppId(3)]));
+        ingest.ingest(&snap(2_000_000_001, 86_410, Some(AppId(7)), vec![]));
+        ingest.ingest(&snap(2_000_000_001, 86_420, None, vec![]));
+        ingest.ingest(&snap(1_000_000_002, 50, Some(AppId(3)), vec![AppId(3)]));
+        ingest
+    }
+
+    #[test]
+    fn columnarize_matches_per_record_adoption() {
+        let (records, columnar) = ingest_fixture().columnarize();
+        assert_eq!(records.len(), 2);
+        assert_eq!(columnar.n_installs(), 2);
+        // Records come back ascending by install id; codes follow.
+        assert!(records[0].install_id < records[1].install_id);
+        for (code, r) in records.iter().enumerate() {
+            let code = code as u32;
+            assert_eq!(columnar.install_code(r.install_id), Some(code));
+            assert_eq!(columnar.install_id(code), r.install_id);
+            assert_eq!(columnar.participant(code), r.participant);
+            assert_eq!(columnar.snapshot_counts(code), (r.n_fast, r.n_slow));
+            assert_eq!(columnar.active_days(code) as usize, r.active_days());
+            assert_eq!(
+                columnar.avg_snapshots_per_day(code).to_bits(),
+                r.avg_snapshots_per_day().to_bits()
+            );
+            assert_eq!(
+                columnar.event_totals(code),
+                (r.stream.n_install_events, r.stream.n_uninstall_events)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_adoption_equals_batch() {
+        let records = ingest_fixture().into_records();
+        let batch = ColumnarSnapshots::from_records(&records);
+        let mut incremental = ColumnarSnapshots::new();
+        for r in &records {
+            incremental.adopt(r);
+        }
+        assert_eq!(incremental.n_installs(), batch.n_installs());
+        assert_eq!(incremental.n_apps(), batch.n_apps());
+        assert_eq!(incremental.n_app_entries(), batch.n_app_entries());
+        for code in 0..batch.n_installs() as u32 {
+            assert_eq!(incremental.install_id(code), batch.install_id(code));
+            let a: Vec<AppEntry> = incremental.apps_of(code).collect();
+            let b: Vec<AppEntry> = batch.apps_of(code).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "install adopted twice")]
+    fn double_adoption_rejected() {
+        let records = ingest_fixture().into_records();
+        let mut s = ColumnarSnapshots::new();
+        s.adopt(&records[0]);
+        s.adopt(&records[0]);
+    }
+
+    #[test]
+    fn empty_store_is_well_formed() {
+        let s = ColumnarSnapshots::new();
+        assert_eq!(s.n_installs(), 0);
+        assert_eq!(s.n_apps(), 0);
+        assert_eq!(s.n_app_entries(), 0);
+        assert_eq!(s.install_code(InstallId(1)), None);
+        assert!(s.column_bytes() < 64);
+    }
+}

@@ -36,6 +36,10 @@
 //! * [`shard`] — the sharded ingestion facade: per-install records spread
 //!   over independently locked shards so batches from different devices
 //!   ingest concurrently (the parallel study driver's direct path);
+//! * [`columnar`] — the struct-of-arrays projection of the ingest store
+//!   ([`columnar::ColumnarSnapshots`]): dictionary-encoded identifiers and
+//!   contiguous per-field columns for the analyze-side scans
+//!   (`ARCHITECTURE.md` §9);
 //! * [`fingerprint`] — Appendix A's snapshot fingerprinting: coalescing
 //!   RacketStore installs into physical devices using install intervals,
 //!   Android IDs and Jaccard similarity.
@@ -46,6 +50,7 @@ pub mod async_server;
 pub mod buffer;
 pub mod codec;
 pub mod collector;
+pub mod columnar;
 pub mod fingerprint;
 pub mod hash;
 pub mod lzss;
@@ -60,6 +65,7 @@ pub use async_server::{AsyncCollectServer, AsyncConn, AsyncServerConfig};
 pub use buffer::{DataBuffer, UploadFile};
 pub use codec::DecodeError;
 pub use collector::{CollectorConfig, SnapshotCollector};
+pub use columnar::{AppEntry, ColumnarSnapshots, NEVER_UNINSTALLED};
 pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
 pub use hash::{crc32, md5, sha256};
 pub use retry::{RetryPolicy, RetryStats, WireLane};

@@ -1,0 +1,114 @@
+//! Scratch-buffer arena for recursive analyze kernels.
+//!
+//! The gradient-boosting split search allocates per *node*: one sorted
+//! pair list per candidate feature (derived by stable partition from the
+//! parent's lists) plus two child row-index partitions, across
+//! `n_rounds × 2^depth` nodes per fit. [`ScratchArena`] pools those
+//! buffers so steady-state rounds mostly recycle instead of allocating.
+//!
+//! # Lifetime rules
+//!
+//! * A buffer taken from the pool is always **cleared** — no value
+//!   survives a round trip, so reuse can change allocation counts but
+//!   never results (property-tested below).
+//! * The arena is owned by a single fit call and dropped with it; it is
+//!   deliberately not `Sync` — parallel fits each own their own arena
+//!   (the same ownership discipline as the delivery path's LZSS
+//!   workspaces, ARCHITECTURE.md §6).
+//! * Returning a buffer (`put_*`) is optional — a buffer that is not
+//!   returned simply drops, and the pool re-allocates on the next take.
+
+use crate::kernel::SortPair;
+
+/// Pools of reusable scratch buffers for columnar kernels.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    pairs: Vec<Vec<SortPair>>,
+    indices: Vec<Vec<u32>>,
+}
+
+impl ScratchArena {
+    /// An empty arena (no buffers pooled yet).
+    pub fn new() -> ScratchArena {
+        ScratchArena::default()
+    }
+
+    /// Take a cleared sort-pair buffer (capacity retained from prior use).
+    pub fn take_pairs(&mut self) -> Vec<SortPair> {
+        let mut buf = self.pairs.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a sort-pair buffer to the pool.
+    pub fn put_pairs(&mut self, buf: Vec<SortPair>) {
+        self.pairs.push(buf);
+    }
+
+    /// Take a cleared row-index buffer (capacity retained from prior use).
+    pub fn take_indices(&mut self) -> Vec<u32> {
+        let mut buf = self.indices.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a row-index buffer to the pool.
+    pub fn put_indices(&mut self, buf: Vec<u32>) {
+        self.indices.push(buf);
+    }
+
+    /// Buffers currently pooled (for tests and diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pairs.len() + self.indices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn take_returns_cleared_buffers_with_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut p = arena.take_pairs();
+        p.extend((0..100).map(|i| (i as f64, i)));
+        let cap = p.capacity();
+        arena.put_pairs(p);
+        let p2 = arena.take_pairs();
+        assert!(p2.is_empty(), "reused buffer must be cleared");
+        assert!(p2.capacity() >= cap, "capacity survives the round trip");
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    proptest! {
+        /// Arena reuse never changes kernel results: sorting through a
+        /// fresh buffer and through an arbitrarily reused buffer yields
+        /// bit-identical pair sequences.
+        #[test]
+        fn reuse_is_result_invariant(
+            values in proptest::collection::vec(-1e9f64..1e9, 1..64),
+            junk in proptest::collection::vec(-1e9f64..1e9, 0..64),
+        ) {
+            let mut arena = ScratchArena::new();
+            // Pollute a pooled buffer with junk from a previous "node".
+            let mut polluted = arena.take_pairs();
+            polluted.extend(junk.iter().enumerate().map(|(i, &v)| (v, i as u32)));
+            arena.put_pairs(polluted);
+
+            let mut reused = arena.take_pairs();
+            reused.extend(values.iter().enumerate().map(|(i, &v)| (v, i as u32)));
+            crate::kernel::sort_pairs(&mut reused);
+
+            let mut fresh: Vec<SortPair> =
+                values.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            crate::kernel::sort_pairs(&mut fresh);
+
+            prop_assert_eq!(reused.len(), fresh.len());
+            for (a, b) in reused.iter().zip(&fresh) {
+                prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                prop_assert_eq!(a.1, b.1);
+            }
+        }
+    }
+}

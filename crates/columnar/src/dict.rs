@@ -1,0 +1,146 @@
+//! Dictionary encoding: sparse external identifiers → dense `u32` codes.
+//!
+//! The collection side names things with sparse IDs (9-digit install IDs,
+//! catalog-wide app IDs, account-service enums). Columnar stores index
+//! arrays by *position*, so every ID family gets a [`Dict`] assigning
+//! codes `0, 1, 2, …` in first-seen order. Encoding is stable (the same
+//! key always returns the same code) and lossless (`value(code)` returns
+//! the original key) — the round trip is property-tested below.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bidirectional dictionary encoder for one identifier family.
+///
+/// Codes are dense and assigned in first-seen order, so a dictionary
+/// built from a canonically ordered scan (e.g. install records sorted by
+/// install ID) assigns the same codes on every run.
+#[derive(Debug, Clone)]
+pub struct Dict<K> {
+    codes: HashMap<K, u32>,
+    values: Vec<K>,
+}
+
+// Manual impl: the derive would wrongly require `K: Default`.
+impl<K> Default for Dict<K> {
+    fn default() -> Dict<K> {
+        Dict {
+            codes: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<K: Copy + Eq + Hash> Dict<K> {
+    /// An empty dictionary.
+    pub fn new() -> Dict<K> {
+        Dict {
+            codes: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The code for `key`, assigning the next dense code on first sight.
+    ///
+    /// # Panics
+    /// If the dictionary would exceed `u32::MAX` entries.
+    pub fn encode(&mut self, key: K) -> u32 {
+        if let Some(&code) = self.codes.get(&key) {
+            return code;
+        }
+        let code = u32::try_from(self.values.len()).expect("dictionary overflow");
+        self.codes.insert(key, code);
+        self.values.push(key);
+        code
+    }
+
+    /// The code for `key`, if it was ever encoded.
+    pub fn code(&self, key: K) -> Option<u32> {
+        self.codes.get(&key).copied()
+    }
+
+    /// The key behind `code`.
+    ///
+    /// # Panics
+    /// If `code` was never assigned.
+    pub fn value(&self, code: u32) -> K {
+        self.values[code as usize]
+    }
+
+    /// Number of distinct keys encoded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate keys in code order (`value(0), value(1), …`).
+    pub fn iter(&self) -> impl Iterator<Item = &K> {
+        self.values.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn codes_are_dense_and_stable() {
+        let mut d = Dict::new();
+        assert_eq!(d.encode(42u64), 0);
+        assert_eq!(d.encode(7), 1);
+        assert_eq!(d.encode(42), 0, "re-encoding returns the same code");
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(1), 7);
+        assert_eq!(d.code(7), Some(1));
+        assert_eq!(d.code(99), None);
+        let keys: Vec<u64> = d.iter().copied().collect();
+        assert_eq!(keys, vec![42, 7]);
+    }
+
+    proptest! {
+        /// Round trip: value(encode(k)) == k for every key, and codes are
+        /// exactly 0..n in first-seen order.
+        #[test]
+        fn encode_decode_round_trips(keys in proptest::collection::vec(any::<u32>(), 0..200)) {
+            let mut d = Dict::new();
+            for &k in &keys {
+                let code = d.encode(k);
+                prop_assert_eq!(d.value(code), k);
+            }
+            // Dense codes, one per distinct key, in first-seen order.
+            let mut seen = Vec::new();
+            for &k in &keys {
+                if !seen.contains(&k) {
+                    seen.push(k);
+                }
+            }
+            prop_assert_eq!(d.len(), seen.len());
+            for (expect, &k) in seen.iter().enumerate() {
+                prop_assert_eq!(d.code(k), Some(expect as u32));
+                prop_assert_eq!(d.value(expect as u32), k);
+            }
+        }
+
+        /// Encoding order determines codes; re-encounters never perturb them.
+        #[test]
+        fn reencoding_is_idempotent(keys in proptest::collection::vec(any::<u16>(), 1..100)) {
+            let mut a = Dict::new();
+            for &k in &keys {
+                a.encode(k);
+            }
+            let mut b = a.clone();
+            for &k in &keys {
+                b.encode(k);
+            }
+            prop_assert_eq!(a.len(), b.len());
+            for code in 0..a.len() as u32 {
+                prop_assert_eq!(a.value(code), b.value(code));
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Quantile binning and gradient histograms for approximate split finding.
+//!
+//! The exact-greedy split search (the default — it is what the golden
+//! F1 pins were baselined on) sorts every node's rows per feature. The
+//! histogram path trades that `O(n log n)` per node for one quantile
+//! binning pass per *fit* plus an `O(n)` histogram build per node, at the
+//! cost of candidate thresholds restricted to bin edges. It is **not**
+//! bit-identical to the exact search, so `racket-ml` keeps it opt-out of
+//! the pinned paths; ARCHITECTURE.md §9 records the tradeoff.
+
+/// A feature column quantized to dense bin codes.
+///
+/// `codes[i]` is the bin of row `i`; `edges[b]` is the *upper inclusive*
+/// value bound of bin `b`, so candidate thresholds for a binned split are
+/// exactly the edges. Bins are built from value quantiles: equal values
+/// always share a bin, and codes are monotone in the underlying value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedColumn {
+    /// Per-row bin code, `< edges.len()`.
+    pub codes: Vec<u16>,
+    /// Upper inclusive value bound per bin, strictly increasing.
+    pub edges: Vec<f64>,
+}
+
+/// Quantile-bin one feature column into at most `max_bins` bins.
+///
+/// Distinct values ≤ `max_bins` degenerate to one bin per value (the
+/// histogram split search is then exhaustive over this column). Empty
+/// columns produce zero bins.
+///
+/// # Panics
+/// If `max_bins == 0`, or the column contains NaN (the same values the
+/// exact search rejects).
+pub fn bin_column(col: &[f64], max_bins: usize) -> BinnedColumn {
+    assert!(max_bins > 0, "max_bins must be positive");
+    if col.is_empty() {
+        return BinnedColumn {
+            codes: Vec::new(),
+            edges: Vec::new(),
+        };
+    }
+    let mut sorted = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+    sorted.dedup();
+
+    let edges: Vec<f64> = if sorted.len() <= max_bins {
+        sorted
+    } else {
+        // Quantile cuts: the b-th edge is the value at rank
+        // ceil((b+1) * n / max_bins) - 1 over the distinct values, which
+        // always includes the maximum as the last edge.
+        let n = sorted.len();
+        let mut edges = Vec::with_capacity(max_bins);
+        for b in 0..max_bins {
+            let rank = ((b + 1) * n).div_ceil(max_bins) - 1;
+            let v = sorted[rank];
+            if edges.last() != Some(&v) {
+                edges.push(v);
+            }
+        }
+        edges
+    };
+
+    let codes = col
+        .iter()
+        .map(|&v| {
+            // First edge ≥ v; total_cmp is safe here (NaN already rejected).
+            edges.partition_point(|&e| e < v) as u16
+        })
+        .collect();
+    BinnedColumn { codes, edges }
+}
+
+/// Per-bin gradient/hessian sums for one node × one feature.
+///
+/// Built in row-index order (the batch-canonical fold order for the
+/// histogram path): `build` adds each selected row's `(g, h)` to its bin
+/// in the order the indices are given, so two builds over the same index
+/// sequence are bitwise identical.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GradHistogram {
+    /// Gradient sum per bin.
+    pub sum_g: Vec<f64>,
+    /// Hessian sum per bin.
+    pub sum_h: Vec<f64>,
+    /// Row count per bin.
+    pub count: Vec<u32>,
+}
+
+impl GradHistogram {
+    /// Accumulate the histogram for the rows in `idx` over one binned
+    /// column.
+    ///
+    /// # Panics
+    /// If a code in `idx` is out of range for the column's bins.
+    pub fn build(col: &BinnedColumn, g: &[f64], h: &[f64], idx: &[u32]) -> GradHistogram {
+        let n_bins = col.edges.len();
+        let mut hist = GradHistogram {
+            sum_g: vec![0.0; n_bins],
+            sum_h: vec![0.0; n_bins],
+            count: vec![0; n_bins],
+        };
+        for &i in idx {
+            let b = col.codes[i as usize] as usize;
+            hist.sum_g[b] += g[i as usize];
+            hist.sum_h[b] += h[i as usize];
+            hist.count[b] += 1;
+        }
+        hist
+    }
+
+    /// Number of bins.
+    pub fn n_bins(&self) -> usize {
+        self.count.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn few_distinct_values_get_one_bin_each() {
+        let col = [2.0, 1.0, 2.0, 3.0, 1.0];
+        let b = bin_column(&col, 16);
+        assert_eq!(b.edges, vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.codes, vec![1, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_column_yields_no_bins() {
+        let b = bin_column(&[], 8);
+        assert!(b.codes.is_empty());
+        assert!(b.edges.is_empty());
+    }
+
+    #[test]
+    fn histogram_matches_naive_sums() {
+        let col = bin_column(&[0.0, 1.0, 0.0, 2.0, 1.0, 1.0], 4);
+        let g = [0.5, -0.25, 1.0, 2.0, -1.5, 0.125];
+        let h = [1.0, 1.0, 0.5, 0.25, 1.0, 2.0];
+        let idx: Vec<u32> = vec![0, 1, 2, 4, 5]; // row 3 excluded
+        let hist = GradHistogram::build(&col, &g, &h, &idx);
+        assert_eq!(hist.n_bins(), 3);
+        assert_eq!(hist.count, vec![2, 3, 0]);
+        assert_eq!(hist.sum_g[0], 0.5 + 1.0);
+        assert_eq!(hist.sum_g[1], -0.25 + -1.5 + 0.125);
+        assert_eq!(hist.sum_h[1], 1.0 + 1.0 + 2.0);
+        assert_eq!(hist.sum_g[2], 0.0);
+    }
+
+    proptest! {
+        /// Binning is monotone and lossless up to bin resolution: codes
+        /// never decrease as values increase, every value is ≤ its bin
+        /// edge, and equal values always share a bin.
+        #[test]
+        fn binning_is_monotone(
+            col in proptest::collection::vec(-1e6f64..1e6, 1..256),
+            max_bins in 1usize..32,
+        ) {
+            let b = bin_column(&col, max_bins);
+            prop_assert!(b.edges.len() <= max_bins);
+            prop_assert!(b.edges.windows(2).all(|w| w[0] < w[1]));
+            for (i, &v) in col.iter().enumerate() {
+                let code = b.codes[i] as usize;
+                prop_assert!(code < b.edges.len());
+                prop_assert!(v <= b.edges[code]);
+                if code > 0 {
+                    prop_assert!(v > b.edges[code - 1]);
+                }
+            }
+            // Equal values share a bin; order of codes follows values.
+            for i in 0..col.len() {
+                for j in 0..col.len() {
+                    if col[i] == col[j] {
+                        prop_assert_eq!(b.codes[i], b.codes[j]);
+                    } else if col[i] < col[j] {
+                        prop_assert!(b.codes[i] <= b.codes[j]);
+                    }
+                }
+            }
+        }
+
+        /// Histogram totals equal the direct per-row sums (same fold
+        /// order: row-index order).
+        #[test]
+        fn histogram_totals_match_direct_fold(
+            values in proptest::collection::vec((-1e3f64..1e3, 0.1f64..2.0, -10.0f64..10.0), 1..128),
+            max_bins in 1usize..16,
+        ) {
+            let col: Vec<f64> = values.iter().map(|v| v.2).collect();
+            let g: Vec<f64> = values.iter().map(|v| v.0).collect();
+            let h: Vec<f64> = values.iter().map(|v| v.1).collect();
+            let binned = bin_column(&col, max_bins);
+            let idx: Vec<u32> = (0..col.len() as u32).collect();
+            let hist = GradHistogram::build(&binned, &g, &h, &idx);
+
+            let mut g_naive = vec![0.0; binned.edges.len()];
+            let mut n_naive = vec![0u32; binned.edges.len()];
+            for (i, &code) in binned.codes.iter().enumerate() {
+                g_naive[code as usize] += g[i];
+                n_naive[code as usize] += 1;
+            }
+            for b in 0..binned.edges.len() {
+                prop_assert_eq!(hist.sum_g[b].to_bits(), g_naive[b].to_bits());
+                prop_assert_eq!(hist.count[b], n_naive[b]);
+            }
+        }
+    }
+}

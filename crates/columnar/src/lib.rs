@@ -1,0 +1,79 @@
+//! Columnar (struct-of-arrays) storage and kernels for the analyze side
+//! of the RacketStore pipeline.
+//!
+//! BENCH_pipeline.json showed the analyze stage group dominating non-wire
+//! runs: feature builds and learner inner loops walked row-oriented state
+//! (`Vec<Vec<f64>>` feature matrices, `HashMap`-of-`BTreeMap` install
+//! records), paying a pointer chase per comparison. This crate is the
+//! storage layer that removes those chases — ARCHITECTURE.md §9 documents
+//! the memory layout, the dictionary-encoding scheme and the arena
+//! lifetime rules; this crate-level doc is the API-side summary.
+//!
+//! # Column families
+//!
+//! * [`ColumnMatrix`] — a column-major `f64` feature matrix. One
+//!   contiguous buffer, columns back to back; `col(f)[i]` is the bitwise
+//!   value of row-major `rows[i][f]`. This is the layout the
+//!   gradient-boosting split search scans (one column at a time).
+//! * [`FlatMatrix`] — a row-major flat `f64` matrix (one contiguous
+//!   buffer, rows back to back). This is the layout for per-row kernels —
+//!   batch model scoring and KNN distance loops — where a whole row is
+//!   consumed at once and must be contiguous.
+//! * [`Dict`] — a dictionary encoder mapping sparse external identifiers
+//!   (app / account-service / install IDs) to dense `u32` codes, so
+//!   columnar stores index arrays instead of hashing IDs.
+//! * [`hist::BinnedColumn`] / [`hist::GradHistogram`] — quantile-binned
+//!   feature codes and the gradient-histogram kernel for approximate
+//!   (histogram-based) split finding.
+//!
+//! # The row→column equivalence contract
+//!
+//! Transposing storage must never change analysis output. Every value in
+//! a [`ColumnMatrix`] or [`FlatMatrix`] is a bit-for-bit copy of its
+//! row-major source — construction performs no arithmetic — and every
+//! kernel in this crate folds floats in the **batch-canonical order**:
+//! the exact operation sequence of the row-oriented code it replaces.
+//! Concretely:
+//!
+//! * the **batch-canonical order** itself is defined over rows and
+//!   features: node row sets are ascending by row index; each feature's
+//!   scan order is the stable sort by `(feature value, row index)`; and
+//!   gradient/hessian sums fold in ascending row order. Any population
+//!   path (batch transpose, streaming adoption, presort-plus-partition)
+//!   that reproduces these orders reproduces the floats bit for bit;
+//! * [`kernel::sort_pairs`] is a *stable* sort keyed by the same
+//!   `partial_cmp` comparator as the row-oriented split search: applied
+//!   to pairs whose row indices are ascending it yields exactly the
+//!   `(value, row)` order above, and a stable partition of the result
+//!   preserves that order for each child node — which is why the GBT fit
+//!   sorts each feature once and never re-sorts per node;
+//! * [`kernel::sq_dist`] folds squared differences left to right over the
+//!   row slice, the same `Iterator::sum` expression the row-oriented KNN
+//!   used.
+//!
+//! Consumers that promise bit-identical results (`racket-ml`'s gradient
+//! boosting, the detection service's scoring paths) are held to this
+//! contract by the `tests/columnar_equivalence.rs` differential harness.
+//!
+//! # Arena lifetime rules
+//!
+//! [`ScratchArena`] pools the per-node scratch buffers of recursive
+//! kernels (sort-pair buffers, index partitions). Buffers are cleared on
+//! every take, so no value ever survives a round trip through the pool —
+//! reuse affects allocation count only, never results (property-tested in
+//! [`arena`]). Pools are plain `Vec`s owned by one fit: they are neither
+//! `Send` nor shared, and they drop with the training call.
+
+#![deny(missing_docs)]
+
+pub mod arena;
+pub mod column;
+pub mod dict;
+pub mod hist;
+pub mod kernel;
+
+pub use arena::ScratchArena;
+pub use column::{ColumnMatrix, FlatMatrix};
+pub use dict::Dict;
+pub use hist::{bin_column, BinnedColumn, GradHistogram};
+pub use kernel::{sort_pairs, sq_dist, SortPair};

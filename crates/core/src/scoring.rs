@@ -25,13 +25,44 @@
 //! so every suspiciousness ratio, feature vector and verdict probability
 //! is `f64`-identical between them. `tests/streaming_equivalence.rs`
 //! pins this across thread counts and chaos fault profiles.
+//!
+//! Both paths score through `racket-columnar`: feature vectors are packed
+//! into contiguous [`FlatMatrix`] rows and classified by one
+//! [`Model::score_batch`] pass per matrix, which is bitwise-equal per row
+//! to calling [`Model::score`] (the row→column equivalence contract,
+//! ARCHITECTURE.md §9) — `tests/columnar_equivalence.rs` holds the
+//! verdicts to that.
 
 use crate::app_classifier::AppClassifier;
 use crate::device_classifier::DEDICATED_SUSPICIOUSNESS;
 use crate::study::StudyOutput;
+use racket_columnar::FlatMatrix;
 use racket_features::{app_features, device_features};
 use racket_ml::{Model, PersistError};
 use racket_types::metrics::keys;
+
+/// Batch-score a flat matrix of per-(device, app) feature vectors and
+/// reduce each device's segment to its suspiciousness ratio (flagged /
+/// observed apps; 0 for app-less devices). `counts[i]` is device `i`'s
+/// segment length. The per-row probabilities are bitwise what
+/// [`Model::score`] returns, and counting flagged apps is
+/// order-invariant, so the ratios match the per-row loop exactly.
+fn suspiciousness_from_segments(model: &Model, vectors: &FlatMatrix, counts: &[usize]) -> Vec<f64> {
+    let scores = model.score_batch(vectors);
+    let mut offset = 0;
+    counts
+        .iter()
+        .map(|&n| {
+            let segment = &scores[offset..offset + n];
+            offset += n;
+            if n == 0 {
+                0.0
+            } else {
+                segment.iter().filter(|&&p| p >= 0.5).count() as f64 / n as f64
+            }
+        })
+        .collect()
+}
 
 /// The deployable pair of fitted models, ready to score devices either
 /// from streaming state or from a batch re-scan.
@@ -156,22 +187,31 @@ impl DetectionService {
     /// single device-model pass per device.
     pub fn prime(&self, out: &StudyOutput) -> PrimedScores {
         let _span = out.obs.span(keys::SPAN_STREAM_PRIME);
-        let mut suspiciousness = Vec::with_capacity(out.observations.len());
-        let mut device_vectors = Vec::with_capacity(out.observations.len());
+        // Every (device, app) vector lands in one flat matrix, scored by a
+        // single batch pass over contiguous rows instead of one model call
+        // (and one Vec walk) per app.
+        let mut vectors: Option<FlatMatrix> = None;
+        let mut counts = Vec::with_capacity(out.observations.len());
         for (obs, stream) in out.observations.iter().zip(&out.streaming) {
-            let apps: Vec<racket_types::AppId> = obs.record.apps.keys().copied().collect();
-            let susp = if apps.is_empty() {
-                0.0
-            } else {
-                let flagged = apps
-                    .iter()
-                    .filter(|&&a| self.app_model.score(&stream.app_vector(obs, a)) >= 0.5)
-                    .count();
-                flagged as f64 / apps.len() as f64
-            };
-            suspiciousness.push(susp);
-            device_vectors.push(stream.device_vector(obs, susp));
+            let mut n = 0;
+            for &a in obs.record.apps.keys() {
+                let v = stream.app_vector(obs, a);
+                vectors
+                    .get_or_insert_with(|| FlatMatrix::new(v.len()))
+                    .push_row(&v);
+                n += 1;
+            }
+            counts.push(n);
         }
+        let vectors = vectors.unwrap_or_else(|| FlatMatrix::new(0));
+        let suspiciousness = suspiciousness_from_segments(&self.app_model, &vectors, &counts);
+        let device_vectors = out
+            .observations
+            .iter()
+            .zip(&out.streaming)
+            .zip(&suspiciousness)
+            .map(|((obs, stream), &susp)| stream.device_vector(obs, susp))
+            .collect();
         PrimedScores {
             suspiciousness,
             device_vectors,
@@ -182,17 +222,15 @@ impl DetectionService {
     /// pass per cached vector, no feature recomputation.
     pub fn score_streaming(&self, out: &StudyOutput, primed: &PrimedScores) -> Vec<DeviceVerdict> {
         let _span = out.obs.span(keys::SPAN_SCORE_STREAM);
-        primed
-            .device_vectors
-            .iter()
+        let vectors = FlatMatrix::from_rows(&primed.device_vectors);
+        self.device_model
+            .score_batch(&vectors)
+            .into_iter()
             .zip(&primed.suspiciousness)
-            .map(|(vector, &suspiciousness)| {
-                let proba = self.device_model.score(vector);
-                DeviceVerdict {
-                    suspiciousness,
-                    proba,
-                    is_worker: proba >= 0.5,
-                }
+            .map(|(proba, &suspiciousness)| DeviceVerdict {
+                suspiciousness,
+                proba,
+                is_worker: proba >= 0.5,
             })
             .collect()
     }
@@ -203,27 +241,38 @@ impl DetectionService {
     /// [`DetectionService::score_streaming`].
     pub fn score_batch(&self, out: &StudyOutput) -> Vec<DeviceVerdict> {
         let _span = out.obs.span(keys::SPAN_SCORE_BATCH);
-        out.observations
+        // Same two-matrix shape as the streaming path: one batch pass over
+        // all (device, app) vectors, then one over the device vectors.
+        let mut app_vectors: Option<FlatMatrix> = None;
+        let mut counts = Vec::with_capacity(out.observations.len());
+        for obs in &out.observations {
+            let mut n = 0;
+            for &a in obs.record.apps.keys() {
+                let v = app_features(obs, a);
+                app_vectors
+                    .get_or_insert_with(|| FlatMatrix::new(v.len()))
+                    .push_row(&v);
+                n += 1;
+            }
+            counts.push(n);
+        }
+        let app_vectors = app_vectors.unwrap_or_else(|| FlatMatrix::new(0));
+        let suspiciousness = suspiciousness_from_segments(&self.app_model, &app_vectors, &counts);
+        let device_vectors: Vec<Vec<f64>> = out
+            .observations
             .iter()
-            .map(|obs| {
-                let apps: Vec<racket_types::AppId> = obs.record.apps.keys().copied().collect();
-                let suspiciousness = if apps.is_empty() {
-                    0.0
-                } else {
-                    let flagged = apps
-                        .iter()
-                        .filter(|&&a| self.app_model.score(&app_features(obs, a)) >= 0.5)
-                        .count();
-                    flagged as f64 / apps.len() as f64
-                };
-                let proba = self
-                    .device_model
-                    .score(&device_features(obs, suspiciousness));
-                DeviceVerdict {
-                    suspiciousness,
-                    proba,
-                    is_worker: proba >= 0.5,
-                }
+            .zip(&suspiciousness)
+            .map(|(obs, &susp)| device_features(obs, susp))
+            .collect();
+        let device_vectors = FlatMatrix::from_rows(&device_vectors);
+        self.device_model
+            .score_batch(&device_vectors)
+            .into_iter()
+            .zip(&suspiciousness)
+            .map(|(proba, &suspiciousness)| DeviceVerdict {
+                suspiciousness,
+                proba,
+                is_worker: proba >= 0.5,
             })
             .collect()
     }

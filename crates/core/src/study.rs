@@ -13,8 +13,8 @@ use racket_agents::{apply_action_collecting, stream_seed, Fleet, FleetConfig, Ti
 use racket_collect::wire::Message;
 use racket_collect::{
     coalesce_installs, AsyncCollectServer, AsyncServerConfig, CandidateInstall, CollectionServer,
-    CollectorConfig, DataBuffer, FaultPlan, InstallRecord, RetryPolicy, ShardedIngest,
-    SnapshotCollector, WireLane,
+    CollectorConfig, ColumnarSnapshots, DataBuffer, FaultPlan, InstallRecord, RetryPolicy,
+    ShardedIngest, SnapshotCollector, WireLane,
 };
 use racket_features::{DeviceObservation, DeviceStreamState};
 use racket_obs::{span, LocalHistogram, Registry};
@@ -134,6 +134,12 @@ pub struct StudyOutput {
     pub streaming: Vec<DeviceStreamState>,
     /// Ground truth aligned with `observations`.
     pub truth: Vec<GroundTruth>,
+    /// The columnar (struct-of-arrays) projection of the ingested records:
+    /// dictionary-encoded install/app/service IDs with contiguous
+    /// per-field columns, built from the canonical sorted record vector
+    /// at assemble time (ARCHITECTURE.md §9). Analyze-side scans read
+    /// this instead of re-walking the row store.
+    pub columnar: ColumnarSnapshots,
     /// The fleet (catalog, store, directory, VirusTotal) post-run.
     pub fleet: Fleet,
     /// Crawler statistics: total reviews collected live.
@@ -456,6 +462,13 @@ impl Study {
             coalesce_installs(candidates).len()
         };
 
+        // Columnar projection: records are in canonical sorted order here,
+        // so the dictionaries assign the same codes on every run.
+        let columnar = {
+            let _span = obs.span(keys::SPAN_COLUMNARIZE);
+            ColumnarSnapshots::from_records(&records)
+        };
+
         let preinstalled: HashSet<AppId> = fleet.catalog.system_apps().iter().copied().collect();
         let by_install: HashMap<_, _> = records.into_iter().map(|r| (r.install_id, r)).collect();
 
@@ -538,6 +551,7 @@ impl Study {
             observations,
             streaming,
             truth,
+            columnar,
             reviews_crawled: crawler.total_collected(),
             server_stats: server.stats(),
             coalesced_devices,
@@ -757,6 +771,32 @@ mod tests {
         );
         assert!(out.metrics.bytes_compressed > 0);
         assert_eq!(out.metrics.faults.total(), 0, "clean link injects nothing");
+    }
+
+    #[test]
+    fn columnar_store_mirrors_the_records() {
+        let out = run_test_study();
+        assert_eq!(out.columnar.n_installs(), out.observations.len());
+        for o in &out.observations {
+            let code = out
+                .columnar
+                .install_code(o.record.install_id)
+                .expect("every joined record was columnarized");
+            assert_eq!(out.columnar.participant(code), o.record.participant);
+            assert_eq!(
+                out.columnar.snapshot_counts(code),
+                (o.record.n_fast, o.record.n_slow)
+            );
+            assert_eq!(
+                out.columnar.active_days(code) as usize,
+                o.record.active_days()
+            );
+            assert_eq!(out.columnar.apps_of(code).count(), o.record.apps.len());
+            assert_eq!(
+                out.columnar.services_of(code).count(),
+                o.record.accounts.len()
+            );
+        }
     }
 
     #[test]

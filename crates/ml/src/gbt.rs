@@ -12,9 +12,28 @@
 //!
 //! Feature importance is total split gain per feature, the analogue of the
 //! Gini importance used for Figures 13 and 14.
+//!
+//! # Columnar split search and the batch-canonical order
+//!
+//! Training runs on `racket-columnar` storage. The feature matrix is
+//! transposed once per fit into a [`ColumnMatrix`], each column is
+//! argsorted **once per fit** into contiguous `(value, row)` pairs, and
+//! every tree node derives its per-feature scan order by stable
+//! partition of its parent's pair lists — no per-node sorting at all.
+//!
+//! That presorting demands a canonical tie order, so the split search
+//! defines the **batch-canonical order**: row sets are kept ascending by
+//! row index, gradient/hessian sums fold in ascending row order, and a
+//! feature's scan visits rows by `(feature value, row index)` — ties
+//! always break toward the lower row. The row-oriented
+//! [`GradientBoosting::fit_reference`] implements exactly the same
+//! order, is kept as the executable specification, and the differential
+//! tests serialize both fits and compare bytes. ARCHITECTURE.md §9
+//! spells out the equivalence argument.
 
 use crate::persist::{PersistError, Reader, Writer};
 use crate::{Classifier, FeatureImportance};
+use racket_columnar::{sort_pairs, ColumnMatrix, FlatMatrix, ScratchArena, SortPair};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -142,20 +161,33 @@ impl GradientBoosting {
         1.0 / (1.0 + (-z).exp())
     }
 
-    /// Grow one regression tree on gradients/hessians over `idx`.
+    /// Grow one regression tree on gradients/hessians over `rows` —
+    /// row-oriented **reference** implementation.
+    ///
+    /// This is the executable specification of the split search: the
+    /// columnar [`GradientBoosting::grow_col`] must produce bit-identical
+    /// trees (the `fit_matches_reference` tests and the
+    /// `columnar_equivalence` harness enforce it). Everything folds in
+    /// the batch-canonical order:
+    ///
+    /// * `rows` is ascending by row index and the gradient/hessian sums
+    ///   fold in that order;
+    /// * each feature's scan order is a fresh stable sort of `rows` by
+    ///   feature value, so ties are visited in ascending row order;
+    /// * children partition `rows`, preserving ascending order.
     #[allow(clippy::too_many_arguments)]
-    fn grow(
+    fn grow_reference(
         &mut self,
         tree: &mut Vec<RegNode>,
         x: &[Vec<f64>],
         g: &[f64],
         h: &[f64],
-        idx: &[usize],
+        rows: &[usize],
         feats: &[usize],
         depth: usize,
     ) -> usize {
-        let g_sum: f64 = idx.iter().map(|&i| g[i]).sum();
-        let h_sum: f64 = idx.iter().map(|&i| h[i]).sum();
+        let g_sum: f64 = rows.iter().map(|&i| g[i]).sum();
+        let h_sum: f64 = rows.iter().map(|&i| h[i]).sum();
         let lambda = self.params.lambda;
 
         let leaf = |tree: &mut Vec<RegNode>| {
@@ -165,14 +197,14 @@ impl GradientBoosting {
             tree.len() - 1
         };
 
-        if depth >= self.params.max_depth || idx.len() < 2 {
+        if depth >= self.params.max_depth || rows.len() < 2 {
             return leaf(tree);
         }
 
         let parent_score = g_sum * g_sum / (h_sum + lambda);
         let mut best: Option<(usize, f64, f64)> = None;
-        let mut order: Vec<usize> = idx.to_vec();
         for &f in feats {
+            let mut order: Vec<usize> = rows.to_vec();
             order.sort_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).expect("NaN feature value"));
             let mut gl = 0.0;
             let mut hl = 0.0;
@@ -202,13 +234,162 @@ impl GradientBoosting {
         };
         self.gain_importance[feature] += gain;
 
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| x[i][feature] <= threshold);
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&i| x[i][feature] <= threshold);
 
         let slot = tree.len();
         tree.push(RegNode::Leaf { weight: 0.0 }); // placeholder
-        let left = self.grow(tree, x, g, h, &left_idx, feats, depth + 1);
-        let right = self.grow(tree, x, g, h, &right_idx, feats, depth + 1);
+        let left = self.grow_reference(tree, x, g, h, &left_rows, feats, depth + 1);
+        let right = self.grow_reference(tree, x, g, h, &right_rows, feats, depth + 1);
+        tree[slot] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Grow one regression tree over presorted columnar pair lists — the
+    /// default path.
+    ///
+    /// `rows` is the node's row set, ascending; `sorted[k]` is the node's
+    /// `(value, row)` pair list for `feats[k]`, sorted by
+    /// `(value, row index)`. Bit-identical to
+    /// [`GradientBoosting::grow_reference`] because stable partition
+    /// preserves that invariant: filtering a `(value, row)`-sorted list
+    /// by the split predicate yields the child's `(value, row)`-sorted
+    /// list, which is exactly what the reference's fresh stable sort of
+    /// the ascending child rows produces. Gradient/hessian partial sums
+    /// therefore fold in the reference's scan order, and the node's
+    /// `g_sum`/`h_sum` fold over ascending `rows` like the reference —
+    /// yet no node ever sorts: sorting happens once per fit, in
+    /// [`GradientBoosting::fit_impl`].
+    ///
+    /// All buffers are recycled through the [`ScratchArena`] on every
+    /// exit path.
+    #[allow(clippy::too_many_arguments)]
+    fn grow_col(
+        &mut self,
+        tree: &mut Vec<RegNode>,
+        cols: &ColumnMatrix,
+        g: &[f64],
+        h: &[f64],
+        rows: Vec<u32>,
+        sorted: Vec<Vec<SortPair>>,
+        feats: &[usize],
+        depth: usize,
+        arena: &mut ScratchArena,
+    ) -> usize {
+        let g_sum: f64 = rows.iter().map(|&i| g[i as usize]).sum();
+        let h_sum: f64 = rows.iter().map(|&i| h[i as usize]).sum();
+        let lambda = self.params.lambda;
+        let n_node = rows.len();
+
+        let recycle = |arena: &mut ScratchArena, rows: Vec<u32>, sorted: Vec<Vec<SortPair>>| {
+            arena.put_indices(rows);
+            for list in sorted {
+                arena.put_pairs(list);
+            }
+        };
+        let leaf = |tree: &mut Vec<RegNode>| {
+            tree.push(RegNode::Leaf {
+                weight: -g_sum / (h_sum + lambda),
+            });
+            tree.len() - 1
+        };
+
+        if depth >= self.params.max_depth || n_node < 2 {
+            recycle(arena, rows, sorted);
+            return leaf(tree);
+        }
+
+        let parent_score = g_sum * g_sum / (h_sum + lambda);
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (pairs, &f) in sorted.iter().zip(feats) {
+            debug_assert_eq!(pairs.len(), n_node);
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for w in 0..pairs.len() - 1 {
+                let i = pairs[w].1 as usize;
+                gl += g[i];
+                hl += h[i];
+                if pairs[w].0 == pairs[w + 1].0 {
+                    continue;
+                }
+                let hr = h_sum - hl;
+                if hl < self.params.min_child_weight || hr < self.params.min_child_weight {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
+                    - self.params.gamma;
+                if gain > best.map_or(1e-12, |(_, _, bg)| bg) {
+                    let threshold = (pairs[w].0 + pairs[w + 1].0) / 2.0;
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        let Some((feature, threshold, gain)) = best else {
+            recycle(arena, rows, sorted);
+            return leaf(tree);
+        };
+        self.gain_importance[feature] += gain;
+
+        // Stable partitions by the split predicate: ascending row order
+        // and per-feature (value, row) order both survive filtering.
+        let col = cols.col(feature);
+        let mut left_rows = arena.take_indices();
+        let mut right_rows = arena.take_indices();
+        for &i in &rows {
+            if col[i as usize] <= threshold {
+                left_rows.push(i);
+            } else {
+                right_rows.push(i);
+            }
+        }
+        let mut left_sorted = Vec::with_capacity(sorted.len());
+        let mut right_sorted = Vec::with_capacity(sorted.len());
+        for pairs in &sorted {
+            let mut l = arena.take_pairs();
+            let mut r = arena.take_pairs();
+            for &p in pairs {
+                if col[p.1 as usize] <= threshold {
+                    l.push(p);
+                } else {
+                    r.push(p);
+                }
+            }
+            left_sorted.push(l);
+            right_sorted.push(r);
+        }
+        recycle(arena, rows, sorted);
+
+        let slot = tree.len();
+        tree.push(RegNode::Leaf { weight: 0.0 }); // placeholder
+        let left = self.grow_col(
+            tree,
+            cols,
+            g,
+            h,
+            left_rows,
+            left_sorted,
+            feats,
+            depth + 1,
+            arena,
+        );
+        let right = self.grow_col(
+            tree,
+            cols,
+            g,
+            h,
+            right_rows,
+            right_sorted,
+            feats,
+            depth + 1,
+            arena,
+        );
         tree[slot] = RegNode::Split {
             feature,
             threshold,
@@ -226,10 +407,41 @@ impl GradientBoosting {
         }
         z
     }
-}
 
-impl Classifier for GradientBoosting {
-    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+    /// Probabilities for every row of a flat feature matrix.
+    ///
+    /// The batch-scoring kernel: trees outer, rows inner, so tree nodes
+    /// stay hot while rows stream through one contiguous buffer. Per row
+    /// the margin accumulates in tree order — the same operation sequence
+    /// as [`Classifier::predict_proba`] — so results are bitwise equal to
+    /// scoring row by row.
+    ///
+    /// # Panics
+    /// If the ensemble is unfitted.
+    pub fn predict_proba_batch(&self, x: &FlatMatrix) -> Vec<f64> {
+        assert!(!self.trees.is_empty(), "predict on unfitted ensemble");
+        let mut z = vec![self.base_score; x.n_rows()];
+        for t in &self.trees {
+            for (zi, row) in z.iter_mut().zip(x.rows()) {
+                *zi += self.params.learning_rate * t.predict(row);
+            }
+        }
+        z.into_iter().map(Self::sigmoid).collect()
+    }
+
+    /// Fit with the row-oriented reference split search.
+    ///
+    /// Identical results to [`Classifier::fit`], kept as the executable
+    /// specification for the columnar engine; the differential tests
+    /// serialize both fits and compare bytes.
+    pub fn fit_reference(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        self.fit_impl(x, y, true);
+    }
+
+    /// Shared fit scaffolding: base score, per-round gradients,
+    /// subsampling (one RNG stream regardless of path), tree growth via
+    /// the columnar or the reference search, margin updates.
+    fn fit_impl(&mut self, x: &[Vec<f64>], y: &[u8], reference: bool) {
         crate::validate_xy(x, y);
         self.n_features = x[0].len();
         self.trees.clear();
@@ -240,6 +452,38 @@ impl Classifier for GradientBoosting {
         let pos_rate =
             (y.iter().filter(|&&l| l == 1).count() as f64 / n as f64).clamp(1e-6, 1.0 - 1e-6);
         self.base_score = (pos_rate / (1.0 - pos_rate)).ln();
+
+        // Columnar path: transpose once, then argsort every column once
+        // per fit into (value, row) pairs with ties ascending by row —
+        // the batch-canonical order every node's scan inherits by stable
+        // partition. (Columns containing NaN are rejected here, up
+        // front, with the reference search's panic message.)
+        let cols = if reference {
+            None
+        } else {
+            assert!(
+                u32::try_from(n).is_ok(),
+                "columnar split search indexes rows with u32"
+            );
+            Some(ColumnMatrix::from_rows(x))
+        };
+        let presorted: Vec<Vec<SortPair>> = cols
+            .iter()
+            .flat_map(|cols| {
+                (0..self.n_features).map(|f| {
+                    let mut pairs: Vec<SortPair> = cols
+                        .col(f)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (v, i as u32))
+                        .collect();
+                    sort_pairs(&mut pairs);
+                    pairs
+                })
+            })
+            .collect();
+        let mut in_sample = vec![true; n];
+        let mut arena = ScratchArena::new();
 
         let mut margins = vec![self.base_score; n];
         let mut rng = StdRng::seed_from_u64(self.params.seed);
@@ -257,10 +501,14 @@ impl Classifier for GradientBoosting {
             }
 
             // Row subsample (without replacement) and column subsample.
+            // The draw is a shuffle, but the trained-on set is a *set*:
+            // it is canonicalized to ascending row order (the
+            // batch-canonical fold order) before growing.
             let idx: Vec<usize> = if n_rows < n {
                 let mut all: Vec<usize> = (0..n).collect();
                 all.shuffle(&mut rng);
                 all.truncate(n_rows);
+                all.sort_unstable();
                 all
             } else {
                 (0..n).collect()
@@ -278,7 +526,54 @@ impl Classifier for GradientBoosting {
             let _: u32 = rng.gen();
 
             let mut nodes = Vec::new();
-            self.grow(&mut nodes, x, &g, &h, &idx, &feats, 0);
+            match &cols {
+                Some(cols) => {
+                    // Root row set and per-feature pair lists: filter the
+                    // fit-wide presorted lists by the subsample mask —
+                    // a stable filter, so the (value, row) order holds.
+                    let mut root_rows = arena.take_indices();
+                    root_rows.extend(idx.iter().map(|&i| i as u32));
+                    let root_sorted: Vec<Vec<SortPair>> = if idx.len() == n {
+                        feats
+                            .iter()
+                            .map(|&f| {
+                                let mut list = arena.take_pairs();
+                                list.extend_from_slice(&presorted[f]);
+                                list
+                            })
+                            .collect()
+                    } else {
+                        in_sample.fill(false);
+                        for &i in &idx {
+                            in_sample[i] = true;
+                        }
+                        feats
+                            .iter()
+                            .map(|&f| {
+                                let mut list = arena.take_pairs();
+                                list.extend(
+                                    presorted[f].iter().filter(|p| in_sample[p.1 as usize]),
+                                );
+                                list
+                            })
+                            .collect()
+                    };
+                    self.grow_col(
+                        &mut nodes,
+                        cols,
+                        &g,
+                        &h,
+                        root_rows,
+                        root_sorted,
+                        &feats,
+                        0,
+                        &mut arena,
+                    );
+                }
+                None => {
+                    self.grow_reference(&mut nodes, x, &g, &h, &idx, &feats, 0);
+                }
+            }
             let tree = RegTree { nodes };
 
             for i in 0..n {
@@ -286,6 +581,12 @@ impl Classifier for GradientBoosting {
             }
             self.trees.push(tree);
         }
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
+        self.fit_impl(x, y, false);
     }
 
     fn predict_proba(&self, row: &[f64]) -> f64 {
@@ -529,5 +830,91 @@ mod tests {
             subsample: 0.0,
             ..GradientBoostingParams::default()
         });
+    }
+
+    /// Serialize a fitted ensemble for byte-level comparison.
+    fn bytes_of(m: &GradientBoosting) -> Vec<u8> {
+        crate::Model::Xgb(m.clone()).to_bytes()
+    }
+
+    #[test]
+    fn columnar_fit_matches_reference_bitwise() {
+        // Integer-ish features force heavy ties — the case where the
+        // stable-sort tie-order argument actually matters.
+        let (x, y) = two_moons_like(150);
+        let params = GradientBoostingParams {
+            n_rounds: 40,
+            subsample: 0.8,
+            colsample: 0.5,
+            ..GradientBoostingParams::default()
+        };
+        let mut columnar = GradientBoosting::new(params.clone());
+        let mut reference = GradientBoosting::new(params);
+        columnar.fit(&x, &y);
+        reference.fit_reference(&x, &y);
+        assert_eq!(
+            bytes_of(&columnar),
+            bytes_of(&reference),
+            "columnar and reference fits must serialize identically"
+        );
+        for row in &x {
+            assert_eq!(
+                columnar.predict_proba(row).to_bits(),
+                reference.predict_proba(row).to_bits()
+            );
+        }
+        assert_eq!(
+            columnar.feature_importances(),
+            reference.feature_importances()
+        );
+    }
+
+    #[test]
+    fn batch_scoring_matches_per_row_bitwise() {
+        let (x, y) = two_moons_like(90);
+        let mut gbt = GradientBoosting::new(GradientBoostingParams {
+            n_rounds: 25,
+            ..GradientBoostingParams::default()
+        });
+        gbt.fit(&x, &y);
+        let flat = FlatMatrix::from_rows(&x);
+        let batch = gbt.predict_proba_batch(&flat);
+        assert_eq!(batch.len(), x.len());
+        for (row, p) in x.iter().zip(&batch) {
+            assert_eq!(p.to_bits(), gbt.predict_proba(row).to_bits());
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// fit ≡ fit_reference on arbitrary small datasets, including
+            /// constant columns, dense ties and subsampled RNG streams.
+            #[test]
+            fn columnar_fit_is_bitwise_reference(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(-4i8..4, 3), 4..40),
+                labels in proptest::collection::vec(0u8..2, 40),
+                seed in 0u64..1000,
+            ) {
+                let x: Vec<Vec<f64>> =
+                    rows.iter().map(|r| r.iter().map(|&v| f64::from(v)).collect()).collect();
+                let y: Vec<u8> = labels[..x.len()].to_vec();
+                let params = GradientBoostingParams {
+                    n_rounds: 8,
+                    subsample: 0.75,
+                    colsample: 0.67,
+                    seed,
+                    ..GradientBoostingParams::default()
+                };
+                let mut columnar = GradientBoosting::new(params.clone());
+                let mut reference = GradientBoosting::new(params);
+                columnar.fit(&x, &y);
+                reference.fit_reference(&x, &y);
+                prop_assert_eq!(bytes_of(&columnar), bytes_of(&reference));
+            }
+        }
     }
 }

@@ -3,16 +3,24 @@
 //! "KNN" in Tables 1 and 2; the paper reports best performance at `k = 5`.
 //! Features are standardized internally (Euclidean distance is otherwise
 //! dominated by large-scale features like snapshots-per-day).
+//!
+//! The training set is held as a `racket-columnar` [`FlatMatrix`] — one
+//! contiguous row-major buffer — so the distance loop streams through
+//! memory instead of chasing a `Vec<Vec<f64>>` pointer per neighbour.
+//! Distances use [`racket_columnar::sq_dist`], whose fold order is the
+//! row-oriented expression's, so predictions (and the RKML byte format)
+//! are unchanged by the layout.
 
 use crate::dataset::Standardizer;
 use crate::persist::{PersistError, Reader, Writer};
 use crate::Classifier;
+use racket_columnar::{sq_dist, FlatMatrix};
 
 /// Brute-force KNN classifier with internal standardization.
 #[derive(Debug, Clone)]
 pub struct KNearestNeighbors {
     k: usize,
-    train_x: Vec<Vec<f64>>,
+    train_x: FlatMatrix,
     train_y: Vec<u8>,
     scaler: Option<Standardizer>,
 }
@@ -26,7 +34,7 @@ impl KNearestNeighbors {
         assert!(k > 0, "k must be positive");
         KNearestNeighbors {
             k,
-            train_x: Vec::new(),
+            train_x: FlatMatrix::new(0),
             train_y: Vec::new(),
             scaler: None,
         }
@@ -36,17 +44,13 @@ impl KNearestNeighbors {
     pub fn paper_default() -> Self {
         Self::new(5)
     }
-
-    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    }
 }
 
 impl Classifier for KNearestNeighbors {
     fn fit(&mut self, x: &[Vec<f64>], y: &[u8]) {
         crate::validate_xy(x, y);
         let scaler = Standardizer::fit(x);
-        self.train_x = scaler.transform(x);
+        self.train_x = FlatMatrix::from_rows(&scaler.transform(x));
         self.train_y = y.to_vec();
         self.scaler = Some(scaler);
     }
@@ -55,13 +59,13 @@ impl Classifier for KNearestNeighbors {
         let scaler = self.scaler.as_ref().expect("predict on unfitted model");
         let mut r = row.to_vec();
         scaler.transform_row(&mut r);
-        let k = self.k.min(self.train_x.len());
+        let k = self.k.min(self.train_x.n_rows());
         // Partial selection of the k smallest distances.
         let mut dists: Vec<(f64, u8)> = self
             .train_x
-            .iter()
+            .rows()
             .zip(&self.train_y)
-            .map(|(t, &l)| (Self::sq_dist(&r, t), l))
+            .map(|(t, &l)| (sq_dist(&r, t), l))
             .collect();
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
         let votes: u32 = dists[..k].iter().map(|&(_, l)| u32::from(l)).sum();
@@ -74,12 +78,14 @@ impl Classifier for KNearestNeighbors {
 }
 
 impl KNearestNeighbors {
-    /// Encode the classifier (k, training set, scaler).
+    /// Encode the classifier (k, training set, scaler). The byte layout
+    /// predates the flat-matrix storage and is unchanged by it: row
+    /// count, column count, then row-major `f64`s.
     pub(crate) fn write_to(&self, w: &mut Writer) {
         w.usize(self.k);
-        w.usize(self.train_x.len());
-        w.usize(self.train_x.first().map_or(0, Vec::len));
-        for row in &self.train_x {
+        w.usize(self.train_x.n_rows());
+        w.usize(self.train_x.n_cols());
+        for row in self.train_x.rows() {
             for &v in row {
                 w.f64(v);
             }
@@ -102,14 +108,11 @@ impl KNearestNeighbors {
         if rows.saturating_mul(cols).saturating_mul(8) > r.remaining() {
             return Err(PersistError::Truncated);
         }
-        let mut train_x = Vec::with_capacity(rows);
-        for _ in 0..rows {
-            let mut row = Vec::with_capacity(cols);
-            for _ in 0..cols {
-                row.push(r.f64()?);
-            }
-            train_x.push(row);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(r.f64()?);
         }
+        let train_x = FlatMatrix::from_parts(data, rows, cols);
         let mut train_y = Vec::with_capacity(rows);
         for _ in 0..rows {
             let label = r.u8()?;

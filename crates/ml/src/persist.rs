@@ -22,6 +22,7 @@ use crate::{
     Classifier, GradientBoosting, KNearestNeighbors, LinearSvm, LogisticRegression, Lvq,
     RandomForest, Standardizer,
 };
+use racket_columnar::FlatMatrix;
 
 /// File magic for serialized models.
 pub const MAGIC: [u8; 4] = *b"RKML";
@@ -269,6 +270,19 @@ impl Model {
     /// Hard prediction at the 0.5 threshold.
     pub fn predict(&self, row: &[f64]) -> u8 {
         u8::from(self.score(row) >= 0.5)
+    }
+
+    /// Probabilities for every row of a flat feature matrix.
+    ///
+    /// The boosted-tree model dispatches to its columnar batch kernel
+    /// ([`GradientBoosting::predict_proba_batch`]); every other learner
+    /// scores row by row over the same contiguous buffer. Either way the
+    /// result is bitwise equal to calling [`Model::score`] per row.
+    pub fn score_batch(&self, x: &FlatMatrix) -> Vec<f64> {
+        match self {
+            Model::Xgb(m) => m.predict_proba_batch(x),
+            other => x.rows().map(|row| other.score(row)).collect(),
+        }
     }
 
     /// Serialize to the `RKML` wire form.

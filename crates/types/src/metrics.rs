@@ -33,6 +33,9 @@ pub mod keys {
     pub const SPAN_ASSEMBLE: &str = "assemble";
     /// Span: folding per-device streaming feature state at assemble time.
     pub const SPAN_STREAM_FOLD: &str = "assemble/stream_fold";
+    /// Span: building the columnar (struct-of-arrays) snapshot store from
+    /// the canonical sorted record vector (ARCHITECTURE.md §9).
+    pub const SPAN_COLUMNARIZE: &str = "assemble/columnarize";
     /// Span: priming the detection service from streaming state (per-app
     /// scores + cached device vectors).
     pub const SPAN_STREAM_PRIME: &str = "analyze/stream_prime";
