@@ -12,6 +12,7 @@
 //! fraction of devices reports no Android ID (Appendix A).
 
 use crate::agent::{DeviceAgent, IdAllocator};
+use crate::campaign::{CampaignConfig, CampaignDirective, CampaignPlan, CampaignSpec};
 use crate::params::PersonaParams;
 use racket_device::{Device, DeviceModel};
 use racket_playstore::{
@@ -67,6 +68,10 @@ pub struct FleetConfig {
     /// worker-evasion experiments (longer review delays, fewer accounts,
     /// more app interaction). `None` keeps the calibrated defaults.
     pub overrides: PersonaOverrides,
+    /// Coordinated-campaign schedule (§7.3 lockstep ground truth). The
+    /// default runs zero campaigns, leaving every campaign-free study
+    /// byte-identical to pre-campaign builds.
+    pub campaigns: CampaignConfig,
 }
 
 /// Optional per-persona parameter replacements.
@@ -107,6 +112,7 @@ impl FleetConfig {
             catalog: CatalogConfig::default(),
             seed: 2021,
             overrides: PersonaOverrides::default(),
+            campaigns: CampaignConfig::default(),
         }
     }
 
@@ -122,6 +128,7 @@ impl FleetConfig {
             catalog: CatalogConfig::default(),
             seed: 7,
             overrides: PersonaOverrides::default(),
+            campaigns: CampaignConfig::default(),
         }
     }
 
@@ -154,6 +161,9 @@ pub struct StudyDevice {
     pub install_id: InstallId,
     /// The monitored window (RacketStore install interval).
     pub monitoring: TimeInterval,
+    /// Campaign jobs assigned to this device, sorted by install time
+    /// (empty for regular users and non-hired workers).
+    pub directives: Vec<CampaignDirective>,
 }
 
 impl StudyDevice {
@@ -181,6 +191,9 @@ pub struct Fleet {
     pub virustotal: VirusTotalSim,
     /// The participant devices.
     pub devices: Vec<StudyDevice>,
+    /// Ground-truth campaign specs (empty unless `config.campaigns`
+    /// schedules any).
+    pub campaigns: Vec<CampaignSpec>,
     /// The config the fleet was generated from.
     pub config: FleetConfig,
 }
@@ -259,12 +272,22 @@ impl Fleet {
             devices.push(dev);
         }
 
+        // Campaign schedule: drawn on its own salted stream family, then
+        // attached to the hired devices after the parallel build (the plan
+        // never touches a device RNG, so device streams stay byte-identical
+        // with campaigns on or off).
+        let plan = CampaignPlan::generate(&config, &catalog);
+        for (dev, jobs) in devices.iter_mut().zip(plan.directives) {
+            dev.directives = jobs;
+        }
+
         Fleet {
             catalog,
             store,
             directory,
             virustotal,
             devices,
+            campaigns: plan.specs,
             config,
         }
     }
@@ -313,6 +336,7 @@ impl Fleet {
             participant: ParticipantId(100_000 + i as u32),
             install_id: InstallId(1_000_000_000 + i as u64),
             monitoring,
+            directives: Vec::new(),
         };
         (dev, store, directory)
     }

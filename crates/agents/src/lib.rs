@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod agent;
+pub mod campaign;
 pub mod dist;
 pub mod fleet;
 pub mod params;
@@ -30,6 +31,10 @@ pub mod params;
 pub use agent::{
     apply_action, apply_action_collecting, Action, DeviceAgent, DeviceProfile, IdAllocator,
     TimelineAction,
+};
+pub use campaign::{
+    CampaignConfig, CampaignDirective, CampaignPlan, CampaignSpec, PacingStrategy,
+    CAMPAIGN_STREAM_SALT,
 };
 pub use dist::{ClampedLogNormal, DelayMixture};
 pub use fleet::{stream_seed, Fleet, FleetConfig, PersonaOverrides, StudyDevice};

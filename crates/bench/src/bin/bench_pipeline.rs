@@ -189,6 +189,27 @@ fn run_scale(scale: Scale) -> report::RunReport {
         }
     }
 
+    // Lockstep campaign detection: the study already ran the detector
+    // incrementally over ingest-time sketches; recompute in batch from the
+    // columnar install-event family (stamping `campaign/shingle` and the
+    // `campaign.shingles` counter the validator's throughput floor reads)
+    // and hold the two reports byte-identical.
+    let campaigns = {
+        let _span = out.obs.span("analyze/campaign_batch");
+        racketstore::campaign::batch_report(&out)
+    };
+    if campaigns != out.campaigns {
+        fail(&format!(
+            "{scale_name}: batch campaign report != incremental report"
+        ));
+    }
+    eprintln!(
+        "[bench_pipeline] {} campaigns: {} clusters from {} candidate pairs",
+        scale_name,
+        campaigns.campaigns.len(),
+        campaigns.n_candidate_pairs
+    );
+
     // Merge the study's private registry with the global one (fleet
     // per-device timing, ml/cv_fold spans) into the run's snapshot.
     let mut snapshot = out.obs.snapshot();

@@ -1,0 +1,62 @@
+//! Campaign-detection quality vs. pacing stealth: run the study with the
+//! fleet scheduling coordinated campaigns under each pacing strategy and
+//! report detector recall/precision against the scheduled ground truth
+//! (the EXPERIMENTS.md "recall/precision vs. stealth" table). The
+//! campaign-free fleet rides along as the false-positive control.
+
+use racket_agents::{CampaignConfig, PacingStrategy};
+use racket_bench::{write_csv, Scale};
+use racketstore::campaign::{batch_report, evaluate};
+use racketstore::study::Study;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "[campaign_table] running per-pacing studies at {} scale…",
+        scale.label()
+    );
+    let cases: [(&str, Option<PacingStrategy>); 4] = [
+        ("none", None),
+        ("burst", Some(PacingStrategy::Burst)),
+        ("drip", Some(PacingStrategy::Drip)),
+        ("stealth", Some(PacingStrategy::Stealth)),
+    ];
+
+    println!("pacing   campaigns detected recall precision candidate_pairs");
+    let mut rows = Vec::new();
+    for (name, pacing) in cases {
+        let mut config = scale.config();
+        if let Some(p) = pacing {
+            config.fleet.campaigns = CampaignConfig::with(3, p);
+        }
+        let out = Study::new(config).run();
+        // Batch must agree with the incremental report on every run.
+        assert_eq!(
+            batch_report(&out),
+            out.campaigns,
+            "{name}: batch != incremental"
+        );
+        let eval = evaluate(&out.campaigns, &out);
+        println!(
+            "{name:<8} {:>9} {:>8} {:>6.2} {:>9.2} {:>15}",
+            eval.n_truth,
+            eval.n_detected,
+            eval.recall(),
+            eval.precision(),
+            out.campaigns.n_candidate_pairs
+        );
+        rows.push(format!(
+            "{name},{},{},{:.4},{:.4},{}",
+            eval.n_truth,
+            eval.n_detected,
+            eval.recall(),
+            eval.precision(),
+            out.campaigns.n_candidate_pairs
+        ));
+    }
+    write_csv(
+        "campaign_table.csv",
+        "pacing,campaigns,detected,recall,precision,candidate_pairs",
+        rows,
+    );
+}

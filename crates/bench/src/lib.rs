@@ -65,6 +65,7 @@ impl Scale {
                     catalog: Default::default(),
                     seed: 2021,
                     overrides: Default::default(),
+                    campaigns: Default::default(),
                 },
                 collector: CollectorConfig {
                     fast_period_secs: 60,

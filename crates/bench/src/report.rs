@@ -144,6 +144,13 @@ pub const LARGE_MIN_DEVICES: usize = 10_000;
 /// under 0.87 s enforces the promised ≥ 2× on every future regeneration
 /// of `BENCH_pipeline.json`.
 pub const MID_ANALYZE_MAX_SECS: f64 = 0.87;
+/// Floor on the lockstep-detection hot path at mid scale: campaign
+/// shingles folded per second of combined `campaign/shingle` +
+/// `campaign/lsh` wall time (sketch rebuild, MinHash folding and LSH
+/// banding — the per-event cost of running the detector over a fleet).
+/// Set well below measured rates so only an order-of-magnitude
+/// regression trips it.
+pub const MID_CAMPAIGN_MIN_SHINGLES_PER_SEC: f64 = 250_000.0;
 
 /// Parse and sanity-check an emitted `BENCH_pipeline.json`.
 ///
@@ -207,6 +214,7 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
             keys::SPAN_ASSEMBLE,
             keys::SPAN_SCORE_BATCH,
             keys::SPAN_SCORE_STREAM,
+            keys::SPAN_CAMPAIGN_INCREMENTAL,
         ] {
             let s = run
                 .stages
@@ -241,6 +249,32 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
                      {MID_ANALYZE_MAX_SECS} s columnar-engine ceiling"
                 ));
             }
+            // The lockstep detector's hot-path contract: shingle folding
+            // plus LSH banding must sustain the MinHash throughput floor
+            // (the batch rebuild stamps `campaign.shingles`).
+            let shingles = run
+                .counters
+                .get(keys::CAMPAIGN_SHINGLES)
+                .copied()
+                .unwrap_or(0);
+            if shingles == 0 {
+                return Err("mid run folded no campaign shingles".to_string());
+            }
+            let hot_secs: f64 = [keys::SPAN_CAMPAIGN_SHINGLE, keys::SPAN_CAMPAIGN_LSH]
+                .iter()
+                .filter_map(|s| run.stages.get(*s))
+                .map(|s| s.wall_secs)
+                .sum();
+            if hot_secs <= 0.0 {
+                return Err("mid run reports no campaign/* hot-path wall time".to_string());
+            }
+            let rate = shingles as f64 / hot_secs;
+            if rate < MID_CAMPAIGN_MIN_SHINGLES_PER_SEC {
+                return Err(format!(
+                    "mid run's campaign hot path sustains {rate:.0} shingles/s, below \
+                     the {MID_CAMPAIGN_MIN_SHINGLES_PER_SEC:.0} floor"
+                ));
+            }
         }
     }
     Ok(report)
@@ -255,12 +289,23 @@ mod tests {
         let reg = Registry::new();
         reg.gauge_set(keys::THREADS, 4);
         reg.add(keys::SNAPSHOTS_INGESTED, 5_000);
+        // Campaign hot path: 10k shingles over 20 ms = 500k/s, above floor.
+        reg.add(keys::CAMPAIGN_SHINGLES, 10_000);
+        reg.record(
+            &format!("{SPAN_PREFIX}{}", keys::SPAN_CAMPAIGN_SHINGLE),
+            10_000_000,
+        );
+        reg.record(
+            &format!("{SPAN_PREFIX}{}", keys::SPAN_CAMPAIGN_LSH),
+            10_000_000,
+        );
         for stage in [
             keys::SPAN_FLEET_GEN,
             keys::SPAN_SIMULATE,
             keys::SPAN_ASSEMBLE,
             keys::SPAN_SCORE_BATCH,
             keys::SPAN_SCORE_STREAM,
+            keys::SPAN_CAMPAIGN_INCREMENTAL,
         ] {
             reg.record(&format!("{SPAN_PREFIX}{stage}"), 2_000_000_000);
         }

@@ -1,0 +1,387 @@
+//! The campaign detector: LSH candidates → temporal co-occurrence
+//! scoring → greedy quasi-clique mining.
+//!
+//! [`detect()`] is a pure function of the per-device sketch sets, shared
+//! verbatim by the batch path (sketches rebuilt from the columnar
+//! install-event family) and the incremental path (sketches folded at
+//! snapshot-ingest time) — which is precisely why the two paths are
+//! byte-identical whenever their sketches are. Every tie in the miner
+//! breaks on ascending install ID, every intermediate collection is
+//! B-tree-ordered, and the only floats (`density`, Jaccard thresholds)
+//! are exact ratios of small integers compared with the same operations
+//! on both paths.
+
+use crate::lsh::{candidate_pairs, LshParams};
+use crate::shingle::ShingleParams;
+use crate::sketch::CampaignSketch;
+use racket_obs::Registry;
+use racket_types::metrics::keys;
+use racket_types::{AppId, InstallId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Detector thresholds. The defaults are tuned at test scale so burst
+/// campaigns are recovered with ≥ 0.9 recall while a campaign-free fleet
+/// mines zero clusters (both pinned by `tests/conformance.rs`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Shingle extraction parameters (must match the sketches').
+    pub shingle: ShingleParams,
+    /// LSH banding layout for the candidate-pair pass.
+    pub lsh: LshParams,
+    /// Two events on the same app count as co-occurring when their
+    /// timestamps differ by at most this many seconds.
+    pub window_secs: u64,
+    /// Minimum number of distinct co-occurring apps for an edge.
+    pub min_co_apps: usize,
+    /// Minimum exact shingle Jaccard for an edge.
+    pub min_jaccard: f64,
+    /// Minimum devices in a reported campaign.
+    pub min_cluster: usize,
+    /// Minimum internal edge density (`2e / n(n−1)`) of a reported
+    /// campaign — the quasi-clique relaxation.
+    pub min_density: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            shingle: ShingleParams::default(),
+            lsh: LshParams::default(),
+            window_secs: 21_600,
+            min_co_apps: 2,
+            min_jaccard: 0.10,
+            min_cluster: 3,
+            min_density: 0.5,
+        }
+    }
+}
+
+/// One mined device group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectedCampaign {
+    /// Member installs, ascending.
+    pub devices: Vec<InstallId>,
+    /// Inferred target apps: apps co-occurring on at least half of the
+    /// group's internal edges, ascending.
+    pub apps: Vec<AppId>,
+    /// Internal co-occurrence edges among the members.
+    pub n_edges: u64,
+    /// Internal edge density `2e / n(n−1)`.
+    pub density: f64,
+}
+
+/// The full detector output. `PartialEq` compares every field (densities
+/// are produced by identical integer-ratio computations on both detector
+/// paths, so float equality is exact there); [`CampaignReport::fingerprint`]
+/// renders a canonical byte string for the differential harness.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignReport {
+    /// Mined campaigns, ascending by first member install.
+    pub campaigns: Vec<DetectedCampaign>,
+    /// Device pairs proposed by LSH banding.
+    pub n_candidate_pairs: u64,
+    /// Candidate pairs that passed Jaccard + co-occurrence scoring.
+    pub n_edges: u64,
+}
+
+impl CampaignReport {
+    /// Canonical string rendering (densities as raw bits) — byte-identical
+    /// iff the reports are identical.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "candidates={} edges={} campaigns={}",
+            self.n_candidate_pairs,
+            self.n_edges,
+            self.campaigns.len()
+        );
+        for c in &self.campaigns {
+            let _ = writeln!(
+                out,
+                "devices={:?} apps={:?} n_edges={} density={:016x}",
+                c.devices,
+                c.apps,
+                c.n_edges,
+                c.density.to_bits()
+            );
+        }
+        out
+    }
+}
+
+/// Distinct apps on which both devices have events within `window_secs`.
+/// Inputs are per-app sorted time lists; the scan is a two-pointer merge
+/// on apps and, per shared app, a two-pointer gap check on times.
+fn co_occurring_apps(
+    a: &[(AppId, Vec<u64>)],
+    b: &[(AppId, Vec<u64>)],
+    window_secs: u64,
+) -> Vec<AppId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (ta, tb) = (&a[i].1, &b[j].1);
+                let (mut x, mut y) = (0, 0);
+                while x < ta.len() && y < tb.len() {
+                    let gap = ta[x].abs_diff(tb[y]);
+                    if gap <= window_secs {
+                        out.push(a[i].0);
+                        break;
+                    }
+                    if ta[x] < tb[y] {
+                        x += 1;
+                    } else {
+                        y += 1;
+                    }
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Group a sketch's event set into per-app ascending time lists.
+fn per_app_times(sketch: &CampaignSketch) -> Vec<(AppId, Vec<u64>)> {
+    let mut out: Vec<(AppId, Vec<u64>)> = Vec::new();
+    for (app, t) in sketch.events() {
+        match out.last_mut() {
+            Some((a, times)) if *a == app => times.push(t.as_secs()),
+            _ => out.push((app, vec![t.as_secs()])),
+        }
+    }
+    out
+}
+
+/// Run the full detector over per-device sketches.
+///
+/// `inputs` may arrive in any order (they are sorted by install ID
+/// internally); install IDs must be unique. `obs`, when present, gets
+/// `campaign/lsh`, `campaign/score` and `campaign/mine` spans.
+pub fn detect(
+    inputs: &[(InstallId, &CampaignSketch)],
+    cfg: &DetectorConfig,
+    obs: Option<&Registry>,
+) -> CampaignReport {
+    // Canonical order: ascending install ID; empty sketches cannot form
+    // pairs (and would spuriously collide in every LSH band).
+    let mut order: Vec<&(InstallId, &CampaignSketch)> =
+        inputs.iter().filter(|(_, s)| !s.is_empty()).collect();
+    order.sort_by_key(|(id, _)| *id);
+    for w in order.windows(2) {
+        assert!(w[0].0 != w[1].0, "duplicate install id in detector input");
+    }
+
+    let pairs = {
+        let _g = obs.map(|r| r.span(keys::SPAN_CAMPAIGN_LSH));
+        let sigs: Vec<&[u64]> = order.iter().map(|(_, s)| s.signature()).collect();
+        candidate_pairs(&sigs, &cfg.lsh)
+    };
+
+    // Score candidates: exact Jaccard over shingles + temporal
+    // co-occurrence over the event sets.
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut edge_apps: BTreeMap<(usize, usize), Vec<AppId>> = BTreeMap::new();
+    {
+        let _g = obs.map(|r| r.span(keys::SPAN_CAMPAIGN_SCORE));
+        let times: Vec<Vec<(AppId, Vec<u64>)>> =
+            order.iter().map(|(_, s)| per_app_times(s)).collect();
+        for &(i, j) in &pairs {
+            if order[i].1.exact_jaccard(order[j].1) < cfg.min_jaccard {
+                continue;
+            }
+            let co = co_occurring_apps(&times[i], &times[j], cfg.window_secs);
+            if co.len() >= cfg.min_co_apps {
+                adj.entry(i).or_default().insert(j);
+                adj.entry(j).or_default().insert(i);
+                edge_apps.insert((i, j), co);
+            }
+        }
+    }
+    let n_edges = edge_apps.len() as u64;
+
+    let _g = obs.map(|r| r.span(keys::SPAN_CAMPAIGN_MINE));
+    let mut campaigns = Vec::new();
+    let mut dead: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        // Seed: the live node with the highest degree (ties: smallest
+        // index, i.e. smallest install ID).
+        let seed = adj
+            .iter()
+            .filter(|(n, nbrs)| !dead.contains(n) && !nbrs.is_empty())
+            .max_by(|(na, a), (nb, b)| a.len().cmp(&b.len()).then(nb.cmp(na)))
+            .map(|(n, _)| *n);
+        let Some(seed) = seed else { break };
+
+        // Greedy quasi-clique growth: repeatedly add the candidate with
+        // the most links into the cluster while density stays above the
+        // floor.
+        let mut cluster: BTreeSet<usize> = BTreeSet::from([seed]);
+        let mut internal_edges = 0u64;
+        let mut candidates: BTreeSet<usize> = adj[&seed].clone();
+        loop {
+            let best = candidates
+                .iter()
+                .map(|&c| {
+                    let links = adj[&c].intersection(&cluster).count() as u64;
+                    (links, std::cmp::Reverse(c))
+                })
+                .max()
+                .filter(|(links, _)| *links > 0);
+            let Some((links, std::cmp::Reverse(best))) = best else {
+                break;
+            };
+            let n = (cluster.len() + 1) as u64;
+            let density = 2.0 * (internal_edges + links) as f64 / (n * (n - 1)) as f64;
+            if density < cfg.min_density {
+                break;
+            }
+            cluster.insert(best);
+            internal_edges += links;
+            candidates.remove(&best);
+            candidates.extend(adj[&best].difference(&cluster));
+        }
+
+        if cluster.len() >= cfg.min_cluster {
+            let n = cluster.len() as u64;
+            let density = 2.0 * internal_edges as f64 / (n * (n - 1)) as f64;
+            // Target apps: co-occurring on at least half the internal
+            // edges (majority vote across the mined group).
+            let members: Vec<usize> = cluster.iter().copied().collect();
+            let mut app_votes: BTreeMap<AppId, u64> = BTreeMap::new();
+            for (a, &i) in members.iter().enumerate() {
+                for &j in &members[a + 1..] {
+                    if let Some(apps) = edge_apps.get(&(i, j)) {
+                        for &app in apps {
+                            *app_votes.entry(app).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            let quorum = internal_edges.div_ceil(2).max(1);
+            let apps: Vec<AppId> = app_votes
+                .iter()
+                .filter(|(_, &v)| v >= quorum)
+                .map(|(&a, _)| a)
+                .collect();
+            campaigns.push(DetectedCampaign {
+                devices: members.iter().map(|&i| order[i].0).collect(),
+                apps,
+                n_edges: internal_edges,
+                density,
+            });
+            // Remove the mined members from the graph.
+            for &m in &members {
+                adj.remove(&m);
+            }
+            for nbrs in adj.values_mut() {
+                for &m in &members {
+                    nbrs.remove(&m);
+                }
+            }
+        } else {
+            // This seed cannot anchor a large-enough group; retire it as
+            // a seed (it may still join a later cluster as a member).
+            dead.insert(seed);
+        }
+    }
+
+    campaigns.sort_by_key(|c| c.devices[0]);
+    CampaignReport {
+        campaigns,
+        n_candidate_pairs: pairs.len() as u64,
+        n_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use racket_types::SimTime;
+
+    fn sketch(events: &[(u32, u64)]) -> CampaignSketch {
+        let mut s = CampaignSketch::default();
+        for &(app, hours) in events {
+            s.observe(AppId(app), SimTime::from_hours(hours));
+        }
+        s
+    }
+
+    /// Three lockstep devices + one loner: the trio is mined, the loner
+    /// is not, and input order is irrelevant.
+    #[test]
+    fn mines_a_lockstep_trio() {
+        let lockstep = [(10u32, 5u64), (11, 6), (12, 7)];
+        let trio: Vec<CampaignSketch> = (0..3)
+            .map(|d| {
+                let mut ev: Vec<(u32, u64)> = lockstep.to_vec();
+                ev.push((100 + d, 24 * (d as u64 + 1))); // organic noise
+                sketch(&ev)
+            })
+            .collect();
+        let loner = sketch(&[(50, 5), (51, 200), (52, 300)]);
+
+        let mut inputs: Vec<(InstallId, &CampaignSketch)> = trio
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_002 - i as u64), s))
+            .collect();
+        inputs.push((InstallId(1_000_000_003), &loner));
+
+        let report = detect(&inputs, &DetectorConfig::default(), None);
+        assert_eq!(report.campaigns.len(), 1);
+        let c = &report.campaigns[0];
+        assert_eq!(
+            c.devices,
+            vec![
+                InstallId(1_000_000_000),
+                InstallId(1_000_000_001),
+                InstallId(1_000_000_002)
+            ]
+        );
+        assert_eq!(c.apps, vec![AppId(10), AppId(11), AppId(12)]);
+        assert_eq!(c.n_edges, 3);
+        assert_eq!(c.density, 1.0);
+
+        let mut reversed = inputs.clone();
+        reversed.reverse();
+        assert_eq!(detect(&reversed, &DetectorConfig::default(), None), report);
+    }
+
+    #[test]
+    fn uncoordinated_devices_mine_nothing() {
+        let sketches: Vec<CampaignSketch> = (0..6u32)
+            .map(|d| {
+                sketch(&[
+                    (d * 10, d as u64 * 50),
+                    (d * 10 + 1, d as u64 * 50 + 100),
+                    (d * 10 + 2, d as u64 * 50 + 200),
+                ])
+            })
+            .collect();
+        let inputs: Vec<(InstallId, &CampaignSketch)> = sketches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_000 + i as u64), s))
+            .collect();
+        let report = detect(&inputs, &DetectorConfig::default(), None);
+        assert!(report.campaigns.is_empty());
+        assert_eq!(report.n_edges, 0);
+    }
+
+    #[test]
+    fn co_occurrence_respects_the_window() {
+        let a = vec![(AppId(1), vec![0u64, 10_000]), (AppId(2), vec![50_000])];
+        let b = vec![(AppId(1), vec![30_000u64]), (AppId(2), vec![90_000])];
+        assert_eq!(co_occurring_apps(&a, &b, 21_600), vec![AppId(1)]);
+        assert_eq!(co_occurring_apps(&a, &b, 40_000), vec![AppId(1), AppId(2)]);
+        assert_eq!(co_occurring_apps(&a, &b, 100), Vec::<AppId>::new());
+    }
+}

@@ -1,0 +1,49 @@
+//! `racket-campaign` — coordinated-campaign (lockstep) detection.
+//!
+//! RacketStore's per-device and per-app classifiers score accounts and
+//! apps in isolation; real ASO fraud is *coordinated* — organizer-run
+//! worker pools hitting the same target apps inside shared time windows
+//! ("Erasing Labor with Labor", PAPERS.md). This crate detects that
+//! lockstep structure from install telemetry alone:
+//!
+//! 1. **Shingles** — each device's monitored install events become a set
+//!    of `(app, time-bucket)` shingles ([`ShingleParams`]; packing shared
+//!    with the columnar kernel `racket_columnar::shingle` so batch and
+//!    incremental extraction are bit-identical).
+//! 2. **MinHash** — a K-permutation [`MinHash`] signature summarises each
+//!    shingle set; signatures merge by elementwise min, which makes the
+//!    fold order-insensitive and mergeable across ingest shards.
+//! 3. **LSH banding** — [`lsh::candidate_pairs`] buckets signature bands
+//!    to propose likely-similar device pairs without the O(n²) scan.
+//! 4. **Temporal co-occurrence scoring** — candidate pairs are verified
+//!    against the exact event sets: an edge requires both a Jaccard floor
+//!    over shingles and at least [`DetectorConfig::min_co_apps`] distinct
+//!    apps the two devices touched within [`DetectorConfig::window_secs`].
+//! 5. **Dense-subgraph mining** — greedy quasi-clique growth over the
+//!    co-occurrence graph yields [`DetectedCampaign`] device groups with
+//!    their shared target apps.
+//!
+//! # Determinism
+//!
+//! Every stage is a pure function of its input sets: hashing is seeded
+//! SplitMix64 (no `RandomState`), all intermediate collections are
+//! B-tree-ordered, and ties in the miner break on ascending install ID.
+//! Two pipelines that feed the same event sets — the batch path over
+//! `ColumnarSnapshots` and the incremental fold on streaming state —
+//! therefore produce byte-identical [`CampaignReport`]s; the contract is
+//! enforced by `tests/campaign_equivalence.rs` at the workspace root and
+//! documented in ARCHITECTURE.md §10.
+
+#![deny(missing_docs)]
+
+pub mod detect;
+pub mod lsh;
+pub mod minhash;
+pub mod shingle;
+pub mod sketch;
+
+pub use detect::{detect, CampaignReport, DetectedCampaign, DetectorConfig};
+pub use lsh::LshParams;
+pub use minhash::MinHash;
+pub use shingle::ShingleParams;
+pub use sketch::CampaignSketch;

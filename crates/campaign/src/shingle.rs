@@ -1,0 +1,64 @@
+//! Shingle parameters shared by the batch and incremental extractors.
+//!
+//! Packing itself lives in `racket_columnar::shingle` (the batch path
+//! reads shingles straight out of the install-event column family); this
+//! module only carries the parameters and the `AppId`/`SimTime`-typed
+//! convenience wrapper used by the incremental fold.
+
+use racket_types::{AppId, SimTime};
+
+/// Default time-bucket width: 6 hours. Coarse enough that a burst
+/// campaign's workers land in the same bucket, fine enough that a day
+/// still has 4 distinguishable windows.
+pub const DEFAULT_BUCKET_SECS: u64 = 21_600;
+
+/// Default number of MinHash permutations.
+pub const DEFAULT_N_HASHES: usize = 128;
+
+/// Shingle extraction parameters.
+///
+/// These are part of the batch ≡ incremental contract: both paths must
+/// fold with the *same* parameters or their sketches diverge, which is
+/// why [`crate::CampaignSketch`] stores its params and refuses to merge
+/// across differing ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShingleParams {
+    /// Width of one time bucket, in seconds (non-zero).
+    pub bucket_secs: u64,
+    /// MinHash signature length (number of seeded permutations).
+    pub n_hashes: usize,
+}
+
+impl Default for ShingleParams {
+    fn default() -> Self {
+        ShingleParams {
+            bucket_secs: DEFAULT_BUCKET_SECS,
+            n_hashes: DEFAULT_N_HASHES,
+        }
+    }
+}
+
+impl ShingleParams {
+    /// Pack one `(app, time)` observation with these parameters.
+    #[inline]
+    pub fn pack(&self, app: AppId, t: SimTime) -> u64 {
+        racket_columnar::pack_shingle(app.0, t.as_secs(), self.bucket_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_matches_columnar_kernel() {
+        let p = ShingleParams::default();
+        let s = p.pack(AppId(9), SimTime::from_hours(13));
+        assert_eq!(
+            s,
+            racket_columnar::pack_shingle(9, 13 * 3600, DEFAULT_BUCKET_SECS)
+        );
+        let (app, bucket) = racket_columnar::unpack_shingle(s);
+        assert_eq!((app, bucket), (9, 2)); // 13h / 6h = bucket 2
+    }
+}

@@ -1,0 +1,109 @@
+//! Property suite for the similarity layer (ISSUE 8 satellite):
+//! MinHash merge algebra, Jaccard-estimate error bounds, and LSH band
+//! monotonicity.
+
+use proptest::prelude::*;
+use racket_campaign::lsh::candidate_pairs;
+use racket_campaign::minhash::{MinHash, MinHasher};
+use racket_campaign::LshParams;
+use std::collections::BTreeSet;
+
+const K: usize = 128;
+
+fn shingle_set() -> impl Strategy<Value = BTreeSet<u64>> {
+    proptest::collection::vec(0u64..5_000, 0..60)
+        .prop_map(|v| v.into_iter().collect::<BTreeSet<u64>>())
+}
+
+fn signature_of(set: &BTreeSet<u64>) -> MinHash {
+    let shingles: Vec<u64> = set.iter().copied().collect();
+    MinHasher::new(K).signature(&shingles)
+}
+
+proptest! {
+    /// Merge is commutative and associative with the empty signature as
+    /// identity — the algebra sharded ingest relies on.
+    #[test]
+    fn minhash_merge_is_commutative_associative_with_identity(
+        a in shingle_set(), b in shingle_set(), c in shingle_set(),
+    ) {
+        let (sa, sb, sc) = (signature_of(&a), signature_of(&b), signature_of(&c));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        let mut with_id = sa.clone();
+        with_id.merge(&MinHash::empty(K));
+        prop_assert_eq!(&with_id, &sa);
+    }
+
+    /// Merging two signatures equals the signature of the union set —
+    /// the property that makes the incremental fold equal batch rebuild.
+    #[test]
+    fn minhash_merge_equals_union_signature(a in shingle_set(), b in shingle_set()) {
+        let mut merged = signature_of(&a);
+        merged.merge(&signature_of(&b));
+        let union: BTreeSet<u64> = a.union(&b).copied().collect();
+        prop_assert_eq!(merged, signature_of(&union));
+    }
+
+    /// The K=128 signature estimate tracks exact Jaccard within 0.25 —
+    /// far looser than the ~3σ binomial bound (3·√(J(1−J)/128) ≤ 0.14),
+    /// so this never flakes while still catching a broken hash family
+    /// (a constant or correlated hash pins the estimate at 1.0).
+    #[test]
+    fn jaccard_estimate_tracks_exact(a in shingle_set(), b in shingle_set()) {
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let inter = a.intersection(&b).count();
+        let union = a.len() + b.len() - inter;
+        let exact = inter as f64 / union as f64;
+        let est = signature_of(&a).estimate_jaccard(&signature_of(&b));
+        prop_assert!(
+            (est - exact).abs() <= 0.25,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    /// More bands (rows fixed) can only add candidate pairs: bands are
+    /// signature prefixes, so pairs(b₁) ⊆ pairs(b₂) whenever b₁ ≤ b₂.
+    #[test]
+    fn lsh_candidates_monotone_in_bands(
+        sets in proptest::collection::vec(shingle_set(), 2..10),
+        b1 in 1usize..32,
+        extra in 0usize..32,
+        rows in 1usize..5,
+    ) {
+        let sigs: Vec<MinHash> = sets.iter().map(signature_of).collect();
+        // exclude empty signatures, as the detector does
+        let rows_of: Vec<&[u64]> = sigs
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.rows())
+            .collect();
+        let few = candidate_pairs(&rows_of, &LshParams { bands: b1, rows });
+        let many = candidate_pairs(&rows_of, &LshParams { bands: b1 + extra, rows });
+        prop_assert!(few.is_subset(&many));
+    }
+
+    /// Identical non-empty sets are always proposed by the first band.
+    #[test]
+    fn identical_sets_always_candidates(a in shingle_set()) {
+        prop_assume!(!a.is_empty());
+        let s1 = signature_of(&a);
+        let s2 = signature_of(&a);
+        let sigs = vec![s1.rows(), s2.rows()];
+        let pairs = candidate_pairs(&sigs, &LshParams { bands: 1, rows: 4 });
+        prop_assert!(pairs.contains(&(0, 1)));
+    }
+}

@@ -25,7 +25,7 @@
 use crate::server::InstallRecord;
 use crate::shard::ShardedIngest;
 use racket_columnar::Dict;
-use racket_types::{AccountService, AppId, InstallId, ParticipantId};
+use racket_types::{AccountService, AppId, InstallId, ParticipantId, SimTime};
 
 /// Struct-of-arrays snapshot store over dictionary-encoded identifiers.
 ///
@@ -57,6 +57,13 @@ pub struct ColumnarSnapshots {
     app_installs: Vec<u64>,
     app_uninstalls: Vec<u64>,
     last_uninstall: Vec<u64>,
+
+    // CSR per-(install, monitored install event), in event-vector order.
+    // The campaign detector's batch path rebuilds its shingle sets from
+    // these two parallel columns (ARCHITECTURE.md §10).
+    ev_offsets: Vec<u32>,
+    ev_app_codes: Vec<u32>,
+    ev_times: Vec<u64>,
 
     // CSR per-(install, account): the service of each registered account.
     account_offsets: Vec<u32>,
@@ -91,6 +98,7 @@ impl ColumnarSnapshots {
         let mut s = ColumnarSnapshots::default();
         s.app_offsets.push(0);
         s.account_offsets.push(0);
+        s.ev_offsets.push(0);
         s
     }
 
@@ -153,6 +161,16 @@ impl ColumnarSnapshots {
         }
         self.app_offsets
             .push(u32::try_from(self.app_codes.len()).expect("app column overflow"));
+
+        // Monitored install events, in event-vector (arrival) order. The
+        // apps are already in the dictionary: every event's app has an
+        // entry in `r.apps` and was encoded by the loop above.
+        for &(app, t) in &r.install_events {
+            self.ev_app_codes.push(self.apps.encode(app));
+            self.ev_times.push(t.as_secs());
+        }
+        self.ev_offsets
+            .push(u32::try_from(self.ev_app_codes.len()).expect("event column overflow"));
 
         for account in &r.accounts {
             self.service_codes
@@ -236,6 +254,25 @@ impl ColumnarSnapshots {
         })
     }
 
+    /// Monitored install events of one install, in event-vector order —
+    /// the batch input to campaign-sketch rebuilds.
+    pub fn install_events_of(&self, code: u32) -> impl Iterator<Item = (AppId, SimTime)> + '_ {
+        let lo = self.ev_offsets[code as usize] as usize;
+        let hi = self.ev_offsets[code as usize + 1] as usize;
+        (lo..hi).map(move |k| {
+            (
+                self.apps.value(self.ev_app_codes[k]),
+                SimTime::from_secs(self.ev_times[k]),
+            )
+        })
+    }
+
+    /// Total monitored install events across all installs (event CSR
+    /// payload length).
+    pub fn n_install_events(&self) -> usize {
+        self.ev_app_codes.len()
+    }
+
     /// Account services registered on one install, in snapshot order.
     pub fn services_of(&self, code: u32) -> impl Iterator<Item = AccountService> + '_ {
         let lo = self.account_offsets[code as usize] as usize;
@@ -253,8 +290,10 @@ impl ColumnarSnapshots {
                 + size_of::<u32>()
                 + size_of::<f64>()
                 + 2 * size_of::<u64>())
-            + (self.app_offsets.len() + self.account_offsets.len()) * size_of::<u32>()
+            + (self.app_offsets.len() + self.account_offsets.len() + self.ev_offsets.len())
+                * size_of::<u32>()
             + self.app_codes.len() * (size_of::<u32>() + 4 * size_of::<u64>())
+            + self.ev_app_codes.len() * (size_of::<u32>() + size_of::<u64>())
             + self.service_codes.len() * size_of::<u32>()
     }
 }
@@ -329,7 +368,25 @@ mod tests {
                 columnar.event_totals(code),
                 (r.stream.n_install_events, r.stream.n_uninstall_events)
             );
+            let events: Vec<(AppId, SimTime)> = columnar.install_events_of(code).collect();
+            assert_eq!(events, r.install_events);
         }
+    }
+
+    /// A campaign sketch rebuilt from the install-event columns equals
+    /// the sketch the streaming fold maintained inside the record — the
+    /// batch side of the batch ≡ incremental contract, at the unit level.
+    #[test]
+    fn event_columns_rebuild_the_streaming_sketch() {
+        let (records, columnar) = ingest_fixture().columnarize();
+        for (code, r) in records.iter().enumerate() {
+            let mut rebuilt = racket_campaign::CampaignSketch::default();
+            for (app, t) in columnar.install_events_of(code as u32) {
+                rebuilt.observe(app, t);
+            }
+            assert_eq!(&rebuilt, r.stream.campaign());
+        }
+        assert!(columnar.n_install_events() > 0);
     }
 
     #[test]

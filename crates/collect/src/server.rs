@@ -137,7 +137,7 @@ impl InstallRecord {
                             // after monitoring began count as events.
                             if info.install_time >= self.first_seen {
                                 self.install_events.push((info.app, info.install_time));
-                                self.stream.note_install(info.app);
+                                self.stream.note_install(info.app, info.install_time);
                             }
                             self.installed_now.insert(info.app);
                             self.apps.insert(info.app, info.clone());

@@ -15,6 +15,7 @@
 //! Everything here is an exact integer/latch aggregate (no floats), which
 //! is what lets the streaming feature vectors match batch bit-for-bit.
 
+use racket_campaign::CampaignSketch;
 use racket_types::{AppId, SimTime};
 use std::collections::HashMap;
 
@@ -60,6 +61,12 @@ pub struct StreamAggregates {
     pub n_install_events: u64,
     /// Total uninstall events (equals `uninstall_events.len()`).
     pub n_uninstall_events: u64,
+    /// Lockstep-detection sketch over the install events (shingle set,
+    /// MinHash signature, exact event set — ARCHITECTURE.md §10). Folded
+    /// at the same program point as `n_install_events`, so it is equal to
+    /// the batch rebuild from the install-event column family by
+    /// construction. Never enters feature vectors or fingerprints.
+    campaign: CampaignSketch,
 }
 
 impl StreamAggregates {
@@ -88,11 +95,18 @@ impl StreamAggregates {
         self.per_app.is_empty() && self.n_install_events == 0 && self.n_uninstall_events == 0
     }
 
+    /// The campaign (lockstep-detection) sketch folded so far.
+    pub fn campaign(&self) -> &CampaignSketch {
+        &self.campaign
+    }
+
     /// Fold one monitored install event (called exactly when the record
-    /// pushes onto `install_events`).
-    pub fn note_install(&mut self, app: AppId) {
+    /// pushes onto `install_events`; `t` is the event's install time, the
+    /// same value the event vector records).
+    pub fn note_install(&mut self, app: AppId, t: SimTime) {
         self.per_app.entry(app).or_default().n_installs += 1;
         self.n_install_events += 1;
+        self.campaign.observe(app, t);
     }
 
     /// Fold one uninstall event (called exactly when the record pushes
@@ -123,6 +137,7 @@ impl StreamAggregates {
         }
         self.n_install_events += other.n_install_events;
         self.n_uninstall_events += other.n_uninstall_events;
+        self.campaign.merge(&other.campaign);
     }
 }
 
@@ -136,8 +151,8 @@ mod tests {
     #[test]
     fn folds_accumulate_per_app() {
         let mut s = StreamAggregates::new();
-        s.note_install(A);
-        s.note_install(A);
+        s.note_install(A, SimTime::from_secs(10));
+        s.note_install(A, SimTime::from_secs(11));
         s.note_uninstall(A, SimTime::from_secs(50));
         s.note_uninstall(A, SimTime::from_secs(20)); // out of order: latch keeps max
         s.note_foreground(B);
@@ -154,11 +169,11 @@ mod tests {
     #[test]
     fn merge_is_commutative_with_identity() {
         let mut x = StreamAggregates::new();
-        x.note_install(A);
+        x.note_install(A, SimTime::from_secs(1));
         x.note_foreground(A);
         let mut y = StreamAggregates::new();
         y.note_uninstall(A, SimTime::from_secs(9));
-        y.note_install(B);
+        y.note_install(B, SimTime::from_secs(2));
 
         let mut xy = x.clone();
         xy.merge(&y);
@@ -167,6 +182,8 @@ mod tests {
         assert_eq!(xy.app(A), yx.app(A));
         assert_eq!(xy.app(B), yx.app(B));
         assert_eq!(xy.n_install_events, yx.n_install_events);
+        assert_eq!(xy.campaign(), yx.campaign());
+        assert_eq!(xy.campaign().events().count(), 2);
 
         let mut with_id = x.clone();
         with_id.merge(&StreamAggregates::new());

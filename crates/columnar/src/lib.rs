@@ -71,9 +71,11 @@ pub mod column;
 pub mod dict;
 pub mod hist;
 pub mod kernel;
+pub mod shingle;
 
 pub use arena::ScratchArena;
 pub use column::{ColumnMatrix, FlatMatrix};
 pub use dict::Dict;
 pub use hist::{bin_column, BinnedColumn, GradHistogram};
 pub use kernel::{sort_pairs, sq_dist, SortPair};
+pub use shingle::{pack_shingle, shingle_set, unpack_shingle};

@@ -1,0 +1,100 @@
+//! App-time shingle extraction kernels.
+//!
+//! The campaign detector (ARCHITECTURE.md §10) summarises a device's
+//! monitored install activity as a set of *shingles*: `(app, time-bucket)`
+//! pairs packed into one `u64`. Packing lives here — next to the other
+//! columnar kernels — because the batch detector extracts shingles
+//! straight out of the install-event column family of
+//! `ColumnarSnapshots`, and the kernel must be shared bit-for-bit with
+//! the incremental fold in `racket-collect` for the batch ≡ incremental
+//! contract to hold.
+//!
+//! The packed layout is `app_code << 32 | bucket`, where
+//! `bucket = t_secs / bucket_secs`. Both halves are `u32`-ranged by
+//! construction: app identifiers are dense `u32`s throughout the
+//! pipeline, and a `u32` bucket index covers > 8 000 simulated years at
+//! the coarsest supported granularity (1 s buckets still cover the whole
+//! study window of any realistic configuration; callers assert via
+//! [`pack_shingle`]'s debug checks).
+
+/// Pack one `(app, time)` observation into a shingle.
+///
+/// `bucket_secs` must be non-zero. The bucket index must fit in 32 bits
+/// (checked in debug builds); all simulator timestamps are far below
+/// that at the default 6-hour granularity.
+#[inline]
+pub fn pack_shingle(app: u32, t_secs: u64, bucket_secs: u64) -> u64 {
+    debug_assert!(bucket_secs > 0, "bucket_secs must be non-zero");
+    let bucket = t_secs / bucket_secs;
+    debug_assert!(bucket <= u32::MAX as u64, "bucket index overflows u32");
+    ((app as u64) << 32) | (bucket & 0xFFFF_FFFF)
+}
+
+/// Recover `(app, bucket_index)` from a packed shingle.
+#[inline]
+pub fn unpack_shingle(s: u64) -> (u32, u32) {
+    ((s >> 32) as u32, (s & 0xFFFF_FFFF) as u32)
+}
+
+/// Extract the sorted, deduplicated shingle set of one device from
+/// parallel `(app, time)` event columns.
+///
+/// This is the batch-side extraction kernel: `apps` and `times` are the
+/// slices of the install-event column family for one install record.
+/// `out` is cleared first so callers can reuse one scratch buffer across
+/// records. The result is ascending and unique — the canonical shingle
+/// order every consumer (MinHash folds, exact-Jaccard scans) iterates in.
+pub fn shingle_set(apps: &[u32], times: &[u64], bucket_secs: u64, out: &mut Vec<u64>) {
+    assert_eq!(apps.len(), times.len(), "event columns must be parallel");
+    out.clear();
+    out.extend(
+        apps.iter()
+            .zip(times)
+            .map(|(&a, &t)| pack_shingle(a, t, bucket_secs)),
+    );
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let s = pack_shingle(7, 100_000, 21_600);
+        assert_eq!(unpack_shingle(s), (7, 100_000 / 21_600));
+        assert_eq!(unpack_shingle(pack_shingle(u32::MAX, 0, 1)), (u32::MAX, 0));
+    }
+
+    #[test]
+    fn same_bucket_same_shingle() {
+        let b = 21_600;
+        assert_eq!(pack_shingle(3, 0, b), pack_shingle(3, b - 1, b));
+        assert_ne!(pack_shingle(3, b - 1, b), pack_shingle(3, b, b));
+        assert_ne!(pack_shingle(3, 0, b), pack_shingle(4, 0, b));
+    }
+
+    proptest! {
+        #[test]
+        fn shingle_set_is_sorted_unique_and_complete(
+            events in proptest::collection::vec((0u32..50, 0u64..2_000_000), 0..80),
+            bucket_secs in 1u64..100_000,
+        ) {
+            let apps: Vec<u32> = events.iter().map(|e| e.0).collect();
+            let times: Vec<u64> = events.iter().map(|e| e.1).collect();
+            let mut out = vec![0xDEAD]; // stale scratch must be cleared
+            shingle_set(&apps, &times, bucket_secs, &mut out);
+
+            let mut naive: Vec<u64> = events
+                .iter()
+                .map(|&(a, t)| pack_shingle(a, t, bucket_secs))
+                .collect();
+            naive.sort_unstable();
+            naive.dedup();
+            prop_assert_eq!(&out, &naive);
+            prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

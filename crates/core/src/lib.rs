@@ -26,10 +26,16 @@
 //!    directly from the streaming feature state the study maintained at
 //!    ingest time — bitwise-equal to a batch re-scan, at a fraction of
 //!    the end-of-study latency.
+//! 7. [`campaign`] — §7.3: coordinated-campaign (lockstep) detection.
+//!    The study reports campaigns incrementally from ingest-time sketches;
+//!    [`campaign::batch_report`] recomputes the identical report from the
+//!    columnar install-event family, and [`campaign::evaluate`] scores
+//!    either against the fleet's scheduled ground truth.
 
 #![deny(missing_docs)]
 
 pub mod app_classifier;
+pub mod campaign;
 pub mod device_classifier;
 pub mod labeling;
 pub mod measurements;
@@ -37,6 +43,7 @@ pub mod scoring;
 pub mod study;
 
 pub use app_classifier::{AppClassifierReport, AppUsageDataset};
+pub use campaign::{batch_report, evaluate, membership, CampaignEval};
 pub use device_classifier::{DeviceClassifierReport, OrganicSplit};
 pub use labeling::{AppLabels, LabelingConfig};
 pub use measurements::MeasurementReport;

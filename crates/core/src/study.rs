@@ -9,7 +9,11 @@
 //! in lane order (review posts) — so the output is a pure function of the
 //! configuration, never of the worker-thread count.
 
-use racket_agents::{apply_action_collecting, stream_seed, Fleet, FleetConfig, TimelineAction};
+use racket_agents::{
+    apply_action_collecting, campaign::directive_rating, stream_seed, Action, Fleet, FleetConfig,
+    TimelineAction,
+};
+use racket_campaign::{detect, CampaignReport, CampaignSketch, DetectorConfig};
 use racket_collect::wire::Message;
 use racket_collect::{
     coalesce_installs, AsyncCollectServer, AsyncServerConfig, CandidateInstall, CollectionServer,
@@ -148,6 +152,15 @@ pub struct StudyOutput {
     pub server_stats: racket_collect::server::ServerStats,
     /// Number of physical devices recovered by fingerprint coalescing.
     pub coalesced_devices: usize,
+    /// Coordinated-campaign detection report, computed *incrementally*:
+    /// the detector runs over the lockstep sketches the streaming engine
+    /// folded at ingest time, with no re-scan of the event vectors
+    /// (ARCHITECTURE.md §10). `racketstore::campaign::batch_report`
+    /// recomputes the same report from the columnar install-event family;
+    /// the equivalence suite pins them byte-identical. Excluded from
+    /// output fingerprints (like `metrics`/`obs`, it is a derived
+    /// analysis, not collected data).
+    pub campaigns: CampaignReport,
     /// Pipeline wall-time and throughput metrics for this run
     /// (a [`PipelineMetrics::from_snapshot`] projection of `obs`). The
     /// only thread-count-dependent part of the output.
@@ -546,12 +559,28 @@ impl Study {
         }
         drop(assemble_span);
 
+        // Incremental campaign detection: the per-install lockstep
+        // sketches were folded at ingest (StreamAggregates::note_install),
+        // so the detector reads them straight off the records — no event
+        // re-scan. The batch path (`crate::campaign::batch_report`)
+        // rebuilds the same sketches from the columnar install-event
+        // family; both feed the identical `detect` kernel.
+        let campaigns = {
+            let _span = obs.span(keys::SPAN_CAMPAIGN_INCREMENTAL);
+            let inputs: Vec<(racket_types::InstallId, &CampaignSketch)> = observations
+                .iter()
+                .map(|o| (o.record.install_id, o.record.stream.campaign()))
+                .collect();
+            detect(&inputs, &DetectorConfig::default(), Some(&obs))
+        };
+
         let metrics = PipelineMetrics::from_snapshot(&obs.snapshot());
         StudyOutput {
             observations,
             streaming,
             truth,
             columnar,
+            campaigns,
             reviews_crawled: crawler.total_collected(),
             server_stats: server.stats(),
             coalesced_devices,
@@ -577,10 +606,45 @@ impl Study {
         if !lane.dev.monitoring.contains(day_start) {
             return reviews;
         }
-        let actions: Vec<TimelineAction> =
+        let mut actions: Vec<TimelineAction> =
             lane.dev
                 .agent
                 .plan_day(&lane.dev.device, catalog, day_start, horizon, &mut lane.rng);
+        // Merge campaign jobs due inside this planning day. Directives are
+        // precomputed on the campaign RNG stream (never the lane stream),
+        // so injection shifts no organic draw; a stable sort keeps the
+        // organic order on time ties, with directives after.
+        if !lane.dev.directives.is_empty() {
+            let plan_end = day_start + SimDuration::from_days(1);
+            let due = |t: SimTime| t >= day_start && t < plan_end;
+            let idents = lane.dev.agent.gmail_identities();
+            let mut injected = Vec::new();
+            for d in &lane.dev.directives {
+                if due(d.install_at) {
+                    injected.push(TimelineAction {
+                        time: d.install_at,
+                        action: Action::Install { app: d.app },
+                    });
+                }
+                if let Some(at) = d.review_at.filter(|&t| due(t)) {
+                    if let Some(&(account, google_id)) =
+                        idents.get(d.account_slot as usize % idents.len().max(1))
+                    {
+                        injected.push(TimelineAction {
+                            time: at,
+                            action: Action::Review {
+                                app: d.app,
+                                account,
+                                google_id,
+                                rating: directive_rating(d),
+                            },
+                        });
+                    }
+                }
+            }
+            actions.extend(injected);
+            actions.sort_by_key(|ta| ta.time);
+        }
         let day_end = (day_start + SimDuration::from_days(1)).min(lane.dev.monitoring.end);
         for ta in &actions {
             if ta.time >= day_end {

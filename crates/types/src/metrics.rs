@@ -100,6 +100,21 @@ pub mod keys {
     pub const FAULT_DISCONNECTED: &str = "fault.disconnected";
     /// Counter: injected indefinite stalls.
     pub const FAULT_STALLED: &str = "fault.stalled";
+    /// Span: campaign detection over the incremental (streaming) sketches
+    /// at study-assemble time.
+    pub const SPAN_CAMPAIGN_INCREMENTAL: &str = "campaign/incremental";
+    /// Span: batch campaign-sketch rebuild from the install-event column
+    /// family of the columnar store.
+    pub const SPAN_CAMPAIGN_SHINGLE: &str = "campaign/shingle";
+    /// Span: LSH banding pass proposing candidate device pairs.
+    pub const SPAN_CAMPAIGN_LSH: &str = "campaign/lsh";
+    /// Span: exact Jaccard + temporal co-occurrence scoring of candidates.
+    pub const SPAN_CAMPAIGN_SCORE: &str = "campaign/score";
+    /// Span: greedy quasi-clique mining over the co-occurrence graph.
+    pub const SPAN_CAMPAIGN_MINE: &str = "campaign/mine";
+    /// Counter: distinct shingles folded by campaign detection (batch
+    /// rebuild path; the throughput denominator for the bench floor).
+    pub const CAMPAIGN_SHINGLES: &str = "campaign.shingles";
 }
 
 /// Per-class counts of transport faults injected by a chaos run.

@@ -9,7 +9,7 @@ for bin in table1_app_classifier table2_device_classifier table3_pii \
            fig10_apps_used fig11_permissions fig12_malware \
            fig13_app_importance fig14_device_importance fig15_organic_split \
            ablation_sampling_app ablation_sampling_device appendix_a_fingerprint \
-           ablation_features study_summary evasion_cost; do
+           ablation_features study_summary evasion_cost campaign_table; do
   echo "=== $bin ==="
   RACKET_SCALE=${RACKET_SCALE:-paper} cargo run --release -q -p racket-bench --bin "$bin" \
     2>target/experiments/logs/$bin.err | tee target/experiments/logs/$bin.out

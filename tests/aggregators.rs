@@ -255,27 +255,36 @@ fn gap_append_rejects_out_of_order_ranges() {
 }
 
 /// Canonical view of a [`StreamAggregates`] for equality checks (its
-/// internal map is a `HashMap`; render in sorted order).
-fn canon(s: &StreamAggregates) -> (Vec<(AppId, AppStream)>, u64, u64) {
+/// internal map is a `HashMap`; render in sorted order). The campaign
+/// sketch rides along so the merge algebra is pinned for it too.
+fn canon(
+    s: &StreamAggregates,
+) -> (
+    Vec<(AppId, AppStream)>,
+    u64,
+    u64,
+    racket_campaign::CampaignSketch,
+) {
     let per_app: BTreeMap<AppId, AppStream> = s.apps().map(|(k, v)| (*k, *v)).collect();
     (
         per_app.into_iter().collect(),
         s.n_install_events,
         s.n_uninstall_events,
+        s.campaign().clone(),
     )
 }
 
 /// One ingest-time event against a [`StreamAggregates`].
 #[derive(Debug, Clone, Copy)]
 enum Op {
-    Install(u8),
+    Install(u8, u32),
     Uninstall(u8, u32),
     Foreground(u8),
 }
 
 fn apply(s: &mut StreamAggregates, op: Op) {
     match op {
-        Op::Install(app) => s.note_install(AppId(app as u32)),
+        Op::Install(app, t) => s.note_install(AppId(app as u32), SimTime::from_secs(t as u64)),
         Op::Uninstall(app, t) => s.note_uninstall(AppId(app as u32), SimTime::from_secs(t as u64)),
         Op::Foreground(app) => s.note_foreground(AppId(app as u32)),
     }
@@ -283,7 +292,7 @@ fn apply(s: &mut StreamAggregates, op: Op) {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u8..6).prop_map(Op::Install),
+        (0u8..6, any::<u32>()).prop_map(|(a, t)| Op::Install(a, t)),
         (0u8..6, any::<u32>()).prop_map(|(a, t)| Op::Uninstall(a, t)),
         (0u8..6).prop_map(Op::Foreground),
     ]

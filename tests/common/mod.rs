@@ -184,6 +184,32 @@ pub fn assert_stream_equals_batch(out: &StudyOutput, context: &str) {
     }
 }
 
+/// Canonical fingerprint of a study's campaign-detection report: the
+/// incremental report carried on the output plus the batch recomputation
+/// from the columnar install-event family, rendered through
+/// `CampaignReport::fingerprint` (densities as exact `f64` bit patterns).
+/// The equivalence suite compares this string across thread counts and
+/// delivery paths.
+pub fn campaign_fingerprint(out: &StudyOutput) -> String {
+    format!(
+        "incremental:{}\nbatch:{}",
+        out.campaigns.fingerprint(),
+        racketstore::campaign::batch_report(out).fingerprint()
+    )
+}
+
+/// [`small_config`] with `n` coordinated campaigns scheduled under the
+/// given pacing — the configuration of the lockstep-detection suites.
+pub fn campaign_config(
+    path: CollectionPath,
+    n: usize,
+    pacing: racket_agents::PacingStrategy,
+) -> StudyConfig {
+    let mut config = small_config(path);
+    config.fleet.campaigns = racket_agents::CampaignConfig::with(n, pacing);
+    config
+}
+
 /// Run `f` with the rayon worker-thread count pinned through the
 /// process-global `RAYON_NUM_THREADS` variable. Callers that pin threads
 /// must run their scenarios inside a single `#[test]` — concurrent tests
