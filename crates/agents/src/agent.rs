@@ -186,6 +186,11 @@ pub struct DeviceAgent {
     /// Apps this device has already reviewed-or-scheduled, to respect the
     /// one-review-per-(account, app) rule cheaply.
     promoted_done: Vec<AppId>,
+    /// Reused working copy of `gmail` for per-job account shuffles, so
+    /// scheduling a promo job stops cloning the account list. Holds the
+    /// exact bytes the clone held, so the shuffle consumes identical RNG
+    /// draws.
+    account_scratch: Vec<(AccountId, GoogleId)>,
 }
 
 impl DeviceAgent {
@@ -222,6 +227,7 @@ impl DeviceAgent {
             gmail: Vec::new(),
             pending: BinaryHeap::new(),
             promoted_done: Vec::new(),
+            account_scratch: Vec::new(),
         }
     }
 
@@ -335,9 +341,11 @@ impl DeviceAgent {
             return;
         }
         let k = self.accounts_per_job(rng);
-        let mut accounts = self.gmail.clone();
-        accounts.shuffle(rng);
-        for &(account, google_id) in accounts.iter().take(k) {
+        self.account_scratch.clear();
+        self.account_scratch.extend_from_slice(&self.gmail);
+        self.account_scratch.shuffle(rng);
+        for idx in 0..k.min(self.account_scratch.len()) {
+            let (account, google_id) = self.account_scratch[idx];
             if !rng.gen_bool(self.params.promo_review_prob) {
                 continue;
             }
@@ -520,9 +528,11 @@ impl DeviceAgent {
                 }
                 let k = self.accounts_per_job(rng);
                 let t_install = SimTime::from_secs(rng.gen_range(0..history_secs));
-                let mut accounts = self.gmail.clone();
-                accounts.shuffle(rng);
-                for &(account, google_id) in accounts.iter().take(k) {
+                self.account_scratch.clear();
+                self.account_scratch.extend_from_slice(&self.gmail);
+                self.account_scratch.shuffle(rng);
+                for idx in 0..k.min(self.account_scratch.len()) {
+                    let (account, google_id) = self.account_scratch[idx];
                     if !rng.gen_bool(self.params.promo_review_prob) {
                         continue;
                     }
@@ -563,6 +573,11 @@ impl DeviceAgent {
     /// Plan one day `[day_start, day_start + 1d)` of actions against the
     /// device's current state. Install actions schedule their future
     /// reviews; reviews already due today are emitted as actions.
+    ///
+    /// Convenience wrapper over [`DeviceAgent::plan_day_into`] with a
+    /// throwaway [`crate::lane::LaneScratch`]; the study driver holds a
+    /// persistent scratch per lane instead. Both go through the same
+    /// planning code, so their RNG draws and output are identical.
     pub fn plan_day(
         &mut self,
         device: &racket_device::Device,
@@ -571,7 +586,28 @@ impl DeviceAgent {
         horizon: SimTime,
         rng: &mut impl Rng,
     ) -> Vec<TimelineAction> {
-        let mut actions = Vec::new();
+        let mut scratch = crate::lane::LaneScratch::new();
+        scratch.seed_indexes(device, catalog, self.params.persona);
+        self.plan_day_into(device, catalog, day_start, horizon, rng, &mut scratch);
+        scratch.actions
+    }
+
+    /// [`DeviceAgent::plan_day`] writing into caller-owned scratch: the
+    /// plan lands in `scratch.actions` (cleared first), the uninstall and
+    /// open pools are read from `scratch`'s incremental indexes instead of
+    /// being rebuilt from the device, and `scratch.shuffle` carries the
+    /// uninstall shuffle. Steady state allocates nothing.
+    pub fn plan_day_into(
+        &mut self,
+        device: &racket_device::Device,
+        catalog: &AppCatalog,
+        day_start: SimTime,
+        horizon: SimTime,
+        rng: &mut impl Rng,
+        scratch: &mut crate::lane::LaneScratch,
+    ) {
+        scratch.actions.clear();
+        let actions = &mut scratch.actions;
         let day_secs = 86_400u64;
         fn t_in_day(day_start: SimTime, day_secs: u64, rng: &mut impl Rng) -> SimTime {
             SimTime::from_secs(day_start.as_secs() + rng.gen_range(0..day_secs))
@@ -624,39 +660,34 @@ impl DeviceAgent {
             }
         }
 
-        // Uninstalls of current user apps.
-        let removable: Vec<AppId> = device
-            .installed_apps()
-            .filter(|a| !a.preinstalled)
-            .map(|a| a.app)
-            .collect();
+        // Uninstalls of current user apps: the scratch's incremental
+        // removable index holds the same ascending app set the old
+        // per-day `filter().collect()` rebuild produced, and the shuffle
+        // runs on a working copy so the index stays canonical.
         // Base uninstall flow plus capacity pressure: anything over the
         // device's soft capacity is shed the same day.
         let over_capacity = (device.installed_count() as u64 + n_installs)
             .saturating_sub(self.profile.capacity.max(10));
-        let n_uninstalls =
-            (poisson(rng, self.profile.uninstall_rate) + over_capacity).min(removable.len() as u64);
-        let mut removable = removable;
-        removable.shuffle(rng);
-        for &app in removable.iter().take(n_uninstalls as usize) {
+        let n_uninstalls = (poisson(rng, self.profile.uninstall_rate) + over_capacity)
+            .min(scratch.removable.len() as u64);
+        scratch.shuffle.clear();
+        scratch.shuffle.extend_from_slice(&scratch.removable);
+        scratch.shuffle.shuffle(rng);
+        for idx in 0..n_uninstalls as usize {
+            let app = scratch.shuffle[idx];
             actions.push(TimelineAction {
                 time: t_in_day(day_start, day_secs, rng),
                 action: Action::Uninstall { app },
             });
         }
 
-        // App-open sessions on already-installed apps (personal usage).
-        let openable: Vec<AppId> = device
-            .installed_apps()
-            .filter(|a| {
-                !catalog.promoted_apps().contains(&a.app) || self.params.persona == Persona::Regular
-            })
-            .map(|a| a.app)
-            .collect();
-        if !openable.is_empty() {
+        // App-open sessions on already-installed apps (personal usage),
+        // drawn from the incremental openable index (same content and
+        // order as the rebuild it replaces, so `choose` draws match).
+        if !scratch.openable.is_empty() {
             let n_opens = poisson(rng, self.profile.open_rate);
             for _ in 0..n_opens {
-                let app = *openable.choose(rng).expect("non-empty");
+                let app = *scratch.openable.choose(rng).expect("non-empty");
                 let t = t_in_day(day_start, day_secs, rng);
                 let secs = rng.gen_range(20..1_200);
                 actions.push(TimelineAction {
@@ -690,7 +721,6 @@ impl DeviceAgent {
         }
 
         actions.sort_by_key(|a| a.time);
-        actions
     }
 }
 

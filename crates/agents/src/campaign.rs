@@ -16,9 +16,10 @@
 //! count, and byte-identical across the direct / wire / async delivery
 //! paths (pinned by `tests/campaign_equivalence.rs`).
 
+use crate::agent::{Action, TimelineAction};
 use crate::fleet::{stream_seed, FleetConfig};
 use racket_playstore::AppCatalog;
-use racket_types::{AppId, Rating, SimDuration, SimTime};
+use racket_types::{AccountId, AppId, GoogleId, Rating, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -241,6 +242,47 @@ impl CampaignPlan {
 /// The rating object for a directive (`stars` is always 4 or 5).
 pub fn directive_rating(d: &CampaignDirective) -> Rating {
     Rating::new(d.stars).expect("campaign stars are valid")
+}
+
+/// Expand a device's directive list into timeline actions, stably sorted
+/// by time — the lane-setup half of the study driver's directive cursor.
+///
+/// Each directive yields an install action and (when the job includes a
+/// review and the device has Gmail identities) a review action from the
+/// identity at `account_slot` modulo the identity count. Expansion order
+/// follows the directive list, so after the stable time sort, actions at
+/// equal times keep directive order — exactly what the per-day scan this
+/// replaces produced. The plan is sliced per day by a cursor; merging a
+/// slice into a day's organic actions and stable-sorting reproduces the
+/// old scan-every-day injection byte for byte, RNG-free on both sides.
+pub fn expand_directives(
+    directives: &[CampaignDirective],
+    idents: &[(AccountId, GoogleId)],
+) -> Vec<TimelineAction> {
+    let mut plan = Vec::with_capacity(directives.len() * 2);
+    for d in directives {
+        plan.push(TimelineAction {
+            time: d.install_at,
+            action: Action::Install { app: d.app },
+        });
+        if let Some(at) = d.review_at {
+            if let Some(&(account, google_id)) =
+                idents.get(d.account_slot as usize % idents.len().max(1))
+            {
+                plan.push(TimelineAction {
+                    time: at,
+                    action: Action::Review {
+                        app: d.app,
+                        account,
+                        google_id,
+                        rating: directive_rating(d),
+                    },
+                });
+            }
+        }
+    }
+    plan.sort_by_key(|ta| ta.time);
+    plan
 }
 
 #[cfg(test)]

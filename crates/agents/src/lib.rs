@@ -26,6 +26,7 @@ pub mod agent;
 pub mod campaign;
 pub mod dist;
 pub mod fleet;
+pub mod lane;
 pub mod params;
 
 pub use agent::{
@@ -33,9 +34,10 @@ pub use agent::{
     TimelineAction,
 };
 pub use campaign::{
-    CampaignConfig, CampaignDirective, CampaignPlan, CampaignSpec, PacingStrategy,
-    CAMPAIGN_STREAM_SALT,
+    expand_directives, CampaignConfig, CampaignDirective, CampaignPlan, CampaignSpec,
+    PacingStrategy, CAMPAIGN_STREAM_SALT,
 };
 pub use dist::{ClampedLogNormal, DelayMixture};
 pub use fleet::{stream_seed, Fleet, FleetConfig, PersonaOverrides, StudyDevice};
+pub use lane::LaneScratch;
 pub use params::PersonaParams;

@@ -151,6 +151,15 @@ pub const MID_ANALYZE_MAX_SECS: f64 = 0.87;
 /// Set well below measured rates so only an order-of-magnitude
 /// regression trips it.
 pub const MID_CAMPAIGN_MIN_SHINGLES_PER_SEC: f64 = 250_000.0;
+/// Ceiling on the `mid` run's `simulate` stage wall time, in seconds.
+///
+/// The allocation-free lane engine's performance contract: the
+/// pre-overhaul driver (per-day index rebuilds, fresh snapshot vectors
+/// per poll, per-crawl `HashSet` rebuilds, per-day directive scans)
+/// spent 4.51 s simulating the mid-scale study, so holding the stage
+/// under 1.50 s enforces the promised ≥ 3× on every future regeneration
+/// of `BENCH_pipeline.json`.
+pub const MID_SIMULATE_MAX_SECS: f64 = 1.50;
 
 /// Parse and sanity-check an emitted `BENCH_pipeline.json`.
 ///
@@ -247,6 +256,23 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
                 return Err(format!(
                     "mid run spends {analyze_secs:.3} s in analyze/*, above the \
                      {MID_ANALYZE_MAX_SECS} s columnar-engine ceiling"
+                ));
+            }
+            // The lane engine's wall-clock contract: the simulate stage
+            // (the parallel per-device day loop) must hold the ≥ 3×
+            // speedup the allocation-free overhaul bought.
+            let simulate_secs = run
+                .stages
+                .get(keys::SPAN_SIMULATE)
+                .map(|s| s.wall_secs)
+                .unwrap_or(0.0);
+            if simulate_secs <= 0.0 {
+                return Err("mid run reports no simulate wall time".to_string());
+            }
+            if simulate_secs > MID_SIMULATE_MAX_SECS {
+                return Err(format!(
+                    "mid run spends {simulate_secs:.3} s in simulate, above the \
+                     {MID_SIMULATE_MAX_SECS} s lane-engine ceiling"
                 ));
             }
             // The lockstep detector's hot-path contract: shingle folding
@@ -395,9 +421,14 @@ mod tests {
         let mut ok = BenchReport::new();
         ok.runs
             .push(run_report("mid", "direct", 240, &plausible_snapshot()));
-        // plausible_snapshot records 2 s in each analyze span — push the
-        // two scoring stages under the ceiling first.
-        for stage in [keys::SPAN_SCORE_BATCH, keys::SPAN_SCORE_STREAM] {
+        // plausible_snapshot records 2 s in each span — push the two
+        // scoring stages and the simulate stage under their ceilings
+        // first.
+        for stage in [
+            keys::SPAN_SCORE_BATCH,
+            keys::SPAN_SCORE_STREAM,
+            keys::SPAN_SIMULATE,
+        ] {
             ok.runs[0].stages.get_mut(stage).unwrap().wall_secs = 0.05;
         }
         validate(&serde_json::to_string(&ok).unwrap()).expect("fast mid run validates");
@@ -420,6 +451,44 @@ mod tests {
         test_run.runs[0]
             .stages
             .get_mut(keys::SPAN_SCORE_BATCH)
+            .unwrap()
+            .wall_secs = 100.0;
+        validate(&serde_json::to_string(&test_run).unwrap()).expect("test runs have no ceiling");
+    }
+
+    #[test]
+    fn validate_holds_mid_runs_to_the_simulate_ceiling() {
+        // A mid run with every stage under its ceiling validates.
+        let mut ok = BenchReport::new();
+        ok.runs
+            .push(run_report("mid", "direct", 240, &plausible_snapshot()));
+        for stage in [
+            keys::SPAN_SCORE_BATCH,
+            keys::SPAN_SCORE_STREAM,
+            keys::SPAN_SIMULATE,
+        ] {
+            ok.runs[0].stages.get_mut(stage).unwrap().wall_secs = 0.05;
+        }
+        validate(&serde_json::to_string(&ok).unwrap()).expect("fast mid run validates");
+
+        // The same run with a slow simulate stage is rejected.
+        let mut slow = ok.clone();
+        slow.runs[0]
+            .stages
+            .get_mut(keys::SPAN_SIMULATE)
+            .unwrap()
+            .wall_secs = MID_SIMULATE_MAX_SECS + 1.0;
+        let err = validate(&serde_json::to_string(&slow).unwrap()).unwrap_err();
+        assert!(err.contains("lane-engine ceiling"), "{err}");
+
+        // Test-scale runs are exempt (noise-dominated).
+        let mut test_run = BenchReport::new();
+        test_run
+            .runs
+            .push(run_report("test", "wire", 60, &plausible_snapshot()));
+        test_run.runs[0]
+            .stages
+            .get_mut(keys::SPAN_SIMULATE)
             .unwrap()
             .wall_secs = 100.0;
         validate(&serde_json::to_string(&test_run).unwrap()).expect("test runs have no ceiling");

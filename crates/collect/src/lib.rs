@@ -64,7 +64,7 @@ pub mod wire;
 pub use async_server::{AsyncCollectServer, AsyncConn, AsyncServerConfig};
 pub use buffer::{DataBuffer, UploadFile};
 pub use codec::DecodeError;
-pub use collector::{CollectorConfig, SnapshotCollector};
+pub use collector::{CollectorConfig, SnapshotBatch, SnapshotCollector};
 pub use columnar::{AppEntry, ColumnarSnapshots, NEVER_UNINSTALLED};
 pub use fingerprint::{coalesce_installs, CandidateInstall, CoalescedDevice};
 pub use hash::{crc32, md5, sha256};

@@ -40,6 +40,37 @@ fn hash4(d: &[u8]) -> usize {
     (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
 }
 
+/// Length of the common prefix of `data[c..]` and `data[i..]`, capped at
+/// `max_len`. Requires `c < i` and `i + max_len <= data.len()`.
+///
+/// With `WIDE` the comparison runs eight bytes at a time: both reads stay
+/// in bounds (`l + 8 <= max_len` implies `i + l + 8 <= data.len()`, and
+/// `c < i` keeps the candidate read strictly earlier), and on a mismatch
+/// the first differing byte is recovered from the trailing zeros of the
+/// little-endian XOR — so the result is byte-for-byte the scalar answer,
+/// just computed a word at a time. The scalar variant is kept as the
+/// reference the property tests pin the wide path against.
+#[inline]
+fn match_len<const WIDE: bool>(data: &[u8], c: usize, i: usize, max_len: usize) -> usize {
+    debug_assert!(c < i && i + max_len <= data.len());
+    let mut l = 0usize;
+    if WIDE {
+        while l + 8 <= max_len {
+            let a = u64::from_le_bytes(data[c + l..c + l + 8].try_into().unwrap());
+            let b = u64::from_le_bytes(data[i + l..i + l + 8].try_into().unwrap());
+            let diff = a ^ b;
+            if diff != 0 {
+                return l + (diff.trailing_zeros() / 8) as usize;
+            }
+            l += 8;
+        }
+    }
+    while l < max_len && data[c + l] == data[i + l] {
+        l += 1;
+    }
+    l
+}
+
 /// Reusable compression state: the hash-chain `head`/`prev` arrays and a
 /// generation counter that invalidates `head` entries between runs without
 /// touching memory.
@@ -113,7 +144,7 @@ impl Workspace {
     /// Longest match for `data[i..]` among chained earlier positions.
     /// Returns `(length, distance)`; length 0 means no candidate.
     #[inline]
-    fn find_match(&self, data: &[u8], i: usize) -> (usize, usize) {
+    fn find_match<const WIDE: bool>(&self, data: &[u8], i: usize) -> (usize, usize) {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
         if i + MIN_MATCH > data.len() {
@@ -124,10 +155,7 @@ impl Workspace {
         let mut chain = 0;
         while cand != NIL && i - cand as usize <= WINDOW && chain < CHAIN_LIMIT {
             let c = cand as usize;
-            let mut l = 0;
-            while l < max_len && data[c + l] == data[i + l] {
-                l += 1;
-            }
+            let l = match_len::<WIDE>(data, c, i, max_len);
             if l > best_len {
                 best_len = l;
                 best_dist = i - c;
@@ -148,8 +176,22 @@ impl Workspace {
     /// Uses one-step lazy matching: when the position after a match start
     /// holds a strictly longer match, the first byte is emitted as a
     /// literal instead, improving ratio on snapshot streams at equal
-    /// speed.
+    /// speed. Match comparison runs eight bytes at a time; the output is
+    /// byte-identical to [`Workspace::compress_into_scalar`]
+    /// (property-tested in `tests/codec_props.rs`).
     pub fn compress_into(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        self.compress_impl::<true>(data, out);
+    }
+
+    /// Byte-at-a-time reference implementation of
+    /// [`Workspace::compress_into`]: same tokenizer, scalar match loop.
+    /// Exists so the wide-compare fast path has an in-tree oracle; not
+    /// used on any hot path.
+    pub fn compress_into_scalar(&mut self, data: &[u8], out: &mut Vec<u8>) {
+        self.compress_impl::<false>(data, out);
+    }
+
+    fn compress_impl<const WIDE: bool>(&mut self, data: &[u8], out: &mut Vec<u8>) {
         out.clear();
         if data.is_empty() {
             return;
@@ -179,7 +221,7 @@ impl Workspace {
         }
 
         while i < data.len() {
-            let (best_len, best_dist) = self.find_match(data, i);
+            let (best_len, best_dist) = self.find_match::<WIDE>(data, i);
 
             if best_len >= MIN_MATCH {
                 // One-step lazy matching: peek at i + 1 before committing.
@@ -188,7 +230,7 @@ impl Workspace {
                     self.insert(hash4(&data[i..]), i);
                 }
                 if best_len < MAX_MATCH {
-                    let (next_len, _) = self.find_match(data, i + 1);
+                    let (next_len, _) = self.find_match::<WIDE>(data, i + 1);
                     if next_len > best_len {
                         // The deferred match is strictly better: spend a
                         // literal and re-find it on the next iteration.
@@ -291,6 +333,14 @@ pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressE
     while i < data.len() {
         let flags = data[i];
         i += 1;
+        if flags == 0 && i + 8 <= data.len() {
+            // All eight tokens are literals: one bulk copy instead of
+            // eight pushes. (The tail of the stream may cover fewer than
+            // eight tokens, so the slow loop handles that case.)
+            out.extend_from_slice(&data[i..i + 8]);
+            i += 8;
+            continue;
+        }
         for bit in 0..8 {
             if i >= data.len() {
                 break;
@@ -312,10 +362,24 @@ pub fn decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), DecompressE
                     });
                 }
                 let start = out.len() - dist;
-                // Overlapping copies are legal (run-length style).
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Non-overlapping back-reference: one block copy.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping copy (run-length style): the output is
+                    // periodic with period `dist` from `start` on, so any
+                    // already-written chunk whose length is a multiple of
+                    // `dist` can be replayed. Doubling the chunk gives
+                    // O(log(len/dist)) block copies instead of `len`
+                    // byte-wise pushes.
+                    let mut remaining = len;
+                    let mut chunk = dist;
+                    while chunk < remaining {
+                        out.extend_from_within(start..start + chunk);
+                        remaining -= chunk;
+                        chunk *= 2;
+                    }
+                    out.extend_from_within(start..start + remaining);
                 }
             }
         }

@@ -10,15 +10,15 @@
 //! configuration, never of the worker-thread count.
 
 use racket_agents::{
-    apply_action_collecting, campaign::directive_rating, stream_seed, Action, Fleet, FleetConfig,
-    TimelineAction,
+    apply_action_collecting, expand_directives, stream_seed, Action, Fleet, FleetConfig,
+    LaneScratch, TimelineAction,
 };
 use racket_campaign::{detect, CampaignReport, CampaignSketch, DetectorConfig};
 use racket_collect::wire::Message;
 use racket_collect::{
     coalesce_installs, AsyncCollectServer, AsyncServerConfig, CandidateInstall, CollectionServer,
     CollectorConfig, ColumnarSnapshots, DataBuffer, FaultPlan, InstallRecord, RetryPolicy,
-    ShardedIngest, SnapshotCollector, WireLane,
+    ShardedIngest, SnapshotBatch, SnapshotCollector, WireLane,
 };
 use racket_features::{DeviceObservation, DeviceStreamState};
 use racket_obs::{span, LocalHistogram, Registry};
@@ -28,7 +28,7 @@ use racket_types::{AppId, Cohort, Persona, PipelineMetrics, Review, SimDuration,
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -194,6 +194,17 @@ struct DeviceLane {
     dev: racket_agents::StudyDevice,
     collector: SnapshotCollector,
     buffer: DataBuffer,
+    /// Reusable per-lane planning buffers and incremental app indexes:
+    /// steady-state lane-days allocate nothing (ARCHITECTURE.md §12).
+    scratch: LaneScratch,
+    /// Pooled snapshot batch the collector polls into; cleared (buffers
+    /// recycled) before every poll.
+    batch: SnapshotBatch,
+    /// The device's campaign directives expanded to timeline actions and
+    /// stably sorted by time at lane setup; `directive_cursor` slices one
+    /// day at a time instead of re-scanning the directive list daily.
+    directive_plan: Vec<TimelineAction>,
+    directive_cursor: usize,
     /// Wire-path protocol session: a fault-injected loopback link (sync
     /// wire) or a live connection into the async collection plane, plus
     /// the sequence-checked codec and retry/backoff state machine.
@@ -261,6 +272,7 @@ impl Study {
 
         // Sign in + per-device lane state. Sign-ins are serial (one frame
         // per device); the simulation loop below is where the time goes.
+        let catalog = &fleet.catalog;
         let mut lanes: Vec<DeviceLane> = fleet
             .devices
             .drain(..)
@@ -303,11 +315,21 @@ impl Study {
                     }
                     CollectionPath::Direct => None,
                 };
+                // Seed the lane's incremental app indexes from the
+                // post-history device state and pre-expand its campaign
+                // directives into a time-sorted plan (both RNG-free).
+                let mut scratch = LaneScratch::new();
+                scratch.seed_indexes(&d.device, catalog, d.persona());
+                let directive_plan = expand_directives(&d.directives, d.agent.gmail_identities());
                 DeviceLane {
                     idx: i,
                     dev: d,
                     collector,
                     buffer: DataBuffer::new(),
+                    scratch,
+                    batch: SnapshotBatch::new(),
+                    directive_plan,
+                    directive_cursor: 0,
                     wire,
                     rng: StdRng::seed_from_u64(stream_seed(
                         config.seed ^ DRIVER_STREAM_SALT,
@@ -345,32 +367,55 @@ impl Study {
         let study_start = config.fleet.study_start();
         let horizon = config.fleet.horizon();
         let total_days = config.fleet.max_study_days;
-        let catalog = &fleet.catalog;
+        // Cross-lane crawl set, maintained incrementally: how many lanes
+        // currently have each app installed. Seeded from the post-history
+        // fleet, then folded forward from each day's install/uninstall
+        // deltas (a commutative count merge, applied serially in lane
+        // order like the reviews). Membership — and therefore the crawl —
+        // is identical to the per-crawl cross-lane rebuild it replaces;
+        // `crawl_all` is order-insensitive (per-app cursor state only).
+        let mut crawl_counts: BTreeMap<AppId, u32> = BTreeMap::new();
+        for lane in &lanes {
+            for info in lane.dev.device.installed_apps() {
+                *crawl_counts.entry(info.app).or_insert(0) += 1;
+            }
+        }
         for day in 0..total_days {
             let _day_span = span!(obs, "simulate/day", day = day);
             let day_start = study_start + SimDuration::from_days(day);
-            let day_reviews: Vec<Vec<Review>> = lanes
-                .par_iter_mut()
-                .map(|lane| {
-                    // Lane spans run on rayon workers; the slash path (not
-                    // any thread-local stack) is what nests them under the
-                    // day in the timing tree.
-                    let _lane_span = span!(obs, "simulate/day/lane", device = lane.idx);
-                    Self::run_lane_day(
-                        lane,
-                        catalog,
-                        day_start,
-                        horizon,
-                        sharded.as_ref(),
-                        &server,
-                        config.path,
-                    )
-                })
-                .collect();
+            lanes.par_iter_mut().for_each(|lane| {
+                // Lane spans run on rayon workers; the slash path (not
+                // any thread-local stack) is what nests them under the
+                // day in the timing tree.
+                let _lane_span = span!(obs, "simulate/day/lane", device = lane.idx);
+                Self::run_lane_day(
+                    lane,
+                    catalog,
+                    day_start,
+                    horizon,
+                    sharded.as_ref(),
+                    &server,
+                    config.path,
+                );
+            });
             // Reviews post serially in lane order: the store's pagination
             // (and therefore the crawler) sees one canonical posting order.
-            for review in day_reviews.into_iter().flatten() {
-                fleet.store.post(review);
+            // The same pass folds each lane's install/uninstall deltas
+            // into the crawl-set counts.
+            for lane in &mut lanes {
+                for review in lane.scratch.reviews.drain(..) {
+                    fleet.store.post(review);
+                }
+                for &(app, installed) in &lane.scratch.installed_deltas {
+                    if installed {
+                        *crawl_counts.entry(app).or_insert(0) += 1;
+                    } else if let Some(n) = crawl_counts.get_mut(&app) {
+                        *n -= 1;
+                        if *n == 0 {
+                            crawl_counts.remove(&app);
+                        }
+                    }
+                }
             }
 
             // 12-hourly review crawl over apps installed on participant
@@ -379,11 +424,7 @@ impl Study {
             for half in 0..2 {
                 let t = day_start + SimDuration::from_hours(12 * half);
                 if crawler.is_due(t) {
-                    let installed: HashSet<AppId> = lanes
-                        .iter()
-                        .flat_map(|l| l.dev.device.installed_apps().map(|a| a.app))
-                        .collect();
-                    crawler.crawl_all(&fleet.store, installed, t);
+                    crawler.crawl_all(&fleet.store, crawl_counts.keys().copied(), t);
                 }
             }
         }
@@ -591,8 +632,10 @@ impl Study {
     }
 
     /// Drive one device lane through one study day: plan, sample snapshots
-    /// at every action boundary, deliver them, apply the actions. Returns
-    /// the reviews the day produced (posted by the caller, in lane order).
+    /// at every action boundary, deliver them, apply the actions. The
+    /// day's reviews land in `lane.scratch.reviews` and its crawl-set
+    /// membership deltas in `lane.scratch.installed_deltas`; the caller
+    /// drains both serially, in lane order.
     fn run_lane_day(
         lane: &mut DeviceLane,
         catalog: &racket_playstore::AppCatalog,
@@ -601,81 +644,119 @@ impl Study {
         sharded: Option<&ShardedIngest>,
         server: &parking_lot::Mutex<CollectionServer>,
         path: CollectionPath,
-    ) -> Vec<Review> {
-        let mut reviews = Vec::new();
+    ) {
+        lane.scratch.begin_day();
         if !lane.dev.monitoring.contains(day_start) {
-            return reviews;
+            return;
         }
-        let mut actions: Vec<TimelineAction> =
-            lane.dev
-                .agent
-                .plan_day(&lane.dev.device, catalog, day_start, horizon, &mut lane.rng);
-        // Merge campaign jobs due inside this planning day. Directives are
-        // precomputed on the campaign RNG stream (never the lane stream),
-        // so injection shifts no organic draw; a stable sort keeps the
-        // organic order on time ties, with directives after.
-        if !lane.dev.directives.is_empty() {
+        let persona = lane.dev.persona();
+        lane.dev.agent.plan_day_into(
+            &lane.dev.device,
+            catalog,
+            day_start,
+            horizon,
+            &mut lane.rng,
+            &mut lane.scratch,
+        );
+        // Merge campaign jobs due inside this planning day: a cursor over
+        // the pre-expanded, time-sorted directive plan (built at lane
+        // setup) replaces the old scan of every directive every day.
+        // Directives are precomputed on the campaign RNG stream (never
+        // the lane stream), so injection shifts no organic draw; the
+        // stable sort keeps the organic order on time ties, with
+        // directives after — and within the injected slice, time ties
+        // keep directive order, exactly as the per-day scan produced.
+        if !lane.directive_plan.is_empty() {
             let plan_end = day_start + SimDuration::from_days(1);
-            let due = |t: SimTime| t >= day_start && t < plan_end;
-            let idents = lane.dev.agent.gmail_identities();
-            let mut injected = Vec::new();
-            for d in &lane.dev.directives {
-                if due(d.install_at) {
-                    injected.push(TimelineAction {
-                        time: d.install_at,
-                        action: Action::Install { app: d.app },
-                    });
-                }
-                if let Some(at) = d.review_at.filter(|&t| due(t)) {
-                    if let Some(&(account, google_id)) =
-                        idents.get(d.account_slot as usize % idents.len().max(1))
-                    {
-                        injected.push(TimelineAction {
-                            time: at,
-                            action: Action::Review {
-                                app: d.app,
-                                account,
-                                google_id,
-                                rating: directive_rating(d),
-                            },
-                        });
-                    }
-                }
+            while lane.directive_cursor < lane.directive_plan.len()
+                && lane.directive_plan[lane.directive_cursor].time < day_start
+            {
+                lane.directive_cursor += 1;
             }
-            actions.extend(injected);
-            actions.sort_by_key(|ta| ta.time);
+            let mut j = lane.directive_cursor;
+            while j < lane.directive_plan.len() && lane.directive_plan[j].time < plan_end {
+                lane.scratch.actions.push(lane.directive_plan[j].clone());
+                j += 1;
+            }
+            if j > lane.directive_cursor {
+                lane.directive_cursor = j;
+                lane.scratch.actions.sort_by_key(|ta| ta.time);
+            }
         }
         let day_end = (day_start + SimDuration::from_days(1)).min(lane.dev.monitoring.end);
+        // The action list is moved out for the loop (deliver/apply need
+        // the rest of the lane mutably) and moved back afterwards so its
+        // capacity is reused tomorrow.
+        let actions = std::mem::take(&mut lane.scratch.actions);
         for ta in &actions {
             if ta.time >= day_end {
                 continue;
             }
             // Sample everything due before the action, then apply.
-            let snaps = lane.collector.poll(&lane.dev.device, ta.time);
-            Self::deliver(&snaps, lane, sharded, server, path);
-            apply_action_collecting(
-                &mut lane.dev.device,
-                &mut reviews,
-                catalog,
-                ta,
-                &mut lane.rng,
-            );
+            lane.batch.clear();
+            lane.collector
+                .poll_into(&lane.dev.device, ta.time, &mut lane.batch);
+            Self::deliver(lane, sharded, server, path);
+            // Install/uninstall actions feed the incremental indexes and
+            // the crawl-set deltas — guarded on the device's pre-action
+            // state, so a directive re-install or a no-op uninstall
+            // changes neither membership count.
+            match &ta.action {
+                Action::Install { app } => {
+                    let newly = !lane.dev.device.is_installed(*app);
+                    apply_action_collecting(
+                        &mut lane.dev.device,
+                        &mut lane.scratch.reviews,
+                        catalog,
+                        ta,
+                        &mut lane.rng,
+                    );
+                    if newly {
+                        lane.scratch.installed_deltas.push((*app, true));
+                    }
+                    lane.scratch.note_install(*app, catalog, persona);
+                }
+                Action::Uninstall { app } => {
+                    let was_installed = lane.dev.device.is_installed(*app);
+                    apply_action_collecting(
+                        &mut lane.dev.device,
+                        &mut lane.scratch.reviews,
+                        catalog,
+                        ta,
+                        &mut lane.rng,
+                    );
+                    if was_installed {
+                        lane.scratch.installed_deltas.push((*app, false));
+                        lane.scratch.note_uninstall(*app);
+                    }
+                }
+                _ => {
+                    apply_action_collecting(
+                        &mut lane.dev.device,
+                        &mut lane.scratch.reviews,
+                        catalog,
+                        ta,
+                        &mut lane.rng,
+                    );
+                }
+            }
         }
         // Close out the day.
         let last_tick = SimTime::from_secs(day_end.as_secs().saturating_sub(1));
-        let snaps = lane.collector.poll(&lane.dev.device, last_tick);
-        Self::deliver(&snaps, lane, sharded, server, path);
-        reviews
+        lane.batch.clear();
+        lane.collector
+            .poll_into(&lane.dev.device, last_tick, &mut lane.batch);
+        Self::deliver(lane, sharded, server, path);
+        lane.scratch.actions = actions;
     }
 
-    /// Deliver snapshots along the configured path.
+    /// Deliver the lane's batched snapshots along the configured path.
     ///
     /// Direct: straight into the sharded store (concurrent across lanes).
     /// Wire: through the lane's buffer and transport, with the server
     /// behind a mutex — per-install aggregation is disjoint across lanes,
     /// so the lock order cannot change the result.
     fn deliver(
-        snaps: &[racket_types::Snapshot],
         lane: &mut DeviceLane,
         sharded: Option<&ShardedIngest>,
         server: &parking_lot::Mutex<CollectionServer>,
@@ -689,10 +770,10 @@ impl Study {
             CollectionPath::Direct => {
                 sharded
                     .expect("direct path has a sharded store")
-                    .ingest_batch(snaps);
+                    .ingest_batch(lane.batch.snapshots());
             }
             CollectionPath::Wire | CollectionPath::AsyncWire => {
-                for s in snaps {
+                for s in lane.batch.snapshots() {
                     lane.buffer.push(s);
                 }
                 if lane.buffer.pending_count() > 0 {

@@ -49,6 +49,12 @@ pub struct Device {
     events: Vec<DeviceEvent>,
     installs_total: u64,
     uninstalls_total: u64,
+    /// Package-manager generation stamp: bumped by every mutation of the
+    /// installed-app map (`install_app`, `preinstall_app`,
+    /// `uninstall_app`). Snapshot collectors compare it against the stamp
+    /// of their previous sample to skip the install-delta scan entirely on
+    /// the (overwhelmingly common) ticks where no package changed.
+    pkg_stamp: u64,
 }
 
 impl Device {
@@ -71,6 +77,7 @@ impl Device {
             events: Vec::new(),
             installs_total: 0,
             uninstalls_total: 0,
+            pkg_stamp: 0,
         }
     }
 
@@ -116,6 +123,7 @@ impl Device {
     ) {
         let info = InstalledApp::fresh(app, time, permissions, apk_hash);
         self.installed.insert(app, info);
+        self.pkg_stamp += 1;
         // A (re-)install kills any running instance: the fresh package is
         // in the stopped state until its next launch, so it cannot stay in
         // the foreground.
@@ -136,6 +144,7 @@ impl Device {
         info.preinstalled = true;
         info.stopped = false; // system apps run out of the box
         self.installed.insert(app, info);
+        self.pkg_stamp += 1;
     }
 
     /// Uninstall an app; returns whether it was installed. Usage history
@@ -144,6 +153,7 @@ impl Device {
         if self.installed.remove(&app).is_none() {
             return false;
         }
+        self.pkg_stamp += 1;
         self.usage.forget(app);
         if self.foreground == Some(app) {
             self.foreground = None;
@@ -308,11 +318,25 @@ impl Device {
     /// Apps currently in the stopped state (the slow snapshot's
     /// `stopped_apps` list).
     pub fn stopped_apps(&self) -> Vec<AppId> {
-        self.installed
-            .values()
-            .filter(|a| a.stopped)
-            .map(|a| a.app)
-            .collect()
+        let mut out = Vec::new();
+        self.stopped_apps_into(&mut out);
+        out
+    }
+
+    /// Write the stopped-app list into a caller-owned buffer (cleared
+    /// first) — the allocation-free path the pooled snapshot collectors
+    /// sample through. Order is ascending [`AppId`], identical to
+    /// [`Device::stopped_apps`].
+    pub fn stopped_apps_into(&self, out: &mut Vec<AppId>) {
+        out.clear();
+        out.extend(self.installed.values().filter(|a| a.stopped).map(|a| a.app));
+    }
+
+    /// The package-manager generation stamp: changes iff the installed-app
+    /// map changed (install, preinstall or uninstall) since it was last
+    /// read. Monotonically increasing for the lifetime of the device.
+    pub fn pkg_stamp(&self) -> u64 {
+        self.pkg_stamp
     }
 
     /// Registered accounts (the slow snapshot's `accounts` list, gated on
@@ -494,6 +518,47 @@ mod tests {
         model.reports_android_id = false;
         let d = Device::new(DeviceId(2), model, AndroidId(7));
         assert_eq!(d.android_id(), None);
+    }
+
+    #[test]
+    fn pkg_stamp_tracks_package_mutations_only() {
+        let mut d = device();
+        let s0 = d.pkg_stamp();
+        install(&mut d, 1, 0);
+        let s1 = d.pkg_stamp();
+        assert_ne!(s0, s1, "install bumps the stamp");
+        // Non-package mutations leave the stamp alone.
+        d.open_app(AppId(1), SimTime::from_days(0), 10);
+        d.stop_app(AppId(1), SimTime::from_days(0));
+        d.set_screen(true, SimTime::from_days(0));
+        d.set_power(50, false);
+        assert_eq!(d.pkg_stamp(), s1);
+        // Re-install (changed install time) bumps: the collector must
+        // re-scan to report the fresh Installed delta.
+        install(&mut d, 1, 5);
+        let s2 = d.pkg_stamp();
+        assert_ne!(s1, s2);
+        assert!(d.uninstall_app(AppId(1), SimTime::from_days(6)));
+        let s3 = d.pkg_stamp();
+        assert_ne!(s2, s3);
+        // Uninstalling an absent app is a no-op on the stamp.
+        assert!(!d.uninstall_app(AppId(1), SimTime::from_days(6)));
+        assert_eq!(d.pkg_stamp(), s3);
+        d.preinstall_app(AppId(9), PermissionProfile::default(), ApkHash([0; 16]));
+        assert_ne!(d.pkg_stamp(), s3);
+    }
+
+    #[test]
+    fn stopped_apps_into_matches_allocating_query() {
+        let mut d = device();
+        install(&mut d, 3, 0);
+        install(&mut d, 1, 0);
+        install(&mut d, 2, 0);
+        d.open_app(AppId(2), SimTime::from_days(0), 5);
+        let mut buf = vec![AppId(99)]; // stale contents must be cleared
+        d.stopped_apps_into(&mut buf);
+        assert_eq!(buf, d.stopped_apps());
+        assert_eq!(buf, vec![AppId(1), AppId(3)]);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub use metrics::{FaultCounters, PipelineMetrics};
 pub use online::{Distinct, GapAccum, MinMax, Welford};
 pub use permission::{Permission, PermissionProfile};
 pub use review::{Rating, RatingSummary, Review};
-pub use snapshot::{FastSnapshot, InstallDelta, SlowSnapshot, Snapshot};
+pub use snapshot::{FastSnapshot, InstallDelta, ReclaimedBuffer, SlowSnapshot, Snapshot};
 pub use time::{SimDuration, SimTime, TimeInterval};
 
 /// Ground-truth cohort of a study participant, as recruited in §4.

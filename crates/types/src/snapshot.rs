@@ -127,6 +127,43 @@ impl Snapshot {
     pub fn is_fast(&self) -> bool {
         matches!(self, Snapshot::Fast(_))
     }
+
+    /// Strip the snapshot's heap-backed internals for pooling: empties the
+    /// `install_events` / `accounts` / `stopped_apps` vectors out of the
+    /// snapshot (leaving it structurally valid but hollow) and hands them
+    /// to `reclaim` with their capacity intact. Snapshot batch pools call
+    /// this when recycling, so steady-state collection reuses the same
+    /// allocations forever.
+    pub fn reclaim_buffers(&mut self, mut reclaim: impl FnMut(ReclaimedBuffer)) {
+        match self {
+            Snapshot::Fast(s) => {
+                let mut v = std::mem::take(&mut s.install_events);
+                v.clear();
+                reclaim(ReclaimedBuffer::InstallEvents(v));
+            }
+            Snapshot::Slow(s) => {
+                let mut a = std::mem::take(&mut s.accounts);
+                a.clear();
+                reclaim(ReclaimedBuffer::Accounts(a));
+                let mut st = std::mem::take(&mut s.stopped_apps);
+                st.clear();
+                reclaim(ReclaimedBuffer::StoppedApps(st));
+            }
+        }
+    }
+}
+
+/// A heap buffer recovered from a recycled [`Snapshot`] by
+/// [`Snapshot::reclaim_buffers`], tagged with which field it backed so a
+/// pool can return it to the matching free list.
+#[derive(Debug)]
+pub enum ReclaimedBuffer {
+    /// The `install_events` vector of a fast snapshot (cleared).
+    InstallEvents(Vec<InstallDelta>),
+    /// The `accounts` vector of a slow snapshot (cleared).
+    Accounts(Vec<RegisteredAccount>),
+    /// The `stopped_apps` vector of a slow snapshot (cleared).
+    StoppedApps(Vec<AppId>),
 }
 
 #[cfg(test)]
@@ -188,6 +225,48 @@ mod tests {
         });
         assert!(!s.is_fast());
         assert_eq!(s.time().as_secs(), 120);
+    }
+
+    #[test]
+    fn reclaim_buffers_recovers_capacity() {
+        let mut f = fast(5);
+        f.install_events = Vec::with_capacity(32);
+        f.install_events
+            .push(InstallDelta::Uninstalled { app: AppId(1) });
+        let mut snap = Snapshot::Fast(f);
+        let mut events = None;
+        snap.reclaim_buffers(|b| match b {
+            ReclaimedBuffer::InstallEvents(v) => events = Some(v),
+            other => panic!("unexpected buffer from a fast snapshot: {other:?}"),
+        });
+        let events = events.expect("fast snapshot yields its event buffer");
+        assert!(events.is_empty(), "reclaimed buffers come back cleared");
+        assert!(events.capacity() >= 32, "capacity survives reclamation");
+
+        let mut snap = Snapshot::Slow(SlowSnapshot {
+            install_id: InstallId(1),
+            participant_id: ParticipantId(111111),
+            android_id: None,
+            time: SimTime::from_secs(1),
+            accounts: Vec::with_capacity(4),
+            save_mode: false,
+            stopped_apps: vec![AppId(9)],
+        });
+        let mut kinds = Vec::new();
+        snap.reclaim_buffers(|b| {
+            kinds.push(match b {
+                ReclaimedBuffer::InstallEvents(_) => "events",
+                ReclaimedBuffer::Accounts(v) => {
+                    assert!(v.capacity() >= 4);
+                    "accounts"
+                }
+                ReclaimedBuffer::StoppedApps(v) => {
+                    assert!(v.is_empty());
+                    "stopped"
+                }
+            });
+        });
+        assert_eq!(kinds, ["accounts", "stopped"]);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Steady-state allocation pin for the simulator hot path.
+//!
+//! The lane engine's contract (ARCHITECTURE.md §12) is that a steady-state
+//! device-day — plan, poll snapshots at every action boundary, apply —
+//! performs (near-)zero heap allocations: every buffer involved
+//! (`LaneScratch` action/shuffle/index vectors, the pooled `SnapshotBatch`
+//! and its inner `install_events` / `accounts` / `stopped_apps` vectors,
+//! the collector's delta baselines) is reused across days. The only
+//! allocations left are inherent ground-truth growth: the device event
+//! log's amortised doubling and the per-app usage-day set gaining one
+//! entry per (app, day). This test replays the driver's lane-day loop
+//! under a counting allocator and pins the per-day allocation count to a
+//! small constant; the pre-overhaul path (per-day index rebuilds, fresh
+//! `Vec<Snapshot>` per poll, fresh delta vector per fast tick) costs
+//! thousands per day and trips the pin immediately.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use racket_agents::{apply_action_collecting, DeviceAgent, LaneScratch, PersonaParams};
+use racket_collect::{CollectorConfig, SnapshotBatch, SnapshotCollector};
+use racket_device::{Device, DeviceModel};
+use racket_playstore::{AppCatalog, CatalogConfig, GoogleIdDirectory, ReviewStore};
+use racket_types::{AndroidId, DeviceId, InstallId, ParticipantId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counts every allocation (and reallocation) made through the global
+/// allocator. Deallocations are not interesting here: the pin is on how
+/// often the hot path *asks* for memory.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Ceiling on allocations per steady-state lane-day. Measured ~2–6/day
+/// (usage-day set nodes plus rare event-log doublings); the bound leaves
+/// headroom for allocator-library jitter while staying two orders of
+/// magnitude under the pre-overhaul cost.
+const MAX_ALLOCS_PER_DAY: u64 = 64;
+
+#[test]
+fn steady_state_lane_day_is_allocation_free() {
+    // An opens-only persona: zero install/uninstall churn and zero review
+    // propensity isolates the steady state (no package events, so even the
+    // collector's delta scan short-circuits on the package stamp). Daily
+    // opens stay at the regular-user rate — the busiest allocation-free
+    // part of a real day.
+    let mut params = PersonaParams::regular();
+    params.daily_installs = racket_agents::ClampedLogNormal::new(1.0, 0.0, 0.0, 0.0);
+    params.daily_uninstalls = racket_agents::ClampedLogNormal::new(1.0, 0.0, 0.0, 0.0);
+    params.personal_review_prob = 0.0;
+    params.enthusiast_prob = 0.0;
+
+    let catalog = AppCatalog::generate(&CatalogConfig::default());
+    let mut store = ReviewStore::new();
+    let mut directory = GoogleIdDirectory::new();
+    let mut ids = racket_agents::IdAllocator::default();
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut device = Device::new(DeviceId(1), DeviceModel::generic(), AndroidId(1));
+    let mut agent = DeviceAgent::with_params(params, &mut rng);
+
+    let day0 = SimTime::from_days(30);
+    let horizon = SimTime::from_days(120);
+    agent.setup_history(
+        &mut device,
+        &catalog,
+        &mut store,
+        &mut directory,
+        &mut ids,
+        day0,
+        horizon,
+        &mut rng,
+    );
+
+    let mut scratch = LaneScratch::new();
+    scratch.seed_indexes(&device, &catalog, racket_types::Persona::Regular);
+    // Thinned cadence keeps the debug-mode test quick; the allocation
+    // contract is cadence-independent (each tick reuses the same pools).
+    let config = CollectorConfig {
+        fast_period_secs: 60,
+        slow_period_secs: 600,
+    };
+    let mut collector = SnapshotCollector::new(config, InstallId(1), ParticipantId(1));
+    let mut batch = SnapshotBatch::new();
+
+    const WARMUP_DAYS: u64 = 5;
+    const MEASURED_DAYS: u64 = 50;
+    let mut snapshots_seen = 0usize;
+    let mut measured_start = 0u64;
+
+    for day in 0..(WARMUP_DAYS + MEASURED_DAYS) {
+        if day == WARMUP_DAYS {
+            measured_start = ALLOCATIONS.load(Ordering::Relaxed);
+        }
+        let day_start = day0 + SimDuration::from_days(day);
+        let day_end = day_start + SimDuration::from_days(1);
+        scratch.begin_day();
+        agent.plan_day_into(
+            &device,
+            &catalog,
+            day_start,
+            horizon,
+            &mut rng,
+            &mut scratch,
+        );
+        let actions = std::mem::take(&mut scratch.actions);
+        for ta in &actions {
+            if ta.time >= day_end {
+                continue;
+            }
+            batch.clear();
+            collector.poll_into(&device, ta.time, &mut batch);
+            snapshots_seen += batch.len();
+            apply_action_collecting(&mut device, &mut scratch.reviews, &catalog, ta, &mut rng);
+        }
+        batch.clear();
+        let last_tick = SimTime::from_secs(day_end.as_secs() - 1);
+        collector.poll_into(&device, last_tick, &mut batch);
+        snapshots_seen += batch.len();
+        scratch.actions = actions;
+    }
+
+    let measured = ALLOCATIONS.load(Ordering::Relaxed) - measured_start;
+    let per_day = measured / MEASURED_DAYS;
+    assert!(
+        snapshots_seen > 10_000,
+        "harness must actually exercise the collector (saw {snapshots_seen} snapshots)"
+    );
+    assert!(
+        scratch.reviews.is_empty(),
+        "opens-only persona must not produce reviews"
+    );
+    assert!(
+        per_day <= MAX_ALLOCS_PER_DAY,
+        "steady-state lane-day allocated {per_day}×/day (total {measured} over \
+         {MEASURED_DAYS} days); the hot path has regressed past the \
+         {MAX_ALLOCS_PER_DAY}/day pin"
+    );
+}
