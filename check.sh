@@ -35,6 +35,16 @@ step "columnar equivalence matrix (release)"
 RAYON_NUM_THREADS=1 cargo test --release --test columnar_equivalence -q -- --test-threads=1
 RAYON_NUM_THREADS=8 cargo test --release --test columnar_equivalence -q -- --test-threads=1
 
+step "text equivalence matrix (release)"
+# Differential harness for the review-text engine: enabling text must not
+# perturb any pre-existing fingerprint (dedicated keyed stream family),
+# and the streaming per-install text sketch must be byte-identical to the
+# batch rebuild from the columnar review family, across thread counts,
+# delivery paths, fault plans and fleet compositions. Same
+# RAYON_NUM_THREADS discipline as above.
+RAYON_NUM_THREADS=1 cargo test --release --test text_equivalence -q -- --test-threads=1
+RAYON_NUM_THREADS=8 cargo test --release --test text_equivalence -q -- --test-threads=1
+
 step "campaign equivalence matrix (release)"
 # Differential harness for the lockstep (coordinated-campaign) detector:
 # the batch report rebuilt from the columnar install-event family must be
@@ -74,7 +84,7 @@ if command -v cargo-clippy >/dev/null 2>&1; then
   cargo clippy --all-targets -q -p racket-obs -p racket-types -p racket-stats \
     -p racket-device -p racket-features -p racket-playstore \
     -p racket-agents -p racket-reactor -p racket-collect -p racket-columnar \
-    -p racket-campaign \
+    -p racket-text -p racket-campaign \
     -p racket-ml -p racketstore -p racket-bench -p racketstore-suite -- -D warnings
 else
   step "cargo clippy skipped (clippy not installed)"
@@ -86,8 +96,8 @@ step "cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p racket-obs -p racket-types -p racket-stats -p racket-device \
   -p racket-features -p racket-playstore -p racket-agents -p racket-reactor \
-  -p racket-collect -p racket-columnar -p racket-campaign -p racket-ml \
-  -p racketstore -p racket-bench
+  -p racket-collect -p racket-columnar -p racket-text -p racket-campaign \
+  -p racket-ml -p racketstore -p racket-bench
 
 if command -v rustfmt >/dev/null 2>&1; then
   step "cargo fmt --check"
@@ -95,7 +105,7 @@ if command -v rustfmt >/dev/null 2>&1; then
   cargo fmt --check -p racketstore-suite -p racket-obs -p racket-types \
     -p racket-stats -p racket-device -p racket-features -p racket-playstore \
     -p racket-agents -p racket-reactor -p racket-collect -p racket-columnar \
-    -p racket-campaign \
+    -p racket-text -p racket-campaign \
     -p racket-ml -p racketstore -p racket-bench
 else
   step "cargo fmt --check skipped (rustfmt not installed)"

@@ -141,6 +141,8 @@ pub enum Action {
         google_id: GoogleId,
         /// The star rating.
         rating: Rating,
+        /// The review text (empty when text simulation is off).
+        text: String,
     },
     /// Screen goes dark (ends a session).
     ScreenOff,
@@ -154,6 +156,7 @@ struct PendingReview {
     account: AccountId,
     google_id: GoogleId,
     stars: u8,
+    text: String,
 }
 
 impl Ord for PendingReview {
@@ -191,6 +194,10 @@ pub struct DeviceAgent {
     /// exact bytes the clone held, so the shuffle consumes identical RNG
     /// draws.
     account_scratch: Vec<(AccountId, GoogleId)>,
+    /// Review-text generator. `None` (the default) leaves every review
+    /// text empty; setting it is pure configuration — text is keyed, never
+    /// drawn, so device RNG streams are byte-identical with text on or off.
+    textgen: Option<crate::textgen::TextGen>,
 }
 
 impl DeviceAgent {
@@ -228,6 +235,42 @@ impl DeviceAgent {
             pending: BinaryHeap::new(),
             promoted_done: Vec::new(),
             account_scratch: Vec::new(),
+            textgen: None,
+        }
+    }
+
+    /// Enable (or disable) deterministic review-text generation. Consumes
+    /// no RNG draws — safe to call between [`DeviceAgent::with_params`]
+    /// and [`DeviceAgent::setup_history`] without perturbing any stream.
+    pub fn set_textgen(&mut self, textgen: Option<crate::textgen::TextGen>) {
+        self.textgen = textgen;
+    }
+
+    /// The base Google identity keying this device's promo template (its
+    /// first Gmail account; workers write one text per app and post light
+    /// edits of it from every account).
+    fn text_base(&self) -> u64 {
+        self.gmail.first().map(|&(_, g)| g.raw()).unwrap_or(0)
+    }
+
+    /// Worker-promo review text for `app` posted by `google_id`.
+    fn promo_text(&self, app: AppId, google_id: GoogleId, rating: Rating) -> String {
+        match &self.textgen {
+            Some(g) => g.worker_promo(
+                self.text_base(),
+                u64::from(app.raw()),
+                google_id.raw(),
+                rating,
+            ),
+            None => String::new(),
+        }
+    }
+
+    /// Personal-tier review text for `app` posted by `google_id`.
+    fn personal_text(&self, app: AppId, google_id: GoogleId, rating: Rating) -> String {
+        match &self.textgen {
+            Some(g) => g.personal(google_id.raw(), u64::from(app.raw()), rating),
+            None => String::new(),
         }
     }
 
@@ -353,12 +396,15 @@ impl DeviceAgent {
             let t =
                 install_time.saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
             if t <= horizon {
+                let rating = Self::promo_rating(rng);
+                let text = self.promo_text(app, google_id, rating);
                 self.pending.push(PendingReview {
                     time: t,
                     app,
                     account,
                     google_id,
-                    stars: Self::promo_rating(rng).stars(),
+                    stars: rating.stars(),
+                    text,
                 });
             }
         }
@@ -379,12 +425,15 @@ impl DeviceAgent {
         let delay_days = self.params.personal_review_delay.sample_days(rng);
         let t = install_time.saturating_add(SimDuration::from_secs((delay_days * 86_400.0) as u64));
         if t <= horizon {
+            let rating = Self::personal_rating(rng);
+            let text = self.personal_text(app, google_id, rating);
             self.pending.push(PendingReview {
                 time: t,
                 app,
                 account,
                 google_id,
-                stars: Self::personal_rating(rng).stars(),
+                stars: rating.stars(),
+                text,
             });
         }
     }
@@ -541,7 +590,9 @@ impl DeviceAgent {
                         t_install.saturating_add(SimDuration::from_secs((delay * 86_400.0) as u64));
                     let t = t.min(now); // posted in the past
                     store.post(Review::new(app, google_id, t, Self::promo_rating(rng)));
-                    device.record_review(app, account, Self::promo_rating(rng), t);
+                    let rating = Self::promo_rating(rng);
+                    let text = self.promo_text(app, google_id, rating);
+                    device.record_review(app, account, google_id, rating, t, &text);
                 }
             }
         }
@@ -566,7 +617,7 @@ impl DeviceAgent {
             let p = self.pending.pop().expect("peeked");
             let rating = Rating::new(p.stars).expect("valid stars");
             store.post(Review::new(p.app, p.google_id, p.time, rating));
-            device.record_review(p.app, p.account, rating, p.time);
+            device.record_review(p.app, p.account, p.google_id, rating, p.time, &p.text);
         }
     }
 
@@ -716,6 +767,7 @@ impl DeviceAgent {
                     account: p.account,
                     google_id: p.google_id,
                     rating: Rating::new(p.stars).expect("valid stars"),
+                    text: p.text,
                 },
             });
         }
@@ -788,9 +840,10 @@ pub fn apply_action_collecting(
             account,
             google_id,
             rating,
+            text,
         } => {
             reviews.push(Review::new(*app, *google_id, ta.time, *rating));
-            device.record_review(*app, *account, *rating, ta.time);
+            device.record_review(*app, *account, *google_id, *rating, ta.time, text);
         }
         Action::ScreenOff => {
             device.set_screen(false, ta.time);

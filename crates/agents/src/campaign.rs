@@ -255,9 +255,14 @@ pub fn directive_rating(d: &CampaignDirective) -> Rating {
 /// replaces produced. The plan is sliced per day by a cursor; merging a
 /// slice into a day's organic actions and stable-sorting reproduces the
 /// old scan-every-day injection byte for byte, RNG-free on both sides.
+///
+/// `textgen` supplies the campaign-tier review text (the organizer's
+/// template, shared by every hired worker — ARCHITECTURE.md §13); `None`
+/// leaves texts empty. Either way expansion stays RNG-free.
 pub fn expand_directives(
     directives: &[CampaignDirective],
     idents: &[(AccountId, GoogleId)],
+    textgen: Option<&crate::textgen::TextGen>,
 ) -> Vec<TimelineAction> {
     let mut plan = Vec::with_capacity(directives.len() * 2);
     for d in directives {
@@ -269,13 +274,24 @@ pub fn expand_directives(
             if let Some(&(account, google_id)) =
                 idents.get(d.account_slot as usize % idents.len().max(1))
             {
+                let rating = directive_rating(d);
                 plan.push(TimelineAction {
                     time: at,
                     action: Action::Review {
                         app: d.app,
                         account,
                         google_id,
-                        rating: directive_rating(d),
+                        rating,
+                        text: textgen
+                            .map(|g| {
+                                g.campaign(
+                                    d.campaign,
+                                    u64::from(d.app.raw()),
+                                    d.account_slot,
+                                    rating,
+                                )
+                            })
+                            .unwrap_or_default(),
                     },
                 });
             }

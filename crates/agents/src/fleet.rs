@@ -72,6 +72,12 @@ pub struct FleetConfig {
     /// default runs zero campaigns, leaving every campaign-free study
     /// byte-identical to pre-campaign builds.
     pub campaigns: CampaignConfig,
+    /// Generate review text for every posted review (ARCHITECTURE.md §13).
+    /// Text is keyed on its own stream family
+    /// ([`crate::textgen::TEXT_STREAM_SALT`]), never drawn from device
+    /// RNGs, so the default `false` keeps every text-off study
+    /// byte-identical to pre-text builds.
+    pub review_text: bool,
 }
 
 /// Optional per-persona parameter replacements.
@@ -113,6 +119,7 @@ impl FleetConfig {
             seed: 2021,
             overrides: PersonaOverrides::default(),
             campaigns: CampaignConfig::default(),
+            review_text: false,
         }
     }
 
@@ -129,6 +136,7 @@ impl FleetConfig {
             seed: 7,
             overrides: PersonaOverrides::default(),
             campaigns: CampaignConfig::default(),
+            review_text: false,
         }
     }
 
@@ -313,6 +321,11 @@ impl Fleet {
         let mut device = Device::new(DeviceId(i as u32), model, AndroidId(0x1000 + i as u64));
 
         let mut agent = DeviceAgent::with_params(config.overrides.params_for(persona), &mut rng);
+        if config.review_text {
+            // Pure configuration: no RNG draw, so the device stream below
+            // is byte-identical with text on or off.
+            agent.set_textgen(Some(crate::textgen::TextGen::new(config.seed)));
+        }
         // Device-specific monitored window: at least 2 days (§4).
         let days = rng.gen_range(2..=config.max_study_days.max(2));
         let monitoring = TimeInterval::new(

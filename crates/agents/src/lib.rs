@@ -28,6 +28,7 @@ pub mod dist;
 pub mod fleet;
 pub mod lane;
 pub mod params;
+pub mod textgen;
 
 pub use agent::{
     apply_action, apply_action_collecting, Action, DeviceAgent, DeviceProfile, IdAllocator,
@@ -41,3 +42,4 @@ pub use dist::{ClampedLogNormal, DelayMixture};
 pub use fleet::{stream_seed, Fleet, FleetConfig, PersonaOverrides, StudyDevice};
 pub use lane::LaneScratch;
 pub use params::PersonaParams;
+pub use textgen::{TextGen, TEXT_STREAM_SALT};

@@ -150,6 +150,71 @@ fn main() {
         m.f1,
         m.auc
     ));
+
+    // The `+text` ablation needs review text, which the default study
+    // never generates (the paper's classifiers saw none) — rerun the
+    // study with the deterministic text generator enabled, then compare
+    // the baseline vector against baseline + text columns over the same
+    // labels and instances.
+    eprintln!("[ablation_features] rerunning study with review text enabled …");
+    let mut cfg = racket_bench::Scale::from_env().config();
+    cfg.fleet.review_text = true;
+    let out_text = racketstore::study::Study::new(cfg).run();
+    let labels_text =
+        racketstore::labeling::label_apps(&out_text, &racket_bench::labeling_config());
+    let ds_text = racketstore::app_classifier::AppUsageDataset::build(&out_text, &labels_text);
+    let base = xgb_cv(&ds_text.data);
+    let extended = Dataset::new(
+        ds_text
+            .data
+            .x
+            .iter()
+            .zip(&ds_text.provenance)
+            .map(|(row, (i, app))| {
+                let mut r = row.clone();
+                r.extend(racket_features::text_features(
+                    &out_text.observations[*i],
+                    *app,
+                ));
+                r
+            })
+            .collect(),
+        ds_text.data.y.clone(),
+        racket_features::app_feature_names_with_text(),
+    );
+    let with_text = xgb_cv(&extended);
+    println!(
+        "\n== Text ablation (text-enabled study) ==\n\n{:<22} {:>8} {:>10} {:>10}",
+        "configuration", "columns", "F1", "AUC"
+    );
+    println!(
+        "{:<22} {:>8} {:>9.2}% {:>10.4}",
+        "baseline (text study)",
+        ds_text.data.n_features(),
+        base.f1 * 100.0,
+        base.auc
+    );
+    println!(
+        "{:<22} {:>8} {:>9.2}% {:>10.4}   (ΔF1 {:+.2} pp)",
+        "+ text features",
+        extended.n_features(),
+        with_text.f1 * 100.0,
+        with_text.auc,
+        (with_text.f1 - base.f1) * 100.0
+    );
+    rows.push(format!(
+        "text_baseline,{},{:.4},{:.4}",
+        ds_text.data.n_features(),
+        base.f1,
+        base.auc
+    ));
+    rows.push(format!(
+        "+text,{},{:.4},{:.4}",
+        extended.n_features(),
+        with_text.f1,
+        with_text.auc
+    ));
+
     write_csv(
         "ablation_features.csv",
         "configuration,columns,f1,auc",

@@ -210,6 +210,66 @@ fn run_scale(scale: Scale) -> report::RunReport {
         campaigns.n_candidate_pairs
     );
 
+    // Review-text kernel throughput: fold a deterministic synthetic
+    // review corpus (the agents' keyed template generator — identical
+    // every run) through the batch text-sketch rebuild kernel, stamping
+    // `campaign/text_rebuild` wall time and the `text.reviews` counter
+    // the validator's ≥ 1M reviews/s floor reads. The default study runs
+    // text-off, so this synthetic volume is what backs the floor. The
+    // corpus is materialized *before* the span opens: the floor measures
+    // the shingle → SimHash/sentiment → sketch fold (what ingest pays
+    // per review), not template generation (which the simulator pays,
+    // under `simulate`).
+    {
+        use rayon::prelude::*;
+        let textgen = racket_agents::TextGen::new(2021);
+        let (n_installs, per_install) = match scale {
+            Scale::Test => (500u64, 100u64),
+            _ => (2_500u64, 100u64),
+        };
+        let corpus: Vec<Vec<String>> = (0..n_installs)
+            .into_par_iter()
+            .map(|i| {
+                (0..per_install)
+                    .map(|r| {
+                        let app = (i * per_install + r) % 97;
+                        let stars = (1 + (i + r) % 5) as u8;
+                        let rating = racket_types::Rating::new(stars).unwrap();
+                        textgen.personal(i * 1_000 + r, app, rating)
+                    })
+                    .collect()
+            })
+            .collect();
+        let span = out.obs.span(keys::SPAN_TEXT_REBUILD);
+        let sketches: Vec<racket_text::TextSketch> = (0..n_installs)
+            .into_par_iter()
+            .map(|i| {
+                let mut sk = racket_text::TextSketch::default();
+                for (r, text) in corpus[i as usize].iter().enumerate() {
+                    let r = r as u64;
+                    let app = (i * per_install + r) % 97;
+                    let stars = (1 + (i + r) % 5) as u8;
+                    sk.observe(app as u32, i * 1_000 + r, r * 60, stars, text);
+                }
+                sk
+            })
+            .collect();
+        drop(span);
+        let n_reviews = n_installs * per_install;
+        out.obs.add(keys::TEXT_REVIEWS, n_reviews);
+        if sketches.iter().any(|s| s.is_empty()) {
+            fail(&format!(
+                "{scale_name}: text kernel produced an empty sketch"
+            ));
+        }
+        eprintln!(
+            "[bench_pipeline] {} text kernel: {} reviews folded into {} sketches",
+            scale_name,
+            n_reviews,
+            sketches.len()
+        );
+    }
+
     // Merge the study's private registry with the global one (fleet
     // per-device timing, ml/cv_fold spans) into the run's snapshot.
     let mut snapshot = out.obs.snapshot();

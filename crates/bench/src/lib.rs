@@ -66,10 +66,12 @@ impl Scale {
                     seed: 2021,
                     overrides: Default::default(),
                     campaigns: Default::default(),
+                    review_text: false,
                 },
                 collector: CollectorConfig {
                     fast_period_secs: 60,
                     slow_period_secs: 120,
+                    collect_reviews: false,
                 },
                 path: CollectionPath::Direct,
                 seed: 2021,

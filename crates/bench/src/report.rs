@@ -151,6 +151,12 @@ pub const MID_ANALYZE_MAX_SECS: f64 = 0.87;
 /// Set well below measured rates so only an order-of-magnitude
 /// regression trips it.
 pub const MID_CAMPAIGN_MIN_SHINGLES_PER_SEC: f64 = 250_000.0;
+/// Floor on the review-text kernel at mid scale: reviews folded per
+/// second of `campaign/text_rebuild` wall time (tokenize + shingle +
+/// SimHash + 32-permutation MinHash per review — the full batch
+/// text-sketch rebuild). The parallel rebuild measures well above this;
+/// the floor trips only on an order-of-magnitude regression.
+pub const MID_TEXT_MIN_REVIEWS_PER_SEC: f64 = 1_000_000.0;
 /// Ceiling on the `mid` run's `simulate` stage wall time, in seconds.
 ///
 /// The allocation-free lane engine's performance contract: the
@@ -301,6 +307,28 @@ pub fn validate(json: &str) -> Result<BenchReport, String> {
                      the {MID_CAMPAIGN_MIN_SHINGLES_PER_SEC:.0} floor"
                 ));
             }
+            // The review-text kernel's throughput contract: the batch
+            // text-sketch rebuild (bench_pipeline's synthetic corpus plus
+            // any real rebuild volume) must sustain the reviews/s floor.
+            let reviews = run.counters.get(keys::TEXT_REVIEWS).copied().unwrap_or(0);
+            if reviews == 0 {
+                return Err("mid run folded no text reviews".to_string());
+            }
+            let text_secs = run
+                .stages
+                .get(keys::SPAN_TEXT_REBUILD)
+                .map(|s| s.wall_secs)
+                .unwrap_or(0.0);
+            if text_secs <= 0.0 {
+                return Err("mid run reports no text_rebuild wall time".to_string());
+            }
+            let text_rate = reviews as f64 / text_secs;
+            if text_rate < MID_TEXT_MIN_REVIEWS_PER_SEC {
+                return Err(format!(
+                    "mid run's text kernel sustains {text_rate:.0} reviews/s, below \
+                     the {MID_TEXT_MIN_REVIEWS_PER_SEC:.0} floor"
+                ));
+            }
         }
     }
     Ok(report)
@@ -323,6 +351,12 @@ mod tests {
         );
         reg.record(
             &format!("{SPAN_PREFIX}{}", keys::SPAN_CAMPAIGN_LSH),
+            10_000_000,
+        );
+        // Text kernel: 100k reviews over 10 ms = 10M/s, above floor.
+        reg.add(keys::TEXT_REVIEWS, 100_000);
+        reg.record(
+            &format!("{SPAN_PREFIX}{}", keys::SPAN_TEXT_REBUILD),
             10_000_000,
         );
         for stage in [
@@ -492,6 +526,45 @@ mod tests {
             .unwrap()
             .wall_secs = 100.0;
         validate(&serde_json::to_string(&test_run).unwrap()).expect("test runs have no ceiling");
+    }
+
+    #[test]
+    fn validate_holds_mid_runs_to_the_text_floor() {
+        let mut ok = BenchReport::new();
+        ok.runs
+            .push(run_report("mid", "direct", 240, &plausible_snapshot()));
+        for stage in [
+            keys::SPAN_SCORE_BATCH,
+            keys::SPAN_SCORE_STREAM,
+            keys::SPAN_SIMULATE,
+        ] {
+            ok.runs[0].stages.get_mut(stage).unwrap().wall_secs = 0.05;
+        }
+        validate(&serde_json::to_string(&ok).unwrap()).expect("fast mid run validates");
+
+        // The same run with a crawling text kernel is rejected.
+        let mut slow = ok.clone();
+        slow.runs[0]
+            .stages
+            .get_mut(keys::SPAN_TEXT_REBUILD)
+            .unwrap()
+            .wall_secs = 1.0; // 100k reviews over 1 s = 100k/s, below floor
+        let err = validate(&serde_json::to_string(&slow).unwrap()).unwrap_err();
+        assert!(err.contains("reviews/s"), "{err}");
+
+        // A mid run that never folded reviews is rejected outright.
+        let mut none = ok.clone();
+        none.runs[0].counters.remove(keys::TEXT_REVIEWS);
+        let err = validate(&serde_json::to_string(&none).unwrap()).unwrap_err();
+        assert!(err.contains("no text reviews"), "{err}");
+
+        // Test-scale runs are exempt.
+        let mut test_run = BenchReport::new();
+        test_run
+            .runs
+            .push(run_report("test", "wire", 60, &plausible_snapshot()));
+        test_run.runs[0].counters.remove(keys::TEXT_REVIEWS);
+        validate(&serde_json::to_string(&test_run).unwrap()).expect("test runs have no floor");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::lsh::{candidate_pairs, LshParams};
 use crate::shingle::ShingleParams;
 use crate::sketch::CampaignSketch;
 use racket_obs::Registry;
+use racket_text::{NearDupIndex, TextSketch};
 use racket_types::metrics::keys;
 use racket_types::{AppId, InstallId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,6 +41,17 @@ pub struct DetectorConfig {
     /// Minimum internal edge density (`2e / n(n−1)`) of a reported
     /// campaign — the quasi-clique relaxation.
     pub min_density: f64,
+    /// Maximum SimHash Hamming distance for a verified near-duplicate
+    /// review pair in the text candidate source
+    /// ([`detect_with_text`]). Campaign templates are shared verbatim or
+    /// with a one-word twist, so verbatim copies land at distance 0 and
+    /// a small allowance covers whitespace/casing drift.
+    pub text_max_hamming: u32,
+    /// Minimum distinct apps on which two installs must share verified
+    /// near-duplicate reviews before a text edge is admitted — the text
+    /// analog of `min_co_apps` (one shared phrase on one app is organic
+    /// review convergence, not coordination).
+    pub text_min_co_apps: usize,
 }
 
 impl Default for DetectorConfig {
@@ -52,6 +64,8 @@ impl Default for DetectorConfig {
             min_jaccard: 0.10,
             min_cluster: 3,
             min_density: 0.5,
+            text_max_hamming: 6,
+            text_min_co_apps: 2,
         }
     }
 }
@@ -80,8 +94,17 @@ pub struct CampaignReport {
     pub campaigns: Vec<DetectedCampaign>,
     /// Device pairs proposed by LSH banding.
     pub n_candidate_pairs: u64,
-    /// Candidate pairs that passed Jaccard + co-occurrence scoring.
+    /// Verified edges in the mining graph: candidate pairs that passed
+    /// Jaccard + co-occurrence scoring, unioned with text edges when the
+    /// text candidate source ran.
     pub n_edges: u64,
+    /// Cross-owner review pairs proposed by SimHash banding (zero when
+    /// the detector ran without text sketches).
+    pub n_text_candidate_pairs: u64,
+    /// Install pairs admitted as edges by the text candidate source:
+    /// verified near-duplicate reviews on ≥ `text_min_co_apps` shared
+    /// apps (zero when the detector ran without text sketches).
+    pub n_text_edges: u64,
 }
 
 impl CampaignReport {
@@ -97,6 +120,16 @@ impl CampaignReport {
             self.n_edges,
             self.campaigns.len()
         );
+        // Rendered only when the text source actually proposed something,
+        // so text-off fingerprints are byte-identical to the pre-text
+        // pins.
+        if self.n_text_candidate_pairs != 0 || self.n_text_edges != 0 {
+            let _ = writeln!(
+                out,
+                "text_candidates={} text_edges={}",
+                self.n_text_candidate_pairs, self.n_text_edges
+            );
+        }
         for c in &self.campaigns {
             let _ = writeln!(
                 out,
@@ -165,8 +198,33 @@ fn per_app_times(sketch: &CampaignSketch) -> Vec<(AppId, Vec<u64>)> {
 /// `inputs` may arrive in any order (they are sorted by install ID
 /// internally); install IDs must be unique. `obs`, when present, gets
 /// `campaign/lsh`, `campaign/score` and `campaign/mine` spans.
+///
+/// Equivalent to [`detect_with_text`] with no text sketches.
 pub fn detect(
     inputs: &[(InstallId, &CampaignSketch)],
+    cfg: &DetectorConfig,
+    obs: Option<&Registry>,
+) -> CampaignReport {
+    detect_with_text(inputs, &[], cfg, obs)
+}
+
+/// Run the full detector with the review-text candidate source enabled.
+///
+/// In addition to the LSH/co-occurrence pipeline of [`detect`], every
+/// review SimHash from `texts` is inserted into a [`NearDupIndex`] under
+/// the owner key `(install-order-index << 32) | app`, so within-install
+/// near-duplicates (one worker's own template reuse) can never pair.
+/// Verified cross-install pairs on ≥ [`DetectorConfig::text_min_co_apps`]
+/// shared apps become extra edges in the mining graph — a second
+/// candidate source that catches stealth/drip campaigns whose install
+/// times are too dispersed for temporal co-occurrence alone.
+///
+/// Text entries whose install is absent from `inputs` (or has an empty
+/// campaign sketch) are ignored; with `texts` empty the result is
+/// bit-identical to [`detect`], text counters zero.
+pub fn detect_with_text(
+    inputs: &[(InstallId, &CampaignSketch)],
+    texts: &[(InstallId, &TextSketch)],
     cfg: &DetectorConfig,
     obs: Option<&Registry>,
 ) -> CampaignReport {
@@ -202,6 +260,54 @@ pub fn detect(
                 adj.entry(i).or_default().insert(j);
                 adj.entry(j).or_default().insert(i);
                 edge_apps.insert((i, j), co);
+            }
+        }
+    }
+
+    // Text candidate source: near-duplicate reviews across installs.
+    let mut n_text_candidate_pairs = 0u64;
+    let mut n_text_edges = 0u64;
+    if !texts.is_empty() {
+        let _g = obs.map(|r| r.span(keys::SPAN_CAMPAIGN_TEXT));
+        let code: BTreeMap<InstallId, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(i, &&(id, _))| (id, i))
+            .collect();
+        let mut index = NearDupIndex::new();
+        for (id, sketch) in texts {
+            let Some(&i) = code.get(id) else { continue };
+            for row in sketch.rows() {
+                index.insert(((i as u64) << 32) | u64::from(row.app), row.simhash);
+            }
+        }
+        let scan = index.scan(cfg.text_max_hamming);
+        n_text_candidate_pairs = scan.n_candidates as u64;
+        // Fold verified owner pairs down to install pairs, keeping only
+        // same-app matches (a shared phrase across *different* apps says
+        // nothing about coordinated promotion of either).
+        let mut shared: BTreeMap<(usize, usize), BTreeSet<AppId>> = BTreeMap::new();
+        for &(a, b) in &scan.pairs {
+            let (ia, app_a) = ((a >> 32) as usize, (a & 0xFFFF_FFFF) as u32);
+            let (ib, app_b) = ((b >> 32) as usize, (b & 0xFFFF_FFFF) as u32);
+            if ia == ib || app_a != app_b {
+                continue;
+            }
+            let key = if ia < ib { (ia, ib) } else { (ib, ia) };
+            shared.entry(key).or_default().insert(AppId(app_a));
+        }
+        for ((i, j), apps) in shared {
+            if apps.len() >= cfg.text_min_co_apps {
+                n_text_edges += 1;
+                adj.entry(i).or_default().insert(j);
+                adj.entry(j).or_default().insert(i);
+                let entry = edge_apps.entry((i, j)).or_default();
+                for app in apps {
+                    if !entry.contains(&app) {
+                        entry.push(app);
+                    }
+                }
+                entry.sort();
             }
         }
     }
@@ -298,6 +404,8 @@ pub fn detect(
         campaigns,
         n_candidate_pairs: pairs.len() as u64,
         n_edges,
+        n_text_candidate_pairs,
+        n_text_edges,
     }
 }
 
@@ -374,6 +482,96 @@ mod tests {
         let report = detect(&inputs, &DetectorConfig::default(), None);
         assert!(report.campaigns.is_empty());
         assert_eq!(report.n_edges, 0);
+    }
+
+    /// Three workers drip their installs days apart (no temporal
+    /// co-occurrence) but paste the same review template on two shared
+    /// target apps: the event-only detector sees nothing, the text
+    /// candidate source recovers the trio.
+    #[test]
+    fn text_candidates_recover_a_dispersed_campaign() {
+        use racket_text::TextSketch;
+        let sketches: Vec<CampaignSketch> = (0..3u64)
+            .map(|d| sketch(&[(10, d * 200), (11, d * 200 + 100), (30 + d as u32, d * 90)]))
+            .collect();
+        let texts: Vec<TextSketch> = (0..3u64)
+            .map(|d| {
+                let mut t = TextSketch::default();
+                t.observe(10, 1_000 + d, d * 720_000, 5, "great app works perfectly");
+                t.observe(
+                    11,
+                    1_000 + d,
+                    d * 720_000 + 60,
+                    5,
+                    "love the new design and speed",
+                );
+                t
+            })
+            .collect();
+        let inputs: Vec<(InstallId, &CampaignSketch)> = sketches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_000 + i as u64), s))
+            .collect();
+        let text_inputs: Vec<(InstallId, &TextSketch)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_000 + i as u64), s))
+            .collect();
+
+        let cfg = DetectorConfig::default();
+        let without = detect(&inputs, &cfg, None);
+        assert!(without.campaigns.is_empty());
+        assert_eq!(without.n_text_candidate_pairs, 0);
+        // Empty text slice is bit-identical to the event-only detector.
+        assert_eq!(detect_with_text(&inputs, &[], &cfg, None), without);
+
+        let with = detect_with_text(&inputs, &text_inputs, &cfg, None);
+        assert_eq!(with.campaigns.len(), 1);
+        assert_eq!(
+            with.campaigns[0].devices,
+            vec![
+                InstallId(1_000_000_000),
+                InstallId(1_000_000_001),
+                InstallId(1_000_000_002)
+            ]
+        );
+        assert_eq!(with.campaigns[0].apps, vec![AppId(10), AppId(11)]);
+        assert_eq!(with.n_text_edges, 3);
+        assert!(with.n_text_candidate_pairs >= 3);
+        assert!(with.fingerprint().contains("text_candidates="));
+        assert!(!without.fingerprint().contains("text_candidates="));
+    }
+
+    /// A single shared phrase on a single app — organic convergence —
+    /// stays below `text_min_co_apps` and admits no edge.
+    #[test]
+    fn one_shared_app_is_not_a_text_edge() {
+        use racket_text::TextSketch;
+        let a = sketch(&[(10, 5), (20, 50)]);
+        let b = sketch(&[(10, 900), (21, 1_000)]);
+        let c = sketch(&[(10, 2_000), (22, 2_100)]);
+        let mut texts: Vec<TextSketch> = Vec::new();
+        for d in 0..3u64 {
+            let mut t = TextSketch::default();
+            t.observe(10, 2_000 + d, d * 500_000, 5, "great app works perfectly");
+            texts.push(t);
+        }
+        let sketches = [a, b, c];
+        let inputs: Vec<(InstallId, &CampaignSketch)> = sketches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_000 + i as u64), s))
+            .collect();
+        let text_inputs: Vec<(InstallId, &TextSketch)> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (InstallId(1_000_000_000 + i as u64), s))
+            .collect();
+        let report = detect_with_text(&inputs, &text_inputs, &DetectorConfig::default(), None);
+        assert_eq!(report.n_text_edges, 0);
+        assert!(report.n_text_candidate_pairs >= 3);
+        assert!(report.campaigns.is_empty());
     }
 
     #[test]

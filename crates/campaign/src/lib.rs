@@ -19,7 +19,13 @@
 //!    against the exact event sets: an edge requires both a Jaccard floor
 //!    over shingles and at least [`DetectorConfig::min_co_apps`] distinct
 //!    apps the two devices touched within [`DetectorConfig::window_secs`].
-//! 5. **Dense-subgraph mining** — greedy quasi-clique growth over the
+//! 5. **Near-duplicate review text** (optional) — [`detect_with_text`]
+//!    adds a second candidate source: review SimHashes from per-install
+//!    `racket_text::TextSketch`es feed a banded near-duplicate index, and
+//!    installs sharing verified template copies on ≥ 2 apps gain an edge
+//!    even when their install times are too dispersed for temporal
+//!    co-occurrence (stealth/drip campaigns).
+//! 6. **Dense-subgraph mining** — greedy quasi-clique growth over the
 //!    co-occurrence graph yields [`DetectedCampaign`] device groups with
 //!    their shared target apps.
 //!
@@ -42,7 +48,7 @@ pub mod minhash;
 pub mod shingle;
 pub mod sketch;
 
-pub use detect::{detect, CampaignReport, DetectedCampaign, DetectorConfig};
+pub use detect::{detect, detect_with_text, CampaignReport, DetectedCampaign, DetectorConfig};
 pub use lsh::LshParams;
 pub use minhash::MinHash;
 pub use shingle::ShingleParams;

@@ -219,6 +219,7 @@ mod tests {
             accounts: vec![],
             save_mode: false,
             stopped_apps: vec![],
+            review_events: vec![],
         })
     }
 

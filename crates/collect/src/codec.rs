@@ -38,8 +38,8 @@
 
 use racket_types::{
     AccountId, AccountService, AndroidId, ApkHash, AppId, FastSnapshot, GoogleId, InstallDelta,
-    InstallId, InstalledApp, ParticipantId, Permission, PermissionProfile, RegisteredAccount,
-    SimTime, SlowSnapshot, Snapshot,
+    InstallId, InstalledApp, ParticipantId, Permission, PermissionProfile, Rating,
+    RegisteredAccount, ReviewEvent, SimTime, SlowSnapshot, Snapshot,
 };
 
 /// Record tag: binary body layout, version 1.
@@ -178,6 +178,20 @@ pub fn encode_record(snapshot: &Snapshot, out: &mut Vec<u8>) {
             out.extend_from_slice(&(s.stopped_apps.len() as u32).to_le_bytes());
             for app in &s.stopped_apps {
                 out.extend_from_slice(&app.raw().to_le_bytes());
+            }
+            // Review section, appended only when non-empty: review-off
+            // records stay byte-identical to the pre-review layout, and
+            // the decoder reads the section iff body bytes remain.
+            if !s.review_events.is_empty() {
+                out.extend_from_slice(&(s.review_events.len() as u32).to_le_bytes());
+                for review in &s.review_events {
+                    out.extend_from_slice(&review.app.raw().to_le_bytes());
+                    out.extend_from_slice(&review.reviewer.raw().to_le_bytes());
+                    out.extend_from_slice(&review.time.as_secs().to_le_bytes());
+                    out.push(review.rating.stars());
+                    out.extend_from_slice(&(review.text.len() as u32).to_le_bytes());
+                    out.extend_from_slice(review.text.as_bytes());
+                }
             }
         }
     }
@@ -348,6 +362,30 @@ impl<'a> Reader<'a> {
         })
     }
 
+    /// Whether unread body bytes remain (optional trailing sections).
+    fn has_remaining(&self) -> bool {
+        self.pos < self.data.len()
+    }
+
+    fn review_event(&mut self) -> Result<ReviewEvent, DecodeError> {
+        let app = AppId(self.u32()?);
+        let reviewer = GoogleId(self.u64()?);
+        let time = SimTime::from_secs(self.u64()?);
+        let rating =
+            Rating::new(self.u8()?).ok_or(DecodeError::Corrupt("review rating out of range"))?;
+        let len = self.count(1)?;
+        let text = std::str::from_utf8(self.take(len)?)
+            .map_err(|_| DecodeError::Corrupt("review text is not UTF-8"))?
+            .to_string();
+        Ok(ReviewEvent {
+            app,
+            reviewer,
+            time,
+            rating,
+            text,
+        })
+    }
+
     fn done(&self) -> Result<(), DecodeError> {
         if self.pos == self.data.len() {
             Ok(())
@@ -413,6 +451,17 @@ fn decode_body(body: &[u8]) -> Result<Snapshot, DecodeError> {
             for _ in 0..n_stopped {
                 stopped_apps.push(AppId(r.u32()?));
             }
+            // Optional trailing review section (records written with
+            // review collection off — and all pre-review records — end
+            // right here).
+            let mut review_events = Vec::new();
+            if r.has_remaining() {
+                let n_reviews = r.count(25)?;
+                review_events.reserve(n_reviews);
+                for _ in 0..n_reviews {
+                    review_events.push(r.review_event()?);
+                }
+            }
             Snapshot::Slow(SlowSnapshot {
                 install_id,
                 participant_id,
@@ -421,6 +470,7 @@ fn decode_body(body: &[u8]) -> Result<Snapshot, DecodeError> {
                 accounts,
                 save_mode,
                 stopped_apps,
+                review_events,
             })
         }
         _ => return Err(DecodeError::Corrupt("unknown snapshot kind")),
@@ -489,7 +539,31 @@ mod tests {
             ],
             save_mode: true,
             stopped_apps: vec![AppId(3), AppId(9)],
+            review_events: vec![],
         })
+    }
+
+    fn slow_with_reviews() -> Snapshot {
+        let Snapshot::Slow(mut s) = slow() else {
+            unreachable!()
+        };
+        s.review_events = vec![
+            ReviewEvent {
+                app: AppId(3),
+                reviewer: GoogleId(77),
+                time: SimTime::from_secs(7_000),
+                rating: Rating::FIVE,
+                text: "great app works perfectly".to_string(),
+            },
+            ReviewEvent {
+                app: AppId(9),
+                reviewer: GoogleId(78),
+                time: SimTime::from_secs(7_100),
+                rating: Rating::ONE,
+                text: String::new(),
+            },
+        ];
+        Snapshot::Slow(s)
     }
 
     fn installed() -> InstallDelta {
@@ -525,9 +599,58 @@ mod tests {
                 InstallDelta::Uninstalled { app: AppId(5) },
             ]),
             slow(),
+            slow_with_reviews(),
         ] {
             assert_eq!(round_trip(&s), s);
         }
+    }
+
+    #[test]
+    fn empty_review_list_adds_no_bytes() {
+        // A review-off record must be byte-identical to the pre-review
+        // layout: the decoder's end-of-body check is the section gate, so
+        // the review-on body is the review-off body plus a trailing
+        // section.
+        let mut without = Vec::new();
+        encode_record(&slow(), &mut without);
+        let mut with = Vec::new();
+        encode_record(&slow_with_reviews(), &mut with);
+        assert!(with.len() > without.len());
+        assert_eq!(&without[5..], &with[5..without.len()]);
+    }
+
+    #[test]
+    fn review_truncation_and_corruption_rejected() {
+        let mut without = Vec::new();
+        encode_record(&slow(), &mut without);
+        let mut buf = Vec::new();
+        encode_record(&slow_with_reviews(), &mut buf);
+        // Any strict prefix of the record body fails loudly — except the
+        // one landing exactly at the review-section boundary, which is a
+        // valid review-less record by construction of the optional
+        // section.
+        for cut in 6..buf.len() {
+            let mut bad = buf[..cut].to_vec();
+            let len = (bad.len() - 5) as u32;
+            bad[1..5].copy_from_slice(&len.to_le_bytes());
+            if cut == without.len() {
+                let decoded = decode_file(&bad).expect("section boundary is a valid record");
+                assert_eq!(decoded, vec![slow()]);
+            } else {
+                assert!(decode_file(&bad).is_err(), "prefix of {cut} bytes decoded");
+            }
+        }
+        // Rating byte out of range.
+        let mut bad = buf.clone();
+        let rating_pos = without.len() + 4 + 4 + 8 + 8;
+        assert_eq!(bad[rating_pos], 5, "rating byte located");
+        bad[rating_pos] = 6;
+        assert!(decode_file(&bad).is_err());
+        // Review text that is not UTF-8.
+        let mut bad = buf.clone();
+        let text_pos = rating_pos + 1 + 4;
+        bad[text_pos] = 0xFF;
+        assert!(decode_file(&bad).is_err());
     }
 
     #[test]

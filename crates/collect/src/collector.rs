@@ -18,7 +18,7 @@
 use racket_types::snapshot::{FAST_SNAPSHOT_PERIOD_SECS, SLOW_SNAPSHOT_PERIOD_SECS};
 use racket_types::{
     AppId, FastSnapshot, InstallDelta, InstallId, ParticipantId, ReclaimedBuffer,
-    RegisteredAccount, SimTime, SlowSnapshot, Snapshot,
+    RegisteredAccount, ReviewEvent, SimTime, SlowSnapshot, Snapshot,
 };
 
 /// Collector cadences (seconds). The defaults are the paper's 5 s / 120 s;
@@ -31,6 +31,10 @@ pub struct CollectorConfig {
     pub fast_period_secs: u64,
     /// Slow snapshot period in seconds.
     pub slow_period_secs: u64,
+    /// Report reviews posted from the device in slow snapshots. Off by
+    /// default: review-off studies emit byte-identical snapshot files to
+    /// builds that predate review collection.
+    pub collect_reviews: bool,
 }
 
 impl Default for CollectorConfig {
@@ -38,6 +42,7 @@ impl Default for CollectorConfig {
         CollectorConfig {
             fast_period_secs: FAST_SNAPSHOT_PERIOD_SECS,
             slow_period_secs: SLOW_SNAPSHOT_PERIOD_SECS,
+            collect_reviews: false,
         }
     }
 }
@@ -57,6 +62,7 @@ pub struct SnapshotBatch {
     free_events: Vec<Vec<InstallDelta>>,
     free_accounts: Vec<Vec<RegisteredAccount>>,
     free_apps: Vec<Vec<AppId>>,
+    free_reviews: Vec<Vec<ReviewEvent>>,
 }
 
 impl SnapshotBatch {
@@ -89,6 +95,7 @@ impl SnapshotBatch {
                 ReclaimedBuffer::InstallEvents(v) => self.free_events.push(v),
                 ReclaimedBuffer::Accounts(v) => self.free_accounts.push(v),
                 ReclaimedBuffer::StoppedApps(v) => self.free_apps.push(v),
+                ReclaimedBuffer::ReviewEvents(v) => self.free_reviews.push(v),
             });
         }
         snaps.clear();
@@ -110,6 +117,10 @@ impl SnapshotBatch {
 
     fn take_apps(&mut self) -> Vec<AppId> {
         self.free_apps.pop().unwrap_or_default()
+    }
+
+    fn take_reviews(&mut self) -> Vec<ReviewEvent> {
+        self.free_reviews.pop().unwrap_or_default()
     }
 }
 
@@ -135,6 +146,9 @@ pub struct SnapshotCollector {
     /// scan is skipped wholesale — the dominant case, since package events
     /// are orders of magnitude rarer than fast ticks.
     last_stamp: Option<u64>,
+    /// Cursor into the device's append-only review log: reviews before it
+    /// have already been reported by an earlier slow snapshot.
+    reviews_reported: usize,
 }
 
 impl SnapshotCollector {
@@ -150,6 +164,7 @@ impl SnapshotCollector {
             known_apps: Vec::new(),
             apps_scratch: Vec::new(),
             last_stamp: None,
+            reviews_reported: 0,
         }
     }
 
@@ -187,7 +202,8 @@ impl SnapshotCollector {
         while t <= now {
             let accounts = batch.take_accounts();
             let stopped = batch.take_apps();
-            let snap = self.sample_slow_pooled(device, t, accounts, stopped);
+            let reviews = batch.take_reviews();
+            let snap = self.sample_slow_pooled(device, t, accounts, stopped, reviews);
             batch.snaps.push(Snapshot::Slow(snap));
             t += slow_period;
         }
@@ -262,25 +278,38 @@ impl SnapshotCollector {
         }
     }
 
-    /// Take one slow snapshot right now.
-    pub fn sample_slow(&self, device: &racket_device::Device, now: SimTime) -> SlowSnapshot {
-        self.sample_slow_pooled(device, now, Vec::new(), Vec::new())
+    /// Take one slow snapshot right now (advances the review cursor when
+    /// review collection is enabled).
+    pub fn sample_slow(&mut self, device: &racket_device::Device, now: SimTime) -> SlowSnapshot {
+        self.sample_slow_pooled(device, now, Vec::new(), Vec::new(), Vec::new())
     }
 
-    /// [`SnapshotCollector::sample_slow`] writing the account and
-    /// stopped-app lists into recycled vectors (cleared first).
+    /// [`SnapshotCollector::sample_slow`] writing the account, stopped-app
+    /// and review lists into recycled vectors (cleared first). With review
+    /// collection enabled, every review the device log gained since the
+    /// previous slow sample ships in this snapshot — the first slow
+    /// snapshot therefore carries the device's whole review history, the
+    /// same "initial data collector" pattern the fast path uses for the
+    /// installed-app list.
     fn sample_slow_pooled(
-        &self,
+        &mut self,
         device: &racket_device::Device,
         now: SimTime,
         mut accounts: Vec<RegisteredAccount>,
         mut stopped: Vec<AppId>,
+        mut reviews: Vec<ReviewEvent>,
     ) -> SlowSnapshot {
         accounts.clear();
         if device.permissions().get_accounts {
             accounts.extend_from_slice(device.accounts());
         }
         device.stopped_apps_into(&mut stopped);
+        reviews.clear();
+        if self.config.collect_reviews {
+            let log = device.review_log();
+            reviews.extend_from_slice(&log[self.reviews_reported.min(log.len())..]);
+            self.reviews_reported = log.len();
+        }
         SlowSnapshot {
             install_id: self.install_id,
             participant_id: self.participant,
@@ -289,6 +318,7 @@ impl SnapshotCollector {
             accounts,
             save_mode: device.save_mode(),
             stopped_apps: stopped,
+            review_events: reviews,
         }
     }
 
@@ -606,6 +636,7 @@ mod tests {
             CollectorConfig {
                 fast_period_secs: 60,
                 slow_period_secs: 120,
+                collect_reviews: false,
             },
             InstallId(1),
             ParticipantId(1),

@@ -25,7 +25,7 @@
 use crate::server::InstallRecord;
 use crate::shard::ShardedIngest;
 use racket_columnar::Dict;
-use racket_types::{AccountService, AppId, InstallId, ParticipantId, SimTime};
+use racket_types::{AccountService, AppId, GoogleId, InstallId, ParticipantId, Rating, SimTime};
 
 /// Struct-of-arrays snapshot store over dictionary-encoded identifiers.
 ///
@@ -68,6 +68,19 @@ pub struct ColumnarSnapshots {
     // CSR per-(install, account): the service of each registered account.
     account_offsets: Vec<u32>,
     service_codes: Vec<u32>,
+
+    // CSR per-(install, reported review event), in report order. The text
+    // engine's batch path re-derives per-install `TextSketch`es from these
+    // columns (ARCHITECTURE.md §13). Review text lives in one contiguous
+    // UTF-8 arena sliced by `rev_text_offsets` (offsets-array encoding
+    // like the CSR families, one entry per review plus the leading zero).
+    rev_offsets: Vec<u32>,
+    rev_app_codes: Vec<u32>,
+    rev_reviewers: Vec<u64>,
+    rev_times: Vec<u64>,
+    rev_ratings: Vec<u8>,
+    rev_text_offsets: Vec<u32>,
+    rev_text_bytes: Vec<u8>,
 }
 
 /// Sentinel in the `last_uninstall` column for "never uninstalled".
@@ -75,6 +88,23 @@ pub struct ColumnarSnapshots {
 /// Uninstall times are simulation seconds (small); `u64::MAX` cannot be
 /// a real timestamp.
 pub const NEVER_UNINSTALLED: u64 = u64::MAX;
+
+/// One decoded per-(install, review) entry, as returned by
+/// [`ColumnarSnapshots::reviews_of`]. Borrows its text from the store's
+/// arena — no per-review allocation on the batch-rebuild scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReviewEntry<'a> {
+    /// The reviewed app.
+    pub app: AppId,
+    /// The Google identity that posted.
+    pub reviewer: GoogleId,
+    /// Posting time.
+    pub time: SimTime,
+    /// The star rating.
+    pub rating: Rating,
+    /// The review text.
+    pub text: &'a str,
+}
 
 /// One decoded per-(install, app) entry, as returned by
 /// [`ColumnarSnapshots::apps_of`].
@@ -99,6 +129,8 @@ impl ColumnarSnapshots {
         s.app_offsets.push(0);
         s.account_offsets.push(0);
         s.ev_offsets.push(0);
+        s.rev_offsets.push(0);
+        s.rev_text_offsets.push(0);
         s
     }
 
@@ -178,6 +210,24 @@ impl ColumnarSnapshots {
         }
         self.account_offsets
             .push(u32::try_from(self.service_codes.len()).expect("account column overflow"));
+
+        // Reported review events, in report order. A reviewed app may be
+        // absent from `r.apps` (e.g. reviewed before monitoring and since
+        // uninstalled), so this loop can extend the app dictionary — in
+        // review order, which is deterministic like everything above.
+        for review in &r.review_events {
+            self.rev_app_codes.push(self.apps.encode(review.app));
+            self.rev_reviewers.push(review.reviewer.raw());
+            self.rev_times.push(review.time.as_secs());
+            self.rev_ratings.push(review.rating.stars());
+            self.rev_text_bytes
+                .extend_from_slice(review.text.as_bytes());
+            self.rev_text_offsets.push(
+                u32::try_from(self.rev_text_bytes.len()).expect("review text arena overflow"),
+            );
+        }
+        self.rev_offsets
+            .push(u32::try_from(self.rev_app_codes.len()).expect("review column overflow"));
     }
 
     /// Number of installs adopted.
@@ -273,6 +323,30 @@ impl ColumnarSnapshots {
         self.ev_app_codes.len()
     }
 
+    /// Reported review events of one install, in report order — the batch
+    /// input to text-sketch rebuilds (ARCHITECTURE.md §13).
+    pub fn reviews_of(&self, code: u32) -> impl Iterator<Item = ReviewEntry<'_>> + '_ {
+        let lo = self.rev_offsets[code as usize] as usize;
+        let hi = self.rev_offsets[code as usize + 1] as usize;
+        (lo..hi).map(move |k| ReviewEntry {
+            app: self.apps.value(self.rev_app_codes[k]),
+            reviewer: GoogleId(self.rev_reviewers[k]),
+            time: SimTime::from_secs(self.rev_times[k]),
+            rating: Rating::new(self.rev_ratings[k]).expect("columns store valid ratings"),
+            text: std::str::from_utf8(
+                &self.rev_text_bytes
+                    [self.rev_text_offsets[k] as usize..self.rev_text_offsets[k + 1] as usize],
+            )
+            .expect("columns store valid UTF-8"),
+        })
+    }
+
+    /// Total reported review events across all installs (review CSR
+    /// payload length).
+    pub fn n_review_events(&self) -> usize {
+        self.rev_app_codes.len()
+    }
+
     /// Account services registered on one install, in snapshot order.
     pub fn services_of(&self, code: u32) -> impl Iterator<Item = AccountService> + '_ {
         let lo = self.account_offsets[code as usize] as usize;
@@ -295,6 +369,9 @@ impl ColumnarSnapshots {
             + self.app_codes.len() * (size_of::<u32>() + 4 * size_of::<u64>())
             + self.ev_app_codes.len() * (size_of::<u32>() + size_of::<u64>())
             + self.service_codes.len() * size_of::<u32>()
+            + (self.rev_offsets.len() + self.rev_text_offsets.len()) * size_of::<u32>()
+            + self.rev_app_codes.len() * (2 * size_of::<u32>() + 2 * size_of::<u64>() + 1)
+            + self.rev_text_bytes.len()
     }
 }
 
@@ -312,7 +389,8 @@ impl ShardedIngest {
 mod tests {
     use super::*;
     use racket_types::{
-        ApkHash, FastSnapshot, InstallDelta, InstalledApp, PermissionProfile, SimTime, Snapshot,
+        ApkHash, FastSnapshot, InstallDelta, InstalledApp, PermissionProfile, ReviewEvent, SimTime,
+        SlowSnapshot, Snapshot,
     };
 
     fn snap(install: u64, t: u64, foreground: Option<AppId>, installs: Vec<AppId>) -> Snapshot {
@@ -337,12 +415,50 @@ mod tests {
         })
     }
 
+    fn review(app: AppId, reviewer: u64, t: u64, stars: u8, text: &str) -> ReviewEvent {
+        ReviewEvent {
+            app,
+            reviewer: GoogleId(reviewer),
+            time: SimTime::from_secs(t),
+            rating: Rating::new(stars).unwrap(),
+            text: text.to_owned(),
+        }
+    }
+
+    fn slow(install: u64, t: u64, reviews: Vec<ReviewEvent>) -> Snapshot {
+        Snapshot::Slow(SlowSnapshot {
+            install_id: InstallId(install),
+            participant_id: ParticipantId(100_000),
+            android_id: None,
+            time: SimTime::from_secs(t),
+            accounts: vec![],
+            save_mode: false,
+            stopped_apps: vec![],
+            review_events: reviews,
+        })
+    }
+
     fn ingest_fixture() -> ShardedIngest {
         let ingest = ShardedIngest::new(4);
         ingest.ingest(&snap(2_000_000_001, 10, None, vec![AppId(7), AppId(3)]));
         ingest.ingest(&snap(2_000_000_001, 86_410, Some(AppId(7)), vec![]));
         ingest.ingest(&snap(2_000_000_001, 86_420, None, vec![]));
+        ingest.ingest(&slow(
+            2_000_000_001,
+            86_430,
+            vec![
+                review(AppId(7), 42, 86_400, 5, "great app works perfectly"),
+                // An app never installed during monitoring: review columns
+                // must extend the app dictionary, not panic.
+                review(AppId(99), 42, 400, 1, "crashes a lot"),
+            ],
+        ));
         ingest.ingest(&snap(1_000_000_002, 50, Some(AppId(3)), vec![AppId(3)]));
+        ingest.ingest(&slow(
+            1_000_000_002,
+            60,
+            vec![review(AppId(3), 77, 55, 4, "good app overall")],
+        ));
         ingest
     }
 
@@ -370,7 +486,19 @@ mod tests {
             );
             let events: Vec<(AppId, SimTime)> = columnar.install_events_of(code).collect();
             assert_eq!(events, r.install_events);
+            let reviews: Vec<ReviewEvent> = columnar
+                .reviews_of(code)
+                .map(|e| ReviewEvent {
+                    app: e.app,
+                    reviewer: e.reviewer,
+                    time: e.time,
+                    rating: e.rating,
+                    text: e.text.to_owned(),
+                })
+                .collect();
+            assert_eq!(reviews, r.review_events);
         }
+        assert_eq!(columnar.n_review_events(), 3);
     }
 
     /// A campaign sketch rebuilt from the install-event columns equals
@@ -389,6 +517,28 @@ mod tests {
         assert!(columnar.n_install_events() > 0);
     }
 
+    /// The text analog: a `TextSketch` rebuilt from the review columns
+    /// equals the sketch the streaming fold maintained inside the record —
+    /// the unit-level half of the streaming ≡ batch text contract.
+    #[test]
+    fn review_columns_rebuild_the_streaming_text_sketch() {
+        let (records, columnar) = ingest_fixture().columnarize();
+        for (code, r) in records.iter().enumerate() {
+            let mut rebuilt = racket_text::TextSketch::default();
+            for e in columnar.reviews_of(code as u32) {
+                rebuilt.observe(
+                    e.app.raw(),
+                    e.reviewer.raw(),
+                    e.time.as_secs(),
+                    e.rating.stars(),
+                    e.text,
+                );
+            }
+            assert_eq!(&rebuilt, r.stream.text());
+        }
+        assert!(columnar.n_review_events() > 0);
+    }
+
     #[test]
     fn incremental_adoption_equals_batch() {
         let records = ingest_fixture().into_records();
@@ -405,7 +555,11 @@ mod tests {
             let a: Vec<AppEntry> = incremental.apps_of(code).collect();
             let b: Vec<AppEntry> = batch.apps_of(code).collect();
             assert_eq!(a, b);
+            let ra: Vec<ReviewEntry> = incremental.reviews_of(code).collect();
+            let rb: Vec<ReviewEntry> = batch.reviews_of(code).collect();
+            assert_eq!(ra, rb);
         }
+        assert_eq!(incremental.n_review_events(), batch.n_review_events());
     }
 
     #[test]

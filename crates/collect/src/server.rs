@@ -24,7 +24,7 @@ use crate::wire::{FrameCodec, Message};
 use parking_lot::Mutex;
 use racket_types::{
     AndroidId, AppId, InstallDelta, InstallId, InstalledApp, ParticipantId, RegisteredAccount,
-    SimTime, Snapshot, TimeInterval,
+    ReviewEvent, SimTime, Snapshot, TimeInterval,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -63,6 +63,9 @@ pub struct InstallRecord {
     pub accounts: Vec<RegisteredAccount>,
     /// Latest stopped-app list.
     pub stopped_apps: Vec<AppId>,
+    /// Reviews reported by slow snapshots, in arrival order (empty unless
+    /// the fleet collects reviews).
+    pub review_events: Vec<ReviewEvent>,
     /// Per-app streaming aggregates folded at the same program points as
     /// the batch-visible vectors above (see [`crate::stream`]).
     pub stream: StreamAggregates,
@@ -86,6 +89,7 @@ impl InstallRecord {
             uninstall_events: Vec::new(),
             accounts: Vec::new(),
             stopped_apps: Vec::new(),
+            review_events: Vec::new(),
             stream: StreamAggregates::new(),
         }
     }
@@ -159,6 +163,16 @@ impl InstallRecord {
                     self.accounts = s.accounts.clone();
                 }
                 self.stopped_apps = s.stopped_apps.clone();
+                for review in &s.review_events {
+                    self.review_events.push(review.clone());
+                    self.stream.note_review(
+                        review.app,
+                        review.reviewer,
+                        review.time,
+                        review.rating,
+                        &review.text,
+                    );
+                }
             }
         }
     }
@@ -749,12 +763,65 @@ mod tests {
             )],
             save_mode: false,
             stopped_apps: vec![AppId(3)],
+            review_events: vec![],
         }));
         let rec = s.record(I).unwrap();
         assert_eq!(rec.android_id, Some(AndroidId(77)));
         assert_eq!(rec.accounts.len(), 1);
         assert_eq!(rec.stopped_apps, vec![AppId(3)]);
         assert_eq!(rec.n_slow, 1);
+    }
+
+    #[test]
+    fn slow_snapshot_reviews_fold_into_record_and_text_sketch() {
+        let review = ReviewEvent {
+            app: AppId(4),
+            reviewer: racket_types::GoogleId(9),
+            time: SimTime::from_secs(8),
+            rating: racket_types::Rating::FIVE,
+            text: "great app works perfectly".to_string(),
+        };
+        let slow = Snapshot::Slow(SlowSnapshot {
+            install_id: I,
+            participant_id: P,
+            android_id: None,
+            time: SimTime::from_secs(10),
+            accounts: vec![],
+            save_mode: false,
+            stopped_apps: vec![],
+            review_events: vec![review.clone()],
+        });
+        let mut s = server();
+        s.ingest_snapshot(&slow);
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.review_events, vec![review]);
+        assert_eq!(rec.stream.text().n_reviews(), 1);
+        let row = rec.stream.text().rows().next().unwrap();
+        assert_eq!(row.app, 4);
+        assert_eq!(row.rating, 5);
+
+        // The replay path (idempotent file dedup) never re-folds text —
+        // same mechanism as the campaign sketch, exercised via upload.
+        let mut s = server();
+        s.handle(Message::SignIn {
+            participant: P,
+            install: I,
+        });
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&SnapshotCollector::serialize(&slow));
+        let payload = lzss::compress(&raw);
+        let upload = Message::SnapshotUpload {
+            install: I,
+            file_id: 1,
+            fast: true,
+            payload,
+        };
+        s.handle(upload.clone()).unwrap();
+        let once = s.record(I).unwrap().clone();
+        s.handle(upload).unwrap();
+        let rec = s.record(I).unwrap();
+        assert_eq!(rec.review_events, once.review_events);
+        assert_eq!(rec.stream.text(), once.stream.text());
     }
 
     #[test]

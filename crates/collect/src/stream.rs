@@ -16,7 +16,8 @@
 //! is what lets the streaming feature vectors match batch bit-for-bit.
 
 use racket_campaign::CampaignSketch;
-use racket_types::{AppId, SimTime};
+use racket_text::TextSketch;
+use racket_types::{AppId, GoogleId, Rating, SimTime};
 use std::collections::HashMap;
 
 /// Streaming sufficient statistics for one app on one install.
@@ -67,6 +68,12 @@ pub struct StreamAggregates {
     /// the batch rebuild from the install-event column family by
     /// construction. Never enters feature vectors or fingerprints.
     campaign: CampaignSketch,
+    /// Review-text sketch over the reported review events (canonical
+    /// per-review rows + install-level MinHash — ARCHITECTURE.md §13).
+    /// Folded at the same program point as the record's review-event
+    /// vector, so it equals the batch rebuild from the columnar review
+    /// family by construction. Stays empty in review-off studies.
+    text: TextSketch,
 }
 
 impl StreamAggregates {
@@ -100,6 +107,11 @@ impl StreamAggregates {
         &self.campaign
     }
 
+    /// The review-text sketch folded so far.
+    pub fn text(&self) -> &TextSketch {
+        &self.text
+    }
+
     /// Fold one monitored install event (called exactly when the record
     /// pushes onto `install_events`; `t` is the event's install time, the
     /// same value the event vector records).
@@ -127,6 +139,20 @@ impl StreamAggregates {
         self.per_app.entry(app).or_default().fg_total += 1;
     }
 
+    /// Fold one reported review (called exactly when the record pushes
+    /// onto its review-event vector).
+    pub fn note_review(
+        &mut self,
+        app: AppId,
+        reviewer: GoogleId,
+        t: SimTime,
+        rating: Rating,
+        text: &str,
+    ) {
+        self.text
+            .observe(app.raw(), reviewer.raw(), t.as_secs(), rating.stars(), text);
+    }
+
     /// Merge an aggregate built over a disjoint slice of the same
     /// install's snapshots: per-app entries merge pairwise, totals add.
     /// Commutative and associative with [`StreamAggregates::new`] as
@@ -138,6 +164,7 @@ impl StreamAggregates {
         self.n_install_events += other.n_install_events;
         self.n_uninstall_events += other.n_uninstall_events;
         self.campaign.merge(&other.campaign);
+        self.text.merge(&other.text);
     }
 }
 
@@ -189,5 +216,48 @@ mod tests {
         with_id.merge(&StreamAggregates::new());
         assert_eq!(with_id.app(A), x.app(A));
         assert!(StreamAggregates::new().is_empty());
+    }
+
+    #[test]
+    fn review_folds_reach_the_text_sketch_and_merge() {
+        let mut x = StreamAggregates::new();
+        x.note_review(
+            A,
+            GoogleId(7),
+            SimTime::from_secs(100),
+            Rating::FIVE,
+            "great app",
+        );
+        let mut y = StreamAggregates::new();
+        y.note_review(
+            B,
+            GoogleId(8),
+            SimTime::from_secs(200),
+            Rating::ONE,
+            "crashes a lot",
+        );
+
+        let mut both = StreamAggregates::new();
+        both.note_review(
+            A,
+            GoogleId(7),
+            SimTime::from_secs(100),
+            Rating::FIVE,
+            "great app",
+        );
+        both.note_review(
+            B,
+            GoogleId(8),
+            SimTime::from_secs(200),
+            Rating::ONE,
+            "crashes a lot",
+        );
+
+        let mut xy = x.clone();
+        xy.merge(&y);
+        assert_eq!(xy.text(), both.text());
+        assert_eq!(xy.text().n_reviews(), 2);
+        // Text folds do not create per-app install aggregates.
+        assert_eq!(xy.len(), 0);
     }
 }

@@ -13,8 +13,8 @@ use racket_collect::collector::SnapshotCollector;
 use racket_collect::lzss;
 use racket_types::{
     AccountId, AccountService, AndroidId, ApkHash, AppId, FastSnapshot, GoogleId, InstallDelta,
-    InstallId, InstalledApp, ParticipantId, Permission, PermissionProfile, RegisteredAccount,
-    SimTime, SlowSnapshot, Snapshot,
+    InstallId, InstalledApp, ParticipantId, Permission, PermissionProfile, Rating,
+    RegisteredAccount, ReviewEvent, SimTime, SlowSnapshot, Snapshot,
 };
 
 fn permission() -> impl Strategy<Value = Permission> {
@@ -93,6 +93,31 @@ fn account() -> impl Strategy<Value = RegisteredAccount> {
     })
 }
 
+fn review_event() -> impl Strategy<Value = ReviewEvent> {
+    (
+        (any::<u32>(), any::<u64>(), any::<u64>(), 1u8..=5),
+        proptest::collection::vec(any::<u8>(), 0..16),
+    )
+        .prop_map(|((app, reviewer, time, stars), text)| ReviewEvent {
+            app: AppId(app),
+            reviewer: GoogleId(reviewer),
+            time: SimTime::from_secs(time),
+            rating: Rating::new(stars).expect("stars in 1..=5"),
+            // Printable ASCII with occasional multi-byte UTF-8, so the
+            // codec's length prefix counts bytes, not chars.
+            text: text
+                .into_iter()
+                .map(|b| {
+                    if b >= 240 {
+                        'é'
+                    } else {
+                        char::from(32 + b % 95)
+                    }
+                })
+                .collect(),
+        })
+}
+
 fn snapshot() -> impl Strategy<Value = Snapshot> {
     let fast = (
         (any::<u64>(), any::<u32>(), any::<u64>()),
@@ -117,9 +142,10 @@ fn snapshot() -> impl Strategy<Value = Snapshot> {
         proptest::collection::vec(account(), 0..5),
         any::<bool>(),
         proptest::collection::vec(any::<u32>(), 0..8),
+        proptest::collection::vec(review_event(), 0..4),
     )
         .prop_map(
-            |((install, participant, android, time), accounts, save_mode, stopped)| {
+            |((install, participant, android, time), accounts, save_mode, stopped, reviews)| {
                 Snapshot::Slow(SlowSnapshot {
                     install_id: InstallId(install),
                     participant_id: ParticipantId(participant),
@@ -128,6 +154,7 @@ fn snapshot() -> impl Strategy<Value = Snapshot> {
                     accounts,
                     save_mode,
                     stopped_apps: stopped.into_iter().map(AppId).collect(),
+                    review_events: reviews,
                 })
             },
         );
@@ -217,7 +244,10 @@ proptest! {
     }
 
     /// Truncating a valid binary file anywhere inside a record must error,
-    /// never panic. (Cuts at record boundaries are valid shorter files.)
+    /// never panic. (Cuts at record boundaries are valid shorter files —
+    /// including the boundary between a slow record's base body and its
+    /// optional trailing review section, which decodes as a review-less
+    /// record.)
     #[test]
     fn truncated_binary_errors_without_panic(
         snaps in proptest::collection::vec(snapshot(), 1..4),
@@ -226,6 +256,18 @@ proptest! {
         let mut file = Vec::new();
         let mut boundaries = vec![0usize];
         for s in &snaps {
+            if let Snapshot::Slow(slow) = s {
+                if !slow.review_events.is_empty() {
+                    // The review section is a backward-compatible suffix:
+                    // cutting exactly where the base body ends yields a
+                    // valid review-less record.
+                    let mut stripped = slow.clone();
+                    stripped.review_events.clear();
+                    let mut base = Vec::new();
+                    SnapshotCollector::serialize_into(&Snapshot::Slow(stripped), &mut base);
+                    boundaries.push(file.len() + base.len());
+                }
+            }
             SnapshotCollector::serialize_into(s, &mut file);
             boundaries.push(file.len());
         }

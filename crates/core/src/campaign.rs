@@ -4,15 +4,16 @@
 //! [`racket_campaign::CampaignSketch`]es the streaming engine folded at
 //! snapshot-ingest time ([`crate::StudyOutput::campaigns`]). This module is
 //! the batch half of that contract: [`batch_report`] rebuilds every sketch
-//! from the columnar install-event family and feeds the identical
-//! [`racket_campaign::detect()`] kernel, so the two reports are byte-equal by
-//! construction (pinned across thread counts and delivery paths by
-//! `tests/campaign_equivalence.rs`). [`evaluate`] scores either report
+//! from the columnar install-event and review families and feeds the
+//! identical [`racket_campaign::detect_with_text()`] kernel, so the two
+//! reports are byte-equal by construction (pinned across thread counts and
+//! delivery paths by `tests/campaign_equivalence.rs`). [`evaluate`] scores either report
 //! against the fleet's [`racket_agents::CampaignSpec`] ground truth for the
 //! EXPERIMENTS.md recall/precision-vs-stealth table.
 
 use crate::study::StudyOutput;
-use racket_campaign::{detect, CampaignReport, CampaignSketch, DetectorConfig};
+use racket_campaign::{detect_with_text, CampaignReport, CampaignSketch, DetectorConfig};
+use racket_text::TextSketch;
 use racket_types::metrics::keys;
 use racket_types::InstallId;
 use std::collections::BTreeSet;
@@ -20,7 +21,8 @@ use std::collections::BTreeSet;
 /// Run the lockstep detector in batch mode: rebuild one sketch per install
 /// from the columnar install-event column family (`campaign/shingle` span,
 /// `campaign.shingles` counter), then hand the sketches to the same
-/// [`detect()`] kernel the incremental path uses.
+/// [`detect()`](racket_campaign::detect::detect) kernel the incremental
+/// path uses.
 pub fn batch_report(out: &StudyOutput) -> CampaignReport {
     batch_report_with(out, &DetectorConfig::default())
 }
@@ -46,7 +48,13 @@ pub fn batch_report_with(out: &StudyOutput, cfg: &DetectorConfig) -> CampaignRep
     }
     let inputs: Vec<(InstallId, &CampaignSketch)> =
         sketches.iter().map(|(id, s)| (*id, s)).collect();
-    detect(&inputs, cfg, Some(obs))
+    // The text candidate source gets the same batch treatment: sketches
+    // rebuilt from the columnar review family. With review collection off
+    // the rebuild yields nothing and the detector runs the event-only
+    // path bit-for-bit, matching the incremental side.
+    let texts: Vec<(InstallId, TextSketch)> = crate::text::batch_text_sketches(out);
+    let text_inputs: Vec<(InstallId, &TextSketch)> = texts.iter().map(|(id, s)| (*id, s)).collect();
+    detect_with_text(&inputs, &text_inputs, cfg, Some(obs))
 }
 
 /// Detection quality against the fleet's scheduled-campaign ground truth.

@@ -41,6 +41,7 @@ pub mod labeling;
 pub mod measurements;
 pub mod scoring;
 pub mod study;
+pub mod text;
 
 pub use app_classifier::{AppClassifierReport, AppUsageDataset};
 pub use campaign::{batch_report, evaluate, membership, CampaignEval};

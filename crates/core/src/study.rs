@@ -13,7 +13,7 @@ use racket_agents::{
     apply_action_collecting, expand_directives, stream_seed, Action, Fleet, FleetConfig,
     LaneScratch, TimelineAction,
 };
-use racket_campaign::{detect, CampaignReport, CampaignSketch, DetectorConfig};
+use racket_campaign::{detect_with_text, CampaignReport, CampaignSketch, DetectorConfig};
 use racket_collect::wire::Message;
 use racket_collect::{
     coalesce_installs, AsyncCollectServer, AsyncServerConfig, CandidateInstall, CollectionServer,
@@ -97,6 +97,7 @@ impl StudyConfig {
             collector: CollectorConfig {
                 fast_period_secs: 60,
                 slow_period_secs: 120,
+                collect_reviews: false,
             },
             path: CollectionPath::Wire,
             seed: 11,
@@ -112,6 +113,7 @@ impl StudyConfig {
             collector: CollectorConfig {
                 fast_period_secs: 30,
                 slow_period_secs: 120,
+                collect_reviews: false,
             },
             path: CollectionPath::Direct,
             seed: 2021,
@@ -273,6 +275,14 @@ impl Study {
         // Sign in + per-device lane state. Sign-ins are serial (one frame
         // per device); the simulation loop below is where the time goes.
         let catalog = &fleet.catalog;
+        // Review-text studies report review events in slow snapshots and
+        // give campaign directives their organizer templates; both are
+        // keyed (RNG-free), so text-off lanes are byte-identical.
+        let collect_reviews = config.collector.collect_reviews || config.fleet.review_text;
+        let textgen = config
+            .fleet
+            .review_text
+            .then(|| racket_agents::TextGen::new(config.fleet.seed));
         let mut lanes: Vec<DeviceLane> = fleet
             .devices
             .drain(..)
@@ -288,6 +298,7 @@ impl Study {
                     slow_period_secs: ((config.collector.slow_period_secs as f64 / uptime).round()
                         as u64)
                         .max(1),
+                    collect_reviews,
                 };
                 let collector = SnapshotCollector::new(cfg, d.install_id, d.participant);
                 let lane_seed = stream_seed(config.seed ^ FAULT_STREAM_SALT, i as u64);
@@ -320,7 +331,8 @@ impl Study {
                 // directives into a time-sorted plan (both RNG-free).
                 let mut scratch = LaneScratch::new();
                 scratch.seed_indexes(&d.device, catalog, d.persona());
-                let directive_plan = expand_directives(&d.directives, d.agent.gmail_identities());
+                let directive_plan =
+                    expand_directives(&d.directives, d.agent.gmail_identities(), textgen.as_ref());
                 DeviceLane {
                     idx: i,
                     dev: d,
@@ -603,16 +615,26 @@ impl Study {
         // Incremental campaign detection: the per-install lockstep
         // sketches were folded at ingest (StreamAggregates::note_install),
         // so the detector reads them straight off the records — no event
-        // re-scan. The batch path (`crate::campaign::batch_report`)
-        // rebuilds the same sketches from the columnar install-event
-        // family; both feed the identical `detect` kernel.
+        // re-scan. The text sketches folded from reported reviews
+        // (StreamAggregates::note_review) ride along as the second
+        // candidate source; with review collection off every text sketch
+        // is empty and the slice stays empty, so the detector runs the
+        // event-only path bit-for-bit. The batch path
+        // (`crate::campaign::batch_report`) rebuilds the same sketches
+        // from the columnar families; both feed the identical
+        // `detect_with_text` kernel.
         let campaigns = {
             let _span = obs.span(keys::SPAN_CAMPAIGN_INCREMENTAL);
             let inputs: Vec<(racket_types::InstallId, &CampaignSketch)> = observations
                 .iter()
                 .map(|o| (o.record.install_id, o.record.stream.campaign()))
                 .collect();
-            detect(&inputs, &DetectorConfig::default(), Some(&obs))
+            let texts: Vec<(racket_types::InstallId, &racket_text::TextSketch)> = observations
+                .iter()
+                .filter(|o| !o.record.stream.text().is_empty())
+                .map(|o| (o.record.install_id, o.record.stream.text()))
+                .collect();
+            detect_with_text(&inputs, &texts, &DetectorConfig::default(), Some(&obs))
         };
 
         let metrics = PipelineMetrics::from_snapshot(&obs.snapshot());

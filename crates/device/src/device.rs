@@ -3,8 +3,8 @@
 use crate::model::DeviceModel;
 use crate::usage::UsageStats;
 use racket_types::{
-    AccountService, AndroidId, ApkHash, AppId, DeviceEvent, DeviceId, EventKind, InstalledApp,
-    PermissionProfile, Rating, RegisteredAccount, SimTime,
+    AccountService, AndroidId, ApkHash, AppId, DeviceEvent, DeviceId, EventKind, GoogleId,
+    InstalledApp, PermissionProfile, Rating, RegisteredAccount, ReviewEvent, SimTime,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -47,6 +47,9 @@ pub struct Device {
     foreground: Option<AppId>,
     usage: UsageStats,
     events: Vec<DeviceEvent>,
+    /// Append-only log of reviews posted from this device, with their
+    /// text — what review-enabled slow snapshots report incrementally.
+    review_log: Vec<ReviewEvent>,
     installs_total: u64,
     uninstalls_total: u64,
     /// Package-manager generation stamp: bumped by every mutation of the
@@ -75,6 +78,7 @@ impl Device {
             foreground: None,
             usage: UsageStats::default(),
             events: Vec::new(),
+            review_log: Vec::new(),
             installs_total: 0,
             uninstalls_total: 0,
             pkg_stamp: 0,
@@ -222,13 +226,17 @@ impl Device {
     }
 
     /// Record a review posted from this device (ground truth; the review
-    /// itself also lands in the Play-store simulator).
+    /// itself also lands in the Play-store simulator). The posting Google
+    /// identity and the review text go to the device's review log, which
+    /// review-enabled slow snapshots drain incrementally.
     pub fn record_review(
         &mut self,
         app: AppId,
         account: racket_types::AccountId,
+        google_id: GoogleId,
         rating: Rating,
         time: SimTime,
+        text: &str,
     ) {
         self.events.push(DeviceEvent::new(
             self.id,
@@ -239,6 +247,13 @@ impl Device {
                 rating,
             },
         ));
+        self.review_log.push(ReviewEvent {
+            app,
+            reviewer: google_id,
+            time,
+            rating,
+            text: text.to_string(),
+        });
     }
 
     // ---- screen & power ---------------------------------------------------
@@ -366,6 +381,12 @@ impl Device {
     /// Ground-truth event log since creation.
     pub fn events(&self) -> &[DeviceEvent] {
         &self.events
+    }
+
+    /// Append-only log of reviews posted from this device (the slow
+    /// snapshot collector's review source when review collection is on).
+    pub fn review_log(&self) -> &[ReviewEvent] {
+        &self.review_log
     }
 
     /// Lifetime install / uninstall event counts.
@@ -566,8 +587,18 @@ mod tests {
         let mut d = device();
         install(&mut d, 1, 0);
         d.open_app(AppId(1), SimTime::from_days(1), 10);
-        d.record_review(AppId(1), AccountId(1), Rating::FIVE, SimTime::from_days(2));
+        d.record_review(
+            AppId(1),
+            AccountId(1),
+            GoogleId(10),
+            Rating::FIVE,
+            SimTime::from_days(2),
+            "great app",
+        );
         let levels: Vec<Option<u8>> = d.events().iter().map(|e| e.kind.timeline_level()).collect();
         assert_eq!(levels, vec![Some(4), Some(2), Some(3)]);
+        assert_eq!(d.review_log().len(), 1);
+        assert_eq!(d.review_log()[0].reviewer, GoogleId(10));
+        assert_eq!(d.review_log()[0].text, "great app");
     }
 }

@@ -125,6 +125,7 @@ mod tests {
             ],
             save_mode: false,
             stopped_apps: vec![AppId(1)],
+            review_events: vec![],
         }));
         let record = server.record(I).unwrap().clone();
         let mut reviews_by_app = HashMap::new();

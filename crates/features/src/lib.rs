@@ -28,9 +28,13 @@ pub mod device;
 pub mod observation;
 pub mod online;
 pub mod streaming;
+pub mod text;
 
 pub use app::{app_feature_names, app_features, APP_FEATURE_NAMES, N_APP_FEATURES};
 pub use device::{device_features, DEVICE_FEATURE_NAMES};
 pub use observation::DeviceObservation;
 pub use online::AppReviewStream;
 pub use streaming::DeviceStreamState;
+pub use text::{
+    app_feature_names_with_text, app_features_with_text, text_features, TEXT_FEATURE_NAMES,
+};

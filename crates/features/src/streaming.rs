@@ -270,6 +270,7 @@ mod tests {
             ],
             save_mode: false,
             stopped_apps: vec![AppId(100)],
+            review_events: vec![],
         }));
         let record = server.record(I).unwrap().clone();
         let mut reviews_by_app = HashMap::new();

@@ -1,0 +1,183 @@
+//! A streaming near-duplicate index over review SimHashes.
+//!
+//! The index buckets each inserted SimHash under four 16-bit bands. Two
+//! hashes within Hamming distance 3 of each other share at least one
+//! exact band (pigeonhole over 4 bands), and copy-paste campaign
+//! templates land at distance 0–2, so banding recalls them with
+//! certainty while keeping bucket scans cheap. [`NearDupIndex::scan`]
+//! then *verifies* every in-bucket candidate pair against a caller-chosen
+//! Hamming threshold, which may exceed the banding guarantee — banding is
+//! recall floor, verification is the precision gate.
+//!
+//! All state is B-tree keyed, so the index — and the scan report — is a
+//! canonical function of the inserted **set**, independent of insertion
+//! order and duplicate inserts. That makes "streaming index state ≡
+//! batch-rebuilt index state" a byte-level comparison.
+
+use crate::simhash::hamming;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Number of SimHash bands the index buckets on.
+const N_BANDS: u32 = 4;
+/// Bits per band (`64 / N_BANDS`).
+const BAND_BITS: u32 = 64 / N_BANDS;
+
+/// A banded near-duplicate index over `(owner, simhash)` pairs.
+///
+/// `owner` is an opaque caller identity (e.g. an install/app pairing);
+/// pairs sharing an owner are never reported.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NearDupIndex {
+    buckets: BTreeMap<(u8, u16), BTreeSet<(u64, u64)>>,
+}
+
+/// The result of a verification scan over a [`NearDupIndex`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NearDupScan {
+    /// Verified owner pairs (`a < b`), each within the Hamming threshold
+    /// on at least one SimHash pair.
+    pub pairs: BTreeSet<(u64, u64)>,
+    /// Distinct cross-owner candidate pairs that shared a bucket.
+    pub n_candidates: usize,
+    /// Candidates that passed Hamming verification.
+    pub n_verified: usize,
+}
+
+impl NearDupIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        NearDupIndex::default()
+    }
+
+    /// Insert one `(owner, simhash)` observation. Idempotent.
+    pub fn insert(&mut self, owner: u64, simhash: u64) {
+        for band in 0..N_BANDS {
+            let key = ((simhash >> (band * BAND_BITS)) & 0xFFFF) as u16;
+            self.buckets
+                .entry((band as u8, key))
+                .or_default()
+                .insert((simhash, owner));
+        }
+    }
+
+    /// Number of distinct `(band, key)` buckets in use.
+    pub fn n_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Verify all in-bucket candidate pairs against `max_hamming`.
+    ///
+    /// A candidate is a cross-owner pair of distinct `(simhash, owner)`
+    /// entries sharing at least one band bucket; it is counted once even
+    /// when several bands propose it. A verified owner pair is reported
+    /// once even when several SimHash pairs support it.
+    pub fn scan(&self, max_hamming: u32) -> NearDupScan {
+        let mut candidates: BTreeSet<((u64, u64), (u64, u64))> = BTreeSet::new();
+        for entries in self.buckets.values() {
+            let flat: Vec<(u64, u64)> = entries.iter().copied().collect();
+            for i in 0..flat.len() {
+                for j in (i + 1)..flat.len() {
+                    let (a, b) = (flat[i], flat[j]);
+                    if a.1 == b.1 {
+                        continue;
+                    }
+                    candidates.insert(if a <= b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        let mut scan = NearDupScan {
+            n_candidates: candidates.len(),
+            ..NearDupScan::default()
+        };
+        for ((sim_a, own_a), (sim_b, own_b)) in candidates {
+            if hamming(sim_a, sim_b) <= max_hamming {
+                scan.n_verified += 1;
+                scan.pairs.insert(if own_a <= own_b {
+                    (own_a, own_b)
+                } else {
+                    (own_b, own_a)
+                });
+            }
+        }
+        scan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simhash::simhash64_of_text;
+
+    const TEMPLATE: &str = "great app works perfectly love the new design and speed";
+
+    #[test]
+    fn identical_texts_pair_across_owners() {
+        let mut idx = NearDupIndex::new();
+        let h = simhash64_of_text(TEMPLATE, 2);
+        idx.insert(1, h);
+        idx.insert(2, h);
+        idx.insert(3, h);
+        let scan = idx.scan(6);
+        assert_eq!(scan.pairs, BTreeSet::from([(1u64, 2u64), (1, 3), (2, 3)]));
+        assert_eq!(scan.n_verified, 3);
+    }
+
+    #[test]
+    fn same_owner_never_pairs_with_itself() {
+        let mut idx = NearDupIndex::new();
+        let h = simhash64_of_text(TEMPLATE, 2);
+        idx.insert(9, h);
+        idx.insert(9, h ^ 1); // 1 bit apart, same owner
+        let scan = idx.scan(6);
+        assert!(scan.pairs.is_empty());
+        assert_eq!(scan.n_candidates, 0);
+    }
+
+    #[test]
+    fn distant_bucket_collisions_are_rejected_at_verification() {
+        let mut idx = NearDupIndex::new();
+        let h = simhash64_of_text(TEMPLATE, 2);
+        // Same low band, other 48 bits inverted: candidate, not verified.
+        idx.insert(1, h);
+        idx.insert(2, h ^ 0xFFFF_FFFF_FFFF_0000);
+        let scan = idx.scan(6);
+        assert_eq!(scan.n_candidates, 1);
+        assert_eq!(scan.n_verified, 0);
+        assert!(scan.pairs.is_empty());
+    }
+
+    #[test]
+    fn index_is_insertion_order_and_duplicate_insensitive() {
+        let hashes = [
+            (1u64, 111u64),
+            (2, 222),
+            (3, simhash64_of_text(TEMPLATE, 2)),
+        ];
+        let mut fwd = NearDupIndex::new();
+        for &(o, h) in &hashes {
+            fwd.insert(o, h);
+        }
+        let mut rev = NearDupIndex::new();
+        for &(o, h) in hashes.iter().rev() {
+            rev.insert(o, h);
+            rev.insert(o, h);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.scan(6), rev.scan(6));
+    }
+
+    #[test]
+    fn pigeonhole_recall_within_three_bits() {
+        let h = simhash64_of_text(TEMPLATE, 2);
+        let mut idx = NearDupIndex::new();
+        idx.insert(1, h);
+        idx.insert(2, h ^ 0b1011); // 3 bits flipped, all in one band
+        let scan = idx.scan(3);
+        assert_eq!(scan.pairs, BTreeSet::from([(1u64, 2u64)]));
+    }
+}

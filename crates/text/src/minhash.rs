@@ -1,0 +1,193 @@
+//! K-permutation MinHash over text shingle sets.
+//!
+//! Same construction as the campaign crate's install-event MinHash — each
+//! "permutation" is a seeded SplitMix64 hash, the signature keeps the
+//! per-permutation minimum — but on its **own salted hash family**
+//! ([`TEXT_MINHASH_SALT`]), so text signatures and install-event
+//! signatures can never be confused and this crate stays dependency-free.
+//!
+//! `min` is commutative, associative and idempotent, so a signature is a
+//! pure function of the shingle *set*: fold order, duplicate folds and
+//! merge order are all invisible. That is the whole batch ≡ incremental
+//! argument at the kernel level.
+
+use crate::shingle::mix64;
+
+/// Salt separating the text MinHash family from the campaign crate's
+/// (`MINHASH_SALT`) and every other SplitMix64 use in the workspace.
+pub const TEXT_MINHASH_SALT: u64 = 0x7E17_AB1E_5EED_F00D;
+
+/// The seed of text permutation `k` (pure function — no seed table needs
+/// to live in any record).
+#[inline]
+pub fn perm_seed(k: usize) -> u64 {
+    mix64(TEXT_MINHASH_SALT ^ (k as u64))
+}
+
+/// Hash one shingle under a permutation seed.
+#[inline]
+pub fn perm_hash(shingle: u64, seed: u64) -> u64 {
+    mix64(shingle ^ seed)
+}
+
+/// A MinHash signature over text shingles: `sig[k]` is the minimum of
+/// `perm_hash(s, perm_seed(k))` over every shingle folded so far
+/// (`u64::MAX` when empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHash {
+    sig: Vec<u64>,
+}
+
+impl MinHash {
+    /// The empty signature of length `k` (merge identity).
+    pub fn empty(k: usize) -> Self {
+        MinHash {
+            sig: vec![u64::MAX; k],
+        }
+    }
+
+    /// Signature length.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// Whether no shingle has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.sig.iter().all(|&v| v == u64::MAX)
+    }
+
+    /// The raw signature rows.
+    pub fn rows(&self) -> &[u64] {
+        &self.sig
+    }
+
+    /// Fold one shingle into the signature.
+    pub fn observe(&mut self, shingle: u64) {
+        for (k, slot) in self.sig.iter_mut().enumerate() {
+            let h = perm_hash(shingle, perm_seed(k));
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+
+    /// Merge a signature over another shingle set: elementwise min, equal
+    /// to the signature of the union. Commutative, associative,
+    /// idempotent, with [`MinHash::empty`] as identity.
+    ///
+    /// # Panics
+    /// If the signature lengths differ.
+    pub fn merge(&mut self, other: &MinHash) {
+        assert_eq!(
+            self.sig.len(),
+            other.sig.len(),
+            "cannot merge text MinHash signatures of different lengths"
+        );
+        for (a, &b) in self.sig.iter_mut().zip(&other.sig) {
+            if b < *a {
+                *a = b;
+            }
+        }
+    }
+
+    /// Jaccard estimate: fraction of agreeing rows. Two empty signatures
+    /// estimate 1.0 (the `J(∅, ∅) = 1` convention).
+    pub fn estimate_jaccard(&self, other: &MinHash) -> f64 {
+        assert_eq!(self.sig.len(), other.sig.len());
+        if self.sig.is_empty() {
+            return 1.0;
+        }
+        let agree = self
+            .sig
+            .iter()
+            .zip(&other.sig)
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.sig.len() as f64
+    }
+
+    pub(crate) fn sig_mut(&mut self) -> &mut [u64] {
+        &mut self.sig
+    }
+}
+
+/// A MinHash folder with the permutation seed table precomputed — the
+/// batch-rebuild / benchmark hot loop. Pinned by tests to produce
+/// signatures identical to [`MinHash::observe`].
+#[derive(Debug, Clone)]
+pub struct TextHasher {
+    seeds: Vec<u64>,
+}
+
+impl TextHasher {
+    /// Build the seed table for signatures of length `k`.
+    pub fn new(k: usize) -> Self {
+        TextHasher {
+            seeds: (0..k).map(perm_seed).collect(),
+        }
+    }
+
+    /// Fold one shingle into `sig` (must have length `k`).
+    #[inline]
+    pub fn fold(&self, sig: &mut [u64], shingle: u64) {
+        debug_assert_eq!(sig.len(), self.seeds.len());
+        for (slot, &seed) in sig.iter_mut().zip(&self.seeds) {
+            let h = perm_hash(shingle, seed);
+            if h < *slot {
+                *slot = h;
+            }
+        }
+    }
+
+    /// Signature of a whole shingle slice, starting from empty.
+    pub fn signature(&self, shingles: &[u64]) -> MinHash {
+        let mut m = MinHash::empty(self.seeds.len());
+        for &s in shingles {
+            self.fold(&mut m.sig, s);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_is_order_and_duplicate_insensitive() {
+        let mut a = MinHash::empty(32);
+        for s in [9u64, 5, 7, 7, 5] {
+            a.observe(s);
+        }
+        let mut b = MinHash::empty(32);
+        for s in [5u64, 7, 9] {
+            b.observe(s);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hasher_matches_observe() {
+        let shingles = [42u64, 1, 999_999, 42];
+        let mut via_observe = MinHash::empty(32);
+        for &s in &shingles {
+            via_observe.observe(s);
+        }
+        assert_eq!(TextHasher::new(32).signature(&shingles), via_observe);
+    }
+
+    #[test]
+    fn family_is_distinct_from_plain_mixing() {
+        // The salted family must not degenerate to unsalted SplitMix64.
+        assert_ne!(perm_hash(123, perm_seed(0)), mix64(123));
+        assert_ne!(perm_seed(0), perm_seed(1));
+    }
+
+    #[test]
+    fn empty_signatures_estimate_one() {
+        let a = MinHash::empty(32);
+        assert_eq!(a.estimate_jaccard(&MinHash::empty(32)), 1.0);
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 32);
+    }
+}

@@ -1,0 +1,154 @@
+//! A compile-time hashed positive/negative lexicon.
+//!
+//! The rating–text divergence feature needs only a sign-and-magnitude
+//! sentiment estimate, so the lexicon is two short word lists hashed at
+//! compile time with the same case-folded token hash the tokenizer uses —
+//! scoring is a pure token scan, no allocation, no tables built at
+//! runtime.
+
+use crate::token::{fnv1a_folded, for_each_token_hash};
+
+/// Words counted as positive evidence.
+const POSITIVE: [&str; 24] = [
+    "great",
+    "love",
+    "awesome",
+    "amazing",
+    "perfect",
+    "excellent",
+    "fantastic",
+    "helpful",
+    "smooth",
+    "best",
+    "nice",
+    "good",
+    "useful",
+    "fun",
+    "easy",
+    "works",
+    "recommend",
+    "superb",
+    "brilliant",
+    "wonderful",
+    "fast",
+    "simple",
+    "beautiful",
+    "reliable",
+];
+
+/// Words counted as negative evidence.
+const NEGATIVE: [&str; 24] = [
+    "bad", "terrible", "awful", "crash", "crashes", "broken", "worst", "hate", "useless", "slow",
+    "bug", "buggy", "scam", "spam", "annoying", "ads", "waste", "poor", "fake", "horrible",
+    "freezes", "laggy", "unusable", "refund",
+];
+
+const fn hash_list<const N: usize>(words: [&str; N]) -> [u64; N] {
+    let mut out = [0u64; N];
+    let mut i = 0;
+    while i < N {
+        out[i] = fnv1a_folded(words[i].as_bytes());
+        i += 1;
+    }
+    out
+}
+
+const POSITIVE_HASHES: [u64; 24] = hash_list(POSITIVE);
+const NEGATIVE_HASHES: [u64; 24] = hash_list(NEGATIVE);
+
+/// Both lexica as one table sorted by hash, each entry carrying its
+/// vote sign — built at compile time so the per-token lookup is a
+/// binary search over 48 entries instead of two linear scans. The word
+/// lists are disjoint, so the merged hashes are distinct and lookup is
+/// exactly equivalent to probing the two lists in order.
+const SORTED_LEXICON: [(u64, i32); 48] = sort_lexicon();
+
+const fn sort_lexicon() -> [(u64, i32); 48] {
+    let mut table = [(0u64, 0i32); 48];
+    let mut i = 0;
+    while i < 24 {
+        table[i] = (POSITIVE_HASHES[i], 1);
+        table[24 + i] = (NEGATIVE_HASHES[i], -1);
+        i += 1;
+    }
+    // Insertion sort by hash (const-evaluable).
+    let mut i = 1;
+    while i < 48 {
+        let entry = table[i];
+        let mut j = i;
+        while j > 0 && table[j - 1].0 > entry.0 {
+            table[j] = table[j - 1];
+            j -= 1;
+        }
+        table[j] = entry;
+        i += 1;
+    }
+    table
+}
+
+/// The vote of one case-folded token hash: +1 positive, −1 negative,
+/// 0 outside the lexicon. The per-token kernel of [`sentiment_score`],
+/// exposed to the crate so single-scan folds can reuse it.
+#[inline]
+pub(crate) fn token_vote(h: u64) -> i32 {
+    let mut lo = 0usize;
+    let mut hi = SORTED_LEXICON.len();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let (hash, sign) = SORTED_LEXICON[mid];
+        if hash == h {
+            return sign;
+        }
+        if hash < h {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    0
+}
+
+/// Sentiment score of a text: positive-lexicon hits minus
+/// negative-lexicon hits over its tokens.
+pub fn sentiment_score(text: &str) -> i32 {
+    let mut score = 0i32;
+    for_each_token_hash(text, |h| score += token_vote(h));
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn praise_scores_positive() {
+        assert!(sentiment_score("Great app, works perfectly. Love it!") >= 3);
+    }
+
+    #[test]
+    fn complaints_score_negative() {
+        assert!(sentiment_score("terrible update, crashes and freezes") <= -3);
+    }
+
+    #[test]
+    fn neutral_text_scores_zero() {
+        assert_eq!(sentiment_score("opened the settings menu twice"), 0);
+        assert_eq!(sentiment_score(""), 0);
+    }
+
+    #[test]
+    fn scoring_is_case_insensitive() {
+        assert_eq!(
+            sentiment_score("GREAT and AWFUL"),
+            sentiment_score("great and awful")
+        );
+        assert_eq!(sentiment_score("great and awful"), 0);
+    }
+
+    #[test]
+    fn lexicons_do_not_overlap() {
+        for p in POSITIVE_HASHES {
+            assert!(!NEGATIVE_HASHES.contains(&p));
+        }
+    }
+}

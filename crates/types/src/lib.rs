@@ -32,7 +32,7 @@ pub use id::{AndroidId, DeviceId, GoogleId, InstallId, ParticipantId};
 pub use metrics::{FaultCounters, PipelineMetrics};
 pub use online::{Distinct, GapAccum, MinMax, Welford};
 pub use permission::{Permission, PermissionProfile};
-pub use review::{Rating, RatingSummary, Review};
+pub use review::{Rating, RatingSummary, Review, ReviewEvent};
 pub use snapshot::{FastSnapshot, InstallDelta, ReclaimedBuffer, SlowSnapshot, Snapshot};
 pub use time::{SimDuration, SimTime, TimeInterval};
 

@@ -112,9 +112,19 @@ pub mod keys {
     pub const SPAN_CAMPAIGN_SCORE: &str = "campaign/score";
     /// Span: greedy quasi-clique mining over the co-occurrence graph.
     pub const SPAN_CAMPAIGN_MINE: &str = "campaign/mine";
+    /// Span: near-duplicate review-text candidate pass (SimHash banding +
+    /// Hamming verification over per-install text sketches).
+    pub const SPAN_CAMPAIGN_TEXT: &str = "campaign/text";
+    /// Span: batch text-sketch rebuild from the review column family of
+    /// the columnar store.
+    pub const SPAN_TEXT_REBUILD: &str = "campaign/text_rebuild";
     /// Counter: distinct shingles folded by campaign detection (batch
     /// rebuild path; the throughput denominator for the bench floor).
     pub const CAMPAIGN_SHINGLES: &str = "campaign.shingles";
+    /// Counter: reviews folded through the text-sketch rebuild kernel
+    /// (the numerator of the bench `reviews/s` floor; the matching wall
+    /// time lives under [`SPAN_TEXT_REBUILD`]).
+    pub const TEXT_REVIEWS: &str = "text.reviews";
 }
 
 /// Per-class counts of transport faults injected by a chaos run.

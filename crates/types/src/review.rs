@@ -69,6 +69,27 @@ impl Review {
     }
 }
 
+/// A review *as witnessed on the posting device* and carried by slow
+/// snapshots when review collection is enabled.
+///
+/// Unlike the store-side [`Review`], a `ReviewEvent` keeps the review
+/// text: the deception study's near-duplicate detector (§6) needs the
+/// text to find copy-pasted campaign templates across accounts, and only
+/// the instrumented device sees which of its accounts posted it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReviewEvent {
+    /// The reviewed app.
+    pub app: AppId,
+    /// The Google identity that posted the review.
+    pub reviewer: GoogleId,
+    /// Posting time, 1-second granularity.
+    pub time: SimTime,
+    /// The star rating.
+    pub rating: Rating,
+    /// The review text (may be empty).
+    pub text: String,
+}
+
 /// Aggregate rating statistics for an app, the quantity ASO campaigns try
 /// to manipulate (a 1-star aggregate increase raises conversion up to 280%,
 /// §2).

@@ -19,7 +19,7 @@
 
 use proptest::prelude::*;
 use racket_collect::{AppStream, StreamAggregates};
-use racket_types::{AppId, Distinct, GapAccum, MinMax, SimTime, Welford};
+use racket_types::{AppId, Distinct, GapAccum, GoogleId, MinMax, Rating, SimTime, Welford};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -256,7 +256,8 @@ fn gap_append_rejects_out_of_order_ranges() {
 
 /// Canonical view of a [`StreamAggregates`] for equality checks (its
 /// internal map is a `HashMap`; render in sorted order). The campaign
-/// sketch rides along so the merge algebra is pinned for it too.
+/// and text sketches ride along so the merge algebra is pinned for both
+/// lockstep-detection families (install events and review text).
 fn canon(
     s: &StreamAggregates,
 ) -> (
@@ -264,6 +265,7 @@ fn canon(
     u64,
     u64,
     racket_campaign::CampaignSketch,
+    racket_text::TextSketch,
 ) {
     let per_app: BTreeMap<AppId, AppStream> = s.apps().map(|(k, v)| (*k, *v)).collect();
     (
@@ -271,8 +273,22 @@ fn canon(
         s.n_install_events,
         s.n_uninstall_events,
         s.campaign().clone(),
+        s.text().clone(),
     )
 }
+
+/// Review-text pool for [`Op::Review`]: a small fixed vocabulary so
+/// shards frequently fold *identical* reviews (exercising the text
+/// sketch's set semantics under merge), with near-duplicates and an
+/// empty text in the mix.
+const REVIEW_TEXTS: [&str; 6] = [
+    "great app works perfectly",
+    "great app works perfectly!",
+    "crashes a lot, one star",
+    "does what it says",
+    "best app ever best app ever",
+    "",
+];
 
 /// One ingest-time event against a [`StreamAggregates`].
 #[derive(Debug, Clone, Copy)]
@@ -280,6 +296,7 @@ enum Op {
     Install(u8, u32),
     Uninstall(u8, u32),
     Foreground(u8),
+    Review(u8, u8, u32, u8, u8),
 }
 
 fn apply(s: &mut StreamAggregates, op: Op) {
@@ -287,6 +304,13 @@ fn apply(s: &mut StreamAggregates, op: Op) {
         Op::Install(app, t) => s.note_install(AppId(app as u32), SimTime::from_secs(t as u64)),
         Op::Uninstall(app, t) => s.note_uninstall(AppId(app as u32), SimTime::from_secs(t as u64)),
         Op::Foreground(app) => s.note_foreground(AppId(app as u32)),
+        Op::Review(app, who, t, stars, text) => s.note_review(
+            AppId(app as u32),
+            GoogleId(who as u64),
+            SimTime::from_secs(t as u64),
+            Rating::new(stars).expect("strategy stays in 1..=5"),
+            REVIEW_TEXTS[text as usize % REVIEW_TEXTS.len()],
+        ),
     }
 }
 
@@ -295,6 +319,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
         (0u8..6, any::<u32>()).prop_map(|(a, t)| Op::Install(a, t)),
         (0u8..6, any::<u32>()).prop_map(|(a, t)| Op::Uninstall(a, t)),
         (0u8..6).prop_map(Op::Foreground),
+        (0u8..6, 0u8..4, any::<u32>(), 1u8..=5, 0u8..8)
+            .prop_map(|(a, w, t, r, x)| Op::Review(a, w, t, r, x)),
     ]
 }
 

@@ -98,6 +98,7 @@ fn steady_state_lane_day_is_allocation_free() {
     let config = CollectorConfig {
         fast_period_secs: 60,
         slow_period_secs: 600,
+        collect_reviews: false,
     };
     let mut collector = SnapshotCollector::new(config, InstallId(1), ParticipantId(1));
     let mut batch = SnapshotBatch::new();

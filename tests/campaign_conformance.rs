@@ -11,7 +11,10 @@
 
 mod common;
 
-use common::{campaign_config, fingerprint, small_config, streaming_fingerprint};
+use common::{
+    campaign_config, fingerprint, small_config, streaming_fingerprint, text_campaign_config,
+    text_config,
+};
 use racket_agents::PacingStrategy;
 use racketstore::campaign::{batch_report, evaluate, membership};
 use racketstore::study::{CollectionPath, Study};
@@ -29,6 +32,93 @@ fn campaign_free_fleet_reports_zero_campaigns() {
     let eval = evaluate(&out.campaigns, &out);
     assert_eq!((eval.recall(), eval.precision()), (1.0, 1.0));
     assert!(membership(&out.campaigns, &out).iter().all(Option::is_none));
+}
+
+/// Negative control for the near-duplicate text source (ARCHITECTURE.md
+/// §13): an organic, campaign-free fleet with review text *enabled*
+/// must still report zero campaigns and zero verified text edges.
+/// Personal review text is keyed per (account, app, rating), so two
+/// accounts never share a template — banded LSH may surface candidate
+/// pairs (it is allowed to over-recall), but Hamming verification and
+/// the co-reviewed-apps quorum must reject every one of them.
+#[test]
+fn organic_text_fleet_is_a_negative_control() {
+    let out = Study::new(text_config(CollectionPath::Direct)).run();
+    assert!(out.fleet.campaigns.is_empty());
+    let report = &out.campaigns;
+    println!(
+        "negative control: text_candidates={} text_edges={} campaigns={}",
+        report.n_text_candidate_pairs,
+        report.n_text_edges,
+        report.campaigns.len()
+    );
+    assert_eq!(
+        report.n_text_edges, 0,
+        "organic review text produced verified cross-account near-duplicate edges"
+    );
+    assert!(
+        report.campaigns.is_empty(),
+        "false positives on an organic text-enabled fleet: {:?}",
+        report.campaigns
+    );
+    // The batch path (columnar review family in, same kernel) agrees,
+    // candidate counts included.
+    assert_eq!(batch_report(&out), *report);
+    let eval = evaluate(report, &out);
+    assert_eq!((eval.recall(), eval.precision()), (1.0, 1.0));
+    assert!(membership(report, &out).iter().all(Option::is_none));
+}
+
+/// The text family is a second, independent candidate source: campaign
+/// workers post template-shared (often verbatim) review text, so under
+/// evasive stealth pacing — which drips installs until the lockstep
+/// event windows stop overlapping — the near-duplicate index recovers
+/// campaigns the event-only detector misses entirely. A 10-day window
+/// gives drip-paced workers time to cover two or more shared apps (the
+/// verification quorum); at the 4-day window of [`campaign_config`]
+/// each worker reviews at most one target, and the quorum correctly
+/// keeps single-app text overlap from becoming an edge.
+#[test]
+fn text_edges_recover_stealth_campaigns_the_event_detector_misses() {
+    let run = |text: bool| {
+        let mut config = if text {
+            text_campaign_config(CollectionPath::Direct, 2, PacingStrategy::Stealth)
+        } else {
+            campaign_config(CollectionPath::Direct, 2, PacingStrategy::Stealth)
+        };
+        config.fleet.max_study_days = 10;
+        Study::new(config).run()
+    };
+    let event_only = run(false);
+    let with_text = run(true);
+    let ee = evaluate(&event_only.campaigns, &event_only);
+    let et = evaluate(&with_text.campaigns, &with_text);
+    println!(
+        "stealth+text: candidates={} edges={} recall={:.2} precision={:.2} (event-only recall {:.2})",
+        with_text.campaigns.n_text_candidate_pairs,
+        with_text.campaigns.n_text_edges,
+        et.recall(),
+        et.precision(),
+        ee.recall()
+    );
+    // Non-vacuous: the near-duplicate index really contributed edges.
+    assert!(
+        with_text.campaigns.n_text_edges > 0,
+        "campaign review templates produced no verified text edges"
+    );
+    // The headline band: text strictly improves stealth recall here
+    // (measured 0.00 -> 0.50 at this seed), at full precision.
+    assert!(
+        et.recall() > ee.recall(),
+        "text edges did not improve stealth recall ({:.2} vs {:.2})",
+        et.recall(),
+        ee.recall()
+    );
+    assert!(
+        et.precision() >= 0.9,
+        "stealth+text precision {:.2} below band",
+        et.precision()
+    );
 }
 
 #[test]

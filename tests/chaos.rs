@@ -17,12 +17,21 @@
 
 mod common;
 
-use common::{data_fingerprint, small_config, streaming_fingerprint};
+use common::{
+    assert_text_stream_equals_batch, data_fingerprint, streaming_fingerprint, text_config,
+    text_fingerprint,
+};
 use racket_collect::FaultPlan;
 use racketstore::study::{CollectionPath, Study, StudyOutput};
 
+/// The chaos fleet generates review text (ARCHITECTURE.md §13), so every
+/// fault profile also exercises the streaming near-duplicate text index:
+/// a replayed or reordered upload must never double-fold a review row.
+/// Text generation is keyed off a dedicated stream family, so this
+/// changes nothing else about the study (`tests/text_equivalence.rs`
+/// pins that no-perturbation contract explicitly).
 fn run_with(path: CollectionPath, faults: FaultPlan) -> (String, StudyOutput) {
-    let mut config = small_config(path);
+    let mut config = text_config(path);
     config.faults = faults;
     let out = Study::new(config).run();
     (data_fingerprint(&out), out)
@@ -32,6 +41,11 @@ fn run_with(path: CollectionPath, faults: FaultPlan) -> (String, StudyOutput) {
 fn study_output_survives_every_fault_class() {
     let (baseline, clean) = run_with(CollectionPath::Wire, FaultPlan::none());
     let streaming_baseline = streaming_fingerprint(&clean);
+    let text_baseline = text_fingerprint(&clean);
+    assert!(
+        !text_baseline.starts_with("streaming:texted_installs=0 "),
+        "chaos baseline carries no review text (text recovery is vacuous)"
+    );
 
     // The clean run is genuinely clean: the fault layer is off and the
     // retry machinery never fires.
@@ -74,6 +88,16 @@ fn study_output_survives_every_fault_class() {
             streaming_baseline,
             "{name}: streaming feature state diverged from the fault-free baseline"
         );
+
+        // So must the streaming text index: post-recovery sketch state is
+        // byte-identical to the clean run's, and still equals the batch
+        // rebuild from the columnar review family.
+        assert_eq!(
+            text_fingerprint(&out),
+            text_baseline,
+            "{name}: text-index state diverged from the fault-free baseline"
+        );
+        assert_text_stream_equals_batch(&out, name);
 
         // The faults really happened…
         let m = &out.metrics;
@@ -154,6 +178,12 @@ fn study_output_survives_every_fault_class() {
             streaming_baseline,
             "{name}: async-plane streaming state diverged from the fault-free baseline"
         );
+        assert_eq!(
+            text_fingerprint(&out),
+            text_baseline,
+            "{name}: async-plane text-index state diverged from the fault-free baseline"
+        );
+        assert_text_stream_equals_batch(&out, name);
         let m = &out.metrics;
         if name == "async/hostile" {
             assert!(m.faults.total() > 0, "{name}: plan injected no faults");

@@ -198,6 +198,56 @@ pub fn campaign_fingerprint(out: &StudyOutput) -> String {
     )
 }
 
+/// Canonical fingerprint of the per-install streaming text-sketch state
+/// next to its batch recomputation from the columnar review family
+/// (ARCHITECTURE.md §13). The text suites compare this string across
+/// thread counts, delivery paths and fault plans; the two halves must
+/// also equal each other, which [`assert_text_stream_equals_batch`]
+/// checks per scenario.
+pub fn text_fingerprint(out: &StudyOutput) -> String {
+    format!(
+        "streaming:{}\nbatch:{}",
+        racketstore::text::streaming_text_fingerprint(out),
+        racketstore::text::batch_text_fingerprint(out)
+    )
+}
+
+/// Assert the text engine's differential contract: the per-install
+/// [`racket_text::TextSketch`] folded review-by-review at ingest time
+/// must be byte-identical to the sketch rebuilt in batch from the
+/// columnar review family. `context` names the scenario in failures.
+pub fn assert_text_stream_equals_batch(out: &StudyOutput, context: &str) {
+    assert_eq!(
+        racketstore::text::streaming_text_fingerprint(out),
+        racketstore::text::batch_text_fingerprint(out),
+        "{context}: streaming text sketches != batch rebuild from columnar reviews"
+    );
+}
+
+/// [`small_config`] with deterministic review-text generation enabled —
+/// the configuration of the text-equivalence suites. Everything else
+/// (fleet, cadence, seed) is byte-identical to [`small_config`], which
+/// is exactly what the no-perturbation pin in `tests/text_equivalence.rs`
+/// relies on.
+pub fn text_config(path: CollectionPath) -> StudyConfig {
+    let mut config = small_config(path);
+    config.fleet.review_text = true;
+    config
+}
+
+/// [`campaign_config`] with review text enabled: campaign workers post
+/// template-shared review text, so the near-duplicate index has real
+/// cross-account structure to find.
+pub fn text_campaign_config(
+    path: CollectionPath,
+    n: usize,
+    pacing: racket_agents::PacingStrategy,
+) -> StudyConfig {
+    let mut config = campaign_config(path, n, pacing);
+    config.fleet.review_text = true;
+    config
+}
+
 /// [`small_config`] with `n` coordinated campaigns scheduled under the
 /// given pacing — the configuration of the lockstep-detection suites.
 pub fn campaign_config(
@@ -236,6 +286,7 @@ pub fn small_config(path: CollectionPath) -> StudyConfig {
         collector: CollectorConfig {
             fast_period_secs: 120,
             slow_period_secs: 240,
+            collect_reviews: false,
         },
         path,
         seed: 11,

@@ -11,7 +11,12 @@
 //!   class ratio within one sample;
 //! * descriptive statistics are order-invariant;
 //! * install coalescing never merges overlapping intervals and is
-//!   permutation-stable in group count.
+//!   permutation-stable in group count;
+//! * the review-text kernels (ARCHITECTURE.md §13): SimHash is
+//!   permutation-insensitive and multiset-scale-invariant, Hamming
+//!   distance is a metric, MinHash signatures distribute over set union
+//!   and estimate Jaccard within a statistical error band, and the
+//!   deterministic review-text generator is a pure function of its keys.
 
 use proptest::prelude::*;
 use racket_collect::wire::{FrameCodec, Message};
@@ -252,5 +257,171 @@ fn coalescing_group_count_is_permutation_stable() {
     assert_eq!(
         coalesce_installs(forward).len(),
         coalesce_installs(reversed).len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Review-text kernels (racket-text; ARCHITECTURE.md §13).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// SimHash is a per-bit majority vote over the shingle multiset, so
+    /// it cannot see the order of the shingles, and repeating the whole
+    /// multiset `m` times scales every vote tally by `m` without moving
+    /// any sign — the two insensitivities the near-duplicate index
+    /// relies on when reviews arrive in arbitrary ingest order.
+    #[test]
+    fn simhash_ignores_order_and_multiset_scaling(
+        shingles in proptest::collection::vec(any::<u64>(), 0..48),
+        seed in any::<u64>(),
+        m in 1usize..4,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let base = racket_text::simhash64(shingles.iter().copied());
+        let mut shuffled = shingles.clone();
+        shuffled.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        prop_assert_eq!(racket_text::simhash64(shuffled.iter().copied()), base);
+        let repeated: Vec<u64> = std::iter::repeat_n(shingles.clone(), m).flatten().collect();
+        prop_assert_eq!(racket_text::simhash64(repeated), base);
+    }
+
+    /// Hamming distance over 64-bit SimHashes is a metric: identity,
+    /// symmetry, the 64-bit range bound, and the triangle inequality
+    /// (which justifies the banded LSH candidate recall argument).
+    #[test]
+    fn hamming_is_a_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        use racket_text::hamming;
+        prop_assert_eq!(hamming(a, a), 0);
+        prop_assert_eq!(hamming(a, b), hamming(b, a));
+        prop_assert!(hamming(a, b) <= 64);
+        prop_assert!(hamming(a, c) <= hamming(a, b) + hamming(b, c));
+    }
+
+    /// MinHash signatures distribute over set union — the exact algebra
+    /// the streaming fold depends on: observing shingles one at a time,
+    /// in any order, with any duplication, then merging shard
+    /// signatures, lands on the signature of the union.
+    #[test]
+    fn minhash_distributes_over_union(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        seed in any::<u64>(),
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let sig = |shingles: &[u64]| {
+            let mut m = racket_text::MinHash::empty(32);
+            for &s in shingles {
+                m.observe(s);
+            }
+            m
+        };
+        let (sa, sb) = (sig(&a), sig(&b));
+        let mut union: Vec<u64> = a.iter().chain(&b).copied().collect();
+        union.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        // Duplicates are invisible: double every element.
+        let doubled: Vec<u64> = union.iter().flat_map(|&s| [s, s]).collect();
+        let su = sig(&doubled);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(&merged, &su);
+        // Merge commutes and the empty signature is an identity.
+        let mut swapped = sb.clone();
+        swapped.merge(&sa);
+        prop_assert_eq!(&swapped, &su);
+        let mut id = racket_text::MinHash::empty(32);
+        id.merge(&su);
+        prop_assert_eq!(&id, &su);
+    }
+
+    /// The Jaccard estimate is bounded, symmetric, and exact at the
+    /// extremes (identical sets estimate 1.0).
+    #[test]
+    fn minhash_jaccard_estimate_is_bounded_and_symmetric(
+        a in proptest::collection::hash_set(0u64..200, 1..30),
+        b in proptest::collection::hash_set(0u64..200, 1..30),
+    ) {
+        let sig = |set: &std::collections::HashSet<u64>| {
+            let mut m = racket_text::MinHash::empty(32);
+            for &s in set {
+                m.observe(s);
+            }
+            m
+        };
+        let (sa, sb) = (sig(&a), sig(&b));
+        let ab = sa.estimate_jaccard(&sb);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert_eq!(sb.estimate_jaccard(&sa), ab);
+        prop_assert_eq!(sa.estimate_jaccard(&sa), 1.0);
+        if a == b {
+            prop_assert_eq!(ab, 1.0);
+        }
+    }
+
+    /// The review-text generator is a pure function of its keys: two
+    /// independently constructed generators agree byte-for-byte, and a
+    /// different master seed moves the personal text (so studies at
+    /// different seeds don't share review text verbatim).
+    #[test]
+    fn textgen_is_a_pure_function_of_its_keys(
+        seed in any::<u64>(),
+        google_id in any::<u64>(),
+        app in any::<u64>(),
+        stars in 1u8..=5,
+    ) {
+        let rating = racket_types::Rating::new(stars).unwrap();
+        let g1 = racket_agents::TextGen::new(seed);
+        let g2 = racket_agents::TextGen::new(seed);
+        let text = g1.personal(google_id, app, rating);
+        prop_assert_eq!(&g2.personal(google_id, app, rating), &text);
+        prop_assert!(!text.is_empty());
+        prop_assert_eq!(
+            g1.campaign(7, app, 3, rating),
+            g2.campaign(7, app, 3, rating)
+        );
+    }
+}
+
+/// MinHash's Jaccard estimator is unbiased with per-row match probability
+/// equal to the true Jaccard similarity; at 32 rows one estimate has a
+/// standard error of at most `sqrt(0.25/32) ≈ 0.088`. Averaged over 300
+/// deterministic set pairs the mean absolute error must sit well inside
+/// that band. Fully seeded, so this is a regression pin, not a flaky
+/// statistical assertion.
+#[test]
+fn minhash_jaccard_mean_error_stays_in_band() {
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2021);
+    let mut total_err = 0.0;
+    let n_pairs = 300;
+    for _ in 0..n_pairs {
+        let n_shared = rng.gen_range(0..20);
+        let n_only_a = rng.gen_range(1..15);
+        let n_only_b = rng.gen_range(1..15);
+        let mut next = || rng.gen::<u64>();
+        let shared: Vec<u64> = (0..n_shared).map(|_| next()).collect();
+        let mut ma = racket_text::MinHash::empty(32);
+        let mut mb = racket_text::MinHash::empty(32);
+        for &s in &shared {
+            ma.observe(s);
+            mb.observe(s);
+        }
+        for _ in 0..n_only_a {
+            ma.observe(next());
+        }
+        for _ in 0..n_only_b {
+            mb.observe(next());
+        }
+        // 64-bit draws collide with negligible probability: the true
+        // Jaccard is the shared count over the union count.
+        let truth = n_shared as f64 / (n_shared + n_only_a + n_only_b) as f64;
+        total_err += (ma.estimate_jaccard(&mb) - truth).abs();
+    }
+    let mean_err = total_err / n_pairs as f64;
+    assert!(
+        mean_err < 0.08,
+        "MinHash(32) mean |estimate - true Jaccard| = {mean_err:.4}, outside the error band"
     );
 }

@@ -22,6 +22,11 @@
 //!   double-fold streaming state (idempotent ingest dedups uploads before
 //!   they reach the fold hooks).
 //!
+//! The matrix fleet also generates review text, so every scenario pins
+//! the streaming text-sketch contract (ARCHITECTURE.md §13) next to the
+//! feature-vector one: the per-install `TextSketch` folded at ingest must
+//! equal the batch rebuild from the columnar review family.
+//!
 //! Scenarios pin `RAYON_NUM_THREADS`, which is process-global, so both
 //! tests live in one binary that `check.sh` runs with `--test-threads=1`;
 //! the ambient test is named to sort (and therefore run) first, before
@@ -29,7 +34,10 @@
 
 mod common;
 
-use common::{assert_stream_equals_batch, small_config, with_threads};
+use common::{
+    assert_stream_equals_batch, assert_text_stream_equals_batch, small_config, text_config,
+    with_threads,
+};
 use racket_collect::FaultPlan;
 use racketstore::study::{CollectionPath, Study};
 
@@ -39,6 +47,7 @@ use racketstore::study::{CollectionPath, Study};
 fn ambient_streaming_state_equals_batch_features() {
     let out = Study::new(small_config(CollectionPath::Direct)).run();
     assert_stream_equals_batch(&out, "ambient/direct/clean");
+    assert_text_stream_equals_batch(&out, "ambient/direct/clean");
 }
 
 #[test]
@@ -79,12 +88,18 @@ fn matrix_streaming_state_equals_batch_features() {
     ];
     for threads in ["1", "2", "8"] {
         for (name, path, plan) in scenarios {
+            // The matrix fleet generates review text, so every scenario
+            // also pins the streaming text-sketch contract
+            // (ARCHITECTURE.md §13); the feature-vector contract is
+            // unaffected — text draws from its own keyed stream family.
             let out = with_threads(threads, || {
-                let mut config = small_config(path);
+                let mut config = text_config(path);
                 config.faults = plan;
                 Study::new(config).run()
             });
-            assert_stream_equals_batch(&out, &format!("{name} @ {threads} threads"));
+            let context = format!("{name} @ {threads} threads");
+            assert_stream_equals_batch(&out, &context);
+            assert_text_stream_equals_batch(&out, &context);
         }
     }
 }
